@@ -1,0 +1,486 @@
+//! `grep`: regular-expression search.
+//!
+//! The baseline streams the file, matching line by line, printing matches
+//! in file order, and with `-q` stops at the first match. The SLEDs mode
+//! reads chunks in pick order (record-oriented, so no line ever straddles a
+//! latency boundary), buffers its matches, and sorts them by offset before
+//! returning — the paper calls out exactly this extra buffering/sorting as
+//! why `grep` needed the most code of its ports, and why switches like `-n`
+//! had to be reimplemented. Line numbers are reconstructed from per-segment
+//! newline counts after the scan.
+//!
+//! With `-q` (first match wins), the SLEDs mode is the paper's "ideal
+//! benchmark": if any cached chunk contains a match, it terminates without
+//! a single device read.
+
+use sleds::{PickConfig, PickSession, SledsTable};
+use sleds_fs::{Fd, Kernel, OpenFlags, Whence};
+use sleds_sim_core::{SimDuration, SimResult};
+use sleds_textmatch::Regex;
+
+use crate::{charge_per_byte, BUFSIZE};
+
+/// Fixed per-line CPU cost (line assembly, bookkeeping).
+const GREP_NS_PER_LINE: u64 = 60;
+
+/// Scan cost per byte per 8 compiled instructions.
+const GREP_NS_PER_BYTE_BASE: u64 = 4;
+
+/// One match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrepMatch {
+    /// Byte offset of the start of the matching line.
+    pub offset: u64,
+    /// 1-based line number.
+    pub line_number: u64,
+    /// The matching line, without its newline.
+    pub line: Vec<u8>,
+}
+
+/// `grep` output.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GrepResult {
+    /// Matches in file order.
+    pub matches: Vec<GrepMatch>,
+    /// True when `-q` stopped the scan early.
+    pub stopped_early: bool,
+}
+
+/// Options for a grep run.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct GrepOptions {
+    /// Stop at the first match (`-q`).
+    pub first_match_only: bool,
+}
+
+
+fn scan_cost(re: &Regex, bytes: usize) -> u64 {
+    GREP_NS_PER_BYTE_BASE.max(re.instruction_count() as u64 / 8) * bytes as u64
+}
+
+/// Runs grep over `path`. `table` selects SLEDs mode.
+pub fn grep(
+    kernel: &mut Kernel,
+    path: &str,
+    re: &Regex,
+    opts: &GrepOptions,
+    table: Option<&SledsTable>,
+) -> SimResult<GrepResult> {
+    let fd = kernel.open(path, OpenFlags::RDONLY)?;
+    let result = match table {
+        None => grep_baseline(kernel, fd, re, opts),
+        Some(table) => grep_sleds(kernel, fd, re, opts, table),
+    };
+    kernel.close(fd)?;
+    result
+}
+
+fn grep_baseline(
+    kernel: &mut Kernel,
+    fd: Fd,
+    re: &Regex,
+    opts: &GrepOptions,
+) -> SimResult<GrepResult> {
+    let mut out = GrepResult::default();
+    let mut carry: Vec<u8> = Vec::new();
+    let mut carry_start = 0u64;
+    let mut line_number = 1u64;
+    let mut offset = 0u64;
+    loop {
+        let buf = kernel.read(fd, BUFSIZE)?;
+        if buf.is_empty() {
+            break;
+        }
+        charge_per_byte(kernel, buf.len(), 1); // copy into line assembly
+        kernel.charge_cpu(SimDuration::from_nanos(scan_cost(re, buf.len())));
+        let mut line_begin = 0usize;
+        for (i, &b) in buf.iter().enumerate() {
+            if b != b'\n' {
+                continue;
+            }
+            kernel.charge_cpu(SimDuration::from_nanos(GREP_NS_PER_LINE));
+            let (line_off, hit) = if carry.is_empty() {
+                let line = &buf[line_begin..i];
+                (offset + line_begin as u64, re.is_match(line))
+            } else {
+                carry.extend_from_slice(&buf[line_begin..i]);
+                (carry_start, re.is_match(&carry))
+            };
+            if hit {
+                let line = if carry.is_empty() {
+                    buf[line_begin..i].to_vec()
+                } else {
+                    std::mem::take(&mut carry)
+                };
+                out.matches.push(GrepMatch {
+                    offset: line_off,
+                    line_number,
+                    line,
+                });
+                if opts.first_match_only {
+                    out.stopped_early = true;
+                    return Ok(out);
+                }
+            }
+            carry.clear();
+            line_number += 1;
+            line_begin = i + 1;
+        }
+        if line_begin < buf.len() {
+            if carry.is_empty() {
+                carry_start = offset + line_begin as u64;
+            }
+            carry.extend_from_slice(&buf[line_begin..]);
+        }
+        offset += buf.len() as u64;
+    }
+    // Unterminated final line.
+    if !carry.is_empty() {
+        kernel.charge_cpu(SimDuration::from_nanos(GREP_NS_PER_LINE));
+        if re.is_match(&carry) {
+            out.matches.push(GrepMatch {
+                offset: carry_start,
+                line_number,
+                line: carry,
+            });
+            out.stopped_early = opts.first_match_only;
+        }
+    }
+    Ok(out)
+}
+
+// [sleds:begin]
+/// Per-segment scan state for the reordered pass.
+///
+/// A *segment* is a maximal contiguous run of chunks the pick plan returned
+/// back to back. Because the plan is record-oriented, every segment starts
+/// and ends on a record boundary (or at the file's edges), so no line spans
+/// segments and each can be scanned independently.
+struct SegmentScan {
+    start: u64,
+    end: u64,
+    newlines: u64,
+    /// (line start offset, newlines before it within the segment, text).
+    matches: Vec<(u64, u64, Vec<u8>)>,
+}
+
+fn grep_sleds(
+    kernel: &mut Kernel,
+    fd: Fd,
+    re: &Regex,
+    opts: &GrepOptions,
+    table: &SledsTable,
+) -> SimResult<GrepResult> {
+    let mut pick = PickSession::init(kernel, table, fd, PickConfig::records(BUFSIZE, b'\n'))?;
+    let mut segments: Vec<SegmentScan> = Vec::new();
+    let mut out = GrepResult::default();
+
+    // Each contiguous run of chunks is scanned with the ordinary carry
+    // logic. Record-aligned SLED edges guarantee runs start and end on line
+    // boundaries, so a non-empty carry can only remain at end of file.
+    let mut run: Option<SegmentScan> = None;
+    let mut carry: Vec<u8> = Vec::new();
+    let mut carry_start = 0u64;
+
+    let close_run = |kernel: &mut Kernel,
+                     run: &mut Option<SegmentScan>,
+                     carry: &mut Vec<u8>,
+                     carry_start: u64,
+                     segments: &mut Vec<SegmentScan>,
+                     re: &Regex| {
+        if let Some(mut r) = run.take() {
+            if !carry.is_empty() {
+                // Unterminated final line (EOF), since runs end on record
+                // boundaries everywhere else.
+                kernel.charge_cpu(SimDuration::from_nanos(GREP_NS_PER_LINE));
+                if re.is_match(carry) {
+                    r.matches.push((carry_start, r.newlines, std::mem::take(carry)));
+                } else {
+                    carry.clear();
+                }
+            }
+            segments.push(r);
+        }
+    };
+
+    while let Some((offset, len)) = pick.next_read() {
+        let contiguous = matches!(&run, Some(r) if r.end == offset);
+        if !contiguous {
+            close_run(kernel, &mut run, &mut carry, carry_start, &mut segments, re);
+            run = Some(SegmentScan {
+                start: offset,
+                end: offset,
+                newlines: 0,
+                matches: Vec::new(),
+            });
+        }
+        let r = run.as_mut().expect("run just ensured");
+        kernel.lseek(fd, offset as i64, Whence::Set)?;
+        let buf = kernel.read(fd, len)?;
+        charge_per_byte(kernel, buf.len(), 1);
+        kernel.charge_cpu(SimDuration::from_nanos(scan_cost(re, buf.len())));
+        let mut line_begin = 0usize;
+        for (i, &b) in buf.iter().enumerate() {
+            if b != b'\n' {
+                continue;
+            }
+            kernel.charge_cpu(SimDuration::from_nanos(GREP_NS_PER_LINE));
+            let (line_off, text): (u64, Vec<u8>) = if carry.is_empty() {
+                (offset + line_begin as u64, buf[line_begin..i].to_vec())
+            } else {
+                carry.extend_from_slice(&buf[line_begin..i]);
+                (carry_start, std::mem::take(&mut carry))
+            };
+            if re.is_match(&text) {
+                r.matches.push((line_off, r.newlines, text));
+                if opts.first_match_only {
+                    let (off, _, line) = r.matches.pop().expect("just pushed");
+                    out.matches.push(GrepMatch {
+                        offset: off,
+                        // Unknowable without scanning everything before it;
+                        // the paper's -q likewise suppresses output.
+                        line_number: 0,
+                        line,
+                    });
+                    out.stopped_early = true;
+                    pick.finish();
+                    return Ok(out);
+                }
+            }
+            r.newlines += 1;
+            line_begin = i + 1;
+        }
+        if line_begin < buf.len() {
+            if carry.is_empty() {
+                carry_start = offset + line_begin as u64;
+            }
+            carry.extend_from_slice(&buf[line_begin..]);
+        }
+        r.end = offset + buf.len() as u64;
+    }
+    close_run(kernel, &mut run, &mut carry, carry_start, &mut segments, re);
+    pick.finish();
+
+    // Stitch: order the segments, assign line numbers by prefix sums over
+    // per-segment newline counts, and emit matches in file order. This is
+    // the buffering-and-sorting the paper's grep port had to add.
+    segments.sort_by_key(|s| s.start);
+    let match_count: u64 = segments.iter().map(|s| s.matches.len() as u64).sum();
+    kernel.charge_cpu(SimDuration::from_nanos(
+        200 * (segments.len() as u64 + 1) + 80 * match_count,
+    ));
+    let mut lines_before = 0u64;
+    for s in &segments {
+        for (off, nl_before, text) in &s.matches {
+            out.matches.push(GrepMatch {
+                offset: *off,
+                line_number: lines_before + nl_before + 1,
+                line: text.clone(),
+            });
+        }
+        lines_before += s.newlines;
+    }
+    out.matches.sort_by_key(|m| m.offset);
+    Ok(out)
+}
+// [sleds:end]
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleds_devices::DiskDevice;
+    use sleds_sim_core::{DetRng, PAGE_SIZE};
+
+    fn setup() -> (Kernel, SledsTable) {
+        let mut k = Kernel::table2();
+        k.mkdir("/data").unwrap();
+        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let dev = k.device_of_mount(m).unwrap();
+        let mut t = SledsTable::new();
+        t.fill_memory(sleds::SledsEntry::new(175e-9, 48e6));
+        t.fill_device(dev, sleds::SledsEntry::new(0.018, 9e6));
+        (k, t)
+    }
+
+    /// Lines of pseudo-words, one in `hit_every` containing "needle".
+    fn corpus(n: usize, hit_every: u64, seed: u64) -> Vec<u8> {
+        let mut rng = DetRng::new(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut line_no = 0u64;
+        while out.len() < n {
+            line_no += 1;
+            let words = rng.range_u64(3, 10);
+            for w in 0..words {
+                if w > 0 {
+                    out.push(b' ');
+                }
+                if hit_every > 0 && line_no.is_multiple_of(hit_every) && w == 1 {
+                    out.extend_from_slice(b"needle");
+                } else {
+                    for _ in 0..rng.range_u64(2, 9) {
+                        out.push(b'a' + rng.range_u64(0, 26) as u8);
+                    }
+                }
+            }
+            out.push(b'\n');
+        }
+        out.truncate(n);
+        // Keep the corpus newline-terminated for determinism.
+        if let Some(last) = out.last_mut() {
+            *last = b'\n';
+        }
+        out
+    }
+
+    #[test]
+    fn finds_matches_with_line_numbers() {
+        let (mut k, _) = setup();
+        k.install_file("/data/f", b"one\ntwo needle x\nthree\nneedle\n").unwrap();
+        let re = Regex::new("needle").unwrap();
+        let r = grep(&mut k, "/data/f", &re, &GrepOptions::default(), None).unwrap();
+        assert_eq!(r.matches.len(), 2);
+        assert_eq!(r.matches[0].line_number, 2);
+        assert_eq!(r.matches[0].line, b"two needle x");
+        assert_eq!(r.matches[1].line_number, 4);
+        assert!(!r.stopped_early);
+    }
+
+    #[test]
+    fn q_stops_early() {
+        let (mut k, _) = setup();
+        k.install_file("/data/f", b"x\nneedle\ny\nneedle\n").unwrap();
+        let re = Regex::new("needle").unwrap();
+        let r = grep(
+            &mut k,
+            "/data/f",
+            &re,
+            &GrepOptions {
+                first_match_only: true,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.matches.len(), 1);
+        assert!(r.stopped_early);
+    }
+
+    #[test]
+    fn sleds_mode_matches_baseline_cold() {
+        let (mut k, t) = setup();
+        let text = corpus(6 * PAGE_SIZE as usize, 37, 3);
+        k.install_file("/data/f", &text).unwrap();
+        let re = Regex::new("needle").unwrap();
+        let base = grep(&mut k, "/data/f", &re, &GrepOptions::default(), None).unwrap();
+        k.drop_caches().unwrap();
+        let with = grep(&mut k, "/data/f", &re, &GrepOptions::default(), Some(&t)).unwrap();
+        assert_eq!(base.matches.len(), with.matches.len());
+        for (a, b) in base.matches.iter().zip(&with.matches) {
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.line_number, b.line_number);
+        }
+    }
+
+    #[test]
+    fn sleds_mode_matches_baseline_warm_scrambled() {
+        let (mut k, t) = setup();
+        let text = corpus(10 * PAGE_SIZE as usize, 53, 4);
+        k.install_file("/data/f", &text).unwrap();
+        let re = Regex::new("needle").unwrap();
+        let base = grep(&mut k, "/data/f", &re, &GrepOptions::default(), None).unwrap();
+        // Warm two separated ranges so the plan has several latency runs.
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.lseek(fd, 2 * PAGE_SIZE as i64, Whence::Set).unwrap();
+        k.read(fd, 2 * PAGE_SIZE as usize).unwrap();
+        k.lseek(fd, 7 * PAGE_SIZE as i64, Whence::Set).unwrap();
+        k.read(fd, PAGE_SIZE as usize).unwrap();
+        k.close(fd).unwrap();
+        let with = grep(&mut k, "/data/f", &re, &GrepOptions::default(), Some(&t)).unwrap();
+        assert_eq!(base, with);
+    }
+
+    #[test]
+    fn sleds_q_terminates_without_io_when_match_cached() {
+        let (mut k, t) = setup();
+        // Match near the END of the file; warm exactly that region.
+        let mut text = corpus(20 * PAGE_SIZE as usize, 0, 5);
+        let pos = 18 * PAGE_SIZE as usize;
+        text[pos..pos + 6].copy_from_slice(b"needle");
+        k.install_file("/data/f", &text).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.lseek(fd, 17 * PAGE_SIZE as i64, Whence::Set).unwrap();
+        k.read(fd, 3 * PAGE_SIZE as usize).unwrap();
+        k.close(fd).unwrap();
+        k.reset_counters();
+
+        let re = Regex::new("needle").unwrap();
+        let j = k.start_job();
+        let r = grep(
+            &mut k,
+            "/data/f",
+            &re,
+            &GrepOptions {
+                first_match_only: true,
+            },
+            Some(&t),
+        )
+        .unwrap();
+        let rep = k.finish_job(&j);
+        assert!(r.stopped_early);
+        assert_eq!(
+            rep.usage.major_faults, 0,
+            "match was cached; no device I/O needed"
+        );
+
+        // Baseline from the front must fault its way through ~18 pages.
+        k.reset_counters();
+        let j = k.start_job();
+        grep(
+            &mut k,
+            "/data/f",
+            &re,
+            &GrepOptions {
+                first_match_only: true,
+            },
+            None,
+        )
+        .unwrap();
+        let rep = k.finish_job(&j);
+        assert!(rep.usage.major_faults > 10);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let (mut k, t) = setup();
+        k.install_file("/data/f", b"aaa\nbbb\n").unwrap();
+        let re = Regex::new("zzz").unwrap();
+        for table in [None, Some(&t)] {
+            let r = grep(&mut k, "/data/f", &re, &GrepOptions::default(), table).unwrap();
+            assert!(r.matches.is_empty());
+        }
+    }
+
+    #[test]
+    fn unterminated_last_line_is_searched() {
+        let (mut k, t) = setup();
+        k.install_file("/data/f", b"aaa\nneedle-at-eof").unwrap();
+        let re = Regex::new("needle").unwrap();
+        let base = grep(&mut k, "/data/f", &re, &GrepOptions::default(), None).unwrap();
+        assert_eq!(base.matches.len(), 1);
+        assert_eq!(base.matches[0].line_number, 2);
+        let with = grep(&mut k, "/data/f", &re, &GrepOptions::default(), Some(&t)).unwrap();
+        assert_eq!(base, with);
+    }
+
+    #[test]
+    fn regex_patterns_work_through_grep() {
+        let (mut k, _) = setup();
+        k.install_file("/data/src.c", b"int main() {\n  sleds_pick_init(fd, SZ);\n}\n")
+            .unwrap();
+        let re = Regex::new(r"sleds_pick_\w+\(").unwrap();
+        let r = grep(&mut k, "/data/src.c", &re, &GrepOptions::default(), None).unwrap();
+        assert_eq!(r.matches.len(), 1);
+        assert_eq!(r.matches[0].line_number, 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Searching a source tree: the paper's motivating `find -exec grep` story.
+//!
+//! Section 5.2: "Programmers may do find -exec grep ... If the routine is
+//! near the end of the set of files as normally scanned by find, or if the
+//! user types control-C after seeing what he wants to see, the entry may be
+//! cached but earlier files may already have been flushed. Repeating the
+//! operation, then, causes a complete rescan ... the SLEDs-aware find
+//! allows him to search cache first, then higher latency data only as
+//! needed."
+//!
+//! [`tree_grep`] implements both behaviours over a directory tree: the
+//! baseline greps files in `find`'s deterministic (name) order; the SLEDs
+//! mode estimates each file's delivery time first (one cheap `FSLEDS_GET`
+//! per file — this is Steere's file-sets idea expressed in SLEDs) and greps
+//! cheapest-first, additionally using the in-file pick ordering. With
+//! `stop_after_first`, the search ends at the first matching file — the
+//! repeated-interactive-search case the paper describes.
+
+use sleds::{total_delivery_time, AttackPlan, SledsTable};
+use sleds_fs::{FileKind, Kernel, OpenFlags};
+use sleds_sim_core::{SimDuration, SimResult};
+use sleds_textmatch::Regex;
+
+use crate::find::{find, FindOptions};
+use crate::grep::{grep, GrepOptions};
+
+/// One file's outcome in a tree search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeMatch {
+    /// The file searched.
+    pub path: String,
+    /// Matching lines found in it.
+    pub match_count: usize,
+}
+
+/// Result of a tree search.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeGrepResult {
+    /// Files with at least one match, in the order they were searched.
+    pub matches: Vec<TreeMatch>,
+    /// Files actually opened and searched.
+    pub files_searched: usize,
+    /// True when the search stopped at the first matching file.
+    pub stopped_early: bool,
+}
+
+/// Options for a tree search.
+#[derive(Clone, Debug, Default)]
+pub struct TreeGrepOptions {
+    /// Only files whose basename matches this glob (e.g. `*.c`).
+    pub name_glob: Option<String>,
+    /// Stop at the first file containing a match (the interactive
+    /// "control-C after seeing what he wants" case).
+    pub stop_after_first: bool,
+}
+
+/// Searches every file under `root` for `re`. `table` selects the SLEDs
+/// mode: file *set* ordered cheapest-first, each file read in pick order.
+pub fn tree_grep(
+    kernel: &mut Kernel,
+    root: &str,
+    re: &Regex,
+    opts: &TreeGrepOptions,
+    table: Option<&SledsTable>,
+) -> SimResult<TreeGrepResult> {
+    let hits = find(
+        kernel,
+        root,
+        &FindOptions {
+            name_glob: opts.name_glob.clone(),
+            kind: Some(FileKind::File),
+            ..Default::default()
+        },
+        None,
+    )?;
+    let mut files: Vec<String> = hits.into_iter().map(|h| h.path).collect();
+
+    // [sleds:begin]
+    if let Some(table) = table {
+        // Order the file set by estimated delivery time, cheapest first;
+        // ties keep name order (stable sort).
+        let mut keyed: Vec<(f64, String)> = Vec::with_capacity(files.len());
+        for path in files.drain(..) {
+            let fd = kernel.open(&path, OpenFlags::RDONLY)?;
+            let est = total_delivery_time(kernel, table, fd, AttackPlan::Best)?;
+            kernel.close(fd)?;
+            keyed.push((est, path));
+        }
+        kernel.charge_cpu(SimDuration::from_nanos(150 * keyed.len() as u64));
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite estimates"));
+        files = keyed.into_iter().map(|(_, p)| p).collect();
+    }
+    // [sleds:end]
+
+    let mut out = TreeGrepResult::default();
+    let grep_opts = GrepOptions {
+        first_match_only: opts.stop_after_first,
+    };
+    for path in files {
+        let r = grep(kernel, &path, re, &grep_opts, table)?;
+        out.files_searched += 1;
+        if !r.matches.is_empty() {
+            out.matches.push(TreeMatch {
+                path,
+                match_count: r.matches.len(),
+            });
+            if opts.stop_after_first {
+                out.stopped_early = true;
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleds_devices::DiskDevice;
+    use sleds_fs::MachineConfig;
+    use sleds_lmbench::fill_table;
+    use sleds_sim_core::{ByteSize, DetRng};
+
+    fn corpus(n: usize, seed: u64, needle: bool) -> Vec<u8> {
+        let mut rng = DetRng::new(seed);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            for _ in 0..rng.range_u64(4, 9) {
+                out.push(b'a' + rng.range_u64(0, 26) as u8);
+            }
+            out.push(if rng.chance(0.2) { b'\n' } else { b' ' });
+        }
+        out.truncate(n);
+        if needle {
+            let p = n * 3 / 4;
+            out[p..p + 4].copy_from_slice(b"ZQXJ");
+        }
+        out
+    }
+
+    fn setup_tree(file_kb: usize) -> (Kernel, SledsTable, Vec<String>) {
+        let mut cfg = MachineConfig::table2();
+        cfg.ram = ByteSize::mib(4);
+        let mut k = Kernel::new(cfg);
+        k.mkdir("/src").unwrap();
+        let m = k.mount_disk("/src", DiskDevice::table2_disk("hda")).unwrap();
+        k.mkdir("/src/sub").unwrap();
+        let mut paths = Vec::new();
+        for i in 0..8 {
+            let path = if i % 2 == 0 {
+                format!("/src/f{i}.c")
+            } else {
+                format!("/src/sub/f{i}.c")
+            };
+            // The needle lives only in the LAST file in name order.
+            let has_needle = i == 7;
+            k.install_file(&path, &corpus(file_kb << 10, 100 + i as u64, has_needle))
+                .unwrap();
+            paths.push(path);
+        }
+        let t = fill_table(&mut k, &[("/src", m)]).unwrap();
+        k.reset_counters();
+        (k, t, paths)
+    }
+
+    #[test]
+    fn both_modes_find_the_same_files() {
+        let (mut k, t, _) = setup_tree(64);
+        let re = Regex::new("ZQXJ").unwrap();
+        let opts = TreeGrepOptions {
+            name_glob: Some("*.c".into()),
+            stop_after_first: false,
+        };
+        let base = tree_grep(&mut k, "/src", &re, &opts, None).unwrap();
+        let with = tree_grep(&mut k, "/src", &re, &opts, Some(&t)).unwrap();
+        let mut b: Vec<&str> = base.matches.iter().map(|m| m.path.as_str()).collect();
+        let mut w: Vec<&str> = with.matches.iter().map(|m| m.path.as_str()).collect();
+        b.sort();
+        w.sort();
+        assert_eq!(b, w);
+        assert_eq!(b, vec!["/src/sub/f7.c"]);
+    }
+
+    #[test]
+    fn repeated_search_hits_cache_first_and_stops_early() {
+        // The paper's scenario: a first search warmed the match file, the
+        // head of the file set has been flushed (the tree exceeds the
+        // cache); repeating the search with SLEDs starts from the cached
+        // tail of the set and does no device I/O.
+        let (mut k, t, paths) = setup_tree(512);
+        let re = Regex::new("ZQXJ").unwrap();
+        let opts = TreeGrepOptions {
+            name_glob: Some("*.c".into()),
+            stop_after_first: true,
+        };
+        // First (baseline) search: scans f0..f7 in order, ends at f7,
+        // leaving the last few files cached and the head flushed.
+        let first = tree_grep(&mut k, "/src", &re, &opts, None).unwrap();
+        assert!(first.stopped_early);
+        assert_eq!(first.files_searched, 8, "needle is in the last file");
+
+        // Repeat with SLEDs: cached files are estimated cheapest and
+        // searched first; the match is found among them with zero
+        // physical I/O.
+        k.reset_counters();
+        let j = k.start_job();
+        let repeat = tree_grep(&mut k, "/src", &re, &opts, Some(&t)).unwrap();
+        let rep = k.finish_job(&j);
+        assert!(repeat.stopped_early);
+        assert!(
+            repeat.files_searched < 8,
+            "cache-first order skips the flushed head"
+        );
+        assert_eq!(repeat.matches[0].path, *paths.last().unwrap());
+        assert_eq!(rep.usage.major_faults, 0, "no physical I/O at all");
+
+        // Repeating the baseline instead rescans everything from disk.
+        k.reset_counters();
+        let j = k.start_job();
+        let naive = tree_grep(&mut k, "/src", &re, &opts, None).unwrap();
+        let naive_rep = k.finish_job(&j);
+        assert_eq!(naive.files_searched, 8);
+        assert!(naive_rep.usage.major_faults > 500);
+        assert!(
+            naive_rep.elapsed.as_secs_f64() > 5.0 * rep.elapsed.as_secs_f64(),
+            "rescan {} vs cache-first {}",
+            naive_rep.elapsed,
+            rep.elapsed
+        );
+    }
+
+    #[test]
+    fn glob_filters_the_file_set() {
+        let (mut k, t, _) = setup_tree(16);
+        k.install_file("/src/readme.txt", b"ZQXJ\n").unwrap();
+        let re = Regex::new("ZQXJ").unwrap();
+        let opts = TreeGrepOptions {
+            name_glob: Some("*.txt".into()),
+            stop_after_first: false,
+        };
+        let r = tree_grep(&mut k, "/src", &re, &opts, Some(&t)).unwrap();
+        assert_eq!(r.files_searched, 1);
+        assert_eq!(r.matches[0].path, "/src/readme.txt");
+    }
+
+    #[test]
+    fn empty_tree_is_empty_result() {
+        let mut k = Kernel::table2();
+        k.mkdir("/empty").unwrap();
+        k.mount_disk("/empty", DiskDevice::table2_disk("hda")).unwrap();
+        let re = Regex::new("x").unwrap();
+        let r = tree_grep(&mut k, "/empty", &re, &TreeGrepOptions::default(), None).unwrap();
+        assert_eq!(r, TreeGrepResult::default());
+    }
+}

@@ -1,0 +1,45 @@
+//! The evaluation harness: regenerates every table and figure of the paper.
+//!
+//! The `figures` binary (`cargo run --release -p sleds-bench --bin figures`)
+//! drives the experiment runners in [`figures`], which follow the paper's
+//! protocol: warm file cache, runs repeated in the same mode with the first
+//! discarded, twelve measured runs, means with 90% confidence intervals.
+//! Results are written as CSV plus ASCII plots under `results/`.
+//!
+//! Criterion micro-benchmarks (under `benches/`) measure this
+//! *implementation's* real-time costs; the paper reproduction numbers are
+//! virtual-time outputs of the simulator and come only from the `figures`
+//! binary.
+
+pub mod ablations;
+pub mod env;
+pub mod figures;
+pub mod output;
+pub mod workload;
+
+pub use env::{Env, FsKind};
+pub use output::{ascii_plot, write_csv, Series};
+
+/// Runs-per-point, matching the paper ("All runs were done twelve times").
+pub const RUNS: usize = 12;
+
+/// True when the environment asks for a fast, reduced sweep (used by CI and
+/// the smoke tests): fewer sizes, fewer runs.
+pub fn quick_mode() -> bool {
+    std::env::var("SLEDS_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The measured run count honoring quick mode.
+pub fn runs() -> usize {
+    if quick_mode() {
+        4
+    } else {
+        RUNS
+    }
+}
+
+/// A size sweep in MiB honoring quick mode.
+pub fn size_sweep(lo: u64, hi: u64, step: u64) -> Vec<u64> {
+    let step = if quick_mode() { step * 4 } else { step };
+    (lo..=hi).step_by(step as usize).collect()
+}

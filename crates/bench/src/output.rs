@@ -1,0 +1,151 @@
+//! Result output: CSV series and ASCII plots.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sleds_sim_core::stats::Summary;
+
+/// One plotted series: labeled `(x, summary-of-y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label, e.g. `"with SLEDs"`.
+    pub label: String,
+    /// `(x, y)` points; `y` carries mean and CI.
+    pub points: Vec<(f64, Summary)>,
+}
+
+impl Series {
+    /// Builds a series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a point from raw samples; empty samples are skipped.
+    pub fn push(&mut self, x: f64, samples: &[f64]) {
+        if let Some(s) = Summary::of(samples) {
+            self.points.push((x, s));
+        }
+    }
+}
+
+/// Writes series as CSV: `x,label,mean,ci90,min,max,n` rows.
+pub fn write_csv(path: &Path, x_name: &str, series: &[Series]) -> std::io::Result<()> {
+    let mut out = String::new();
+    writeln!(out, "{x_name},series,mean,ci90,min,max,n").expect("string write");
+    for s in series {
+        for (x, y) in &s.points {
+            writeln!(
+                out,
+                "{x},{},{},{},{},{},{}",
+                s.label, y.mean, y.ci90, y.min, y.max, y.n
+            )
+            .expect("string write");
+        }
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, out)
+}
+
+/// Renders series as a fixed-width ASCII chart (mean values; one symbol
+/// per series), for eyeballing shape in a terminal.
+pub fn ascii_plot(title: &str, x_name: &str, y_name: &str, series: &[Series]) -> String {
+    const W: usize = 64;
+    const H: usize = 20;
+    let symbols = ['B', 'S', 'x', 'o', '*', '+'];
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for (x, y) in &s.points {
+            xs.push(*x);
+            ys.push(y.mean);
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "# {title}").expect("string write");
+    if xs.is_empty() {
+        writeln!(out, "(no data)").expect("string write");
+        return out;
+    }
+    let (x0, x1) = (
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (y0, y1) = (0.0, ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    let xspan = (x1 - x0).max(1e-12);
+    let yspan = (y1 - y0).max(1e-12);
+    let mut grid = vec![vec![b' '; W]; H];
+    for (si, s) in series.iter().enumerate() {
+        let sym = symbols[si % symbols.len()] as u8;
+        for (x, y) in &s.points {
+            let cx = (((x - x0) / xspan) * (W - 1) as f64).round() as usize;
+            let cy = (((y.mean - y0) / yspan) * (H - 1) as f64).round() as usize;
+            grid[H - 1 - cy.min(H - 1)][cx.min(W - 1)] = sym;
+        }
+    }
+    writeln!(out, "{y_name:>12} max={y1:.3}").expect("string write");
+    for row in grid {
+        writeln!(out, "  |{}", String::from_utf8_lossy(&row)).expect("string write");
+    }
+    writeln!(out, "  +{}", "-".repeat(W)).expect("string write");
+    writeln!(out, "   {x_name}: {x0:.0} .. {x1:.0}").expect("string write");
+    for (si, s) in series.iter().enumerate() {
+        writeln!(out, "   '{}' = {}", symbols[si % symbols.len()], s.label)
+            .expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series> {
+        let mut a = Series::new("with SLEDs");
+        let mut b = Series::new("without SLEDs");
+        for i in 1..=5 {
+            a.push(i as f64 * 8.0, &[i as f64, i as f64 + 0.5]);
+            b.push(i as f64 * 8.0, &[2.0 * i as f64, 2.0 * i as f64 + 1.0]);
+        }
+        vec![a, b]
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let dir = std::env::temp_dir().join("sleds-bench-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, "size_mb", &sample_series()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 11); // header + 10 points
+        assert!(text.starts_with("size_mb,series,mean"));
+        assert!(text.contains("with SLEDs"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plot_renders_symbols_and_legend() {
+        let p = ascii_plot("Figure N", "size (MB)", "time (s)", &sample_series());
+        assert!(p.contains("Figure N"));
+        assert!(p.contains('B'));
+        assert!(p.contains('S'));
+        assert!(p.contains("with SLEDs"));
+        assert!(p.contains("size (MB): 8 .. 40"));
+    }
+
+    #[test]
+    fn empty_plot_does_not_panic() {
+        let p = ascii_plot("empty", "x", "y", &[Series::new("nothing")]);
+        assert!(p.contains("(no data)"));
+    }
+
+    #[test]
+    fn push_skips_empty_samples() {
+        let mut s = Series::new("x");
+        s.push(1.0, &[]);
+        assert!(s.points.is_empty());
+    }
+}

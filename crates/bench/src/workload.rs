@@ -1,0 +1,93 @@
+//! Workload generators: the test files the experiments read.
+
+use sleds_sim_core::DetRng;
+
+/// The marker planted for first-match grep runs. Uppercase letters never
+/// appear in the generated corpus, so the only occurrence is the planted
+/// one.
+pub const NEEDLE: &[u8] = b"ZQXJKV";
+
+/// Generates `n` bytes of line-structured text: lowercase pseudo-words,
+/// 3–9 words per line. When `hit_every_lines > 0`, every that-many-th line
+/// carries [`NEEDLE`] (for the all-matches grep experiments, which use a
+/// small match percentage).
+pub fn text_corpus(n: usize, hit_every_lines: u64, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let mut out = Vec::with_capacity(n + 64);
+    let mut line_no = 0u64;
+    while out.len() < n {
+        line_no += 1;
+        let words = rng.range_u64(3, 10);
+        for w in 0..words {
+            if w > 0 {
+                out.push(b' ');
+            }
+            if hit_every_lines > 0 && line_no.is_multiple_of(hit_every_lines) && w == 1 {
+                out.extend_from_slice(NEEDLE);
+            } else {
+                for _ in 0..rng.range_u64(2, 9) {
+                    out.push(b'a' + rng.range_u64(0, 26) as u8);
+                }
+            }
+        }
+        out.push(b'\n');
+    }
+    out.truncate(n);
+    if let Some(last) = out.last_mut() {
+        *last = b'\n';
+    }
+    out
+}
+
+/// Picks a random in-bounds offset for planting [`NEEDLE`], keeping clear
+/// of the file's first and last pages so the needle never splits the file
+/// edges.
+pub fn needle_position(rng: &mut DetRng, file_len: usize) -> u64 {
+    let margin = 4096.min(file_len / 4);
+    rng.range_u64(margin as u64, (file_len - margin - NEEDLE.len()) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_line_structured_lowercase() {
+        let c = text_corpus(10_000, 0, 1);
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(*c.last().unwrap(), b'\n');
+        assert!(c.iter().all(|&b| b == b'\n' || b == b' ' || b.is_ascii_lowercase()));
+        assert!(c.iter().filter(|&&b| b == b'\n').count() > 100);
+    }
+
+    #[test]
+    fn hit_lines_contain_needle() {
+        let c = text_corpus(50_000, 20, 2);
+        let hits = c
+            .windows(NEEDLE.len())
+            .filter(|w| *w == NEEDLE)
+            .count();
+        assert!(hits > 10, "expected periodic needles, got {hits}");
+        // Small match percentage, like the paper's experiments.
+        assert!(hits < 200);
+    }
+
+    #[test]
+    fn clean_corpus_has_no_needle() {
+        let c = text_corpus(100_000, 0, 3);
+        assert!(!c.windows(NEEDLE.len()).any(|w| w == NEEDLE));
+    }
+
+    #[test]
+    fn needle_positions_are_in_bounds_and_varied() {
+        let mut rng = DetRng::new(4);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let p = needle_position(&mut rng, 1 << 20);
+            assert!(p >= 4096);
+            assert!((p as usize) < (1 << 20) - 4096);
+            seen.insert(p / 65536);
+        }
+        assert!(seen.len() > 5, "positions should spread across the file");
+    }
+}

@@ -1,0 +1,220 @@
+//! `FSLEDS_GET`: building the SLED vector for an open file.
+//!
+//! The kernel walks every virtual-memory page of the file, determines where
+//! it currently resides (buffer cache or a device), assigns the latency and
+//! bandwidth of that level from the sleds table, and coalesces consecutive
+//! pages with identical estimates into one SLED — exactly the construction
+//! the paper describes in its implementation section.
+
+use sleds_fs::{Fd, Kernel, PageLocation};
+use sleds_sim_core::{Errno, SimError, SimResult, PAGE_SIZE};
+
+use crate::table::SledsTable;
+use crate::Sled;
+
+/// Retrieves the SLED vector for an open file.
+///
+/// Returns one SLED per run of pages sharing `(latency, bandwidth)`. The
+/// last SLED is clipped to the file size, so the vector covers the file's
+/// bytes exactly. An empty file yields an empty vector.
+///
+/// # Errors
+///
+/// Fails with `EINVAL` if the table has no memory row (the boot-time fill
+/// never ran) or no row for a device the file touches, and propagates any
+/// kernel error from the page walk.
+pub fn fsleds_get(kernel: &mut Kernel, fd: Fd, table: &SledsTable) -> SimResult<Vec<Sled>> {
+    let mem = table.memory().ok_or_else(|| {
+        SimError::new(Errno::Einval, "FSLEDS_GET: sleds table not filled (no memory row)")
+    })?;
+    let size = kernel.fstat(fd)?.size;
+    let locations = kernel.page_locations(fd)?;
+    let mut out: Vec<Sled> = Vec::new();
+    for (i, loc) in locations.iter().enumerate() {
+        let entry = match loc {
+            PageLocation::Memory => mem,
+            PageLocation::Device { dev, sector } => {
+                // Dynamic device self-report first (client/server SLEDs),
+                // then zone rows, then the flat row.
+                let probed = if table.trust_device_reports() {
+                    kernel
+                        .device_probe(*dev, *sector)
+                        .map(|(latency, bandwidth)| crate::SledsEntry { latency, bandwidth })
+                } else {
+                    None
+                };
+                match probed.or_else(|| table.entry_at(*dev, *sector)) {
+                    Some(e) => e,
+                    None => {
+                        return Err(SimError::new(
+                            Errno::Einval,
+                            format!("FSLEDS_GET: no sleds table row for device {dev:?}"),
+                        ))
+                    }
+                }
+            }
+        };
+        let offset = i as u64 * PAGE_SIZE;
+        let length = PAGE_SIZE.min(size - offset);
+        match out.last_mut() {
+            Some(last)
+                if last.latency == entry.latency && last.bandwidth == entry.bandwidth =>
+            {
+                last.length += length;
+            }
+            _ => out.push(Sled {
+                offset,
+                length,
+                latency: entry.latency,
+                bandwidth: entry.bandwidth,
+            }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleds_devices::DiskDevice;
+    use sleds_fs::{OpenFlags, Whence};
+
+    fn setup() -> (Kernel, SledsTable) {
+        let mut k = Kernel::table2();
+        k.mkdir("/data").unwrap();
+        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let dev = k.device_of_mount(m).unwrap();
+        let mut t = SledsTable::new();
+        t.fill_memory(crate::SledsEntry::new(175e-9, 48e6));
+        t.fill_device(dev, crate::SledsEntry::new(0.018, 9e6));
+        (k, t)
+    }
+
+    #[test]
+    fn cold_file_is_one_disk_sled() {
+        let (mut k, t) = setup();
+        let data = vec![0u8; 10 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 1);
+        assert_eq!(sleds[0].offset, 0);
+        assert_eq!(sleds[0].length, data.len() as u64);
+        assert_eq!(sleds[0].latency, 0.018);
+    }
+
+    #[test]
+    fn partially_cached_file_splits_into_sleds() {
+        let (mut k, t) = setup();
+        let data = vec![0u8; 10 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        // Cache pages 4..8.
+        k.lseek(fd, 4 * PAGE_SIZE as i64, Whence::Set).unwrap();
+        k.read(fd, 4 * PAGE_SIZE as usize).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 3);
+        assert_eq!(sleds[0].latency, 0.018);
+        assert_eq!(sleds[0].length, 4 * PAGE_SIZE);
+        assert!((sleds[1].latency - 175e-9).abs() < 1e-15);
+        assert_eq!(sleds[1].offset, 4 * PAGE_SIZE);
+        assert_eq!(sleds[1].length, 4 * PAGE_SIZE);
+        assert_eq!(sleds[2].latency, 0.018);
+        assert_eq!(sleds[2].end(), data.len() as u64);
+    }
+
+    #[test]
+    fn sleds_cover_file_exactly_with_ragged_tail() {
+        let (mut k, t) = setup();
+        let n = 3 * PAGE_SIZE as usize + 123;
+        k.install_file("/data/f", &vec![1u8; n]).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        let total: u64 = sleds.iter().map(|s| s.length).sum();
+        assert_eq!(total, n as u64);
+        // Contiguous, sorted, non-overlapping coverage.
+        let mut expect = 0;
+        for s in &sleds {
+            assert_eq!(s.offset, expect);
+            expect = s.end();
+        }
+    }
+
+    #[test]
+    fn empty_file_yields_no_sleds() {
+        let (mut k, t) = setup();
+        k.install_file("/data/empty", b"").unwrap();
+        let fd = k.open("/data/empty", OpenFlags::RDONLY).unwrap();
+        assert!(fsleds_get(&mut k, fd, &t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unfilled_table_is_einval() {
+        let (mut k, _) = setup();
+        k.install_file("/data/f", b"x").unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let empty = SledsTable::new();
+        assert_eq!(
+            fsleds_get(&mut k, fd, &empty).unwrap_err().errno,
+            Errno::Einval
+        );
+    }
+
+    #[test]
+    fn missing_device_row_is_einval() {
+        let (mut k, _) = setup();
+        k.install_file("/data/f", &vec![0u8; PAGE_SIZE as usize]).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let mut t = SledsTable::new();
+        t.fill_memory(crate::SledsEntry::new(175e-9, 48e6));
+        assert_eq!(fsleds_get(&mut k, fd, &t).unwrap_err().errno, Errno::Einval);
+    }
+
+    #[test]
+    fn server_reports_split_an_nfs_file_by_server_cache_state() {
+        // The client/server SLEDs vocabulary: a LAN server that has half
+        // the file hot reports two levels through one mount.
+        let mut k = Kernel::table2();
+        k.mkdir("/lan").unwrap();
+        let srv = sleds_devices::NfsServerDevice::lan_mount("lan0");
+        let m = k.mount_device("/lan", Box::new(srv), false).unwrap();
+        let dev = k.device_of_mount(m).unwrap();
+        let mut t = SledsTable::new();
+        t.fill_memory(crate::SledsEntry::new(175e-9, 48e6));
+        t.fill_device(dev, crate::SledsEntry::new(0.02, 5e6)); // flat fallback
+        let data = vec![0u8; 8 * PAGE_SIZE as usize];
+        k.install_file("/lan/f", &data).unwrap();
+
+        // Warm the second half on BOTH sides, then drop the client cache:
+        // now only the server remembers.
+        let fd = k.open("/lan/f", OpenFlags::RDONLY).unwrap();
+        k.lseek(fd, 4 * PAGE_SIZE as i64, Whence::Set).unwrap();
+        k.read(fd, 4 * PAGE_SIZE as usize).unwrap();
+        k.drop_caches().unwrap();
+
+        // Without trusting device reports: one flat NFS SLED.
+        let flat = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(flat.len(), 1);
+
+        // With the client/server channel: two levels, server-hot tail
+        // cheaper than the cold head.
+        t.set_trust_device_reports(true);
+        let split = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(split.len(), 2, "server cache state must show through");
+        assert!(split[1].latency < split[0].latency);
+        assert_eq!(split[1].offset, 4 * PAGE_SIZE);
+        assert!((split[1].latency - 0.002).abs() < 1e-9, "hot = one RTT");
+    }
+
+    #[test]
+    fn fully_cached_file_is_one_memory_sled() {
+        let (mut k, t) = setup();
+        let data = vec![0u8; 6 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.read(fd, data.len()).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 1);
+        assert!((sleds[0].bandwidth - 48e6).abs() < 1.0);
+    }
+}

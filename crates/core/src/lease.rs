@@ -1,0 +1,148 @@
+//! SLED leases: reservations that keep a SLED vector accurate.
+//!
+//! The paper's section 3.4 notes that SLEDs "describe the state of the
+//! storage system at a particular instant" and that "adding a lock or
+//! reservation mechanism would improve the accuracy and lifetime of SLEDs
+//! by controlling access to the affected resources". A [`SledLease`] is
+//! that mechanism for the buffer-cache component of the state: acquiring
+//! one pins every page the SLED vector reports as memory-resident, so the
+//! low-latency segments stay low-latency until the lease is released, no
+//! matter what other applications do to the cache in between.
+//!
+//! Positional device state (head, tape position) is *not* leased — it
+//! changes with every access by anyone, and locking it would serialize the
+//! machine. Cache residency is the component whose drift actually
+//! invalidates plans, and the one the paper's discussion targets.
+
+use sleds_fs::{Fd, Kernel, PageLocation};
+use sleds_sim_core::{SimResult, PAGE_SIZE};
+
+use crate::get::fsleds_get;
+use crate::table::SledsTable;
+use crate::Sled;
+
+/// An active reservation over a file's cached pages.
+///
+/// Dropping the lease does **not** release the pins (no kernel handle in
+/// `Drop`); call [`SledLease::release`]. The kernel clears pins itself if
+/// the file is removed.
+#[derive(Debug)]
+#[must_use = "a lease holds kernel resources until release() is called"]
+pub struct SledLease {
+    fd: Fd,
+    /// Pinned page indices.
+    pages: Vec<u64>,
+    /// The SLED vector at acquisition time — guaranteed accurate for the
+    /// memory-resident segments while the lease holds.
+    sleds: Vec<Sled>,
+}
+
+impl SledLease {
+    /// Acquires a lease: retrieves the file's SLEDs and pins every page
+    /// currently in memory.
+    pub fn acquire(kernel: &mut Kernel, table: &SledsTable, fd: Fd) -> SimResult<SledLease> {
+        let sleds = fsleds_get(kernel, fd, table)?;
+        let locations = kernel.page_locations(fd)?;
+        let mut pages = Vec::new();
+        for (i, loc) in locations.iter().enumerate() {
+            if matches!(loc, PageLocation::Memory) {
+                let page = i as u64;
+                let got = kernel.pin_range(fd, page * PAGE_SIZE, PAGE_SIZE)?;
+                pages.extend(got);
+            }
+        }
+        Ok(SledLease { fd, pages, sleds })
+    }
+
+    /// The SLED vector captured (and held stable) at acquisition.
+    pub fn sleds(&self) -> &[Sled] {
+        &self.sleds
+    }
+
+    /// Number of pages the lease holds.
+    pub fn pinned_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The leased file.
+    pub fn fd(&self) -> Fd {
+        self.fd
+    }
+
+    /// Releases every pin.
+    pub fn release(self, kernel: &mut Kernel) -> SimResult<()> {
+        for page in &self.pages {
+            kernel.unpin_range(self.fd, page * PAGE_SIZE, PAGE_SIZE)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::SledsEntry;
+    use sleds_devices::DiskDevice;
+    use sleds_fs::{MachineConfig, OpenFlags, Whence};
+    use sleds_sim_core::ByteSize;
+
+    fn setup() -> (Kernel, SledsTable) {
+        let mut cfg = MachineConfig::table2();
+        cfg.ram = ByteSize::mib(2); // ~337-page cache
+        let mut k = Kernel::new(cfg);
+        k.mkdir("/d").unwrap();
+        let m = k.mount_disk("/d", DiskDevice::table2_disk("hda")).unwrap();
+        let dev = k.device_of_mount(m).unwrap();
+        let mut t = SledsTable::new();
+        t.fill_memory(SledsEntry::new(175e-9, 48e6));
+        t.fill_device(dev, SledsEntry::new(0.018, 9e6));
+        (k, t)
+    }
+
+    fn warm_pages(k: &mut Kernel, fd: Fd, start: u64, count: u64) {
+        k.lseek(fd, (start * PAGE_SIZE) as i64, Whence::Set).unwrap();
+        k.read(fd, (count * PAGE_SIZE) as usize).unwrap();
+    }
+
+    #[test]
+    fn lease_keeps_sleds_valid_under_cache_pressure() {
+        let (mut k, t) = setup();
+        k.install_file("/d/f", &vec![1u8; 64 * PAGE_SIZE as usize]).unwrap();
+        k.install_file("/d/noise", &vec![2u8; 512 * PAGE_SIZE as usize]).unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        warm_pages(&mut k, fd, 16, 32);
+
+        let lease = SledLease::acquire(&mut k, &t, fd).unwrap();
+        assert_eq!(lease.pinned_pages(), 32);
+        let before = lease.sleds().to_vec();
+
+        // A competing scan floods the cache.
+        let noise = k.open("/d/noise", OpenFlags::RDONLY).unwrap();
+        while !k.read(noise, 64 << 10).unwrap().is_empty() {}
+        k.close(noise).unwrap();
+
+        // The leased file's SLEDs are unchanged.
+        let after = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(before, after, "leased SLEDs must survive the flood");
+
+        // Release, flood again: now the state drifts.
+        lease.release(&mut k).unwrap();
+        assert_eq!(k.pinned_pages(), 0);
+        let noise = k.open("/d/noise", OpenFlags::RDONLY).unwrap();
+        while !k.read(noise, 64 << 10).unwrap().is_empty() {}
+        k.close(noise).unwrap();
+        let drifted = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_ne!(before, drifted, "without the lease the SLEDs go stale");
+    }
+
+    #[test]
+    fn lease_on_cold_file_pins_nothing() {
+        let (mut k, t) = setup();
+        k.install_file("/d/f", &vec![1u8; 8 * PAGE_SIZE as usize]).unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let lease = SledLease::acquire(&mut k, &t, fd).unwrap();
+        assert_eq!(lease.pinned_pages(), 0);
+        assert_eq!(lease.sleds().len(), 1);
+        lease.release(&mut k).unwrap();
+    }
+}

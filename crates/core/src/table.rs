@@ -1,0 +1,174 @@
+//! The sleds table: per-device latency and bandwidth.
+//!
+//! The paper keeps this table in the kernel, filled once at boot by a script
+//! in `/etc/rc.d/init.d` that runs lmbench and issues the new `FSLEDS_FILL`
+//! ioctl — one `(latency, bandwidth)` entry per storage device plus one for
+//! primary memory. [`SledsTable`] is that table; `sleds-lmbench` plays the
+//! role of the boot script.
+
+use std::collections::HashMap;
+
+use sleds_fs::DeviceId;
+
+/// One row of the sleds table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SledsEntry {
+    /// Latency to the first byte, in seconds.
+    pub latency: f64,
+    /// Streaming bandwidth, in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl SledsEntry {
+    /// Creates an entry.
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        SledsEntry { latency, bandwidth }
+    }
+}
+
+/// The kernel's per-device performance table (`FSLEDS_FILL`).
+///
+/// The paper's implementation keeps a single entry per device and lists
+/// per-zone entries ("the different bandwidths of different disk zones") as
+/// future work; this table supports both. When a device has zone rows they
+/// take precedence over its flat row, so one file can yield SLEDs with
+/// different bandwidths for its outer-zone and inner-zone extents.
+#[derive(Clone, Debug, Default)]
+pub struct SledsTable {
+    memory: Option<SledsEntry>,
+    devices: HashMap<DeviceId, SledsEntry>,
+    /// Per-device zone rows: `(first sector, entry)`, sorted by sector.
+    zones: HashMap<DeviceId, Vec<(u64, SledsEntry)>>,
+    /// When set, `fsleds_get` asks devices for dynamic self-reports
+    /// (`BlockDevice::dynamic_probe`) before falling back to table rows —
+    /// the client/server SLEDs channel of the paper's section 6.
+    trust_device_reports: bool,
+}
+
+impl SledsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SledsTable::default()
+    }
+
+    /// Fills the primary-memory row.
+    pub fn fill_memory(&mut self, entry: SledsEntry) {
+        self.memory = Some(entry);
+    }
+
+    /// Fills (or replaces) a device row.
+    pub fn fill_device(&mut self, dev: DeviceId, entry: SledsEntry) {
+        self.devices.insert(dev, entry);
+    }
+
+    /// The memory row, if filled.
+    pub fn memory(&self) -> Option<SledsEntry> {
+        self.memory
+    }
+
+    /// The row for `dev`, if filled.
+    pub fn device(&self, dev: DeviceId) -> Option<SledsEntry> {
+        self.devices.get(&dev).copied()
+    }
+
+    /// Fills per-zone rows for a device (`rows` as `(first sector, entry)`;
+    /// sorted internally). Zone rows take precedence over the flat row.
+    pub fn fill_device_zones(&mut self, dev: DeviceId, mut rows: Vec<(u64, SledsEntry)>) {
+        rows.sort_by_key(|(s, _)| *s);
+        self.zones.insert(dev, rows);
+    }
+
+    /// The entry governing `sector` of `dev`: the zone row containing it if
+    /// zone rows exist, otherwise the flat device row.
+    pub fn entry_at(&self, dev: DeviceId, sector: u64) -> Option<SledsEntry> {
+        if let Some(rows) = self.zones.get(&dev) {
+            let idx = rows.partition_point(|(s, _)| *s <= sector);
+            if idx > 0 {
+                return Some(rows[idx - 1].1);
+            }
+        }
+        self.device(dev)
+    }
+
+    /// True when `dev` has per-zone rows.
+    pub fn has_zones(&self, dev: DeviceId) -> bool {
+        self.zones.contains_key(&dev)
+    }
+
+    /// Enables consulting device dynamic self-reports in `fsleds_get`.
+    pub fn set_trust_device_reports(&mut self, trust: bool) {
+        self.trust_device_reports = trust;
+    }
+
+    /// Whether device dynamic self-reports are consulted.
+    pub fn trust_device_reports(&self) -> bool {
+        self.trust_device_reports
+    }
+
+    /// Number of device rows.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True once the memory row is present — the minimum for `fsleds_get`
+    /// to be usable at all.
+    pub fn is_filled(&self) -> bool {
+        self.memory.is_some()
+    }
+
+    /// Iterates device rows in unspecified order.
+    pub fn iter_devices(&self) -> impl Iterator<Item = (DeviceId, SledsEntry)> + '_ {
+        self.devices.iter().map(|(d, e)| (*d, *e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_query() {
+        let mut t = SledsTable::new();
+        assert!(!t.is_filled());
+        t.fill_memory(SledsEntry::new(175e-9, 48e6));
+        t.fill_device(DeviceId(0), SledsEntry::new(0.018, 9e6));
+        assert!(t.is_filled());
+        assert_eq!(t.memory().unwrap().bandwidth, 48e6);
+        assert_eq!(t.device(DeviceId(0)).unwrap().latency, 0.018);
+        assert!(t.device(DeviceId(1)).is_none());
+        assert_eq!(t.device_count(), 1);
+    }
+
+    #[test]
+    fn zone_rows_take_precedence() {
+        let mut t = SledsTable::new();
+        t.fill_device(DeviceId(0), SledsEntry::new(0.018, 9e6));
+        t.fill_device_zones(
+            DeviceId(0),
+            vec![(5_000, SledsEntry::new(0.018, 7e6)), (0, SledsEntry::new(0.018, 11e6))],
+        );
+        assert_eq!(t.entry_at(DeviceId(0), 0).unwrap().bandwidth, 11e6);
+        assert_eq!(t.entry_at(DeviceId(0), 4_999).unwrap().bandwidth, 11e6);
+        assert_eq!(t.entry_at(DeviceId(0), 5_000).unwrap().bandwidth, 7e6);
+        assert!(t.has_zones(DeviceId(0)));
+        // A device without zone rows falls back to its flat row.
+        t.fill_device(DeviceId(1), SledsEntry::new(0.27, 1e6));
+        assert_eq!(t.entry_at(DeviceId(1), 123).unwrap().bandwidth, 1e6);
+        assert!(!t.has_zones(DeviceId(1)));
+    }
+
+    #[test]
+    fn entry_at_without_any_rows_is_none() {
+        let t = SledsTable::new();
+        assert!(t.entry_at(DeviceId(3), 0).is_none());
+    }
+
+    #[test]
+    fn refill_replaces() {
+        let mut t = SledsTable::new();
+        t.fill_device(DeviceId(2), SledsEntry::new(1.0, 1.0));
+        t.fill_device(DeviceId(2), SledsEntry::new(2.0, 2.0));
+        assert_eq!(t.device(DeviceId(2)).unwrap().latency, 2.0);
+        assert_eq!(t.device_count(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Positional storage device models for the SLEDs simulator.
+//!
+//! The paper characterizes each storage level by a `(latency, bandwidth)`
+//! pair measured with lmbench (Tables 2 and 3). This crate provides the
+//! devices those measurements are taken *of*: models that carry enough
+//! dynamic state (head position, rotation phase, tape position, mounted
+//! cartridges) that sequential access is cheap, discontiguous access pays
+//! positioning costs, and the measured pairs emerge rather than being wired
+//! in.
+//!
+//! All devices implement [`BlockDevice`]: a sector-addressed read/write
+//! interface that takes the current virtual time and returns how long the
+//! operation takes. Devices never touch the clock themselves — the kernel
+//! owns it — so a device is an ordinary deterministic state machine.
+
+pub mod cdrom;
+pub mod disk;
+pub mod jukebox;
+pub mod memory;
+pub mod nfs;
+pub mod tape;
+
+use sleds_sim_core::{Bandwidth, SimDuration, SimResult, SimTime};
+
+pub use cdrom::CdRomDevice;
+pub use disk::{DiskDevice, DiskGeometry, Zone};
+pub use jukebox::Jukebox;
+pub use memory::MemoryDevice;
+pub use nfs::{NfsDevice, NfsServerDevice, NfsServerParams};
+pub use tape::TapeDevice;
+
+/// The broad class a device belongs to, mirroring the storage levels in the
+/// paper's Tables 2 and 3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DeviceClass {
+    /// Primary memory (the file system buffer cache lives here).
+    Memory,
+    /// A local hard disk.
+    Disk,
+    /// A CD-ROM drive.
+    CdRom,
+    /// A network file service (client side of NFS).
+    Network,
+    /// A tape drive or tape library.
+    Tape,
+}
+
+impl DeviceClass {
+    /// Human-readable name matching the rows of Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceClass::Memory => "memory",
+            DeviceClass::Disk => "hard disk",
+            DeviceClass::CdRom => "CD-ROM",
+            DeviceClass::Network => "NFS",
+            DeviceClass::Tape => "tape",
+        }
+    }
+}
+
+/// Nominal performance characteristics of a device.
+///
+/// These are the *designed* numbers; the sleds table that applications see is
+/// filled from lmbench-style measurement (`sleds-lmbench`), exactly as the
+/// paper fills its kernel table from a boot-time script.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceProfile {
+    /// Device class.
+    pub class: DeviceClass,
+    /// Typical latency to the first byte of a random access.
+    pub nominal_latency: SimDuration,
+    /// Typical streaming bandwidth.
+    pub nominal_bandwidth: Bandwidth,
+}
+
+/// Per-device operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DevStats {
+    /// Number of read commands issued.
+    pub reads: u64,
+    /// Number of write commands issued.
+    pub writes: u64,
+    /// Total sectors read.
+    pub sectors_read: u64,
+    /// Total sectors written.
+    pub sectors_written: u64,
+    /// Total time the device spent servicing commands.
+    pub busy: SimDuration,
+    /// Number of repositioning operations (seeks, locates, mounts).
+    pub repositions: u64,
+}
+
+impl DevStats {
+    /// Records a read of `sectors` sectors taking `took`.
+    pub fn note_read(&mut self, sectors: u64, took: SimDuration, repositioned: bool) {
+        self.reads += 1;
+        self.sectors_read += sectors;
+        self.busy += took;
+        if repositioned {
+            self.repositions += 1;
+        }
+    }
+
+    /// Records a write of `sectors` sectors taking `took`.
+    pub fn note_write(&mut self, sectors: u64, took: SimDuration, repositioned: bool) {
+        self.writes += 1;
+        self.sectors_written += sectors;
+        self.busy += took;
+        if repositioned {
+            self.repositions += 1;
+        }
+    }
+}
+
+/// A contiguous sector span with uniform performance — one row of a
+/// device's self-characterization.
+///
+/// The paper's future-work section asks for "entries which account for the
+/// different bandwidths of different disk zones" and proposes that "devices
+/// or subsystems could be engineered to report their own performance
+/// characteristics"; [`BlockDevice::zone_map`] is that reporting interface,
+/// and the zoned sleds table consumes it.
+#[derive(Clone, Copy, Debug)]
+pub struct ZoneSpan {
+    /// First sector of the span.
+    pub start_sector: u64,
+    /// Number of sectors.
+    pub sectors: u64,
+    /// Sustained bandwidth within the span.
+    pub bandwidth: Bandwidth,
+}
+
+/// A sector-addressed storage device with positional state.
+///
+/// `read`/`write` return the service time for the command; the caller (the
+/// simulated kernel) advances the clock. Implementations update their
+/// positional state assuming the command completes at `now + returned
+/// duration`.
+pub trait BlockDevice {
+    /// Short device name, e.g. `"hda"`.
+    fn name(&self) -> &str;
+
+    /// The device's class.
+    fn class(&self) -> DeviceClass;
+
+    /// Total capacity in sectors.
+    fn capacity_sectors(&self) -> u64;
+
+    /// Nominal performance characteristics.
+    fn profile(&self) -> DeviceProfile;
+
+    /// Reads `sectors` sectors starting at `start`, returning service time.
+    fn read(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration>;
+
+    /// Writes `sectors` sectors starting at `start`, returning service time.
+    fn write(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration>;
+
+    /// Operation counters.
+    fn stats(&self) -> DevStats;
+
+    /// Resets operation counters (positional state is preserved).
+    fn reset_stats(&mut self);
+
+    /// Self-characterization: the device's performance zones.
+    ///
+    /// The default is a single span at the nominal bandwidth; zoned devices
+    /// (disks) override this so a zone-aware sleds table can assign
+    /// different bandwidths to different parts of one file — the paper's
+    /// "future version" extension.
+    fn zone_map(&self) -> Vec<ZoneSpan> {
+        vec![ZoneSpan {
+            start_sector: 0,
+            sectors: self.capacity_sectors(),
+            bandwidth: self.profile().nominal_bandwidth,
+        }]
+    }
+
+    /// Dynamic self-report: `(latency seconds, bandwidth bytes/s)` for
+    /// retrieving `sector` *right now*, if the device knows.
+    ///
+    /// This is the paper's proposal that "SLEDs be the vocabulary of
+    /// communication between clients and servers": a storage server with
+    /// its own cache can tell the client which ranges are hot on its side.
+    /// Devices without dynamic state to report return `None` and the sleds
+    /// table's static rows apply.
+    fn dynamic_probe(&self, _sector: u64) -> Option<(f64, f64)> {
+        None
+    }
+}
+
+/// Validates a sector range against a device capacity.
+///
+/// Shared by every implementation so range errors are uniform.
+pub(crate) fn check_range(name: &str, capacity: u64, start: u64, sectors: u64) -> SimResult<()> {
+    use sleds_sim_core::{Errno, SimError};
+    let end = start.checked_add(sectors);
+    match end {
+        Some(end) if end <= capacity && sectors > 0 => Ok(()),
+        _ => Err(SimError::new(
+            Errno::Einval,
+            format!("{name}: sector range {start}+{sectors} exceeds capacity {capacity}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(DeviceClass::Memory.label(), "memory");
+        assert_eq!(DeviceClass::Network.label(), "NFS");
+    }
+
+    #[test]
+    fn check_range_accepts_and_rejects() {
+        assert!(check_range("d", 100, 0, 100).is_ok());
+        assert!(check_range("d", 100, 99, 1).is_ok());
+        assert!(check_range("d", 100, 99, 2).is_err());
+        assert!(check_range("d", 100, 0, 0).is_err());
+        assert!(check_range("d", 100, u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn devstats_accumulate() {
+        let mut s = DevStats::default();
+        s.note_read(8, SimDuration::from_millis(5), true);
+        s.note_write(4, SimDuration::from_millis(2), false);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.sectors_read, 8);
+        assert_eq!(s.sectors_written, 4);
+        assert_eq!(s.repositions, 1);
+        assert_eq!(s.busy, SimDuration::from_millis(7));
+    }
+}

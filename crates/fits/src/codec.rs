@@ -1,0 +1,155 @@
+//! Pixel codecs: BITPIX-typed big-endian data to and from `f64`.
+
+use crate::format_error;
+use sleds_sim_core::SimResult;
+
+/// FITS pixel types (`BITPIX` values).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bitpix {
+    /// 8-bit unsigned integers (`BITPIX = 8`).
+    U8,
+    /// 16-bit signed big-endian integers (`BITPIX = 16`).
+    I16,
+    /// 32-bit signed big-endian integers (`BITPIX = 32`).
+    I32,
+    /// 32-bit IEEE floats (`BITPIX = -32`).
+    F32,
+    /// 64-bit IEEE floats (`BITPIX = -64`).
+    F64,
+}
+
+impl Bitpix {
+    /// The header code for this type.
+    pub fn code(self) -> i32 {
+        match self {
+            Bitpix::U8 => 8,
+            Bitpix::I16 => 16,
+            Bitpix::I32 => 32,
+            Bitpix::F32 => -32,
+            Bitpix::F64 => -64,
+        }
+    }
+
+    /// Parses a header code.
+    pub fn from_code(code: i32) -> SimResult<Bitpix> {
+        match code {
+            8 => Ok(Bitpix::U8),
+            16 => Ok(Bitpix::I16),
+            32 => Ok(Bitpix::I32),
+            -32 => Ok(Bitpix::F32),
+            -64 => Ok(Bitpix::F64),
+            other => Err(format_error(format!("unsupported BITPIX {other}"))),
+        }
+    }
+
+    /// Bytes per pixel.
+    pub fn bytes_per_pixel(self) -> usize {
+        match self {
+            Bitpix::U8 => 1,
+            Bitpix::I16 => 2,
+            Bitpix::I32 | Bitpix::F32 => 4,
+            Bitpix::F64 => 8,
+        }
+    }
+
+    /// Decodes `bytes` (a whole number of pixels) into `f64` values.
+    pub fn decode(self, bytes: &[u8]) -> SimResult<Vec<f64>> {
+        let bpp = self.bytes_per_pixel();
+        if !bytes.len().is_multiple_of(bpp) {
+            return Err(format_error(format!(
+                "{} bytes is not a whole number of {bpp}-byte pixels",
+                bytes.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(bytes.len() / bpp);
+        for px in bytes.chunks_exact(bpp) {
+            let v = match self {
+                Bitpix::U8 => px[0] as f64,
+                Bitpix::I16 => i16::from_be_bytes([px[0], px[1]]) as f64,
+                Bitpix::I32 => i32::from_be_bytes([px[0], px[1], px[2], px[3]]) as f64,
+                Bitpix::F32 => f32::from_be_bytes([px[0], px[1], px[2], px[3]]) as f64,
+                Bitpix::F64 => f64::from_be_bytes(px.try_into().expect("8-byte chunk")),
+            };
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Encodes `f64` values as big-endian pixels of this type, clamping
+    /// integer types to their range (cfitsio saturates the same way).
+    pub fn encode(self, values: &[f64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len() * self.bytes_per_pixel());
+        for &v in values {
+            match self {
+                Bitpix::U8 => out.push(v.clamp(0.0, 255.0) as u8),
+                Bitpix::I16 => out
+                    .extend_from_slice(&(v.clamp(i16::MIN as f64, i16::MAX as f64) as i16).to_be_bytes()),
+                Bitpix::I32 => out.extend_from_slice(
+                    &(v.clamp(i32::MIN as f64, i32::MAX as f64) as i32).to_be_bytes(),
+                ),
+                Bitpix::F32 => out.extend_from_slice(&(v as f32).to_be_bytes()),
+                Bitpix::F64 => out.extend_from_slice(&v.to_be_bytes()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for b in [Bitpix::U8, Bitpix::I16, Bitpix::I32, Bitpix::F32, Bitpix::F64] {
+            assert_eq!(Bitpix::from_code(b.code()).unwrap(), b);
+        }
+        assert!(Bitpix::from_code(64).is_err());
+    }
+
+    #[test]
+    fn decode_encode_roundtrip_all_types() {
+        let values = vec![0.0, 1.0, 100.0, 255.0];
+        for b in [Bitpix::U8, Bitpix::I16, Bitpix::I32, Bitpix::F32, Bitpix::F64] {
+            let enc = b.encode(&values);
+            assert_eq!(enc.len(), values.len() * b.bytes_per_pixel());
+            let dec = b.decode(&enc).unwrap();
+            assert_eq!(dec, values, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        assert_eq!(Bitpix::I16.encode(&[258.0]), vec![1, 2]);
+        assert_eq!(
+            Bitpix::I16.decode(&[0xff, 0xfe]).unwrap(),
+            vec![-2.0],
+            "sign extension"
+        );
+        assert_eq!(Bitpix::I32.encode(&[1.0]), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn integer_clamping() {
+        assert_eq!(Bitpix::U8.encode(&[-5.0, 300.0]), vec![0, 255]);
+        assert_eq!(
+            Bitpix::I16.decode(&Bitpix::I16.encode(&[1e9])).unwrap(),
+            vec![i16::MAX as f64]
+        );
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        assert!(Bitpix::I16.decode(&[1, 2, 3]).is_err());
+        assert!(Bitpix::F64.decode(&[0; 12]).is_err());
+    }
+
+    #[test]
+    fn negative_floats_roundtrip() {
+        let values = vec![-1.5, 3.25, -0.0, f64::MAX];
+        let dec = Bitpix::F64.decode(&Bitpix::F64.encode(&values)).unwrap();
+        assert_eq!(dec, values);
+        let dec32 = Bitpix::F32.decode(&Bitpix::F32.encode(&[-1.5, 3.25])).unwrap();
+        assert_eq!(dec32, vec![-1.5, 3.25]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Synthetic astronomical images.
+//!
+//! The paper ran fimhisto/fimgbin on professional FITS data we do not have;
+//! per DESIGN.md's substitution rule this generator produces a star field —
+//! background sky noise plus point sources with a plausible brightness
+//! distribution — whose byte count, pixel type and value spread exercise the
+//! same code paths (format conversion, histogram binning, boxcar rebinning).
+
+use sleds_sim_core::DetRng;
+
+use crate::codec::Bitpix;
+use crate::header::FitsHeader;
+
+/// Generates a complete FITS file (header + data + padding) as raw bytes
+/// for a `width x height` image of `bitpix` pixels.
+///
+/// Deterministic in `seed`. Background is sky noise around 100 counts;
+/// roughly one pixel in 2000 hosts a star whose brightness follows a
+/// power-law-ish tail, clamped to the pixel type's range by the codec.
+pub fn generate_image_bytes(width: usize, height: usize, bitpix: Bitpix, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let header = FitsHeader::primary(bitpix, &[width, height]);
+    let mut out = header.encode();
+
+    // Generate row by row to bound peak memory.
+    let mut row = Vec::with_capacity(width);
+    for _y in 0..height {
+        row.clear();
+        for _x in 0..width {
+            let sky = 100.0 + 15.0 * (rng.unit_f64() + rng.unit_f64() - 1.0);
+            let v = if rng.chance(0.0005) {
+                // A star: inverse-power brightness tail.
+                let u = rng.unit_f64().max(1e-9);
+                sky + 500.0 / u.powf(0.7)
+            } else {
+                sky
+            };
+            row.push(v);
+        }
+        out.extend_from_slice(&bitpix.encode(&row));
+    }
+    // Pad to a block boundary.
+    while !out.len().is_multiple_of(crate::header::BLOCK_SIZE) {
+        out.push(0);
+    }
+    out
+}
+
+/// Picks image dimensions whose I16 data is close to `target_bytes`,
+/// keeping rows 1024 pixels wide (so sizes sweep like the paper's 8–64 MB
+/// test files).
+pub fn dimensions_for_bytes(target_bytes: u64, bitpix: Bitpix) -> (usize, usize) {
+    let width = 1024usize;
+    let row_bytes = (width * bitpix.bytes_per_pixel()) as u64;
+    let height = (target_bytes / row_bytes).max(1) as usize;
+    (width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::BLOCK_SIZE;
+
+    #[test]
+    fn generated_file_parses() {
+        let bytes = generate_image_bytes(64, 32, Bitpix::I16, 42);
+        assert!(bytes.len().is_multiple_of(BLOCK_SIZE));
+        let (h, consumed) = FitsHeader::parse(&bytes).unwrap();
+        assert_eq!(h.axes().unwrap(), vec![64, 32]);
+        assert_eq!(h.pixel_count().unwrap(), 64 * 32);
+        let data = &bytes[consumed..consumed + 64 * 32 * 2];
+        let values = Bitpix::I16.decode(data).unwrap();
+        // Sky background near 100 counts.
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((80.0..400.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_image_bytes(32, 32, Bitpix::F32, 7);
+        let b = generate_image_bytes(32, 32, Bitpix::F32, 7);
+        let c = generate_image_bytes(32, 32, Bitpix::F32, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn contains_stars_above_background() {
+        let bytes = generate_image_bytes(256, 256, Bitpix::F64, 3);
+        let (h, consumed) = FitsHeader::parse(&bytes).unwrap();
+        let n = h.pixel_count().unwrap() as usize;
+        let values = Bitpix::F64.decode(&bytes[consumed..consumed + n * 8]).unwrap();
+        let bright = values.iter().filter(|&&v| v > 500.0).count();
+        assert!(bright > 5, "expected some stars, got {bright}");
+        assert!(bright < n / 100, "too many stars: {bright}");
+    }
+
+    #[test]
+    fn dimensions_hit_target_size() {
+        let (w, h) = dimensions_for_bytes(8 << 20, Bitpix::I16);
+        let bytes = (w * h * 2) as u64;
+        let err = (bytes as f64 - (8 << 20) as f64).abs() / (8 << 20) as f64;
+        assert!(err < 0.01, "size error {err}");
+    }
+}

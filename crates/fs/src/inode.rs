@@ -1,0 +1,173 @@
+//! Inodes: files and directories.
+
+use std::collections::BTreeMap;
+
+use sleds_sim_core::{SimTime, PAGE_SIZE};
+
+use crate::kernel::{DeviceId, MountId};
+
+/// An inode number, unique across the whole kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Ino(pub u64);
+
+/// What kind of object an inode is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+}
+
+/// Where one page of a file lives on stable storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PagePlace {
+    /// The device holding the page.
+    pub dev: DeviceId,
+    /// First sector of the page on that device.
+    pub sector: u64,
+}
+
+/// A regular file's metadata and contents.
+#[derive(Clone, Debug, Default)]
+pub struct FileNode {
+    /// Logical size in bytes.
+    pub size: u64,
+    /// File contents. The simulator holds real bytes so applications
+    /// compute real answers; devices only model cost.
+    pub data: Vec<u8>,
+    /// Stable-storage location of each page. `pages.len() == size.pages()`.
+    pub pages: Vec<PagePlace>,
+    /// For HSM files: the tape home of each page, kept while the page is
+    /// staged on disk so it can be discarded without copying back.
+    pub tape_home: Option<Vec<PagePlace>>,
+}
+
+impl FileNode {
+    /// Number of pages the file spans.
+    pub fn page_count(&self) -> u64 {
+        self.size.div_ceil(PAGE_SIZE)
+    }
+}
+
+/// The body of an inode.
+#[derive(Clone, Debug)]
+pub enum InodeBody {
+    /// A regular file.
+    File(FileNode),
+    /// A directory: name -> child inode.
+    Dir(BTreeMap<String, Ino>),
+}
+
+/// An inode.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    /// This inode's number.
+    pub ino: Ino,
+    /// The mount the inode belongs to, if any. The root directory tree
+    /// outside any mount has `None`; files can only exist inside a mount.
+    pub mount: Option<MountId>,
+    /// File or directory payload.
+    pub body: InodeBody,
+    /// Last modification time.
+    pub mtime: SimTime,
+}
+
+impl Inode {
+    /// What kind of object this is.
+    pub fn kind(&self) -> FileKind {
+        match self.body {
+            InodeBody::File(_) => FileKind::File,
+            InodeBody::Dir(_) => FileKind::Dir,
+        }
+    }
+
+    /// The file payload, if this is a file.
+    pub fn as_file(&self) -> Option<&FileNode> {
+        match &self.body {
+            InodeBody::File(f) => Some(f),
+            InodeBody::Dir(_) => None,
+        }
+    }
+
+    /// Mutable file payload, if this is a file.
+    pub fn as_file_mut(&mut self) -> Option<&mut FileNode> {
+        match &mut self.body {
+            InodeBody::File(f) => Some(f),
+            InodeBody::Dir(_) => None,
+        }
+    }
+
+    /// The directory payload, if this is a directory.
+    pub fn as_dir(&self) -> Option<&BTreeMap<String, Ino>> {
+        match &self.body {
+            InodeBody::Dir(d) => Some(d),
+            InodeBody::File(_) => None,
+        }
+    }
+
+    /// Mutable directory payload, if this is a directory.
+    pub fn as_dir_mut(&mut self) -> Option<&mut BTreeMap<String, Ino>> {
+        match &mut self.body {
+            InodeBody::Dir(d) => Some(d),
+            InodeBody::File(_) => None,
+        }
+    }
+}
+
+/// The result of `stat(2)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number.
+    pub ino: Ino,
+    /// Object kind.
+    pub kind: FileKind,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Owning mount, if any.
+    pub mount: Option<MountId>,
+    /// Device the data lives on, if any.
+    pub dev: Option<DeviceId>,
+    /// Last modification time.
+    pub mtime: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_page_count_rounds_up() {
+        let mut f = FileNode::default();
+        assert_eq!(f.page_count(), 0);
+        f.size = 1;
+        assert_eq!(f.page_count(), 1);
+        f.size = PAGE_SIZE;
+        assert_eq!(f.page_count(), 1);
+        f.size = PAGE_SIZE + 1;
+        assert_eq!(f.page_count(), 2);
+    }
+
+    #[test]
+    fn inode_accessors_match_kind() {
+        let f = Inode {
+            ino: Ino(1),
+            mount: None,
+            body: InodeBody::File(FileNode::default()),
+            mtime: SimTime::ZERO,
+        };
+        assert_eq!(f.kind(), FileKind::File);
+        assert!(f.as_file().is_some());
+        assert!(f.as_dir().is_none());
+
+        let d = Inode {
+            ino: Ino(2),
+            mount: None,
+            body: InodeBody::Dir(BTreeMap::new()),
+            mtime: SimTime::ZERO,
+        };
+        assert_eq!(d.kind(), FileKind::Dir);
+        assert!(d.as_dir().is_some());
+        assert!(d.as_file().is_none());
+    }
+}

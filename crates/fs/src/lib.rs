@@ -1,0 +1,32 @@
+//! The simulated storage-stack kernel.
+//!
+//! This crate stands in for the paper's modified Linux 2.2: a virtual file
+//! system layer with a syscall-style API (`open`/`read`/`write`/`lseek`/
+//! `stat`/`readdir`/...), a page cache (from `sleds-pagecache`), block
+//! devices (from `sleds-devices`), mount points, per-job resource usage, and
+//! — the hook the SLEDs API needs — a page-residency walk
+//! ([`Kernel::page_locations`]) that reports, for every page of an open
+//! file, whether it is in the buffer cache and on which device sectors it
+//! lives otherwise.
+//!
+//! Unlike a real kernel, file *contents* are held in memory (`Vec<u8>`) so
+//! applications compute real answers, while all *costs* are charged against
+//! the device models and a virtual clock. Time and bytes are decoupled:
+//! correctness of data and fidelity of timing are separate mechanisms.
+//!
+//! A hierarchical storage manager is included ([`Kernel::mount_hsm`]):
+//! files can be migrated to tape and are staged back to the disk cache
+//! chunk-by-chunk on access, which is the regime where the paper expects
+//! SLEDs to shine the most.
+
+pub mod aio;
+pub mod inode;
+pub mod kernel;
+pub mod machine;
+pub mod rusage;
+
+pub use aio::AioReport;
+pub use inode::{FileKind, Ino, PagePlace, Stat};
+pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageLocation, Whence};
+pub use machine::MachineConfig;
+pub use rusage::{JobReport, JobTimer, Rusage};

@@ -1,0 +1,111 @@
+//! Machine configuration: RAM, cache share, CPU cost parameters.
+
+use sleds_pagecache::PolicyKind;
+use sleds_sim_core::{Bandwidth, ByteSize, SimDuration, PAGE_SIZE};
+
+/// Static configuration of the simulated machine.
+///
+/// The defaults reproduce the paper's testbed: 64 MiB of RAM of which
+/// roughly two thirds is available to cache file pages ("roughly three times
+/// the size of the portion of memory available to cache file pages" is how
+/// the paper describes its 128 MB upper test size), LRU replacement, and the
+/// memory latency/bandwidth of Table 2.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Physical memory size.
+    pub ram: ByteSize,
+    /// Fraction of RAM available to the page cache.
+    pub cache_fraction: f64,
+    /// Page replacement policy.
+    pub policy: PolicyKind,
+    /// Latency of a memory access (Table 2/3 "memory" row).
+    pub mem_latency: SimDuration,
+    /// Copy bandwidth of memory (Table 2/3 "memory" row).
+    pub mem_bandwidth: Bandwidth,
+    /// Fixed CPU cost of entering and leaving a system call.
+    pub syscall_cpu: SimDuration,
+    /// CPU cost of handling one page fault (kernel path, not the I/O).
+    pub fault_cpu: SimDuration,
+    /// CPU cost per page examined by the SLED residency walk.
+    pub page_walk_cpu: SimDuration,
+    /// Pages to prefetch beyond a demand-miss run (0 disables readahead).
+    ///
+    /// Off by default: the paper's measured fault counts scale with file
+    /// pages, i.e. per-page accounting. The ablation benches turn this on
+    /// to show how readahead changes fault counts but not the SLEDs story.
+    pub readahead_pages: u64,
+}
+
+impl MachineConfig {
+    /// The machine the Unix-utility experiments ran on (Table 2).
+    pub fn table2() -> Self {
+        MachineConfig {
+            ram: ByteSize::mib(64),
+            cache_fraction: 0.66,
+            policy: PolicyKind::Lru,
+            mem_latency: SimDuration::from_nanos(175),
+            mem_bandwidth: Bandwidth::mb_per_sec(48.0),
+            syscall_cpu: SimDuration::from_micros(5),
+            fault_cpu: SimDuration::from_micros(2),
+            page_walk_cpu: SimDuration::from_nanos(250),
+            readahead_pages: 0,
+        }
+    }
+
+    /// The machine the LHEASOFT experiments ran on (Table 3).
+    pub fn table3() -> Self {
+        MachineConfig {
+            mem_latency: SimDuration::from_nanos(210),
+            mem_bandwidth: Bandwidth::mb_per_sec(87.0),
+            ..MachineConfig::table2()
+        }
+    }
+
+    /// Number of pages the page cache may hold.
+    pub fn cache_pages(&self) -> usize {
+        let bytes = self.ram.as_u64() as f64 * self.cache_fraction.clamp(0.01, 1.0);
+        ((bytes as u64) / PAGE_SIZE).max(1) as usize
+    }
+
+    /// Bytes the page cache may hold.
+    pub fn cache_bytes(&self) -> ByteSize {
+        ByteSize::bytes(self.cache_pages() as u64 * PAGE_SIZE)
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_cache_is_about_42mib() {
+        let m = MachineConfig::table2();
+        let mib = m.cache_bytes().as_u64() as f64 / (1 << 20) as f64;
+        assert!((40.0..44.0).contains(&mib), "cache {mib} MiB");
+    }
+
+    #[test]
+    fn cache_pages_never_zero() {
+        let mut m = MachineConfig::table2();
+        m.ram = ByteSize::bytes(100);
+        m.cache_fraction = 0.0001;
+        assert!(m.cache_pages() >= 1);
+    }
+
+    #[test]
+    fn table3_differs_only_in_memory() {
+        let (a, b) = (MachineConfig::table2(), MachineConfig::table3());
+        assert_eq!(a.ram, b.ram);
+        assert_ne!(a.mem_latency, b.mem_latency);
+        assert_ne!(
+            a.mem_bandwidth.as_bytes_per_sec(),
+            b.mem_bandwidth.as_bytes_per_sec()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Resource usage accounting, in the spirit of `getrusage(2)` and `time(1)`.
+//!
+//! The paper measures elapsed time and page faults with `time`; experiments
+//! here bracket a workload between [`JobTimer`] snapshots and report the
+//! delta as a [`JobReport`].
+
+use sleds_sim_core::{SimDuration, SimTime};
+
+/// Cumulative resource usage of the (single) simulated process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Rusage {
+    /// CPU time: syscall overhead, memory copies, fault handling, and
+    /// whatever the application charges for its own computation.
+    pub cpu: SimDuration,
+    /// Time spent waiting for devices.
+    pub io_wait: SimDuration,
+    /// Page faults that required device I/O (`ru_majflt`).
+    pub major_faults: u64,
+    /// Page-cache hits on the read path (`ru_minflt` analogue).
+    pub minor_faults: u64,
+    /// System calls issued.
+    pub syscalls: u64,
+    /// Bytes returned by `read`.
+    pub bytes_read: u64,
+    /// Bytes accepted by `write`.
+    pub bytes_written: u64,
+    /// Device read commands issued on this process's behalf.
+    pub device_reads: u64,
+    /// Device write commands issued on this process's behalf (including
+    /// writeback of dirty pages evicted to make room for its reads).
+    pub device_writes: u64,
+}
+
+impl Rusage {
+    /// Component-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &Rusage) -> Rusage {
+        Rusage {
+            cpu: self.cpu - earlier.cpu,
+            io_wait: self.io_wait - earlier.io_wait,
+            major_faults: self.major_faults.saturating_sub(earlier.major_faults),
+            minor_faults: self.minor_faults.saturating_sub(earlier.minor_faults),
+            syscalls: self.syscalls.saturating_sub(earlier.syscalls),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            device_reads: self.device_reads.saturating_sub(earlier.device_reads),
+            device_writes: self.device_writes.saturating_sub(earlier.device_writes),
+        }
+    }
+}
+
+/// Snapshot taken at the start of a measured job.
+#[derive(Clone, Copy, Debug)]
+pub struct JobTimer {
+    /// Virtual time at the start.
+    pub started: SimTime,
+    /// Usage at the start.
+    pub usage: Rusage,
+}
+
+/// Measured result of a job: elapsed virtual time plus usage deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobReport {
+    /// Wall-clock (virtual) time elapsed.
+    pub elapsed: SimDuration,
+    /// Resource usage during the job.
+    pub usage: Rusage,
+}
+
+impl JobReport {
+    /// Elapsed time in seconds — the y-axis of most of the paper's figures.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let a = Rusage {
+            cpu: SimDuration::from_secs(1),
+            io_wait: SimDuration::from_secs(2),
+            major_faults: 10,
+            minor_faults: 20,
+            syscalls: 30,
+            bytes_read: 40,
+            bytes_written: 50,
+            device_reads: 6,
+            device_writes: 7,
+        };
+        let b = Rusage {
+            cpu: SimDuration::from_secs(3),
+            io_wait: SimDuration::from_secs(5),
+            major_faults: 15,
+            minor_faults: 29,
+            syscalls: 31,
+            bytes_read: 45,
+            bytes_written: 55,
+            device_reads: 9,
+            device_writes: 8,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.cpu, SimDuration::from_secs(2));
+        assert_eq!(d.io_wait, SimDuration::from_secs(3));
+        assert_eq!(d.major_faults, 5);
+        assert_eq!(d.minor_faults, 9);
+        assert_eq!(d.syscalls, 1);
+        assert_eq!(d.device_reads, 3);
+        assert_eq!(d.device_writes, 1);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let big = Rusage {
+            major_faults: 5,
+            ..Rusage::default()
+        };
+        let d = Rusage::default().since(&big);
+        assert_eq!(d.major_faults, 0);
+    }
+}

@@ -1,0 +1,515 @@
+//! The file system buffer cache.
+//!
+//! The paper's central observation (its Figure 3) is about this component:
+//! with LRU replacement and a file larger than the cache, a second linear
+//! pass over the file gets *zero* hits, because the tail of the file keeps
+//! evicting the head just before the reader arrives. An application that
+//! knows which pages are resident — via SLEDs — can read the cached tail
+//! first and turn most of the second pass into hits.
+//!
+//! [`PageCache`] tracks page residency and dirty state with a pluggable
+//! [`ReplacementPolicy`]; the default is LRU, matching Linux 2.2's
+//! approximation. Clock, FIFO, MRU and 2Q are provided for the ablation
+//! benchmarks. The cache stores no data bytes — the simulator models *cost*,
+//! and file contents live with the file system — only residency metadata.
+
+pub mod policy;
+
+use std::collections::HashMap;
+
+pub use policy::{
+    ClockPolicy, FifoPolicy, LruPolicy, MruPolicy, PolicyKind, ReplacementPolicy, TwoQPolicy,
+};
+
+/// Identifies one page: an inode number and a page index within the file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PageKey {
+    /// Inode number (unique per mounted file system tree in the simulator).
+    pub inode: u64,
+    /// Page index: byte offset divided by the page size.
+    pub index: u64,
+}
+
+impl PageKey {
+    /// Creates a page key.
+    pub fn new(inode: u64, index: u64) -> Self {
+        PageKey { inode, index }
+    }
+}
+
+/// Counters describing cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the page resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Pages inserted.
+    pub insertions: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Evicted pages that were dirty (required writeback).
+    pub dirty_evictions: u64,
+}
+
+/// A page evicted to make room, with whether it needs writeback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The page that was dropped.
+    pub key: PageKey,
+    /// True when the page was dirty and must be written to its device.
+    pub dirty: bool,
+}
+
+/// The buffer cache: residency + dirty metadata under a replacement policy.
+pub struct PageCache {
+    capacity: usize,
+    resident: HashMap<PageKey, bool>, // value = dirty
+    pinned: std::collections::HashSet<PageKey>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.resident.len())
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity` pages under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`: a zero-page buffer cache cannot satisfy
+    /// any read and indicates a misconfigured simulation.
+    pub fn new(capacity: usize, policy: PolicyKind) -> Self {
+        assert!(capacity > 0, "page cache needs at least one page");
+        PageCache {
+            capacity,
+            resident: HashMap::with_capacity(capacity),
+            pinned: Default::default(),
+            policy: policy.build(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates an LRU cache, the simulator default.
+    pub fn lru(capacity: usize) -> Self {
+        PageCache::new(capacity, PolicyKind::Lru)
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// The replacement policy's name, for reports.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets counters (residency is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Non-perturbing residency probe — the cache-side half of `mincore(2)`.
+    ///
+    /// Does not touch the replacement policy or the hit/miss counters: this
+    /// is what the kernel's SLED walk uses, and observing state must not
+    /// change it.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.resident.contains_key(&key)
+    }
+
+    /// Looks a page up on behalf of a read. Returns true on a hit (and
+    /// informs the policy); counts a miss otherwise.
+    pub fn lookup(&mut self, key: PageKey) -> bool {
+        if self.resident.contains_key(&key) {
+            self.policy.on_hit(key);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a page (clean unless `dirty`), evicting if necessary.
+    ///
+    /// Returns the evicted page, if any, so the caller can charge a
+    /// writeback for dirty victims. Inserting an already-resident page just
+    /// refreshes it (and ORs the dirty bit).
+    pub fn insert(&mut self, key: PageKey, dirty: bool) -> Option<Evicted> {
+        if let Some(d) = self.resident.get_mut(&key) {
+            *d |= dirty;
+            self.policy.on_hit(key);
+            return None;
+        }
+        let mut evicted = None;
+        if self.resident.len() >= self.capacity {
+            // Pinned pages are not evictable: skip them (re-inserting into
+            // the policy) up to one full pass. If everything is pinned the
+            // cache overflows, as mlock'd memory does — pinning reduces the
+            // reclaimable set, it does not make allocation fail.
+            for _ in 0..=self.resident.len() {
+                match self.policy.evict() {
+                    Some(victim) if self.pinned.contains(&victim) => {
+                        self.policy.on_insert(victim);
+                    }
+                    Some(victim) => {
+                        let was_dirty = self.resident.remove(&victim).unwrap_or(false);
+                        self.stats.evictions += 1;
+                        if was_dirty {
+                            self.stats.dirty_evictions += 1;
+                        }
+                        evicted = Some(Evicted {
+                            key: victim,
+                            dirty: was_dirty,
+                        });
+                        break;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.resident.insert(key, dirty);
+        self.policy.on_insert(key);
+        self.stats.insertions += 1;
+        evicted
+    }
+
+    /// How many evictions until `key` would be chosen (0 = next out), when
+    /// the policy can predict it. Pins are not accounted for — a pinned
+    /// page's rank says where it *would* fall if unpinned.
+    pub fn eviction_rank(&self, key: PageKey) -> Option<usize> {
+        self.policy.eviction_rank(key)
+    }
+
+    /// Pins a resident page, exempting it from eviction until unpinned.
+    /// Returns false (and pins nothing) when the page is not resident —
+    /// a reservation can only hold what exists.
+    pub fn pin(&mut self, key: PageKey) -> bool {
+        if self.resident.contains_key(&key) {
+            self.pinned.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases a pin. No-op if not pinned.
+    pub fn unpin(&mut self, key: PageKey) {
+        self.pinned.remove(&key);
+    }
+
+    /// True when the page is pinned.
+    pub fn is_pinned(&self, key: PageKey) -> bool {
+        self.pinned.contains(&key)
+    }
+
+    /// Number of pinned pages.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Marks a resident page dirty. No-op if the page is not resident.
+    pub fn mark_dirty(&mut self, key: PageKey) {
+        if let Some(d) = self.resident.get_mut(&key) {
+            *d = true;
+        }
+    }
+
+    /// True if the page is resident and dirty.
+    pub fn is_dirty(&self, key: PageKey) -> bool {
+        self.resident.get(&key).copied().unwrap_or(false)
+    }
+
+    /// Drops a page without writeback accounting (e.g. truncate). Returns
+    /// whether it was dirty.
+    pub fn remove(&mut self, key: PageKey) -> Option<bool> {
+        let dirty = self.resident.remove(&key)?;
+        self.pinned.remove(&key);
+        self.policy.on_remove(key);
+        Some(dirty)
+    }
+
+    /// Drops every page of `inode`, returning the dirty ones (the caller
+    /// decides whether they must be flushed first, as `fsync` would).
+    pub fn remove_file(&mut self, inode: u64) -> Vec<PageKey> {
+        let keys: Vec<PageKey> = self
+            .resident
+            .keys()
+            .filter(|k| k.inode == inode)
+            .copied()
+            .collect();
+        let mut dirty = Vec::new();
+        for k in keys {
+            if self.remove(k) == Some(true) {
+                dirty.push(k);
+            }
+        }
+        dirty
+    }
+
+    /// Returns the dirty pages of `inode` without removing them (`fsync`).
+    pub fn dirty_pages_of(&self, inode: u64) -> Vec<PageKey> {
+        let mut v: Vec<PageKey> = self
+            .resident
+            .iter()
+            .filter(|(k, &d)| k.inode == inode && d)
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Marks a page clean after writeback.
+    pub fn mark_clean(&mut self, key: PageKey) {
+        if let Some(d) = self.resident.get_mut(&key) {
+            *d = false;
+        }
+    }
+
+    /// Residency bitmap for the first `npages` pages of `inode` — the whole
+    /// of `mincore(2)`, and the input to the kernel's SLED construction.
+    pub fn residency(&self, inode: u64, npages: u64) -> Vec<bool> {
+        (0..npages)
+            .map(|i| self.contains(PageKey::new(inode, i)))
+            .collect()
+    }
+
+    /// Drops everything (unmount without writeback; test helper).
+    pub fn clear(&mut self) {
+        let keys: Vec<PageKey> = self.resident.keys().copied().collect();
+        for k in keys {
+            self.remove(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> PageKey {
+        PageKey::new(1, i)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = PageCache::lru(2);
+        assert!(!c.lookup(key(0)));
+        c.insert(key(0), false);
+        assert!(c.lookup(key(0)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let mut c = PageCache::lru(3);
+        for i in 0..10 {
+            c.insert(key(i), false);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 7);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = PageCache::lru(3);
+        c.insert(key(0), false);
+        c.insert(key(1), false);
+        c.insert(key(2), false);
+        c.lookup(key(0)); // 0 is now most recent
+        let ev = c.insert(key(3), false).expect("must evict");
+        assert_eq!(ev.key, key(1));
+    }
+
+    #[test]
+    fn dirty_pages_reported_on_eviction() {
+        let mut c = PageCache::lru(1);
+        c.insert(key(0), true);
+        let ev = c.insert(key(1), false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_ors_dirty_bit() {
+        let mut c = PageCache::lru(2);
+        c.insert(key(0), false);
+        c.insert(key(0), true);
+        assert!(c.is_dirty(key(0)));
+        c.insert(key(0), false);
+        assert!(
+            c.is_dirty(key(0)),
+            "dirty bit must not be cleared by clean reinsert"
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn contains_does_not_perturb() {
+        let mut c = PageCache::lru(2);
+        c.insert(key(0), false);
+        c.insert(key(1), false);
+        // Probing page 0 must NOT make it recently used.
+        for _ in 0..10 {
+            assert!(c.contains(key(0)));
+        }
+        let ev = c.insert(key(2), false).unwrap();
+        assert_eq!(ev.key, key(0), "contains() must not refresh LRU position");
+        let s = c.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn figure3_two_linear_passes_zero_hits() {
+        // The paper's Figure 3: five-block file, three-block LRU cache.
+        // A second linear pass gets no benefit from the first.
+        let mut c = PageCache::lru(3);
+        for pass in 0..2 {
+            for i in 0..5 {
+                if !c.lookup(key(i)) {
+                    c.insert(key(i), false);
+                }
+            }
+            if pass == 0 {
+                assert_eq!(c.stats().hits, 0);
+            }
+        }
+        assert_eq!(c.stats().hits, 0, "LRU gives a second linear pass nothing");
+        assert_eq!(c.stats().misses, 10);
+    }
+
+    #[test]
+    fn figure3_sleds_order_hits_cached_tail() {
+        // Same setup, but the second pass reads the cached tail {2,3,4}
+        // first, as the SLEDs pick library would order it.
+        let mut c = PageCache::lru(3);
+        for i in 0..5 {
+            if !c.lookup(key(i)) {
+                c.insert(key(i), false);
+            }
+        }
+        c.reset_stats();
+        for i in [2u64, 3, 4, 0, 1] {
+            if !c.lookup(key(i)) {
+                c.insert(key(i), false);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 3, "the cached tail should all hit");
+        assert_eq!(s.misses, 2, "only the evicted head re-reads");
+    }
+
+    #[test]
+    fn remove_file_returns_dirty_pages() {
+        let mut c = PageCache::lru(8);
+        c.insert(PageKey::new(1, 0), true);
+        c.insert(PageKey::new(1, 1), false);
+        c.insert(PageKey::new(2, 0), true);
+        let dirty = c.remove_file(1);
+        assert_eq!(dirty, vec![PageKey::new(1, 0)]);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(PageKey::new(2, 0)));
+    }
+
+    #[test]
+    fn residency_bitmap() {
+        let mut c = PageCache::lru(8);
+        c.insert(PageKey::new(1, 0), false);
+        c.insert(PageKey::new(1, 2), false);
+        assert_eq!(c.residency(1, 4), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn dirty_tracking_and_fsync_flow() {
+        let mut c = PageCache::lru(8);
+        c.insert(PageKey::new(1, 0), false);
+        c.mark_dirty(PageKey::new(1, 0));
+        c.insert(PageKey::new(1, 1), true);
+        assert_eq!(c.dirty_pages_of(1).len(), 2);
+        c.mark_clean(PageKey::new(1, 0));
+        assert_eq!(c.dirty_pages_of(1), vec![PageKey::new(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_panics() {
+        let _ = PageCache::lru(0);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let mut c = PageCache::lru(3);
+        c.insert(key(0), false);
+        assert!(c.pin(key(0)));
+        for i in 1..20 {
+            c.insert(key(i), false);
+        }
+        assert!(c.contains(key(0)), "pinned page must not be evicted");
+        assert_eq!(c.len(), 3);
+        c.unpin(key(0));
+        for i in 20..24 {
+            c.insert(key(i), false);
+        }
+        assert!(!c.contains(key(0)), "unpinned page becomes evictable");
+    }
+
+    #[test]
+    fn pinning_nonresident_fails() {
+        let mut c = PageCache::lru(2);
+        assert!(!c.pin(key(9)));
+        assert_eq!(c.pinned_count(), 0);
+    }
+
+    #[test]
+    fn fully_pinned_cache_overflows_rather_than_fails() {
+        let mut c = PageCache::lru(2);
+        c.insert(key(0), false);
+        c.insert(key(1), false);
+        c.pin(key(0));
+        c.pin(key(1));
+        c.insert(key(2), false);
+        assert_eq!(c.len(), 3, "mlock semantics: overflow, not failure");
+        assert!(c.contains(key(0)) && c.contains(key(1)) && c.contains(key(2)));
+        // Once something is unpinned, pressure drains the overflow victim.
+        c.unpin(key(1));
+        c.insert(key(3), false);
+        assert!(!c.contains(key(1)));
+    }
+
+    #[test]
+    fn remove_clears_pin() {
+        let mut c = PageCache::lru(2);
+        c.insert(key(0), false);
+        c.pin(key(0));
+        c.remove(key(0));
+        assert_eq!(c.pinned_count(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic random number generation.
+//!
+//! Every source of randomness in an experiment (device jitter, match
+//! placement, file layout) draws from a [`DetRng`] created from an explicit
+//! seed, so any figure in EXPERIMENTS.md can be regenerated bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator.
+///
+/// Thin wrapper over `rand::StdRng` that also remembers its seed for
+/// reporting, and can derive child generators for independent streams.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns the seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child seed mixes the parent seed with `stream` via SplitMix64, so
+    /// `derive(0)` and `derive(1)` produce unrelated streams even for
+    /// adjacent parent seeds.
+    pub fn derive(&self, stream: u64) -> DetRng {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        DetRng::new(z)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+
+    /// A multiplicative jitter factor in `[1 - amp, 1 + amp]`.
+    ///
+    /// Used by device models to represent background activity; `amp` is
+    /// clamped to `[0, 0.99]`.
+    pub fn jitter(&mut self, amp: f64) -> f64 {
+        let amp = amp.clamp(0.0, 0.99);
+        1.0 + self.inner.gen_range(-amp..=amp)
+    }
+
+    /// A random boolean that is true with probability `p` (clamped to [0,1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Fills `buf` with uniformly random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.range_u64(0, u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.range_u64(0, u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derived_streams_are_independent() {
+        let root = DetRng::new(7);
+        let mut c0 = root.derive(0);
+        let mut c1 = root.derive(1);
+        let v0: Vec<u64> = (0..16).map(|_| c0.range_u64(0, u64::MAX)).collect();
+        let v1: Vec<u64> = (0..16).map(|_| c1.range_u64(0, u64::MAX)).collect();
+        assert_ne!(v0, v1);
+        // Deriving the same stream twice gives the same child.
+        let mut c0b = root.derive(0);
+        assert_eq!(c0b.range_u64(0, u64::MAX), DetRng::new(7).derive(0).range_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn empty_ranges_return_lo() {
+        let mut r = DetRng::new(3);
+        assert_eq!(r.range_u64(10, 10), 10);
+        assert_eq!(r.range_u64(10, 5), 10);
+        assert_eq!(r.range_usize(4, 4), 4);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            let j = r.jitter(0.1);
+            assert!((0.9..=1.1).contains(&j), "jitter {j} out of band");
+        }
+        // Zero amplitude means exactly 1.0.
+        assert_eq!(r.jitter(0.0), 1.0);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = DetRng::new(11);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

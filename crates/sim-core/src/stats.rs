@@ -1,0 +1,213 @@
+//! Statistics used by the evaluation harness.
+//!
+//! The paper reports means with 90% confidence intervals over twelve runs,
+//! and one cumulative distribution function (Figure 13). This module
+//! implements exactly that: sample summaries with Student-t intervals and an
+//! empirical CDF.
+
+/// Two-sided Student-t critical values at 90% confidence (alpha = 0.10),
+/// indexed by degrees of freedom 1..=30.
+const T90: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+
+/// Normal-approximation critical value for large samples.
+const Z90: f64 = 1.645;
+
+/// Returns the two-sided 90% Student-t critical value for `df` degrees of
+/// freedom, falling back to the normal approximation for large `df`.
+pub fn t_critical_90(df: usize) -> f64 {
+    if df == 0 {
+        // A single sample has no spread estimate; the caller reports a
+        // zero-width interval, so the multiplier is irrelevant.
+        return 0.0;
+    }
+    if df <= T90.len() {
+        T90[df - 1]
+    } else {
+        Z90
+    }
+}
+
+/// Summary of a sample of measurements: mean, spread, and a 90% CI.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected). Zero when `n < 2`.
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Half-width of the two-sided 90% confidence interval on the mean.
+    pub ci90: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let stddev = if n >= 2 {
+            let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        let ci90 = if n >= 2 {
+            t_critical_90(n - 1) * stddev / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            stddev,
+            min,
+            max,
+            ci90,
+        })
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Returns `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Ecdf> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF sample"));
+        Some(Ecdf { sorted })
+    }
+
+    /// Fraction of observations less than or equal to `x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        // Index of the first element strictly greater than x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in [0,1]) by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Iterates the step points `(x, F(x))` of the ECDF in ascending order.
+    pub fn steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n))
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the ECDF holds no observations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[5.0; 12]).unwrap();
+        assert_eq!(s.n, 12);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci90, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        // Sample {1,2,3,4}: mean 2.5, var 5/3, sd ~1.2910.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // CI half-width: t(3)=2.353 * sd / 2.
+        let expect = 2.353 * (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((s.ci90 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci90, 0.0);
+    }
+
+    #[test]
+    fn t_table_boundaries() {
+        assert_eq!(t_critical_90(1), 6.314);
+        assert_eq!(t_critical_90(11), 1.796); // 12 runs, as the paper used
+        assert_eq!(t_critical_90(30), 1.697);
+        assert_eq!(t_critical_90(31), Z90);
+        assert_eq!(t_critical_90(0), 0.0);
+    }
+
+    #[test]
+    fn ecdf_fractions_and_quantiles() {
+        let e = Ecdf::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(e.fraction_at(0.5), 0.0);
+        assert_eq!(e.fraction_at(1.0), 0.25);
+        assert_eq!(e.fraction_at(2.5), 0.5);
+        assert_eq!(e.fraction_at(10.0), 1.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn ecdf_steps_are_monotonic() {
+        let e = Ecdf::of(&[5.0, 1.0, 9.0, 9.0, 2.0]).unwrap();
+        let pts: Vec<(f64, f64)> = e.steps().collect();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ecdf_empty_is_none() {
+        assert!(Ecdf::of(&[]).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Byte sizes and bandwidths.
+
+use core::fmt;
+
+use crate::time::SimDuration;
+
+/// Size of a virtual-memory / page-cache page, matching Linux on x86.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// `log2(PAGE_SIZE)`.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Size of a device sector.
+pub const SECTOR_SIZE: u64 = 512;
+
+/// One kibibyte.
+pub const KIB: u64 = 1 << 10;
+
+/// One mebibyte.
+pub const MIB: u64 = 1 << 20;
+
+/// One gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// A byte count with convenience constructors and human-readable display.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Creates a size from bytes.
+    pub const fn bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+
+    /// Creates a size from kibibytes.
+    pub const fn kib(k: u64) -> Self {
+        ByteSize(k * KIB)
+    }
+
+    /// Creates a size from mebibytes.
+    pub const fn mib(m: u64) -> Self {
+        ByteSize(m * MIB)
+    }
+
+    /// Creates a size from gibibytes.
+    pub const fn gib(g: u64) -> Self {
+        ByteSize(g * GIB)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Number of whole pages needed to hold this many bytes (rounds up).
+    pub const fn pages(self) -> u64 {
+        self.0.div_ceil(PAGE_SIZE)
+    }
+
+    /// Number of whole sectors needed to hold this many bytes (rounds up).
+    pub const fn sectors(self) -> u64 {
+        self.0.div_ceil(SECTOR_SIZE)
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= GIB && b.is_multiple_of(GIB) {
+            write!(f, "{}GiB", b / GIB)
+        } else if b >= MIB && b.is_multiple_of(MIB) {
+            write!(f, "{}MiB", b / MIB)
+        } else if b >= KIB && b.is_multiple_of(KIB) {
+            write!(f, "{}KiB", b / KIB)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// A data rate in bytes per second.
+///
+/// Stored as `f64` for the same reason the paper stores SLED bandwidths as
+/// floats: the dynamic range (KB/s tape staging to GB/s memory) exceeds what
+/// fixed-point arithmetic handles comfortably.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    pub fn bytes_per_sec(b: f64) -> Self {
+        Bandwidth(b.max(0.0))
+    }
+
+    /// Creates a bandwidth from decimal megabytes per second, the unit the
+    /// paper's Tables 2 and 3 use.
+    pub fn mb_per_sec(mb: f64) -> Self {
+        Bandwidth((mb * 1e6).max(0.0))
+    }
+
+    /// Returns the rate in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the rate in decimal megabytes per second.
+    pub fn as_mb_per_sec(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Time to transfer `bytes` at this rate.
+    ///
+    /// A zero bandwidth yields [`SimDuration::MAX`] for a nonzero transfer:
+    /// an unreachable device never completes, and the saturating clock makes
+    /// that visible rather than wrapping.
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        if self.0 <= 0.0 {
+            return SimDuration::MAX;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.0)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}MB/s", self.as_mb_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_conversions() {
+        assert_eq!(ByteSize::kib(4).as_u64(), 4096);
+        assert_eq!(ByteSize::mib(1).pages(), 256);
+        assert_eq!(ByteSize::bytes(1).pages(), 1);
+        assert_eq!(ByteSize::bytes(0).pages(), 0);
+        assert_eq!(ByteSize::bytes(4097).pages(), 2);
+        assert_eq!(ByteSize::bytes(1024).sectors(), 2);
+    }
+
+    #[test]
+    fn byte_size_display() {
+        assert_eq!(format!("{}", ByteSize::mib(64)), "64MiB");
+        assert_eq!(format!("{}", ByteSize::bytes(513)), "513B");
+        assert_eq!(format!("{}", ByteSize::gib(2)), "2GiB");
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = Bandwidth::mb_per_sec(1.0);
+        assert_eq!(bw.transfer_time(1_000_000), SimDuration::from_secs(1));
+        assert_eq!(bw.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_bandwidth_never_completes() {
+        let bw = Bandwidth::bytes_per_sec(0.0);
+        assert_eq!(bw.transfer_time(1), SimDuration::MAX);
+    }
+
+    #[test]
+    fn negative_bandwidth_clamps() {
+        let bw = Bandwidth::mb_per_sec(-5.0);
+        assert_eq!(bw.as_bytes_per_sec(), 0.0);
+    }
+}

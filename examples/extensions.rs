@@ -1,0 +1,81 @@
+//! The paper's future-work items, implemented: zone-aware SLEDs, leases
+//! that freeze a SLED vector, and eviction forecasts.
+//!
+//! ```text
+//! cargo run --release --example extensions
+//! ```
+
+use sleds_repro::devices::DiskDevice;
+use sleds_repro::fs::{Kernel, OpenFlags, Whence};
+use sleds_repro::lmbench;
+use sleds_repro::sleds::{forecast, fsleds_get, SledLease, SledReport};
+
+fn main() {
+    let mut kernel = Kernel::table2();
+    kernel.mkdir("/data").expect("mkdir");
+    let mount = kernel
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .expect("mount");
+    // Zone-aware calibration: the disk self-reports its zones and the
+    // table gets per-zone bandwidth rows.
+    let table = lmbench::fill_table_zoned(&mut kernel, &[("/data", mount)])
+        .expect("zoned calibration");
+
+    // --- Zone-aware SLEDs ------------------------------------------------
+    // Put one file at the outer edge and one deep inside the disk.
+    kernel.install_file("/data/outer.bin", &vec![1u8; 2 << 20]).expect("install");
+    let dev = kernel.device_of_mount(mount).expect("device");
+    let cap = kernel.device_capacity(dev).expect("capacity");
+    kernel.advance_allocator(mount, (cap * 8 / 10) / 8).expect("seek inward");
+    kernel.install_file("/data/inner.bin", &vec![2u8; 2 << 20]).expect("install");
+    for path in ["/data/outer.bin", "/data/inner.bin"] {
+        let fd = kernel.open(path, OpenFlags::RDONLY).expect("open");
+        let sleds = fsleds_get(&mut kernel, fd, &table).expect("sleds");
+        println!("{}", SledReport::new(path, sleds));
+        kernel.close(fd).expect("close");
+    }
+    println!("(same device, different zones -> different SLED bandwidths)\n");
+
+    // --- Forecast + lease -------------------------------------------------
+    kernel.install_file("/data/hot.bin", &vec![3u8; 8 << 20]).expect("install");
+    kernel.install_file("/data/noise.bin", &vec![4u8; 64 << 20]).expect("install");
+    let fd = kernel.open("/data/hot.bin", OpenFlags::RDONLY).expect("open");
+    kernel.lseek(fd, 0, Whence::Set).expect("seek");
+    kernel.read(fd, 8 << 20).expect("warm fully");
+
+    let fc = forecast(&mut kernel, &table, fd).expect("forecast");
+    for f in &fc {
+        match f.survives_bytes() {
+            Some(b) => println!(
+                "SLED at {:>8}: cached; survives ~{} MiB of competing traffic",
+                f.sled.offset,
+                b >> 20
+            ),
+            None => println!("SLED at {:>8}: on disk; nothing to lose", f.sled.offset),
+        }
+    }
+
+    // Take a lease, then hammer the cache with 64 MiB of noise.
+    let lease = SledLease::acquire(&mut kernel, &table, fd).expect("lease");
+    println!("\nleased {} pages; flooding the cache with 64 MiB...", lease.pinned_pages());
+    let noise = kernel.open("/data/noise.bin", OpenFlags::RDONLY).expect("open");
+    while !kernel.read(noise, 1 << 20).expect("read").is_empty() {}
+    kernel.close(noise).expect("close");
+
+    let held = fsleds_get(&mut kernel, fd, &table).expect("sleds");
+    println!(
+        "under lease, hot.bin is still {:.0}% cached",
+        SledReport::new("hot.bin", held).cached_fraction() * 100.0
+    );
+    lease.release(&mut kernel).expect("release");
+
+    let noise = kernel.open("/data/noise.bin", OpenFlags::RDONLY).expect("open");
+    kernel.lseek(noise, 0, Whence::Set).expect("seek");
+    while !kernel.read(noise, 1 << 20).expect("read").is_empty() {}
+    kernel.close(noise).expect("close");
+    let dropped = fsleds_get(&mut kernel, fd, &table).expect("sleds");
+    println!(
+        "after release + another flood, {:.0}% cached",
+        SledReport::new("hot.bin", dropped).cached_fraction() * 100.0
+    );
+}

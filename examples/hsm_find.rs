@@ -1,0 +1,82 @@
+//! Pruning I/O on a hierarchical storage manager: `find -latency` skips
+//! tape-resident files, the paper's flagship pruning use case.
+//!
+//! Builds an HSM with a handful of files, migrates some to tape, and
+//! compares grepping everything (tapes get staged, minutes of mount time)
+//! against grepping only what `find -latency -10` deems cheap.
+//!
+//! ```text
+//! cargo run --release --example hsm_find
+//! ```
+
+use sleds_repro::apps::find::{find, FindOptions};
+use sleds_repro::apps::grep::{grep, GrepOptions};
+use sleds_repro::devices::{DiskDevice, TapeDevice};
+use sleds_repro::fs::Kernel;
+use sleds_repro::lmbench;
+use sleds_repro::sleds::LatencyPredicate;
+use sleds_repro::textmatch::Regex;
+
+fn main() {
+    let mut kernel = Kernel::table2();
+    kernel.mkdir("/hsm").expect("mkdir");
+    let mount = kernel
+        .mount_hsm(
+            "/hsm",
+            DiskDevice::table2_disk("hda"),
+            Box::new(TapeDevice::dlt("st0")),
+            512,
+        )
+        .expect("mount hsm");
+    let table = lmbench::fill_table(&mut kernel, &[("/hsm", mount)]).expect("calibration");
+
+    // Six 4 MiB "project archives"; the even ones were migrated to tape
+    // long ago.
+    let payload: Vec<u8> = (0..4 << 20)
+        .map(|i| if i % 61 == 0 { b'\n' } else { b'a' + (i % 23) as u8 })
+        .collect();
+    for i in 0..6 {
+        let path = format!("/hsm/project{i}.log");
+        kernel.install_file(&path, &payload).expect("install");
+        if i % 2 == 0 {
+            kernel.hsm_migrate(&path, true).expect("migrate");
+        }
+    }
+
+    let re = Regex::new("abcdefgh").expect("pattern");
+
+    // Smart: prune anything that would take over 10 seconds to deliver.
+    let job = kernel.start_job();
+    let cheap = find(
+        &mut kernel,
+        "/hsm",
+        &FindOptions {
+            latency: Some(LatencyPredicate::parse("-10").expect("spec")),
+            ..Default::default()
+        },
+        Some(&table),
+    )
+    .expect("find");
+    println!("find -latency -10 kept {} of 6 files:", cheap.len());
+    for hit in &cheap {
+        println!("  {}  (est. {:.3}s)", hit.path, hit.estimate_secs.unwrap_or(0.0));
+        grep(&mut kernel, &hit.path, &re, &GrepOptions::default(), Some(&table)).expect("grep");
+    }
+    let pruned = kernel.finish_job(&job);
+    println!("pruned search finished in {}\n", pruned.elapsed);
+
+    // Naive: grep everything; the tape files must be staged in.
+    let job = kernel.start_job();
+    let all = find(&mut kernel, "/hsm", &FindOptions::default(), None).expect("find");
+    for hit in &all {
+        if kernel.stat(&hit.path).expect("stat").kind == sleds_repro::fs::FileKind::File {
+            grep(&mut kernel, &hit.path, &re, &GrepOptions::default(), None).expect("grep");
+        }
+    }
+    let full = kernel.finish_job(&job);
+    println!("unpruned search (staged 3 tape files) took {}", full.elapsed);
+    println!(
+        "pruning advantage: {:.0}x",
+        full.elapsed.as_secs_f64() / pruned.elapsed.as_secs_f64().max(1e-9)
+    );
+}

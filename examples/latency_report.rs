@@ -1,0 +1,63 @@
+//! Reporting latency to users: the gmc properties panel across storage
+//! levels (the paper's Figure 6, as text).
+//!
+//! Builds one machine with a local disk, an NFS mount and an HSM, puts a
+//! file on each, and prints what the file manager would show — including
+//! the "should I really open this?" signal for a tape-resident file.
+//!
+//! ```text
+//! cargo run --example latency_report
+//! ```
+
+use sleds_repro::apps::gmc::properties_panel;
+use sleds_repro::devices::{DiskDevice, NfsDevice, TapeDevice};
+use sleds_repro::fs::{Kernel, OpenFlags};
+use sleds_repro::lmbench;
+
+fn main() {
+    let mut kernel = Kernel::table2();
+    for dir in ["/data", "/nfs", "/hsm"] {
+        kernel.mkdir(dir).expect("mkdir");
+    }
+    let m_disk = kernel
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .expect("mount disk");
+    let m_nfs = kernel
+        .mount_nfs("/nfs", NfsDevice::table2_mount("srv:/export"))
+        .expect("mount nfs");
+    let m_hsm = kernel
+        .mount_hsm(
+            "/hsm",
+            DiskDevice::table2_disk("hdb"),
+            Box::new(TapeDevice::dlt("st0")),
+            512,
+        )
+        .expect("mount hsm");
+
+    let table = lmbench::fill_table(
+        &mut kernel,
+        &[("/data", m_disk), ("/nfs", m_nfs), ("/hsm", m_hsm)],
+    )
+    .expect("calibration");
+
+    let payload = vec![7u8; 4 << 20];
+    for path in ["/data/report.dat", "/nfs/report.dat", "/hsm/report.dat"] {
+        kernel.install_file(path, &payload).expect("install");
+    }
+    // Half-cache the disk file so its panel shows a split.
+    let fd = kernel.open("/data/report.dat", OpenFlags::RDONLY).expect("open");
+    kernel.read(fd, 2 << 20).expect("warm");
+    kernel.close(fd).expect("close");
+    // Send the HSM file to tape.
+    kernel.hsm_migrate("/hsm/report.dat", true).expect("migrate");
+
+    for path in ["/data/report.dat", "/nfs/report.dat", "/hsm/report.dat"] {
+        let panel = properties_panel(&mut kernel, &table, path).expect("panel");
+        println!("{panel}");
+        if panel.best_secs > 30.0 {
+            println!("  !! retrieval will take {:.0}s — mount required\n", panel.best_secs);
+        } else {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: boot a simulated machine, ask a file for its SLEDs, and read
+//! it in the latency-aware order.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sleds_repro::devices::DiskDevice;
+use sleds_repro::fs::{Kernel, OpenFlags, Whence};
+use sleds_repro::lmbench;
+use sleds_repro::sleds::{
+    fsleds_get, total_delivery_time, AttackPlan, PickConfig, PickSession, SledReport,
+};
+
+fn main() {
+    // Boot the paper's 64 MiB test machine and mount a late-90s disk.
+    let mut kernel = Kernel::table2();
+    kernel.mkdir("/data").expect("mkdir");
+    let mount = kernel
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .expect("mount");
+
+    // The "boot script": calibrate every level with lmbench and fill the
+    // sleds table (the FSLEDS_FILL ioctl of the paper).
+    let table = lmbench::fill_table(&mut kernel, &[("/data", mount)]).expect("calibration");
+
+    // A 2 MiB file; warm the middle 1 MiB so the cache state is interesting.
+    let data = vec![42u8; 2 << 20];
+    kernel.install_file("/data/demo.bin", &data).expect("install");
+    let fd = kernel.open("/data/demo.bin", OpenFlags::RDONLY).expect("open");
+    kernel.lseek(fd, 512 << 10, Whence::Set).expect("seek");
+    kernel.read(fd, 1 << 20).expect("warm read");
+
+    // FSLEDS_GET: what would it cost to read this file right now?
+    let sleds = fsleds_get(&mut kernel, fd, &table).expect("FSLEDS_GET");
+    println!("{}", SledReport::new("/data/demo.bin", sleds));
+    let linear = total_delivery_time(&mut kernel, &table, fd, AttackPlan::Linear).unwrap();
+    let best = total_delivery_time(&mut kernel, &table, fd, AttackPlan::Best).unwrap();
+    println!("delivery estimate: {linear:.4}s front-to-back, {best:.4}s reordered\n");
+
+    // Read the file in pick order: cached middle first, then the cold ends.
+    let mut pick =
+        PickSession::init(&mut kernel, &table, fd, PickConfig::bytes(256 << 10)).expect("init");
+    let job = kernel.start_job();
+    println!("pick order (offset, length):");
+    while let Some((offset, len)) = pick.next_read() {
+        println!("  {offset:>8} {len:>8}");
+        kernel.lseek(fd, offset as i64, Whence::Set).expect("seek");
+        kernel.read(fd, len).expect("read");
+    }
+    pick.finish();
+    let report = kernel.finish_job(&job);
+    println!(
+        "\nread 2 MiB in {} ({} major faults, {} cache hits)",
+        report.elapsed, report.usage.major_faults, report.usage.minor_faults
+    );
+    kernel.close(fd).expect("close");
+}

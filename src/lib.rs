@@ -1,0 +1,15 @@
+//! Umbrella crate for the SLEDs reproduction.
+//!
+//! Re-exports the workspace crates so the top-level `examples/` and `tests/`
+//! can exercise the whole stack through one dependency. See `README.md` for a
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use sleds;
+pub use sleds_apps as apps;
+pub use sleds_devices as devices;
+pub use sleds_fits as fits;
+pub use sleds_fs as fs;
+pub use sleds_lmbench as lmbench;
+pub use sleds_pagecache as pagecache;
+pub use sleds_sim_core as sim_core;
+pub use sleds_textmatch as textmatch;

@@ -1,0 +1,236 @@
+//! End-to-end integration: the paper's headline behaviours, checked across
+//! every crate at once on a scaled-down machine (4 MiB RAM so the tests run
+//! in milliseconds; the dynamics are size-independent).
+
+use sleds_repro::apps::grep::{grep, GrepOptions};
+use sleds_repro::apps::wc::wc;
+use sleds_repro::devices::{DiskDevice, NfsDevice};
+use sleds_repro::fs::{Kernel, MachineConfig, MountId, OpenFlags, Whence};
+use sleds_repro::lmbench::fill_table;
+use sleds_repro::sim_core::{ByteSize, DetRng};
+use sleds_repro::sleds::SledsTable;
+use sleds_repro::textmatch::Regex;
+
+fn small_machine() -> MachineConfig {
+    let mut cfg = MachineConfig::table2();
+    cfg.ram = ByteSize::mib(4);
+    cfg
+}
+
+fn disk_env() -> (Kernel, SledsTable, MountId) {
+    let mut k = Kernel::new(small_machine());
+    k.mkdir("/data").unwrap();
+    let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+    let t = fill_table(&mut k, &[("/data", m)]).unwrap();
+    k.reset_counters();
+    (k, t, m)
+}
+
+fn nfs_env() -> (Kernel, SledsTable, MountId) {
+    let mut k = Kernel::new(small_machine());
+    k.mkdir("/nfs").unwrap();
+    let m = k.mount_nfs("/nfs", NfsDevice::table2_mount("srv:/x")).unwrap();
+    let t = fill_table(&mut k, &[("/nfs", m)]).unwrap();
+    k.reset_counters();
+    (k, t, m)
+}
+
+fn corpus(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        for _ in 0..rng.range_u64(3, 10) {
+            for _ in 0..rng.range_u64(2, 8) {
+                out.push(b'a' + rng.range_u64(0, 26) as u8);
+            }
+            out.push(b' ');
+        }
+        out.push(b'\n');
+    }
+    out.truncate(n);
+    out
+}
+
+/// The paper's central claim end to end: on a warm cache with a file 1.5x
+/// the cache size, SLEDs-ordered wc beats the linear scan by >2x on NFS.
+#[test]
+fn warm_nfs_wc_speedup_exceeds_two() {
+    let (mut k, table, _) = nfs_env();
+    let cache = k.config().cache_bytes().as_u64() as usize;
+    let text = corpus(cache * 3 / 2, 1);
+    k.install_file("/nfs/big.txt", &text).unwrap();
+
+    wc(&mut k, "/nfs/big.txt", None).unwrap(); // warm
+    let j = k.start_job();
+    let r_base = wc(&mut k, "/nfs/big.txt", None).unwrap();
+    let base = k.finish_job(&j);
+
+    wc(&mut k, "/nfs/big.txt", None).unwrap(); // re-warm in baseline mode
+    let j = k.start_job();
+    let r_sleds = wc(&mut k, "/nfs/big.txt", Some(&table)).unwrap();
+    let with = k.finish_job(&j);
+
+    assert_eq!(r_base, r_sleds, "modes must agree on the counts");
+    let speedup = base.elapsed.as_secs_f64() / with.elapsed.as_secs_f64();
+    assert!(speedup > 2.0, "NFS warm speedup {speedup:.2} too small");
+    assert!(
+        with.usage.major_faults < base.usage.major_faults / 2,
+        "faults: {} vs {}",
+        with.usage.major_faults,
+        base.usage.major_faults
+    );
+}
+
+/// Below the cache size both modes are equal (and SLEDs only slightly
+/// slower from its bookkeeping) — the left half of every figure.
+#[test]
+fn small_files_show_only_small_overhead() {
+    let (mut k, table, _) = disk_env();
+    let text = corpus(512 << 10, 2);
+    k.install_file("/data/small.txt", &text).unwrap();
+
+    wc(&mut k, "/data/small.txt", None).unwrap(); // warm fully
+    let j = k.start_job();
+    wc(&mut k, "/data/small.txt", None).unwrap();
+    let base = k.finish_job(&j);
+    let j = k.start_job();
+    wc(&mut k, "/data/small.txt", Some(&table)).unwrap();
+    let with = k.finish_job(&j);
+
+    assert_eq!(base.usage.major_faults, 0);
+    assert_eq!(with.usage.major_faults, 0);
+    let overhead = with.elapsed.as_secs_f64() / base.elapsed.as_secs_f64();
+    assert!(
+        (0.95..1.6).contains(&overhead),
+        "cached-file overhead ratio {overhead:.3} out of band"
+    );
+}
+
+/// The "ideal benchmark": grep -q whose match sits in cache terminates
+/// without physical I/O, while the baseline pays for most of the file.
+#[test]
+fn first_match_grep_ideal_case() {
+    let (mut k, table, _) = disk_env();
+    let mut text = corpus(2 << 20, 3);
+    let pos = (3 * (text.len() / 4)) & !4095;
+    text[pos..pos + 4].copy_from_slice(b"ZQXJ");
+    k.install_file("/data/hay.txt", &text).unwrap();
+
+    // Warm the region around the match only.
+    let fd = k.open("/data/hay.txt", OpenFlags::RDONLY).unwrap();
+    k.lseek(fd, pos as i64 - 65536, Whence::Set).unwrap();
+    k.read(fd, 128 << 10).unwrap();
+    k.close(fd).unwrap();
+    k.reset_counters();
+
+    let re = Regex::new("ZQXJ").unwrap();
+    let opts = GrepOptions {
+        first_match_only: true,
+    };
+    let j = k.start_job();
+    let r = grep(&mut k, "/data/hay.txt", &re, &opts, Some(&table)).unwrap();
+    let with = k.finish_job(&j);
+    assert!(r.stopped_early);
+    assert_eq!(with.usage.major_faults, 0, "cached match needs no I/O");
+
+    let j = k.start_job();
+    let r = grep(&mut k, "/data/hay.txt", &re, &opts, None).unwrap();
+    let base = k.finish_job(&j);
+    assert!(r.stopped_early);
+    assert!(base.usage.major_faults > 100, "baseline must read the cold head");
+    let ratio = base.elapsed.as_secs_f64() / with.elapsed.as_secs_f64();
+    assert!(ratio > 10.0, "ideal-case speedup {ratio:.1} should be an order of magnitude");
+}
+
+/// Performance degrades gracefully with SLEDs as size grows past the
+/// cache (the paper's "more stable performance" claim): the elapsed-time
+/// *increase* from 1x to 2x cache size is much smaller with SLEDs.
+#[test]
+fn graceful_degradation_past_cache_size() {
+    let measure = |factor_num: usize, use_sleds: bool| -> f64 {
+        let (mut k, table, _) = disk_env();
+        let cache = k.config().cache_bytes().as_u64() as usize;
+        let text = corpus(cache * factor_num / 4, 42);
+        k.install_file("/data/f.txt", &text).unwrap();
+        let t = use_sleds.then_some(&table);
+        wc(&mut k, "/data/f.txt", t).unwrap(); // warm
+        let j = k.start_job();
+        wc(&mut k, "/data/f.txt", t).unwrap();
+        k.finish_job(&j).elapsed.as_secs_f64()
+    };
+    // Sizes: 1.0x and 2.0x the cache.
+    let base_step = measure(8, false) - measure(4, false);
+    let sleds_step = measure(8, true) - measure(4, true);
+    assert!(
+        sleds_step < base_step * 0.75,
+        "SLEDs step {sleds_step:.3}s vs baseline step {base_step:.3}s"
+    );
+}
+
+/// All-matches grep agrees between modes on a warm, scrambled cache, and
+/// total I/O (device reads) goes down with SLEDs.
+#[test]
+fn grep_all_matches_reduces_total_io() {
+    let (mut k, table, _) = disk_env();
+    let cache = k.config().cache_bytes().as_u64() as usize;
+    let mut text = corpus(cache * 3 / 2, 5);
+    // Sprinkle deterministic matches.
+    let step = text.len() / 23;
+    for i in 0..20 {
+        let p = i * step + 100;
+        text[p..p + 4].copy_from_slice(b"ZQXJ");
+    }
+    k.install_file("/data/hay.txt", &text).unwrap();
+    let re = Regex::new("ZQXJ").unwrap();
+
+    grep(&mut k, "/data/hay.txt", &re, &GrepOptions::default(), None).unwrap(); // warm
+    k.reset_counters();
+    let j = k.start_job();
+    let base = grep(&mut k, "/data/hay.txt", &re, &GrepOptions::default(), None).unwrap();
+    let base_rep = k.finish_job(&j);
+
+    grep(&mut k, "/data/hay.txt", &re, &GrepOptions::default(), None).unwrap(); // re-warm
+    let j = k.start_job();
+    let with = grep(&mut k, "/data/hay.txt", &re, &GrepOptions::default(), Some(&table)).unwrap();
+    let with_rep = k.finish_job(&j);
+
+    assert_eq!(base.matches.len(), with.matches.len());
+    for (a, b) in base.matches.iter().zip(&with.matches) {
+        assert_eq!((a.offset, a.line_number, &a.line), (b.offset, b.line_number, &b.line));
+    }
+    assert!(
+        with_rep.usage.major_faults < base_rep.usage.major_faults,
+        "SLEDs must reduce physical reads: {} vs {}",
+        with_rep.usage.major_faults,
+        base_rep.usage.major_faults
+    );
+}
+
+/// The sleds table survives being consulted by many kernels' worth of
+/// state: delivery estimates track reality within a factor of two.
+#[test]
+fn delivery_estimates_track_measured_time() {
+    let (mut k, table, _) = disk_env();
+    let text = corpus(1 << 20, 6);
+    k.install_file("/data/f.txt", &text).unwrap();
+    let fd = k.open("/data/f.txt", OpenFlags::RDONLY).unwrap();
+    let est = sleds_repro::sleds::total_delivery_time(
+        &mut k,
+        &table,
+        fd,
+        sleds_repro::sleds::AttackPlan::Linear,
+    )
+    .unwrap();
+    let j = k.start_job();
+    let mut pos = 0usize;
+    while pos < text.len() {
+        pos += k.read(fd, 64 << 10).unwrap().len();
+    }
+    let measured = k.finish_job(&j).elapsed.as_secs_f64();
+    let ratio = measured / est;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "estimate {est:.3}s vs measured {measured:.3}s (ratio {ratio:.2})"
+    );
+    k.close(fd).unwrap();
+}

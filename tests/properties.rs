@@ -1,0 +1,202 @@
+//! Property-based integration tests: invariants of the SLEDs stack under
+//! randomized cache states, file sizes and workloads.
+
+use proptest::prelude::*;
+
+use sleds_repro::apps::grep::{grep, GrepOptions};
+use sleds_repro::apps::wc::wc;
+use sleds_repro::devices::DiskDevice;
+use sleds_repro::fs::{Kernel, MachineConfig, OpenFlags, Whence};
+use sleds_repro::sim_core::{ByteSize, PAGE_SIZE};
+use sleds_repro::sleds::{
+    estimate_seconds, fsleds_get, AttackPlan, PickConfig, PickSession, SledsEntry, SledsTable,
+};
+use sleds_repro::textmatch::Regex;
+
+/// A small kernel + static table (no lmbench — property tests need speed).
+fn tiny_env() -> (Kernel, SledsTable) {
+    let mut cfg = MachineConfig::table2();
+    cfg.ram = ByteSize::mib(2);
+    let mut k = Kernel::new(cfg);
+    k.mkdir("/d").unwrap();
+    let m = k.mount_disk("/d", DiskDevice::table2_disk("hda")).unwrap();
+    let dev = k.device_of_mount(m).unwrap();
+    let mut t = SledsTable::new();
+    t.fill_memory(SledsEntry::new(175e-9, 48e6));
+    t.fill_device(dev, SledsEntry::new(0.018, 9e6));
+    (k, t)
+}
+
+/// Warm an arbitrary set of page ranges.
+fn warm(k: &mut Kernel, path: &str, ranges: &[(u64, u64)], npages: u64) {
+    if npages == 0 {
+        return;
+    }
+    let fd = k.open(path, OpenFlags::RDONLY).unwrap();
+    for &(a, b) in ranges {
+        let lo = a % npages;
+        let hi = (lo + 1 + b % 8).min(npages);
+        k.lseek(fd, (lo * PAGE_SIZE) as i64, Whence::Set).unwrap();
+        k.read(fd, ((hi - lo) * PAGE_SIZE) as usize).unwrap();
+    }
+    k.close(fd).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SLEDs tile the file exactly: sorted, contiguous, complete, and
+    /// alternating in level.
+    #[test]
+    fn sleds_tile_the_file(
+        size in 1usize..200_000,
+        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
+    ) {
+        let (mut k, t) = tiny_env();
+        k.install_file("/d/f", &vec![9u8; size]).unwrap();
+        let npages = (size as u64).div_ceil(PAGE_SIZE);
+        warm(&mut k, "/d/f", &ranges, npages);
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        let mut expect = 0u64;
+        for w in sleds.windows(2) {
+            prop_assert!(!w[0].same_level(&w[1]), "adjacent SLEDs must differ");
+        }
+        for s in &sleds {
+            prop_assert_eq!(s.offset, expect);
+            prop_assert!(s.length > 0);
+            expect = s.end();
+        }
+        prop_assert_eq!(expect, size as u64);
+    }
+
+    /// The pick plan covers every byte exactly once, whatever the cache
+    /// state and chunk size — byte mode.
+    #[test]
+    fn pick_plan_covers_exactly_once(
+        size in 1usize..150_000,
+        preferred in 1usize..40_000,
+        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
+    ) {
+        let (mut k, t) = tiny_env();
+        k.install_file("/d/f", &vec![1u8; size]).unwrap();
+        let npages = (size as u64).div_ceil(PAGE_SIZE);
+        warm(&mut k, "/d/f", &ranges, npages);
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let mut p = PickSession::init(&mut k, &t, fd, PickConfig::bytes(preferred)).unwrap();
+        let mut covered = vec![0u8; size];
+        while let Some((off, len)) = p.next_read() {
+            prop_assert!(len <= preferred);
+            for c in &mut covered[off as usize..off as usize + len] {
+                *c += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// ... and in record mode, where SLED edges move to separators.
+    #[test]
+    fn record_mode_still_covers_exactly_once(
+        paragraphs in prop::collection::vec(1usize..4000, 1..6),
+        preferred in 512usize..20_000,
+        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..3),
+    ) {
+        let mut data = Vec::new();
+        for (i, len) in paragraphs.iter().enumerate() {
+            data.extend(std::iter::repeat_n(b'a' + (i % 26) as u8, *len));
+            data.push(b'\n');
+        }
+        let (mut k, t) = tiny_env();
+        k.install_file("/d/f", &data).unwrap();
+        let npages = (data.len() as u64).div_ceil(PAGE_SIZE);
+        warm(&mut k, "/d/f", &ranges, npages);
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let mut p =
+            PickSession::init(&mut k, &t, fd, PickConfig::records(preferred, b'\n')).unwrap();
+        let mut covered = vec![0u8; data.len()];
+        while let Some((off, len)) = p.next_read() {
+            for c in &mut covered[off as usize..off as usize + len] {
+                *c += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// wc agrees between baseline and SLEDs modes for arbitrary byte soup
+    /// and cache states.
+    #[test]
+    fn wc_mode_equivalence(
+        data in prop::collection::vec(prop::num::u8::ANY, 0..60_000),
+        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
+    ) {
+        let (mut k, t) = tiny_env();
+        k.install_file("/d/f", &data).unwrap();
+        let base = wc(&mut k, "/d/f", None).unwrap();
+        let npages = (data.len() as u64).div_ceil(PAGE_SIZE);
+        warm(&mut k, "/d/f", &ranges, npages);
+        let with = wc(&mut k, "/d/f", Some(&t)).unwrap();
+        prop_assert_eq!(base, with);
+    }
+
+    /// grep (all matches) agrees between modes: same matches, same line
+    /// numbers, same offsets — on random line-structured text.
+    #[test]
+    fn grep_mode_equivalence(
+        lines in prop::collection::vec(("[a-z ]{0,40}", 0u8..10), 1..60),
+        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
+    ) {
+        let mut data = Vec::new();
+        for (text, hit) in &lines {
+            if *hit == 0 {
+                data.extend_from_slice(b"xZQXJx");
+            }
+            data.extend_from_slice(text.as_bytes());
+            data.push(b'\n');
+        }
+        let (mut k, t) = tiny_env();
+        k.install_file("/d/f", &data).unwrap();
+        let re = Regex::new("ZQXJ").unwrap();
+        let base = grep(&mut k, "/d/f", &re, &GrepOptions::default(), None).unwrap();
+        let npages = (data.len() as u64).div_ceil(PAGE_SIZE);
+        warm(&mut k, "/d/f", &ranges, npages);
+        let with = grep(&mut k, "/d/f", &re, &GrepOptions::default(), Some(&t)).unwrap();
+        prop_assert_eq!(base, with);
+    }
+
+    /// Delivery estimates: Best never exceeds Linear, and both are
+    /// monotone under adding cached bytes... i.e. warming pages never
+    /// increases the estimate.
+    #[test]
+    fn warming_never_increases_estimate(
+        size in PAGE_SIZE as usize..300_000,
+        ranges in prop::collection::vec((0u64..64, 0u64..8), 1..4),
+    ) {
+        let (mut k, t) = tiny_env();
+        k.install_file("/d/f", &vec![0u8; size]).unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let cold = fsleds_get(&mut k, fd, &t).unwrap();
+        let cold_linear = estimate_seconds(&cold, AttackPlan::Linear);
+        let cold_best = estimate_seconds(&cold, AttackPlan::Best);
+        prop_assert!(cold_best <= cold_linear + 1e-12);
+        let npages = (size as u64).div_ceil(PAGE_SIZE);
+        warm(&mut k, "/d/f", &ranges, npages);
+        let warm_sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        let warm_best = estimate_seconds(&warm_sleds, AttackPlan::Best);
+        prop_assert!(warm_best <= cold_best + 1e-9,
+            "warming increased estimate {cold_best} -> {warm_best}");
+    }
+
+    /// The regex engine agrees with a naive substring search for literal
+    /// patterns on arbitrary haystacks.
+    #[test]
+    fn regex_literal_agrees_with_naive(
+        needle in "[a-c]{1,4}",
+        hay in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'\n']), 0..200),
+    ) {
+        let re = Regex::literal(&needle);
+        let naive = hay
+            .windows(needle.len())
+            .any(|w| w == needle.as_bytes());
+        prop_assert_eq!(re.is_match(&hay), naive);
+    }
+}
