@@ -90,7 +90,10 @@ pub fn fimgbin(
     let (in_w, in_h) = (axes[0], axes[1]);
     let (out_w, out_h) = (in_w / factor, in_h / factor);
     if out_w == 0 || out_h == 0 {
-        return Err(SimError::new(Errno::Einval, "fimgbin: image smaller than box"));
+        return Err(SimError::new(
+            Errno::Einval,
+            "fimgbin: image smaller than box",
+        ));
     }
     let bitpix = reader.bitpix();
 
@@ -210,7 +213,9 @@ mod tests {
     fn setup() -> (Kernel, SledsTable) {
         let mut k = Kernel::table3();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table3_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table3_disk("hda"))
+            .unwrap();
         let t = fill_table(&mut k, &[("/data", m)]).unwrap();
         (k, t)
     }
@@ -229,7 +234,8 @@ mod tests {
         let (mut k, _) = setup();
         // 4x2 image with known values; 2x2 boxes -> 2x1 output.
         let mut w = FitsWriter::create(&mut k, "/data/in.fits", Bitpix::F64, &[4, 2]).unwrap();
-        w.write_pixels(&mut k, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        w.write_pixels(&mut k, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .unwrap();
         let fd = w.finish(&mut k).unwrap();
         k.close(fd).unwrap();
         let r = fimgbin(&mut k, "/data/in.fits", "/data/out.fits", 2, None).unwrap();

@@ -66,7 +66,11 @@ pub fn fimhisto(
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     for_each_pixel_chunk(kernel, &reader, table, |kernel, values| {
-        charge_per_byte(kernel, values.len() * bitpix.bytes_per_pixel(), CONVERT_NS_PER_BYTE);
+        charge_per_byte(
+            kernel,
+            values.len() * bitpix.bytes_per_pixel(),
+            CONVERT_NS_PER_BYTE,
+        );
         for &v in values {
             min = min.min(v);
             max = max.max(v);
@@ -82,8 +86,14 @@ pub fn fimhisto(
     let width = if max > min { max - min } else { 1.0 };
     let last_bin = histogram.len() - 1;
     for_each_pixel_chunk(kernel, &reader, table, |kernel, values| {
-        charge_per_byte(kernel, values.len() * bitpix.bytes_per_pixel(), CONVERT_NS_PER_BYTE);
-        kernel.charge_cpu(SimDuration::from_nanos(BIN_NS_PER_PIXEL * values.len() as u64));
+        charge_per_byte(
+            kernel,
+            values.len() * bitpix.bytes_per_pixel(),
+            CONVERT_NS_PER_BYTE,
+        );
+        kernel.charge_cpu(SimDuration::from_nanos(
+            BIN_NS_PER_PIXEL * values.len() as u64,
+        ));
         for &v in values {
             let b = (((v - min) / width) * last_bin as f64).round() as usize;
             histogram[b.min(last_bin)] += 1;
@@ -176,7 +186,9 @@ mod tests {
     fn setup() -> (Kernel, SledsTable) {
         let mut k = Kernel::table3();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table3_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table3_disk("hda"))
+            .unwrap();
         let t = fill_table(&mut k, &[("/data", m)]).unwrap();
         (k, t)
     }
@@ -203,8 +215,14 @@ mod tests {
         k.install_file("/data/in.fits", &img).unwrap();
         let base = fimhisto(&mut k, "/data/in.fits", "/data/b.fits", DEFAULT_BINS, None).unwrap();
         // Leave the cache warm and scrambled, then run the SLEDs port.
-        let with =
-            fimhisto(&mut k, "/data/in.fits", "/data/s.fits", DEFAULT_BINS, Some(&t)).unwrap();
+        let with = fimhisto(
+            &mut k,
+            "/data/in.fits",
+            "/data/s.fits",
+            DEFAULT_BINS,
+            Some(&t),
+        )
+        .unwrap();
         assert_eq!(base.histogram, with.histogram);
         assert_eq!(base.min, with.min);
         assert_eq!(base.max, with.max);
@@ -233,7 +251,14 @@ mod tests {
         k.install_file("/data/in.fits", &img).unwrap();
         k.reset_counters();
         let j = k.start_job();
-        fimhisto(&mut k, "/data/in.fits", "/data/out.fits", DEFAULT_BINS, None).unwrap();
+        fimhisto(
+            &mut k,
+            "/data/in.fits",
+            "/data/out.fits",
+            DEFAULT_BINS,
+            None,
+        )
+        .unwrap();
         let rep = k.finish_job(&j);
         let frac = rep.usage.bytes_written as f64
             / (rep.usage.bytes_read + rep.usage.bytes_written) as f64;

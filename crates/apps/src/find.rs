@@ -153,8 +153,7 @@ fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
     match (pattern.first(), text.first()) {
         (None, None) => true,
         (Some(b'*'), _) => {
-            glob_match(&pattern[1..], text)
-                || (!text.is_empty() && glob_match(pattern, &text[1..]))
+            glob_match(&pattern[1..], text) || (!text.is_empty() && glob_match(pattern, &text[1..]))
         }
         (Some(b'?'), Some(_)) => glob_match(&pattern[1..], &text[1..]),
         (Some(&p), Some(&t)) if p == t => glob_match(&pattern[1..], &text[1..]),
@@ -172,14 +171,20 @@ mod tests {
     fn setup_tree() -> (Kernel, SledsTable) {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         k.mkdir("/data/src").unwrap();
         k.mkdir("/data/src/deep").unwrap();
-        k.install_file("/data/src/main.c", b"int main(){}\n").unwrap();
-        k.install_file("/data/src/util.c", b"void util(){}\n").unwrap();
-        k.install_file("/data/src/util.h", b"#pragma once\n").unwrap();
+        k.install_file("/data/src/main.c", b"int main(){}\n")
+            .unwrap();
+        k.install_file("/data/src/util.c", b"void util(){}\n")
+            .unwrap();
+        k.install_file("/data/src/util.h", b"#pragma once\n")
+            .unwrap();
         k.install_file("/data/src/deep/core.c", b"core\n").unwrap();
-        k.install_file("/data/big.bin", &vec![0u8; 256 * 1024]).unwrap();
+        k.install_file("/data/big.bin", &vec![0u8; 256 * 1024])
+            .unwrap();
         let t = fill_table(&mut k, &[("/data", m)]).unwrap();
         (k, t)
     }
@@ -210,7 +215,11 @@ mod tests {
         let paths: Vec<&str> = hits.iter().map(|h| h.path.as_str()).collect();
         assert_eq!(
             paths,
-            vec!["/data/src/deep/core.c", "/data/src/main.c", "/data/src/util.c"]
+            vec![
+                "/data/src/deep/core.c",
+                "/data/src/main.c",
+                "/data/src/util.c"
+            ]
         );
     }
 

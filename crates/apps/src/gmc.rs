@@ -39,10 +39,7 @@ pub fn properties_panel(
     let sleds = fsleds_get(kernel, fd, table)?;
     let forecasts = sleds::forecast(kernel, table, fd)?;
     kernel.close(fd)?;
-    let stable_for_bytes = forecasts
-        .iter()
-        .filter_map(|f| f.survives_bytes())
-        .min();
+    let stable_for_bytes = forecasts.iter().filter_map(|f| f.survives_bytes()).min();
     let report = SledReport::new(path, sleds);
     Ok(PropertiesPanel {
         linear_secs: report.total_secs(AttackPlan::Linear),
@@ -87,7 +84,9 @@ mod tests {
     fn panel_reflects_cache_state() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let data = vec![0u8; 16 * PAGE_SIZE as usize];
         k.install_file("/data/f", &data).unwrap();
         let t = fill_table(&mut k, &[("/data", m)]).unwrap();
@@ -111,7 +110,10 @@ mod tests {
             warm.stable_for_bytes.is_some(),
             "LRU cache state is forecastable"
         );
-        assert!(cold.stable_for_bytes.is_none(), "nothing cached, nothing to hold");
+        assert!(
+            cold.stable_for_bytes.is_none(),
+            "nothing cached, nothing to hold"
+        );
         let text = format!("{warm}");
         assert!(text.contains("50% cached"));
         assert!(text.contains("estimated delivery"));

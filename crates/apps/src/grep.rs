@@ -47,13 +47,11 @@ pub struct GrepResult {
 }
 
 /// Options for a grep run.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct GrepOptions {
     /// Stop at the first match (`-q`).
     pub first_match_only: bool,
 }
-
 
 fn scan_cost(re: &Regex, bytes: usize) -> u64 {
     GREP_NS_PER_BYTE_BASE.max(re.instruction_count() as u64 / 8) * bytes as u64
@@ -195,7 +193,8 @@ fn grep_sleds(
                 // boundaries everywhere else.
                 kernel.charge_cpu(SimDuration::from_nanos(GREP_NS_PER_LINE));
                 if re.is_match(carry) {
-                    r.matches.push((carry_start, r.newlines, std::mem::take(carry)));
+                    r.matches
+                        .push((carry_start, r.newlines, std::mem::take(carry)));
                 } else {
                     carry.clear();
                 }
@@ -295,7 +294,9 @@ mod tests {
     fn setup() -> (Kernel, SledsTable) {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let dev = k.device_of_mount(m).unwrap();
         let mut t = SledsTable::new();
         t.fill_memory(sleds::SledsEntry::new(175e-9, 48e6));
@@ -336,7 +337,8 @@ mod tests {
     #[test]
     fn finds_matches_with_line_numbers() {
         let (mut k, _) = setup();
-        k.install_file("/data/f", b"one\ntwo needle x\nthree\nneedle\n").unwrap();
+        k.install_file("/data/f", b"one\ntwo needle x\nthree\nneedle\n")
+            .unwrap();
         let re = Regex::new("needle").unwrap();
         let r = grep(&mut k, "/data/f", &re, &GrepOptions::default(), None).unwrap();
         assert_eq!(r.matches.len(), 2);
@@ -349,7 +351,8 @@ mod tests {
     #[test]
     fn q_stops_early() {
         let (mut k, _) = setup();
-        k.install_file("/data/f", b"x\nneedle\ny\nneedle\n").unwrap();
+        k.install_file("/data/f", b"x\nneedle\ny\nneedle\n")
+            .unwrap();
         let re = Regex::new("needle").unwrap();
         let r = grep(
             &mut k,
@@ -476,8 +479,11 @@ mod tests {
     #[test]
     fn regex_patterns_work_through_grep() {
         let (mut k, _) = setup();
-        k.install_file("/data/src.c", b"int main() {\n  sleds_pick_init(fd, SZ);\n}\n")
-            .unwrap();
+        k.install_file(
+            "/data/src.c",
+            b"int main() {\n  sleds_pick_init(fd, SZ);\n}\n",
+        )
+        .unwrap();
         let re = Regex::new(r"sleds_pick_\w+\(").unwrap();
         let r = grep(&mut k, "/data/src.c", &re, &GrepOptions::default(), None).unwrap();
         assert_eq!(r.matches.len(), 1);

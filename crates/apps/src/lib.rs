@@ -16,9 +16,9 @@
 //! | `fimhisto` | reorder passes 2–3 (LHEASOFT)   | [`fimhisto`]  |
 //! | `fimgbin`  | reorder rebin reads (LHEASOFT)  | [`fimgbin`]   |
 
-pub mod find;
 pub mod fimgbin;
 pub mod fimhisto;
+pub mod find;
 pub mod gmc;
 pub mod grep;
 pub mod treegrep;

@@ -143,7 +143,9 @@ mod tests {
         cfg.ram = ByteSize::mib(4);
         let mut k = Kernel::new(cfg);
         k.mkdir("/src").unwrap();
-        let m = k.mount_disk("/src", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/src", DiskDevice::table2_disk("hda"))
+            .unwrap();
         k.mkdir("/src/sub").unwrap();
         let mut paths = Vec::new();
         for i in 0..8 {
@@ -247,7 +249,8 @@ mod tests {
     fn empty_tree_is_empty_result() {
         let mut k = Kernel::table2();
         k.mkdir("/empty").unwrap();
-        k.mount_disk("/empty", DiskDevice::table2_disk("hda")).unwrap();
+        k.mount_disk("/empty", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let re = Regex::new("x").unwrap();
         let r = tree_grep(&mut k, "/empty", &re, &TreeGrepOptions::default(), None).unwrap();
         assert_eq!(r, TreeGrepResult::default());

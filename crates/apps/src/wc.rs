@@ -127,10 +127,7 @@ fn wc_baseline(kernel: &mut Kernel, fd: Fd) -> SimResult<WcResult> {
 /// (POSIX AIO + container buffers): chunks are processed in completion
 /// order and CPU overlaps I/O. Returns the counts plus the AIO accounting;
 /// callers compare `report.elapsed` against the synchronous modes.
-pub fn wc_aio(
-    kernel: &mut Kernel,
-    path: &str,
-) -> SimResult<(WcResult, sleds_fs::AioReport)> {
+pub fn wc_aio(kernel: &mut Kernel, path: &str) -> SimResult<(WcResult, sleds_fs::AioReport)> {
     let fd = kernel.open(path, OpenFlags::RDONLY)?;
     let (chunks, report) = kernel.aio_read_file(fd, BUFSIZE, WC_NS_PER_BYTE)?;
     kernel.close(fd)?;
@@ -165,7 +162,9 @@ mod tests {
     fn setup() -> (Kernel, SledsTable) {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let dev = k.device_of_mount(m).unwrap();
         let mut t = SledsTable::new();
         t.fill_memory(sleds::SledsEntry::new(175e-9, 48e6));
@@ -190,7 +189,8 @@ mod tests {
     #[test]
     fn counts_known_text() {
         let (mut k, _) = setup();
-        k.install_file("/data/f", b"hello world\nfoo  bar baz\n\n  tail").unwrap();
+        k.install_file("/data/f", b"hello world\nfoo  bar baz\n\n  tail")
+            .unwrap();
         let r = wc(&mut k, "/data/f", None).unwrap();
         assert_eq!(r.lines, 3);
         assert_eq!(r.words, 6);
@@ -202,7 +202,10 @@ mod tests {
         let (mut k, t) = setup();
         k.install_file("/data/e", b"").unwrap();
         assert_eq!(wc(&mut k, "/data/e", None).unwrap(), WcResult::default());
-        assert_eq!(wc(&mut k, "/data/e", Some(&t)).unwrap(), WcResult::default());
+        assert_eq!(
+            wc(&mut k, "/data/e", Some(&t)).unwrap(),
+            WcResult::default()
+        );
     }
 
     #[test]
@@ -268,7 +271,9 @@ mod tests {
         cfg.ram = sleds_sim_core::ByteSize::mib(4);
         let mut k = Kernel::new(cfg);
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let dev = k.device_of_mount(m).unwrap();
         let mut t = SledsTable::new();
         t.fill_memory(sleds::SledsEntry::new(175e-9, 48e6));

@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks of the implementation's real-time costs.
+//! Micro-benchmarks of the implementation's real-time costs.
 //!
 //! These measure *our code* (how fast the simulator itself runs), not the
 //! paper's virtual-time results — those come from the `figures` binary.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+//! Self-timed via `sleds_bench::microbench` so the default workspace builds
+//! with no external dependencies.
 
 use sleds::{fsleds_get, PickConfig, PickSession, SledsEntry, SledsTable};
+use sleds_bench::microbench::time;
 use sleds_devices::{BlockDevice, CdRomDevice, DiskDevice, NfsDevice, TapeDevice};
 use sleds_fs::{Kernel, MachineConfig, OpenFlags, Whence};
 use sleds_pagecache::{PageCache, PageKey, PolicyKind};
@@ -22,112 +23,97 @@ fn kernel_with_file(pages: u64) -> (Kernel, SledsTable, sleds_fs::Fd) {
     let mut t = SledsTable::new();
     t.fill_memory(SledsEntry::new(175e-9, 48e6));
     t.fill_device(dev, SledsEntry::new(0.018, 9e6));
-    k.install_file("/d/f", &vec![3u8; (pages * PAGE_SIZE) as usize]).unwrap();
+    k.install_file("/d/f", &vec![3u8; (pages * PAGE_SIZE) as usize])
+        .unwrap();
     let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
     // Scatter some cached ranges so SLED construction has work to do.
     for start in (0..pages).step_by(7) {
-        k.lseek(fd, (start * PAGE_SIZE) as i64, Whence::Set).unwrap();
+        k.lseek(fd, (start * PAGE_SIZE) as i64, Whence::Set)
+            .unwrap();
         k.read(fd, PAGE_SIZE as usize).unwrap();
     }
     (k, t, fd)
 }
 
-fn bench_fsleds_get(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fsleds_get");
+fn bench_fsleds_get() {
     for pages in [256u64, 4096] {
         let (mut k, t, fd) = kernel_with_file(pages);
-        g.throughput(Throughput::Elements(pages));
-        g.bench_function(format!("{pages}_pages"), |b| {
-            b.iter(|| fsleds_get(&mut k, fd, &t).unwrap())
+        time(&format!("fsleds_get/{pages}_pages"), || {
+            fsleds_get(&mut k, fd, &t).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_pick_planning(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pick_init");
+fn bench_pick_planning() {
     for pages in [256u64, 4096] {
         let (mut k, t, fd) = kernel_with_file(pages);
-        g.bench_function(format!("bytes_{pages}_pages"), |b| {
-            b.iter(|| {
-                PickSession::init(&mut k, &t, fd, PickConfig::bytes(64 << 10))
-                    .unwrap()
-                    .planned_chunks()
-            })
+        time(&format!("pick_init/bytes_{pages}_pages"), || {
+            PickSession::init(&mut k, &t, fd, PickConfig::bytes(64 << 10))
+                .unwrap()
+                .planned_chunks()
         });
     }
-    g.finish();
 }
 
-fn bench_page_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("page_cache");
+fn bench_page_cache() {
     for kind in PolicyKind::all() {
-        g.bench_function(format!("{}_scan_10k", kind.name()), |b| {
-            b.iter_batched(
-                || PageCache::new(1024, kind),
-                |mut cache| {
-                    for i in 0..10_000u64 {
-                        let key = PageKey::new(1, i % 2048);
-                        if !cache.lookup(key) {
-                            cache.insert(key, false);
-                        }
-                    }
-                    cache.stats().hits
-                },
-                BatchSize::SmallInput,
-            )
+        time(&format!("page_cache/{}_scan_10k", kind.name()), || {
+            let mut cache = PageCache::new(1024, kind);
+            for i in 0..10_000u64 {
+                let key = PageKey::new(1, i % 2048);
+                if !cache.lookup(key) {
+                    cache.insert(key, false);
+                }
+            }
+            cache.stats().hits
         });
     }
-    g.finish();
 }
 
-fn bench_device_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("device_models");
-    g.bench_function("disk_random_read", |b| {
+fn bench_device_models() {
+    {
         let mut d = DiskDevice::table2_disk("hda");
         let cap = d.capacity_sectors();
         let mut rng = DetRng::new(1);
         let mut now = SimTime::ZERO;
-        b.iter(|| {
+        time("device_models/disk_random_read", || {
             let s = rng.range_u64(0, cap - 8);
             let t = d.read(s, 8, now).unwrap();
             now += t;
             t
-        })
-    });
-    g.bench_function("cdrom_sequential_read", |b| {
+        });
+    }
+    {
         let mut d = CdRomDevice::table2_drive("cd0");
         let mut sector = 0u64;
-        b.iter(|| {
+        time("device_models/cdrom_sequential_read", || {
             let t = d.read(sector, 128, SimTime::ZERO).unwrap();
             sector = (sector + 128) % (d.capacity_sectors() - 128);
             t
-        })
-    });
-    g.bench_function("nfs_read", |b| {
+        });
+    }
+    {
         let mut d = NfsDevice::table2_mount("srv:/x");
         let mut sector = 0u64;
-        b.iter(|| {
+        time("device_models/nfs_read", || {
             let t = d.read(sector, 128, SimTime::ZERO).unwrap();
             sector = (sector + 128) % (d.capacity_sectors() - 128);
             t
-        })
-    });
-    g.bench_function("tape_locate", |b| {
+        });
+    }
+    {
         let mut d = TapeDevice::dlt("st0");
         d.ensure_loaded();
         let cap = d.capacity_sectors();
         let mut rng = DetRng::new(2);
-        b.iter(|| {
+        time("device_models/tape_locate", || {
             let s = rng.range_u64(0, cap - 8);
             d.read(s, 8, SimTime::ZERO).unwrap()
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_regex(c: &mut Criterion) {
-    let mut g = c.benchmark_group("regex");
+fn bench_regex() {
     let hay: Vec<u8> = (0..65536u32).map(|i| b'a' + (i % 26) as u8).collect();
     for (name, pat) in [
         ("literal", "needle"),
@@ -135,56 +121,45 @@ fn bench_regex(c: &mut Criterion) {
         ("alternation", "cat|dog|bird|fish"),
     ] {
         let re = Regex::new(pat).unwrap();
-        g.throughput(Throughput::Bytes(hay.len() as u64));
-        g.bench_function(name, |b| b.iter(|| re.is_match(&hay)));
+        time(&format!("regex/{name}"), || re.is_match(&hay));
     }
-    g.finish();
 }
 
-fn bench_fits_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fits_codec");
+fn bench_fits_codec() {
     let values: Vec<f64> = (0..65536).map(|i| (i % 251) as f64).collect();
     for bitpix in [sleds_fits::Bitpix::I16, sleds_fits::Bitpix::F64] {
         let encoded = bitpix.encode(&values);
-        g.throughput(Throughput::Bytes(encoded.len() as u64));
-        g.bench_function(format!("decode_{}", bitpix.code()), |b| {
-            b.iter(|| bitpix.decode(&encoded).unwrap())
+        time(&format!("fits_codec/decode_{}", bitpix.code()), || {
+            bitpix.decode(&encoded).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_kernel_read_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel_read_path");
-    g.bench_function("warm_64k_reads", |b| {
-        let (mut k, _, fd) = kernel_with_file(1024);
-        // Warm everything.
+fn bench_kernel_read_path() {
+    let (mut k, _, fd) = kernel_with_file(1024);
+    // Warm everything.
+    k.lseek(fd, 0, Whence::Set).unwrap();
+    while !k.read(fd, 64 << 10).unwrap().is_empty() {}
+    time("kernel_read_path/warm_64k_reads", || {
         k.lseek(fd, 0, Whence::Set).unwrap();
-        while !k.read(fd, 64 << 10).unwrap().is_empty() {}
-        b.iter(|| {
-            k.lseek(fd, 0, Whence::Set).unwrap();
-            let mut total = 0usize;
-            loop {
-                let n = k.read(fd, 64 << 10).unwrap().len();
-                if n == 0 {
-                    break;
-                }
-                total += n;
+        let mut total = 0usize;
+        loop {
+            let n = k.read(fd, 64 << 10).unwrap().len();
+            if n == 0 {
+                break;
             }
-            total
-        })
+            total += n;
+        }
+        total
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fsleds_get,
-    bench_pick_planning,
-    bench_page_cache,
-    bench_device_models,
-    bench_regex,
-    bench_fits_codec,
-    bench_kernel_read_path
-);
-criterion_main!(benches);
+fn main() {
+    bench_fsleds_get();
+    bench_pick_planning();
+    bench_page_cache();
+    bench_device_models();
+    bench_regex();
+    bench_fits_codec();
+    bench_kernel_read_path();
+}

@@ -1,4 +1,4 @@
-//! One Criterion bench per table/figure: the same experiment kernels the
+//! One micro-benchmark per table/figure: the same experiment kernels the
 //! `figures` binary runs, at reduced scale, so `cargo bench` exercises every
 //! reproduction path and tracks its real-time cost.
 //!
@@ -6,11 +6,10 @@
 //! `figures` binary; these benches answer "how long does regenerating each
 //! figure take us", and guard the experiment code against rot.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use sleds_apps::grep::{grep, GrepOptions};
 use sleds_apps::wc::wc;
 use sleds_bench::env::{Env, FsKind};
+use sleds_bench::microbench::time;
 use sleds_bench::workload::{text_corpus, NEEDLE};
 use sleds_textmatch::Regex;
 
@@ -27,108 +26,88 @@ fn figure_kernel(fs: FsKind, use_sleds: bool) -> f64 {
     env.kernel.finish_job(&j).elapsed_secs()
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables() {
     // Tables 2/3 are dominated by lmbench calibration: benchmark it.
-    c.bench_function("table2_calibration", |b| {
-        b.iter(|| {
-            let env = Env::table2(FsKind::Ext2, 9);
-            env.table.device_count()
-        })
+    time("table2_calibration", || {
+        let env = Env::table2(FsKind::Ext2, 9);
+        env.table.device_count()
     });
-    c.bench_function("table4_loc_count", |b| {
-        b.iter(|| sleds_bench::figures::table4().len())
-    });
+    time("table4_loc_count", || sleds_bench::figures::table4().len());
 }
 
-fn bench_figure_traces(c: &mut Criterion) {
-    c.bench_function("fig3_cache_trace", |b| b.iter(sleds_bench::figures::fig3));
-    c.bench_function("fig4_record_adjust", |b| b.iter(sleds_bench::figures::fig4));
+fn bench_figure_traces() {
+    time("fig3_cache_trace", sleds_bench::figures::fig3);
+    time("fig4_record_adjust", sleds_bench::figures::fig4);
 }
 
-fn bench_wc_figures(c: &mut Criterion) {
+fn bench_wc_figures() {
     // Figures 7/8 (NFS) and 9 (CD-ROM) run wc; one reduced point each.
-    let mut g = c.benchmark_group("fig7_fig9_wc");
-    g.sample_size(10);
     for fs in [FsKind::Nfs, FsKind::CdRom] {
         for use_sleds in [false, true] {
             let name = format!(
-                "{}_{}",
+                "fig7_fig9_wc/{}_{}",
                 fs.label(),
                 if use_sleds { "sleds" } else { "base" }
             );
-            g.bench_function(name, |b| b.iter(|| figure_kernel(fs, use_sleds)));
+            time(&name, || figure_kernel(fs, use_sleds));
         }
     }
-    g.finish();
 }
 
-fn bench_grep_figures(c: &mut Criterion) {
+fn bench_grep_figures() {
     // Figures 10-13 run grep; reduced all-matches and first-match points.
-    let mut g = c.benchmark_group("fig10_fig11_grep");
-    g.sample_size(10);
     let re = Regex::new(&String::from_utf8_lossy(NEEDLE)).unwrap();
     for (name, first_only) in [("all_matches", false), ("first_match", true)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut env = Env::table2(FsKind::Ext2, 43);
-                let data = text_corpus(2 << 20, 300, 8);
-                let path = env.install("bench.txt", &data);
-                let table = env.table.clone();
-                let opts = GrepOptions {
-                    first_match_only: first_only,
-                };
-                grep(&mut env.kernel, &path, &re, &opts, Some(&table)).unwrap().matches.len()
-            })
+        time(&format!("fig10_fig11_grep/{name}"), || {
+            let mut env = Env::table2(FsKind::Ext2, 43);
+            let data = text_corpus(2 << 20, 300, 8);
+            let path = env.install("bench.txt", &data);
+            let table = env.table.clone();
+            let opts = GrepOptions {
+                first_match_only: first_only,
+            };
+            grep(&mut env.kernel, &path, &re, &opts, Some(&table))
+                .unwrap()
+                .matches
+                .len()
         });
     }
-    g.finish();
 }
 
-fn bench_fits_figures(c: &mut Criterion) {
+fn bench_fits_figures() {
     // Figures 14/15 run the LHEASOFT tools; reduced image.
-    let mut g = c.benchmark_group("fig14_fig15_fits");
-    g.sample_size(10);
     let image = sleds_fits::generate_image_bytes(512, 512, sleds_fits::Bitpix::I16, 5);
-    g.bench_function("fimhisto", |b| {
-        b.iter(|| {
-            let mut env = Env::table3(FsKind::Ext2, 44);
-            let path = env.install("img.fits", &image);
-            let table = env.table.clone();
-            sleds_apps::fimhisto::fimhisto(&mut env.kernel, &path, "/data/out.fits", 256, Some(&table))
-                .unwrap()
-                .histogram
-                .len()
-        })
+    time("fig14_fig15_fits/fimhisto", || {
+        let mut env = Env::table3(FsKind::Ext2, 44);
+        let path = env.install("img.fits", &image);
+        let table = env.table.clone();
+        sleds_apps::fimhisto::fimhisto(&mut env.kernel, &path, "/data/out.fits", 256, Some(&table))
+            .unwrap()
+            .histogram
+            .len()
     });
-    g.bench_function("fimgbin_4x", |b| {
-        b.iter(|| {
-            let mut env = Env::table3(FsKind::Ext2, 45);
-            let path = env.install("img.fits", &image);
-            let table = env.table.clone();
-            sleds_apps::fimgbin::fimgbin(&mut env.kernel, &path, "/data/out.fits", 2, Some(&table))
-                .unwrap()
-                .out_width
-        })
+    time("fig14_fig15_fits/fimgbin_4x", || {
+        let mut env = Env::table3(FsKind::Ext2, 45);
+        let path = env.install("img.fits", &image);
+        let table = env.table.clone();
+        sleds_apps::fimgbin::fimgbin(&mut env.kernel, &path, "/data/out.fits", 2, Some(&table))
+            .unwrap()
+            .out_width
     });
-    g.finish();
 }
 
-fn bench_hsm_extension(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hsm_extension");
-    g.sample_size(10);
-    g.bench_function("prune_demo", |b| {
-        b.iter(sleds_bench::figures::hsm_prune_demo)
-    });
-    g.finish();
+fn bench_hsm_extension() {
+    time(
+        "hsm_extension/prune_demo",
+        sleds_bench::figures::hsm_prune_demo,
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_figure_traces,
-    bench_wc_figures,
-    bench_grep_figures,
-    bench_fits_figures,
-    bench_hsm_extension
-);
-criterion_main!(benches);
+fn main() {
+    bench_tables();
+    bench_figure_traces();
+    bench_wc_figures();
+    bench_grep_figures();
+    bench_fits_figures();
+    bench_hsm_extension();
+}

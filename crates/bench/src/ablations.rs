@@ -47,7 +47,9 @@ fn machine(policy: PolicyKind) -> MachineConfig {
 fn measure_two_pass(cfg: MachineConfig, file_factor_pct: u64) -> (AblationRow, usize) {
     let mut k = Kernel::new(cfg);
     k.mkdir("/data").expect("mkdir");
-    let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).expect("mount");
+    let m = k
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .expect("mount");
     let table = fill_table(&mut k, &[("/data", m)]).expect("calibration");
     let cache = k.config().cache_bytes().as_u64();
     let n = (cache * file_factor_pct / 100) as usize;
@@ -96,10 +98,13 @@ pub fn replacement_policies() -> Vec<AblationRow> {
 pub fn attack_plan_accuracy() -> Vec<(String, f64, f64)> {
     let mut k = Kernel::new(machine(PolicyKind::Lru));
     k.mkdir("/data").expect("mkdir");
-    let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).expect("mount");
+    let m = k
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .expect("mount");
     let table = fill_table(&mut k, &[("/data", m)]).expect("calibration");
     let n = 4 << 20;
-    k.install_file("/data/f.bin", &vec![1u8; n]).expect("install");
+    k.install_file("/data/f.bin", &vec![1u8; n])
+        .expect("install");
     let fd = k.open("/data/f.bin", OpenFlags::RDONLY).expect("open");
 
     let mut rows = Vec::new();
@@ -113,8 +118,8 @@ pub fn attack_plan_accuracy() -> Vec<(String, f64, f64)> {
         let est_best = sleds::total_delivery_time(&mut k, &table, fd, sleds::AttackPlan::Best)
             .expect("estimate");
         // Measure a reordered read (pick order).
-        let mut pick = PickSession::init(&mut k, &table, fd, PickConfig::bytes(64 << 10))
-            .expect("pick");
+        let mut pick =
+            PickSession::init(&mut k, &table, fd, PickConfig::bytes(64 << 10)).expect("pick");
         let j = k.start_job();
         while let Some((off, len)) = pick.next_read() {
             k.lseek(fd, off as i64, Whence::Set).expect("seek");
@@ -133,12 +138,15 @@ pub fn refresh_mid_run() -> (f64, f64) {
     let run = |refresh: bool| -> f64 {
         let mut k = Kernel::new(machine(PolicyKind::Lru));
         k.mkdir("/data").expect("mkdir");
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).expect("mount");
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .expect("mount");
         let table = fill_table(&mut k, &[("/data", m)]).expect("calibration");
         // Twice the cache: under that pressure, the tail the competitor
         // warms will be evicted again before a plan-once reader arrives.
         let n = (k.config().cache_bytes().as_u64() * 2) as usize;
-        k.install_file("/data/f.bin", &vec![1u8; n]).expect("install");
+        k.install_file("/data/f.bin", &vec![1u8; n])
+            .expect("install");
         let fd = k.open("/data/f.bin", OpenFlags::RDONLY).expect("open");
         let cfg = PickConfig::bytes(64 << 10);
         let mut pick = PickSession::init(&mut k, &table, fd, cfg).expect("pick");
@@ -172,7 +180,9 @@ pub fn fragmentation_cost() -> (f64, f64) {
     let run = |fragmented: bool| -> f64 {
         let mut k = Kernel::new(machine(PolicyKind::Lru));
         k.mkdir("/data").expect("mkdir");
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).expect("mount");
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .expect("mount");
         if fragmented {
             k.set_fragmentation(m, 8, 512, 7);
         }
@@ -203,7 +213,8 @@ pub fn hsm_stage_chunk() -> Vec<(u64, f64)> {
             )
             .expect("mount");
             let n: usize = 32 << 20;
-            k.install_file("/hsm/f.bin", &vec![3u8; n]).expect("install");
+            k.install_file("/hsm/f.bin", &vec![3u8; n])
+                .expect("install");
             k.hsm_migrate("/hsm/f.bin", true).expect("migrate");
             let fd = k.open("/hsm/f.bin", OpenFlags::RDONLY).expect("open");
             // Pay the mount before the measured window.
@@ -212,7 +223,8 @@ pub fn hsm_stage_chunk() -> Vec<(u64, f64)> {
             // Four isolated 64 KiB touches, 8 MiB apart.
             for i in 0..4u64 {
                 let off = i * (8 << 20) + (4 << 20);
-                k.lseek(fd, off as i64, sleds_fs::Whence::Set).expect("seek");
+                k.lseek(fd, off as i64, sleds_fs::Whence::Set)
+                    .expect("seek");
                 k.read(fd, 64 << 10).expect("read");
             }
             (chunk, k.finish_job(&j).elapsed_secs())
@@ -232,7 +244,8 @@ pub fn readahead() -> Vec<(u64, f64, u64)> {
             cfg.readahead_pages = ra;
             let mut k = Kernel::new(cfg);
             k.mkdir("/data").expect("mkdir");
-            k.mount_disk("/data", DiskDevice::table2_disk("hda")).expect("mount");
+            k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+                .expect("mount");
             let data = text_corpus(4 << 20, 0, 55);
             k.install_file("/data/f.txt", &data).expect("install");
             let fd = k.open("/data/f.txt", OpenFlags::RDONLY).expect("open");
@@ -256,16 +269,20 @@ pub fn readahead() -> Vec<(u64, f64, u64)> {
 pub fn zoned_table_accuracy() -> (f64, f64, f64) {
     let mut k = Kernel::new(machine(PolicyKind::Lru));
     k.mkdir("/data").expect("mkdir");
-    let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).expect("mount");
+    let m = k
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .expect("mount");
     let flat_table = fill_table(&mut k, &[("/data", m)]).expect("flat calibration");
     let zoned_table =
         sleds_lmbench::fill_table_zoned(&mut k, &[("/data", m)]).expect("zoned calibration");
     // Push the allocator deep into the inner zone, then place the file.
     let dev = k.device_of_mount(m).expect("device");
     let cap = k.device_capacity(dev).expect("capacity");
-    k.advance_allocator(m, (cap * 8 / 10) / 8).expect("advance 80% in");
+    k.advance_allocator(m, (cap * 8 / 10) / 8)
+        .expect("advance 80% in");
     let n = 4 << 20;
-    k.install_file("/data/inner.bin", &vec![1u8; n]).expect("install");
+    k.install_file("/data/inner.bin", &vec![1u8; n])
+        .expect("install");
     let fd = k.open("/data/inner.bin", OpenFlags::RDONLY).expect("open");
 
     let flat_est = sleds::total_delivery_time(&mut k, &flat_table, fd, sleds::AttackPlan::Best)
@@ -290,7 +307,9 @@ pub fn aio_comparison() -> Vec<(String, f64, f64, f64)> {
     for (label, ram_fraction_pct) in [("file = 0.9x RAM", 90u64), ("file = 1.5x RAM", 150)] {
         let mut k = Kernel::new(machine(PolicyKind::Lru));
         k.mkdir("/data").expect("mkdir");
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).expect("mount");
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .expect("mount");
         let table = fill_table(&mut k, &[("/data", m)]).expect("calibration");
         let ram = k.config().ram.as_u64();
         let n = (ram * ram_fraction_pct / 100) as usize;
@@ -330,8 +349,11 @@ pub fn aio_comparison() -> Vec<(String, f64, f64, f64)> {
 pub fn report() -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(out, "Ablation 1: page replacement policy (two-pass wc, file = 1.5x cache)")
-        .expect("fmt");
+    writeln!(
+        out,
+        "Ablation 1: page replacement policy (two-pass wc, file = 1.5x cache)"
+    )
+    .expect("fmt");
     writeln!(
         out,
         "  {:<8} {:>10} {:>10} {:>8} {:>12} {:>12}",
@@ -359,7 +381,11 @@ pub fn report() -> String {
     )
     .expect("fmt");
 
-    writeln!(out, "Ablation 2: attack-plan estimate accuracy (4 MiB file)").expect("fmt");
+    writeln!(
+        out,
+        "Ablation 2: attack-plan estimate accuracy (4 MiB file)"
+    )
+    .expect("fmt");
     for (state, est, measured) in attack_plan_accuracy() {
         writeln!(
             out,
@@ -374,8 +400,11 @@ pub fn report() -> String {
     writeln!(out).expect("fmt");
 
     let (no_refresh, refresh) = refresh_mid_run();
-    writeln!(out, "Ablation 3: SLED refresh mid-run (competing reader warms the tail)")
-        .expect("fmt");
+    writeln!(
+        out,
+        "Ablation 3: SLED refresh mid-run (competing reader warms the tail)"
+    )
+    .expect("fmt");
     writeln!(
         out,
         "  plan-once {no_refresh:.3}s   with refresh {refresh:.3}s   saving {:.0}%\n",
@@ -392,8 +421,11 @@ pub fn report() -> String {
     )
     .expect("fmt");
 
-    writeln!(out, "Ablation 5: HSM staging chunk (4 touches, 8 MiB apart, tape mounted)")
-        .expect("fmt");
+    writeln!(
+        out,
+        "Ablation 5: HSM staging chunk (4 touches, 8 MiB apart, tape mounted)"
+    )
+    .expect("fmt");
     for (chunk, secs) in hsm_stage_chunk() {
         writeln!(out, "  {:>5} pages/stage: {secs:>8.1}s", chunk).expect("fmt");
     }
@@ -405,10 +437,17 @@ pub fn report() -> String {
     )
     .expect("fmt");
 
-    writeln!(out, "Ablation 6: readahead (cold page-at-a-time scan of 4 MiB)").expect("fmt");
+    writeln!(
+        out,
+        "Ablation 6: readahead (cold page-at-a-time scan of 4 MiB)"
+    )
+    .expect("fmt");
     for (ra, secs, majors) in readahead() {
-        writeln!(out, "  readahead {ra:>3} pages: {secs:>7.3}s  {majors:>5} major faults")
-            .expect("fmt");
+        writeln!(
+            out,
+            "  readahead {ra:>3} pages: {secs:>7.3}s  {majors:>5} major faults"
+        )
+        .expect("fmt");
     }
     writeln!(
         out,
@@ -419,7 +458,11 @@ pub fn report() -> String {
     .expect("fmt");
 
     let (flat, zoned, measured) = zoned_table_accuracy();
-    writeln!(out, "Ablation 7: zone-aware sleds table (future work in the paper)").expect("fmt");
+    writeln!(
+        out,
+        "Ablation 7: zone-aware sleds table (future work in the paper)"
+    )
+    .expect("fmt");
     writeln!(
         out,
         "  inner-zone file: flat estimate {flat:.3}s, zoned estimate {zoned:.3}s,\n\
@@ -429,7 +472,11 @@ pub fn report() -> String {
     )
     .expect("fmt");
 
-    writeln!(out, "Ablation 8: asynchronous I/O comparator (warm-cache wc)").expect("fmt");
+    writeln!(
+        out,
+        "Ablation 8: asynchronous I/O comparator (warm-cache wc)"
+    )
+    .expect("fmt");
     writeln!(
         out,
         "  {:<18} {:>10} {:>10} {:>10}",
@@ -488,7 +535,10 @@ mod tests {
     #[test]
     fn fragmentation_slows_cold_scans() {
         let (contig, frag) = fragmentation_cost();
-        assert!(frag > contig * 1.5, "fragmented {frag:.3} vs contiguous {contig:.3}");
+        assert!(
+            frag > contig * 1.5,
+            "fragmented {frag:.3} vs contiguous {contig:.3}"
+        );
     }
 
     #[test]
@@ -501,7 +551,10 @@ mod tests {
             ra_faults * 4 < base_faults,
             "readahead 32 should cut faults 4x+: {ra_faults} vs {base_faults}"
         );
-        assert!(rows[2].1 <= rows[0].1 * 1.05, "readahead must not slow the scan");
+        assert!(
+            rows[2].1 <= rows[0].1 * 1.05,
+            "readahead must not slow the scan"
+        );
     }
 
     #[test]

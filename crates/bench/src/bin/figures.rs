@@ -109,11 +109,17 @@ fn run(id: &str) {
         "fig4" => emit_text("fig4", &figures::fig4()),
         "table2" => emit_text(
             "table2",
-            &level_table("Table 2: storage levels, Unix-utility machine", &figures::table2()),
+            &level_table(
+                "Table 2: storage levels, Unix-utility machine",
+                &figures::table2(),
+            ),
         ),
         "table3" => emit_text(
             "table3",
-            &level_table("Table 3: storage levels, LHEASOFT machine", &figures::table3()),
+            &level_table(
+                "Table 3: storage levels, LHEASOFT machine",
+                &figures::table3(),
+            ),
         ),
         "table4" => emit_text("table4", &loc_table(&figures::table4())),
         "fig7" | "fig8" => {
@@ -160,8 +166,21 @@ fn run(id: &str) {
 }
 
 const ALL: &[&str] = &[
-    "fig3", "fig4", "table2", "table3", "table4", "fig7", "fig9", "fig10", "fig11", "fig13",
-    "fig14", "fig15", "hsm", "tree", "ablations",
+    "fig3",
+    "fig4",
+    "table2",
+    "table3",
+    "table4",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig14",
+    "fig15",
+    "hsm",
+    "tree",
+    "ablations",
 ];
 
 fn main() {

@@ -73,23 +73,27 @@ impl Env {
                     DiskDevice::table2_disk("hda")
                 }
                 .with_jitter(rng.derive(1), jitter);
-                ("/data", kernel.mount_disk("/data", disk).expect("mount disk"))
+                (
+                    "/data",
+                    kernel.mount_disk("/data", disk).expect("mount disk"),
+                )
             }
             FsKind::CdRom => {
                 kernel.mkdir("/cdrom").expect("mkdir /cdrom");
                 let cd = CdRomDevice::table2_drive("cd0").with_jitter(rng.derive(1), jitter);
-                ("/cdrom", kernel.mount_cdrom("/cdrom", cd).expect("mount cd"))
+                (
+                    "/cdrom",
+                    kernel.mount_cdrom("/cdrom", cd).expect("mount cd"),
+                )
             }
             FsKind::Nfs => {
                 kernel.mkdir("/nfs").expect("mkdir /nfs");
-                let nfs =
-                    NfsDevice::table2_mount("srv:/export").with_jitter(rng.derive(1), jitter);
+                let nfs = NfsDevice::table2_mount("srv:/export").with_jitter(rng.derive(1), jitter);
                 ("/nfs", kernel.mount_nfs("/nfs", nfs).expect("mount nfs"))
             }
             FsKind::Hsm => {
                 kernel.mkdir("/hsm").expect("mkdir /hsm");
-                let disk =
-                    DiskDevice::table2_disk("hda").with_jitter(rng.derive(1), jitter);
+                let disk = DiskDevice::table2_disk("hda").with_jitter(rng.derive(1), jitter);
                 let tape = TapeDevice::dlt("st0");
                 (
                     "/hsm",
@@ -112,7 +116,9 @@ impl Env {
     /// Installs the test file and returns its path.
     pub fn install(&mut self, name: &str, data: &[u8]) -> String {
         let path = format!("{}/{name}", self.dir);
-        self.kernel.install_file(&path, data).expect("install test file");
+        self.kernel
+            .install_file(&path, data)
+            .expect("install test file");
         path
     }
 }

@@ -72,7 +72,11 @@ pub fn fig3() -> (String, u64, u64) {
     trace(&[0, 1, 2, 3, 4], &mut cache, &mut out);
     writeln!(out, "second pass, linear (1..5):").expect("fmt");
     let linear_hits = trace(&[0, 1, 2, 3, 4], &mut cache, &mut out);
-    writeln!(out, "  -> second-pass hits with LRU + linear order: {linear_hits}").expect("fmt");
+    writeln!(
+        out,
+        "  -> second-pass hits with LRU + linear order: {linear_hits}"
+    )
+    .expect("fmt");
 
     let mut cache = PageCache::lru(3);
     trace(&[0, 1, 2, 3, 4], &mut cache, &mut String::new());
@@ -109,13 +113,25 @@ pub fn fig4() -> String {
     let before = sleds::fsleds_get(k, fd, &env.table).expect("fsleds_get");
     writeln!(out, "before (page-aligned SLEDs):").expect("fmt");
     for s in &before {
-        writeln!(out, "  offset {:>6} length {:>6} latency {:>10.6}s", s.offset, s.length, s.latency)
-            .expect("fmt");
-    }
-    let pick = PickSession::init(k, &env.table, fd, PickConfig::records(PAGE_SIZE as usize, b'\n'))
-        .expect("pick init");
-    writeln!(out, "after (edges pulled to record boundaries; fragments pushed out):")
+        writeln!(
+            out,
+            "  offset {:>6} length {:>6} latency {:>10.6}s",
+            s.offset, s.length, s.latency
+        )
         .expect("fmt");
+    }
+    let pick = PickSession::init(
+        k,
+        &env.table,
+        fd,
+        PickConfig::records(PAGE_SIZE as usize, b'\n'),
+    )
+    .expect("pick init");
+    writeln!(
+        out,
+        "after (edges pulled to record boundaries; fragments pushed out):"
+    )
+    .expect("fmt");
     for s in pick.sleds() {
         writeln!(
             out,
@@ -231,8 +247,18 @@ pub fn table4() -> Vec<LocRow> {
         ("wc", include_str!("../../apps/src/wc.rs"), 140, 530),
         ("find", include_str!("../../apps/src/find.rs"), 70, 1600),
         ("gmc", include_str!("../../apps/src/gmc.rs"), 93, 1500),
-        ("fimhisto", include_str!("../../apps/src/fimhisto.rs"), 49, 645),
-        ("fimgbin", include_str!("../../apps/src/fimgbin.rs"), 45, 870),
+        (
+            "fimhisto",
+            include_str!("../../apps/src/fimhisto.rs"),
+            49,
+            645,
+        ),
+        (
+            "fimgbin",
+            include_str!("../../apps/src/fimgbin.rs"),
+            45,
+            870,
+        ),
     ];
     SOURCES
         .iter()
@@ -290,7 +316,11 @@ impl Sweep {
     /// Speedup series: baseline mean / SLEDs mean per size.
     pub fn ratio(&self) -> Series {
         let mut r = Series::new("time without / with SLEDs");
-        for ((x, w), (_, wo)) in self.elapsed_with.points.iter().zip(&self.elapsed_without.points)
+        for ((x, w), (_, wo)) in self
+            .elapsed_with
+            .points
+            .iter()
+            .zip(&self.elapsed_without.points)
         {
             if w.mean > 0.0 {
                 r.push(*x, &[wo.mean / w.mean]);
@@ -562,7 +592,11 @@ pub fn fig13() -> Figure {
             }
         }
         let ecdf = sleds_sim_core::stats::Ecdf::of(&samples).expect("samples");
-        let mut s = Series::new(if use_sleds { "with SLEDs" } else { "without SLEDs" });
+        let mut s = Series::new(if use_sleds {
+            "with SLEDs"
+        } else {
+            "without SLEDs"
+        });
         for (x, frac) in ecdf.steps() {
             s.push(x, &[frac]);
         }
@@ -586,8 +620,7 @@ pub fn fig14() -> (Figure, Figure) {
         true,
         14,
         |n, seed| {
-            let (w, h) =
-                sleds_fits::gen::dimensions_for_bytes(n as u64, sleds_fits::Bitpix::I16);
+            let (w, h) = sleds_fits::gen::dimensions_for_bytes(n as u64, sleds_fits::Bitpix::I16);
             sleds_fits::generate_image_bytes(w, h, sleds_fits::Bitpix::I16, seed)
         },
         |_, _, _, _| {},
@@ -636,9 +669,7 @@ pub fn fig15() -> Vec<Figure> {
         );
         figs.push(Figure {
             id: if factor == 2 { "fig15" } else { "fig15-16x" },
-            title: format!(
-                "Elapsed time for FIMGBIN with/without SLEDs ({reduction}x reduction)"
-            ),
+            title: format!("Elapsed time for FIMGBIN with/without SLEDs ({reduction}x reduction)"),
             x_name: "file size (MB)".into(),
             y_name: "execution time (s)".into(),
             series: vec![s.elapsed_with, s.elapsed_without],
@@ -682,8 +713,14 @@ pub fn hsm_prune_demo() -> (f64, f64) {
     )
     .expect("find");
     for h in &hits {
-        grep(&mut env.kernel, &h.path, &re, &GrepOptions::default(), Some(&table))
-            .expect("grep");
+        grep(
+            &mut env.kernel,
+            &h.path,
+            &re,
+            &GrepOptions::default(),
+            Some(&table),
+        )
+        .expect("grep");
     }
     let pruned = env.kernel.finish_job(&j).elapsed_secs();
 
@@ -711,8 +748,7 @@ pub fn gmc_hsm_report() -> String {
     let online = sleds_apps::gmc::properties_panel(&mut env.kernel, &table, &path).expect("panel");
     writeln!(out, "online (disk-resident):\n{online}").expect("fmt");
     env.kernel.hsm_migrate(&path, true).expect("migrate");
-    let offline =
-        sleds_apps::gmc::properties_panel(&mut env.kernel, &table, &path).expect("panel");
+    let offline = sleds_apps::gmc::properties_panel(&mut env.kernel, &table, &path).expect("panel");
     writeln!(out, "offline (tape-resident):\n{offline}").expect("fmt");
     writeln!(
         out,
@@ -748,8 +784,11 @@ pub fn tree_demo() -> String {
     };
 
     let mut out = String::new();
-    writeln!(out, "Repeated source-tree search (24 x 4 MiB files, match in the last)")
-        .expect("fmt");
+    writeln!(
+        out,
+        "Repeated source-tree search (24 x 4 MiB files, match in the last)"
+    )
+    .expect("fmt");
     // First search, baseline order (this is the one that warms the tail).
     let j = env.kernel.start_job();
     let first = tree_grep(&mut env.kernel, "/data", &re, &opts, None).expect("tree grep");
@@ -838,8 +877,10 @@ mod tests {
         assert_eq!(rows.len(), 6);
         let grep_row = rows.iter().find(|r| r.app == "grep").unwrap();
         let find_row = rows.iter().find(|r| r.app == "find").unwrap();
-        assert!(grep_row.sleds_lines > find_row.sleds_lines,
-            "grep port is the most invasive, as in the paper");
+        assert!(
+            grep_row.sleds_lines > find_row.sleds_lines,
+            "grep port is the most invasive, as in the paper"
+        );
         for r in &rows {
             assert!(r.sleds_lines > 0, "{} has no marked region", r.app);
             assert!(r.sleds_lines < r.total_lines);

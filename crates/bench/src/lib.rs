@@ -6,14 +6,15 @@
 //! discarded, twelve measured runs, means with 90% confidence intervals.
 //! Results are written as CSV plus ASCII plots under `results/`.
 //!
-//! Criterion micro-benchmarks (under `benches/`) measure this
-//! *implementation's* real-time costs; the paper reproduction numbers are
-//! virtual-time outputs of the simulator and come only from the `figures`
-//! binary.
+//! Self-timed micro-benchmarks (under `benches/`, driven by
+//! [`microbench`]) measure this *implementation's* real-time costs; the
+//! paper reproduction numbers are virtual-time outputs of the simulator and
+//! come only from the `figures` binary.
 
 pub mod ablations;
 pub mod env;
 pub mod figures;
+pub mod microbench;
 pub mod output;
 pub mod workload;
 

@@ -94,8 +94,7 @@ pub fn ascii_plot(title: &str, x_name: &str, y_name: &str, series: &[Series]) ->
     writeln!(out, "  +{}", "-".repeat(W)).expect("string write");
     writeln!(out, "   {x_name}: {x0:.0} .. {x1:.0}").expect("string write");
     for (si, s) in series.iter().enumerate() {
-        writeln!(out, "   '{}' = {}", symbols[si % symbols.len()], s.label)
-            .expect("string write");
+        writeln!(out, "   '{}' = {}", symbols[si % symbols.len()], s.label).expect("string write");
     }
     out
 }

@@ -56,17 +56,16 @@ mod tests {
         let c = text_corpus(10_000, 0, 1);
         assert_eq!(c.len(), 10_000);
         assert_eq!(*c.last().unwrap(), b'\n');
-        assert!(c.iter().all(|&b| b == b'\n' || b == b' ' || b.is_ascii_lowercase()));
+        assert!(c
+            .iter()
+            .all(|&b| b == b'\n' || b == b' ' || b.is_ascii_lowercase()));
         assert!(c.iter().filter(|&&b| b == b'\n').count() > 100);
     }
 
     #[test]
     fn hit_lines_contain_needle() {
         let c = text_corpus(50_000, 20, 2);
-        let hits = c
-            .windows(NEEDLE.len())
-            .filter(|w| *w == NEEDLE)
-            .count();
+        let hits = c.windows(NEEDLE.len()).filter(|w| *w == NEEDLE).count();
         assert!(hits > 10, "expected periodic needles, got {hits}");
         // Small match percentage, like the paper's experiments.
         assert!(hits < 200);

@@ -1,0 +1,213 @@
+//! Generation-memoized SLED vectors.
+//!
+//! A SLED vector is a pure function of the file's layout, size, and cache
+//! residency — all three folded into the kernel's per-file *SLED
+//! generation* stamp ([`sleds_fs::Kernel::sled_generation`]). [`SledCache`]
+//! exploits that: it remembers the last vector built per open fd together
+//! with the stamp it was built under, and answers repeated `FSLEDS_GET`
+//! (and `sleds_total_delivery_time`) calls with one O(1) stamp syscall
+//! instead of a page walk for as long as the cache hasn't moved. Any
+//! residency change, layout change, or size change moves the stamp and
+//! forces a fresh walk.
+//!
+//! Two deliberate bypasses:
+//!
+//! * dynamic device self-reports (`trust_device_reports`) — a server's
+//!   cache state lives outside this kernel and is not covered by the
+//!   stamp, so those vectors are rebuilt every time;
+//! * the cache is keyed by fd, so pair one `SledCache` with one kernel and
+//!   one table. If the table is refilled mid-run, call
+//!   [`SledCache::invalidate_all`].
+
+use std::collections::HashMap;
+
+use sleds_fs::{Fd, Kernel};
+use sleds_sim_core::SimResult;
+
+use crate::estimate::{estimate_seconds, AttackPlan};
+use crate::get::fsleds_get;
+use crate::table::SledsTable;
+use crate::Sled;
+
+/// Memoizes the last SLED vector per open fd, validated by the kernel's
+/// per-file generation stamp.
+#[derive(Debug, Default)]
+pub struct SledCache {
+    entries: HashMap<u64, (u64, Vec<Sled>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SledCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SledCache::default()
+    }
+
+    /// `FSLEDS_GET` through the cache: returns the memoized vector when
+    /// the file's generation stamp is unchanged (one syscall, no page
+    /// walk), otherwise performs the real walk and memoizes the result.
+    pub fn get(&mut self, kernel: &mut Kernel, table: &SledsTable, fd: Fd) -> SimResult<Vec<Sled>> {
+        if table.trust_device_reports() {
+            // Dynamic self-reports are not covered by the stamp.
+            self.misses += 1;
+            return fsleds_get(kernel, fd, table);
+        }
+        let generation = kernel.sled_generation(fd)?;
+        if let Some((stamp, sleds)) = self.entries.get(&fd.0) {
+            if *stamp == generation {
+                self.hits += 1;
+                return Ok(sleds.clone());
+            }
+        }
+        self.misses += 1;
+        let sleds = fsleds_get(kernel, fd, table)?;
+        self.entries.insert(fd.0, (generation, sleds.clone()));
+        Ok(sleds)
+    }
+
+    /// `sleds_total_delivery_time` through the cache.
+    pub fn total_delivery_time(
+        &mut self,
+        kernel: &mut Kernel,
+        table: &SledsTable,
+        fd: Fd,
+        plan: AttackPlan,
+    ) -> SimResult<f64> {
+        let sleds = self.get(kernel, table, fd)?;
+        Ok(estimate_seconds(&sleds, plan))
+    }
+
+    /// Forgets the memoized vector for `fd` (call on `close`, since fd
+    /// numbers are reused).
+    pub fn invalidate(&mut self, fd: Fd) {
+        self.entries.remove(&fd.0);
+    }
+
+    /// Forgets everything (call after refilling the table).
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Stamp-validated answers served without a page walk.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Full walks performed (including `trust_device_reports` bypasses).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::SledsEntry;
+    use sleds_devices::DiskDevice;
+    use sleds_fs::{OpenFlags, Whence};
+    use sleds_sim_core::PAGE_SIZE;
+
+    fn setup() -> (Kernel, SledsTable) {
+        let mut k = Kernel::table2();
+        k.mkdir("/d").unwrap();
+        let m = k.mount_disk("/d", DiskDevice::table2_disk("hda")).unwrap();
+        let dev = k.device_of_mount(m).unwrap();
+        let mut t = SledsTable::new();
+        t.fill_memory(SledsEntry::new(175e-9, 48e6));
+        t.fill_device(dev, SledsEntry::new(0.018, 9e6));
+        (k, t)
+    }
+
+    #[test]
+    fn repeated_get_hits_without_a_walk() {
+        let (mut k, t) = setup();
+        k.install_file("/d/f", &vec![0u8; 32 * PAGE_SIZE as usize])
+            .unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let mut c = SledCache::new();
+        let first = c.get(&mut k, &t, fd).unwrap();
+        let cpu_after_first = k.usage().cpu;
+        let again = c.get(&mut k, &t, fd).unwrap();
+        assert_eq!(first, again);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // The hit charged one syscall (the stamp read), nothing more.
+        let hit_cost = k.usage().cpu - cpu_after_first;
+        assert_eq!(hit_cost, k.config().syscall_cpu);
+    }
+
+    #[test]
+    fn residency_change_invalidates() {
+        let (mut k, t) = setup();
+        k.install_file("/d/f", &vec![0u8; 32 * PAGE_SIZE as usize])
+            .unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let mut c = SledCache::new();
+        let cold = c.get(&mut k, &t, fd).unwrap();
+        k.lseek(fd, 0, Whence::Set).unwrap();
+        k.read(fd, 4 * PAGE_SIZE as usize).unwrap();
+        let warm = c.get(&mut k, &t, fd).unwrap();
+        assert_ne!(cold, warm, "stale vector must not be served");
+        assert_eq!(warm, crate::get::fsleds_get(&mut k, fd, &t).unwrap());
+        assert_eq!((c.hits(), c.misses()), (0, 2));
+    }
+
+    #[test]
+    fn size_change_invalidates() {
+        let (mut k, t) = setup();
+        k.install_file("/d/f", &vec![0u8; PAGE_SIZE as usize / 2])
+            .unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDWR).unwrap();
+        let mut c = SledCache::new();
+        let before = c.get(&mut k, &t, fd).unwrap();
+        // Grow within the same page: no new mapping, no residency change,
+        // but SLED lengths change — the stamp must still move.
+        k.lseek(fd, 0, Whence::End).unwrap();
+        k.write(fd, &[9u8; 100]).unwrap();
+        let after = c.get(&mut k, &t, fd).unwrap();
+        assert_ne!(before, after);
+        let total: u64 = after.iter().map(|s| s.length).sum();
+        assert_eq!(total, PAGE_SIZE / 2 + 100);
+    }
+
+    #[test]
+    fn trust_device_reports_bypasses_memoization() {
+        let mut k = Kernel::table2();
+        k.mkdir("/lan").unwrap();
+        let srv = sleds_devices::NfsServerDevice::lan_mount("lan0");
+        let m = k.mount_device("/lan", Box::new(srv), false).unwrap();
+        let dev = k.device_of_mount(m).unwrap();
+        let mut t = SledsTable::new();
+        t.fill_memory(SledsEntry::new(175e-9, 48e6));
+        t.fill_device(dev, SledsEntry::new(0.02, 5e6));
+        t.set_trust_device_reports(true);
+        k.install_file("/lan/f", &vec![0u8; 4 * PAGE_SIZE as usize])
+            .unwrap();
+        let fd = k.open("/lan/f", OpenFlags::RDONLY).unwrap();
+        let mut c = SledCache::new();
+        c.get(&mut k, &t, fd).unwrap();
+        c.get(&mut k, &t, fd).unwrap();
+        assert_eq!(c.hits(), 0, "dynamic reports must never be memoized");
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn total_delivery_time_matches_uncached() {
+        let (mut k, t) = setup();
+        k.install_file("/d/f", &vec![0u8; 16 * PAGE_SIZE as usize])
+            .unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        let mut c = SledCache::new();
+        let direct =
+            crate::estimate::total_delivery_time(&mut k, &t, fd, AttackPlan::Linear).unwrap();
+        let cached = c
+            .total_delivery_time(&mut k, &t, fd, AttackPlan::Linear)
+            .unwrap();
+        let cached_again = c
+            .total_delivery_time(&mut k, &t, fd, AttackPlan::Linear)
+            .unwrap();
+        assert_eq!(direct, cached);
+        assert_eq!(cached, cached_again);
+        assert_eq!(c.hits(), 1);
+    }
+}

@@ -39,17 +39,14 @@ impl SledForecast {
 }
 
 /// Retrieves the SLED vector with lifetime annotations.
-pub fn forecast(
-    kernel: &mut Kernel,
-    table: &SledsTable,
-    fd: Fd,
-) -> SimResult<Vec<SledForecast>> {
+pub fn forecast(kernel: &mut Kernel, table: &SledsTable, fd: Fd) -> SimResult<Vec<SledForecast>> {
     let sleds = fsleds_get(kernel, fd, table)?;
     let ranks = kernel.page_eviction_ranks(fd)?;
     // Insertions into a non-full cache evict nothing, so every page gets
     // the free headroom on top of its eviction rank.
-    let headroom =
-        kernel.cache_capacity_pages().saturating_sub(kernel.cache_resident_pages()) as u64;
+    let headroom = kernel
+        .cache_capacity_pages()
+        .saturating_sub(kernel.cache_resident_pages()) as u64;
     Ok(sleds
         .into_iter()
         .map(|sled| {
@@ -97,13 +94,17 @@ mod tests {
     #[test]
     fn forecast_annotates_memory_sleds_only() {
         let (mut k, t) = setup();
-        k.install_file("/d/f", &vec![1u8; 32 * PAGE_SIZE as usize]).unwrap();
+        k.install_file("/d/f", &vec![1u8; 32 * PAGE_SIZE as usize])
+            .unwrap();
         let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
         k.lseek(fd, 8 * PAGE_SIZE as i64, Whence::Set).unwrap();
         k.read(fd, 8 * PAGE_SIZE as usize).unwrap();
         let fc = forecast(&mut k, &t, fd).unwrap();
         assert_eq!(fc.len(), 3);
-        assert!(fc[0].survives_insertions.is_none(), "disk SLED has no lifetime");
+        assert!(
+            fc[0].survives_insertions.is_none(),
+            "disk SLED has no lifetime"
+        );
         assert!(fc[1].survives_insertions.is_some(), "memory SLED has one");
         assert!(fc[2].survives_insertions.is_none());
         assert_eq!(
@@ -116,9 +117,13 @@ mod tests {
     fn prediction_matches_reality() {
         let (mut k, t) = setup();
         let cache_pages = k.config().cache_pages() as u64;
-        k.install_file("/d/f", &vec![1u8; 16 * PAGE_SIZE as usize]).unwrap();
-        k.install_file("/d/noise", &vec![2u8; (cache_pages + 64) as usize * PAGE_SIZE as usize])
+        k.install_file("/d/f", &vec![1u8; 16 * PAGE_SIZE as usize])
             .unwrap();
+        k.install_file(
+            "/d/noise",
+            &vec![2u8; (cache_pages + 64) as usize * PAGE_SIZE as usize],
+        )
+        .unwrap();
         let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
         k.read(fd, 16 * PAGE_SIZE as usize).unwrap();
         let fc = forecast(&mut k, &t, fd).unwrap();
@@ -153,10 +158,14 @@ mod tests {
         let mut t = SledsTable::new();
         t.fill_memory(SledsEntry::new(175e-9, 48e6));
         t.fill_device(dev, SledsEntry::new(0.018, 9e6));
-        k.install_file("/d/f", &vec![1u8; 4 * PAGE_SIZE as usize]).unwrap();
+        k.install_file("/d/f", &vec![1u8; 4 * PAGE_SIZE as usize])
+            .unwrap();
         let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
         k.read(fd, 4 * PAGE_SIZE as usize).unwrap();
         let fc = forecast(&mut k, &t, fd).unwrap();
-        assert!(fc[0].survives_insertions.is_none(), "Clock is not predictable");
+        assert!(
+            fc[0].survives_insertions.is_none(),
+            "Clock is not predictable"
+        );
     }
 }

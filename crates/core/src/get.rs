@@ -1,16 +1,46 @@
 //! `FSLEDS_GET`: building the SLED vector for an open file.
 //!
-//! The kernel walks every virtual-memory page of the file, determines where
-//! it currently resides (buffer cache or a device), assigns the latency and
-//! bandwidth of that level from the sleds table, and coalesces consecutive
-//! pages with identical estimates into one SLED — exactly the construction
-//! the paper describes in its implementation section.
+//! The kernel reports, extent by extent, where the file's pages currently
+//! reside (buffer cache or device runs); each extent is assigned the
+//! latency and bandwidth of its level from the sleds table and consecutive
+//! extents with identical estimates are coalesced into one SLED — the
+//! construction the paper describes in its implementation section, at run
+//! granularity instead of page granularity. Device extents split only
+//! where the table actually changes (zone-row boundaries), so the cost of
+//! a `FSLEDS_GET` is proportional to the number of residency runs and zone
+//! crossings, not the file's page count. The one deliberately per-page
+//! path is dynamic device self-reports (`trust_device_reports`), where a
+//! server's cache state can differ page by page.
 
-use sleds_fs::{Fd, Kernel, PageLocation};
+use sleds_fs::{Fd, Kernel, PageLocation, SECTORS_PER_PAGE};
 use sleds_sim_core::{Errno, SimError, SimResult, PAGE_SIZE};
 
-use crate::table::SledsTable;
+use crate::table::{SledsEntry, SledsTable};
 use crate::Sled;
+
+fn push_sled(out: &mut Vec<Sled>, offset: u64, length: u64, entry: SledsEntry) {
+    if length == 0 {
+        return;
+    }
+    match out.last_mut() {
+        Some(last) if last.latency == entry.latency && last.bandwidth == entry.bandwidth => {
+            last.length += length;
+        }
+        _ => out.push(Sled {
+            offset,
+            length,
+            latency: entry.latency,
+            bandwidth: entry.bandwidth,
+        }),
+    }
+}
+
+fn missing_row(dev: sleds_fs::DeviceId) -> SimError {
+    SimError::new(
+        Errno::Einval,
+        format!("FSLEDS_GET: no sleds table row for device {dev:?}"),
+    )
+}
 
 /// Retrieves the SLED vector for an open file.
 ///
@@ -25,49 +55,53 @@ use crate::Sled;
 /// kernel error from the page walk.
 pub fn fsleds_get(kernel: &mut Kernel, fd: Fd, table: &SledsTable) -> SimResult<Vec<Sled>> {
     let mem = table.memory().ok_or_else(|| {
-        SimError::new(Errno::Einval, "FSLEDS_GET: sleds table not filled (no memory row)")
+        SimError::new(
+            Errno::Einval,
+            "FSLEDS_GET: sleds table not filled (no memory row)",
+        )
     })?;
     let size = kernel.fstat(fd)?.size;
-    let locations = kernel.page_locations(fd)?;
+    let extents = kernel.page_extents(fd)?;
     let mut out: Vec<Sled> = Vec::new();
-    for (i, loc) in locations.iter().enumerate() {
-        let entry = match loc {
-            PageLocation::Memory => mem,
-            PageLocation::Device { dev, sector } => {
-                // Dynamic device self-report first (client/server SLEDs),
-                // then zone rows, then the flat row.
-                let probed = if table.trust_device_reports() {
-                    kernel
-                        .device_probe(*dev, *sector)
-                        .map(|(latency, bandwidth)| crate::SledsEntry { latency, bandwidth })
-                } else {
-                    None
-                };
-                match probed.or_else(|| table.entry_at(*dev, *sector)) {
-                    Some(e) => e,
-                    None => {
-                        return Err(SimError::new(
-                            Errno::Einval,
-                            format!("FSLEDS_GET: no sleds table row for device {dev:?}"),
-                        ))
-                    }
+    for e in &extents {
+        let ext_off = e.first_page * PAGE_SIZE;
+        match e.location {
+            PageLocation::Memory => {
+                let length = (e.pages * PAGE_SIZE).min(size - ext_off);
+                push_sled(&mut out, ext_off, length, mem);
+            }
+            PageLocation::Device { dev, sector } if table.trust_device_reports() => {
+                // Dynamic device self-report (client/server SLEDs): the
+                // server's cache state can differ page by page, so this
+                // channel probes each page of the extent.
+                for i in 0..e.pages {
+                    let s = sector + i * SECTORS_PER_PAGE;
+                    let entry = kernel
+                        .device_probe(dev, s)
+                        .map(|(latency, bandwidth)| SledsEntry { latency, bandwidth })
+                        .or_else(|| table.entry_at(dev, s))
+                        .ok_or_else(|| missing_row(dev))?;
+                    let offset = ext_off + i * PAGE_SIZE;
+                    push_sled(&mut out, offset, PAGE_SIZE.min(size - offset), entry);
                 }
             }
-        };
-        let offset = i as u64 * PAGE_SIZE;
-        let length = PAGE_SIZE.min(size - offset);
-        match out.last_mut() {
-            Some(last)
-                if last.latency == entry.latency && last.bandwidth == entry.bandwidth =>
-            {
-                last.length += length;
+            PageLocation::Device { dev, sector } => {
+                // Static table rows: constant between zone boundaries, so
+                // one lookup covers every page up to the next boundary.
+                let mut p = 0;
+                while p < e.pages {
+                    let s = sector + p * SECTORS_PER_PAGE;
+                    let entry = table.entry_at(dev, s).ok_or_else(|| missing_row(dev))?;
+                    let span = match table.zone_end(dev, s) {
+                        Some(z) => (z - s).div_ceil(SECTORS_PER_PAGE).min(e.pages - p),
+                        None => e.pages - p,
+                    };
+                    let offset = ext_off + p * PAGE_SIZE;
+                    let length = (span * PAGE_SIZE).min(size - offset);
+                    push_sled(&mut out, offset, length, entry);
+                    p += span;
+                }
             }
-            _ => out.push(Sled {
-                offset,
-                length,
-                latency: entry.latency,
-                bandwidth: entry.bandwidth,
-            }),
         }
     }
     Ok(out)
@@ -82,7 +116,9 @@ mod tests {
     fn setup() -> (Kernel, SledsTable) {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let dev = k.device_of_mount(m).unwrap();
         let mut t = SledsTable::new();
         t.fill_memory(crate::SledsEntry::new(175e-9, 48e6));
@@ -163,7 +199,8 @@ mod tests {
     #[test]
     fn missing_device_row_is_einval() {
         let (mut k, _) = setup();
-        k.install_file("/data/f", &vec![0u8; PAGE_SIZE as usize]).unwrap();
+        k.install_file("/data/f", &vec![0u8; PAGE_SIZE as usize])
+            .unwrap();
         let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
         let mut t = SledsTable::new();
         t.fill_memory(crate::SledsEntry::new(175e-9, 48e6));
@@ -204,6 +241,39 @@ mod tests {
         assert!(split[1].latency < split[0].latency);
         assert_eq!(split[1].offset, 4 * PAGE_SIZE);
         assert!((split[1].latency - 0.002).abs() < 1e-9, "hot = one RTT");
+    }
+
+    #[test]
+    fn zone_rows_split_a_single_device_extent() {
+        use sleds_fs::SECTORS_PER_PAGE;
+        let (mut k, mut t) = setup();
+        let data = vec![0u8; 8 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        // Find where the file starts on disk and put a zone boundary in
+        // the middle of its (single) layout run.
+        let one = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(one.len(), 1, "precondition: one cold extent");
+        let exts = k.page_extents(fd).unwrap();
+        let (dev, first_sector) = match exts[0].location {
+            sleds_fs::PageLocation::Device { dev, sector } => (dev, sector),
+            _ => panic!("cold file must be on the device"),
+        };
+        let boundary = first_sector + 3 * SECTORS_PER_PAGE;
+        t.fill_device_zones(
+            dev,
+            vec![
+                (0, crate::SledsEntry::new(0.018, 11e6)),
+                (boundary, crate::SledsEntry::new(0.018, 7e6)),
+            ],
+        );
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 2, "one extent, two zones, two SLEDs");
+        assert_eq!(sleds[0].length, 3 * PAGE_SIZE);
+        assert_eq!(sleds[0].bandwidth, 11e6);
+        assert_eq!(sleds[1].offset, 3 * PAGE_SIZE);
+        assert_eq!(sleds[1].length, 5 * PAGE_SIZE);
+        assert_eq!(sleds[1].bandwidth, 7e6);
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! low-latency segments stay low-latency until the lease is released, no
 //! matter what other applications do to the cache in between.
 //!
+//! Pinning works at extent granularity: the kernel reports residency as
+//! runs, and the lease issues one `pin_range` per memory extent (and one
+//! `unpin_range` per span on release) instead of one syscall per page. The
+//! lease also records the file's SLED generation stamp at acquisition, so
+//! [`SledLease::is_current`] can tell in O(1) whether the captured vector
+//! still describes the file exactly — useful for the *unpinned* segments,
+//! which the lease does not protect.
+//!
 //! Positional device state (head, tape position) is *not* leased — it
 //! changes with every access by anyone, and locking it would serialize the
 //! machine. Cache residency is the component whose drift actually
@@ -30,28 +38,44 @@ use crate::Sled;
 #[must_use = "a lease holds kernel resources until release() is called"]
 pub struct SledLease {
     fd: Fd,
-    /// Pinned page indices.
-    pages: Vec<u64>,
+    /// Pinned byte spans, one per memory extent at acquisition: `(offset,
+    /// length)`.
+    spans: Vec<(u64, u64)>,
+    /// Total pages those spans pinned.
+    pinned: usize,
     /// The SLED vector at acquisition time — guaranteed accurate for the
     /// memory-resident segments while the lease holds.
     sleds: Vec<Sled>,
+    /// The file's SLED generation stamp at acquisition time.
+    generation: u64,
 }
 
 impl SledLease {
     /// Acquires a lease: retrieves the file's SLEDs and pins every page
-    /// currently in memory.
+    /// currently in memory, one `pin_range` call per resident extent.
     pub fn acquire(kernel: &mut Kernel, table: &SledsTable, fd: Fd) -> SimResult<SledLease> {
         let sleds = fsleds_get(kernel, fd, table)?;
-        let locations = kernel.page_locations(fd)?;
-        let mut pages = Vec::new();
-        for (i, loc) in locations.iter().enumerate() {
-            if matches!(loc, PageLocation::Memory) {
-                let page = i as u64;
-                let got = kernel.pin_range(fd, page * PAGE_SIZE, PAGE_SIZE)?;
-                pages.extend(got);
+        let extents = kernel.page_extents(fd)?;
+        let mut spans = Vec::new();
+        let mut pinned = 0;
+        for e in &extents {
+            if matches!(e.location, PageLocation::Memory) {
+                let offset = e.first_page * PAGE_SIZE;
+                let len = e.pages * PAGE_SIZE;
+                pinned += kernel.pin_range(fd, offset, len)?.len();
+                spans.push((offset, len));
             }
         }
-        Ok(SledLease { fd, pages, sleds })
+        // Pinning itself does not move pages, so the stamp taken here still
+        // describes the state the SLEDs were built from.
+        let generation = kernel.sled_generation(fd)?;
+        Ok(SledLease {
+            fd,
+            spans,
+            pinned,
+            sleds,
+            generation,
+        })
     }
 
     /// The SLED vector captured (and held stable) at acquisition.
@@ -61,7 +85,12 @@ impl SledLease {
 
     /// Number of pages the lease holds.
     pub fn pinned_pages(&self) -> usize {
-        self.pages.len()
+        self.pinned
+    }
+
+    /// Number of pinned spans (one per memory extent at acquisition).
+    pub fn pinned_spans(&self) -> usize {
+        self.spans.len()
     }
 
     /// The leased file.
@@ -69,10 +98,24 @@ impl SledLease {
         self.fd
     }
 
-    /// Releases every pin.
+    /// The file's SLED generation stamp captured at acquisition.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True while the captured SLED vector still describes the file
+    /// exactly — i.e. neither cache residency nor layout nor size has
+    /// changed since acquisition. One O(1) syscall; no page walk. The
+    /// pinned (memory) segments stay accurate regardless; this check
+    /// covers the unpinned device segments too.
+    pub fn is_current(&self, kernel: &mut Kernel) -> SimResult<bool> {
+        Ok(kernel.sled_generation(self.fd)? == self.generation)
+    }
+
+    /// Releases every pin, one `unpin_range` call per pinned span.
     pub fn release(self, kernel: &mut Kernel) -> SimResult<()> {
-        for page in &self.pages {
-            kernel.unpin_range(self.fd, page * PAGE_SIZE, PAGE_SIZE)?;
+        for (offset, len) in &self.spans {
+            kernel.unpin_range(self.fd, *offset, *len)?;
         }
         Ok(())
     }
@@ -100,20 +143,25 @@ mod tests {
     }
 
     fn warm_pages(k: &mut Kernel, fd: Fd, start: u64, count: u64) {
-        k.lseek(fd, (start * PAGE_SIZE) as i64, Whence::Set).unwrap();
+        k.lseek(fd, (start * PAGE_SIZE) as i64, Whence::Set)
+            .unwrap();
         k.read(fd, (count * PAGE_SIZE) as usize).unwrap();
     }
 
     #[test]
     fn lease_keeps_sleds_valid_under_cache_pressure() {
         let (mut k, t) = setup();
-        k.install_file("/d/f", &vec![1u8; 64 * PAGE_SIZE as usize]).unwrap();
-        k.install_file("/d/noise", &vec![2u8; 512 * PAGE_SIZE as usize]).unwrap();
+        k.install_file("/d/f", &vec![1u8; 64 * PAGE_SIZE as usize])
+            .unwrap();
+        k.install_file("/d/noise", &vec![2u8; 512 * PAGE_SIZE as usize])
+            .unwrap();
         let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
         warm_pages(&mut k, fd, 16, 32);
 
         let lease = SledLease::acquire(&mut k, &t, fd).unwrap();
         assert_eq!(lease.pinned_pages(), 32);
+        // One contiguous warm run = one pin_range call.
+        assert_eq!(lease.pinned_spans(), 1);
         let before = lease.sleds().to_vec();
 
         // A competing scan floods the cache.
@@ -124,6 +172,7 @@ mod tests {
         // The leased file's SLEDs are unchanged.
         let after = fsleds_get(&mut k, fd, &t).unwrap();
         assert_eq!(before, after, "leased SLEDs must survive the flood");
+        assert!(lease.is_current(&mut k).unwrap());
 
         // Release, flood again: now the state drifts.
         lease.release(&mut k).unwrap();
@@ -138,11 +187,31 @@ mod tests {
     #[test]
     fn lease_on_cold_file_pins_nothing() {
         let (mut k, t) = setup();
-        k.install_file("/d/f", &vec![1u8; 8 * PAGE_SIZE as usize]).unwrap();
+        k.install_file("/d/f", &vec![1u8; 8 * PAGE_SIZE as usize])
+            .unwrap();
         let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
         let lease = SledLease::acquire(&mut k, &t, fd).unwrap();
         assert_eq!(lease.pinned_pages(), 0);
+        assert_eq!(lease.pinned_spans(), 0);
         assert_eq!(lease.sleds().len(), 1);
         lease.release(&mut k).unwrap();
+    }
+
+    #[test]
+    fn generation_stamp_detects_drift_after_release() {
+        let (mut k, t) = setup();
+        k.install_file("/d/f", &vec![3u8; 16 * PAGE_SIZE as usize])
+            .unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        warm_pages(&mut k, fd, 0, 4);
+
+        let lease = SledLease::acquire(&mut k, &t, fd).unwrap();
+        assert!(lease.is_current(&mut k).unwrap(), "fresh lease is current");
+        let gen = lease.generation();
+        lease.release(&mut k).unwrap();
+
+        // Touch a new page: residency changed, so the stamp moves.
+        warm_pages(&mut k, fd, 8, 1);
+        assert_ne!(k.sled_generation(fd).unwrap(), gen);
     }
 }

@@ -31,6 +31,7 @@
 //! * [`predicate`] — the `find -latency [+|-][m|u]n` predicate;
 //! * [`report`] — the gmc-style human-readable rendering.
 
+pub mod cache;
 pub mod estimate;
 pub mod forecast;
 pub mod get;
@@ -40,6 +41,7 @@ pub mod predicate;
 pub mod report;
 pub mod table;
 
+pub use cache::SledCache;
 pub use estimate::{estimate_seconds, total_delivery_time, AttackPlan};
 pub use forecast::{forecast, SledForecast};
 pub use get::fsleds_get;

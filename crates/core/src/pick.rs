@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 use sleds_fs::{Fd, Kernel};
 use sleds_sim_core::{SimDuration, SimResult, PAGE_SIZE};
 
+use crate::cache::SledCache;
 use crate::get::fsleds_get;
 use crate::table::SledsTable;
 use crate::Sled;
@@ -77,7 +78,30 @@ impl PickSession {
         fd: Fd,
         cfg: PickConfig,
     ) -> SimResult<PickSession> {
-        let mut sleds = fsleds_get(kernel, fd, table)?;
+        let sleds = fsleds_get(kernel, fd, table)?;
+        PickSession::plan_from(kernel, fd, cfg, sleds)
+    }
+
+    /// [`PickSession::init`] through a [`SledCache`]: when the file's SLED
+    /// generation stamp is unchanged since the cache last saw it, the
+    /// vector is served memoized — one O(1) syscall instead of a page walk.
+    pub fn init_cached(
+        kernel: &mut Kernel,
+        table: &SledsTable,
+        fd: Fd,
+        cfg: PickConfig,
+        cache: &mut SledCache,
+    ) -> SimResult<PickSession> {
+        let sleds = cache.get(kernel, table, fd)?;
+        PickSession::plan_from(kernel, fd, cfg, sleds)
+    }
+
+    fn plan_from(
+        kernel: &mut Kernel,
+        fd: Fd,
+        cfg: PickConfig,
+        mut sleds: Vec<Sled>,
+    ) -> SimResult<PickSession> {
         if let Some(sep) = cfg.record_separator {
             adjust_to_records(kernel, fd, &mut sleds, sep)?;
         }
@@ -124,9 +148,27 @@ impl PickSession {
         fd: Fd,
         _cfg: PickConfig,
     ) -> SimResult<()> {
+        let fresh = fsleds_get(kernel, fd, table)?;
+        self.replan(kernel, &fresh)
+    }
+
+    /// [`PickSession::refresh`] through a [`SledCache`]: the periodic
+    /// re-retrieval the paper sketches becomes O(1) whenever the cache
+    /// hasn't moved since the last call.
+    pub fn refresh_cached(
+        &mut self,
+        kernel: &mut Kernel,
+        table: &SledsTable,
+        fd: Fd,
+        cache: &mut SledCache,
+    ) -> SimResult<()> {
+        let fresh = cache.get(kernel, table, fd)?;
+        self.replan(kernel, &fresh)
+    }
+
+    fn replan(&mut self, kernel: &mut Kernel, fresh: &[Sled]) -> SimResult<()> {
         // Bytes already handed out stay handed out; replan the rest.
         let pending: Vec<(u64, usize)> = self.plan.drain(..).collect();
-        let fresh = fsleds_get(kernel, fd, table)?;
         let mut chunks: Vec<(u64, usize, f64)> = Vec::new();
         for (off, len) in pending {
             // Find the latency this byte range has *now*.
@@ -179,12 +221,7 @@ fn plan_chunks(sleds: &[Sled], preferred: usize) -> Vec<(u64, usize)> {
 /// Figure 4: pulls the edges of low-latency SLEDs in to record boundaries,
 /// pushing the leading/trailing record fragments out to the neighbouring
 /// higher-latency SLEDs.
-fn adjust_to_records(
-    kernel: &mut Kernel,
-    fd: Fd,
-    sleds: &mut Vec<Sled>,
-    sep: u8,
-) -> SimResult<()> {
+fn adjust_to_records(kernel: &mut Kernel, fd: Fd, sleds: &mut Vec<Sled>, sep: u8) -> SimResult<()> {
     if sleds.len() < 2 {
         return Ok(());
     }
@@ -292,7 +329,9 @@ mod tests {
     fn setup() -> (Kernel, SledsTable) {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let dev = k.device_of_mount(m).unwrap();
         let mut t = SledsTable::new();
         t.fill_memory(SledsEntry::new(175e-9, 48e6));
@@ -301,8 +340,10 @@ mod tests {
     }
 
     fn warm_range(k: &mut Kernel, fd: Fd, pages: std::ops::Range<u64>) {
-        k.lseek(fd, (pages.start * PAGE_SIZE) as i64, Whence::Set).unwrap();
-        k.read(fd, ((pages.end - pages.start) * PAGE_SIZE) as usize).unwrap();
+        k.lseek(fd, (pages.start * PAGE_SIZE) as i64, Whence::Set)
+            .unwrap();
+        k.read(fd, ((pages.end - pages.start) * PAGE_SIZE) as usize)
+            .unwrap();
     }
 
     #[test]
@@ -364,7 +405,8 @@ mod tests {
     #[test]
     fn chunks_respect_preferred_size() {
         let (mut k, t) = setup();
-        k.install_file("/data/f", &vec![0u8; 5 * PAGE_SIZE as usize]).unwrap();
+        k.install_file("/data/f", &vec![0u8; 5 * PAGE_SIZE as usize])
+            .unwrap();
         let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
         let mut p = PickSession::init(&mut k, &t, fd, PickConfig::bytes(3000)).unwrap();
         while let Some((_, len)) = p.next_read() {
@@ -455,9 +497,39 @@ mod tests {
         assert_eq!(p.next_read().unwrap().0, PAGE_SIZE);
         // Someone else warms the tail.
         warm_range(&mut k, fd, 8..12);
-        p.refresh(&mut k, &t, fd, PickConfig::bytes(PAGE_SIZE as usize)).unwrap();
+        p.refresh(&mut k, &t, fd, PickConfig::bytes(PAGE_SIZE as usize))
+            .unwrap();
         // Now the cached tail jumps the queue.
         assert_eq!(p.next_read().unwrap().0, 8 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn cached_init_and_refresh_match_uncached_and_hit() {
+        let (mut k, t) = setup();
+        let data = vec![0u8; 10 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        warm_range(&mut k, fd, 6..10);
+        let cfg = PickConfig::bytes(PAGE_SIZE as usize);
+        let mut cache = crate::cache::SledCache::new();
+
+        let mut plain = PickSession::init(&mut k, &t, fd, cfg).unwrap();
+        let mut cached = PickSession::init_cached(&mut k, &t, fd, cfg, &mut cache).unwrap();
+        assert_eq!(plain.sleds(), cached.sleds());
+        loop {
+            let (a, b) = (plain.next_read(), cached.next_read());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+
+        // Nothing moved between init_cached and this refresh: served
+        // memoized.
+        let mut p = PickSession::init_cached(&mut k, &t, fd, cfg, &mut cache).unwrap();
+        p.refresh_cached(&mut k, &t, fd, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
     }
 
     #[test]

@@ -95,6 +95,18 @@ impl SledsTable {
         self.zones.contains_key(&dev)
     }
 
+    /// The first sector strictly after `sector` at which the governing entry
+    /// of `dev` may change — i.e. the start of the next zone row. `None`
+    /// when the entry is constant from `sector` to the end of the device
+    /// (no zone rows, or `sector` is in the last zone). Lets an
+    /// extent-granular walk split a device extent only where the table
+    /// actually changes instead of probing every page.
+    pub fn zone_end(&self, dev: DeviceId, sector: u64) -> Option<u64> {
+        let rows = self.zones.get(&dev)?;
+        let idx = rows.partition_point(|(s, _)| *s <= sector);
+        rows.get(idx).map(|(s, _)| *s)
+    }
+
     /// Enables consulting device dynamic self-reports in `fsleds_get`.
     pub fn set_trust_device_reports(&mut self, trust: bool) {
         self.trust_device_reports = trust;
@@ -145,7 +157,10 @@ mod tests {
         t.fill_device(DeviceId(0), SledsEntry::new(0.018, 9e6));
         t.fill_device_zones(
             DeviceId(0),
-            vec![(5_000, SledsEntry::new(0.018, 7e6)), (0, SledsEntry::new(0.018, 11e6))],
+            vec![
+                (5_000, SledsEntry::new(0.018, 7e6)),
+                (0, SledsEntry::new(0.018, 11e6)),
+            ],
         );
         assert_eq!(t.entry_at(DeviceId(0), 0).unwrap().bandwidth, 11e6);
         assert_eq!(t.entry_at(DeviceId(0), 4_999).unwrap().bandwidth, 11e6);
@@ -161,6 +176,27 @@ mod tests {
     fn entry_at_without_any_rows_is_none() {
         let t = SledsTable::new();
         assert!(t.entry_at(DeviceId(3), 0).is_none());
+    }
+
+    #[test]
+    fn zone_end_reports_next_boundary() {
+        let mut t = SledsTable::new();
+        assert_eq!(t.zone_end(DeviceId(0), 0), None);
+        t.fill_device_zones(
+            DeviceId(0),
+            vec![
+                (1_000, SledsEntry::new(0.018, 11e6)),
+                (5_000, SledsEntry::new(0.018, 7e6)),
+            ],
+        );
+        // Before the first row the entry changes when the first row starts.
+        assert_eq!(t.zone_end(DeviceId(0), 0), Some(1_000));
+        assert_eq!(t.zone_end(DeviceId(0), 999), Some(1_000));
+        assert_eq!(t.zone_end(DeviceId(0), 1_000), Some(5_000));
+        assert_eq!(t.zone_end(DeviceId(0), 4_999), Some(5_000));
+        // Inside the last zone the entry never changes again.
+        assert_eq!(t.zone_end(DeviceId(0), 5_000), None);
+        assert_eq!(t.zone_end(DeviceId(0), 1 << 40), None);
     }
 
     #[test]

@@ -171,7 +171,10 @@ mod tests {
         // so actually no seek); second is contiguous.
         assert_eq!(t1, t2);
         let t3 = cd.read(0, 128, SimTime::ZERO).unwrap();
-        assert!(t3 > t2 + SimDuration::from_millis(50), "backward seek is slow");
+        assert!(
+            t3 > t2 + SimDuration::from_millis(50),
+            "backward seek is slow"
+        );
     }
 
     #[test]
@@ -198,7 +201,10 @@ mod tests {
             total += cd.read(s, 8, SimTime::ZERO).unwrap().as_secs_f64();
         }
         let avg_ms = total / n as f64 * 1e3;
-        assert!((100.0..170.0).contains(&avg_ms), "CD random latency {avg_ms} ms");
+        assert!(
+            (100.0..170.0).contains(&avg_ms),
+            "CD random latency {avg_ms} ms"
+        );
     }
 
     #[test]

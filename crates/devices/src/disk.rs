@@ -121,7 +121,9 @@ impl DiskDevice {
     pub fn new(name: impl Into<String>, geom: DiskGeometry) -> Self {
         assert!(!geom.zones.is_empty(), "disk needs at least one zone");
         assert!(
-            geom.zones.iter().all(|z| z.sectors_per_track > 0 && z.cylinders > 0),
+            geom.zones
+                .iter()
+                .all(|z| z.sectors_per_track > 0 && z.cylinders > 0),
             "zones must be non-empty"
         );
         let capacity = geom.capacity_sectors();
@@ -161,9 +163,18 @@ impl DiskDevice {
                 heads: 4,
                 rpm: 5400,
                 zones: vec![
-                    Zone { cylinders: 4000, sectors_per_track: 260 },
-                    Zone { cylinders: 4000, sectors_per_track: 220 },
-                    Zone { cylinders: 4000, sectors_per_track: 170 },
+                    Zone {
+                        cylinders: 4000,
+                        sectors_per_track: 260,
+                    },
+                    Zone {
+                        cylinders: 4000,
+                        sectors_per_track: 220,
+                    },
+                    Zone {
+                        cylinders: 4000,
+                        sectors_per_track: 170,
+                    },
                 ],
                 track_to_track: SimDuration::from_micros(1_800),
                 average_seek: SimDuration::from_millis(12),
@@ -183,9 +194,18 @@ impl DiskDevice {
                 heads: 4,
                 rpm: 5400,
                 zones: vec![
-                    Zone { cylinders: 4000, sectors_per_track: 200 },
-                    Zone { cylinders: 4000, sectors_per_track: 170 },
-                    Zone { cylinders: 4000, sectors_per_track: 130 },
+                    Zone {
+                        cylinders: 4000,
+                        sectors_per_track: 200,
+                    },
+                    Zone {
+                        cylinders: 4000,
+                        sectors_per_track: 170,
+                    },
+                    Zone {
+                        cylinders: 4000,
+                        sectors_per_track: 130,
+                    },
                 ],
                 track_to_track: SimDuration::from_micros(1_700),
                 average_seek: SimDuration::from_micros(10_500),
@@ -288,8 +308,7 @@ impl DiskDevice {
             // under the head.
             let distance = self.current_cylinder.abs_diff(target.cylinder);
             let jf = self.jitter_factor();
-            elapsed +=
-                SimDuration::from_secs_f64(self.seek_time(distance).as_secs_f64() * jf);
+            elapsed += SimDuration::from_secs_f64(self.seek_time(distance).as_secs_f64() * jf);
             let spt = self.geom.zones[target.zone].sectors_per_track;
             let target_angle = target.sector as f64 / spt as f64;
             let angle = self.angle_at(now + elapsed);
@@ -390,8 +409,7 @@ impl BlockDevice for DiskDevice {
         let mut spans = Vec::with_capacity(self.geom.zones.len());
         let mut sector = 0u64;
         for z in &self.geom.zones {
-            let sectors =
-                z.cylinders as u64 * self.geom.heads as u64 * z.sectors_per_track as u64;
+            let sectors = z.cylinders as u64 * self.geom.heads as u64 * z.sectors_per_track as u64;
             spans.push(crate::ZoneSpan {
                 start_sector: sector,
                 sectors,
@@ -414,8 +432,14 @@ mod tests {
                 heads: 2,
                 rpm: 6000, // 10 ms/rev
                 zones: vec![
-                    Zone { cylinders: 100, sectors_per_track: 100 },
-                    Zone { cylinders: 100, sectors_per_track: 50 },
+                    Zone {
+                        cylinders: 100,
+                        sectors_per_track: 100,
+                    },
+                    Zone {
+                        cylinders: 100,
+                        sectors_per_track: 50,
+                    },
                 ],
                 track_to_track: SimDuration::from_millis(1),
                 average_seek: SimDuration::from_millis(8),
@@ -523,7 +547,10 @@ mod tests {
             total += t;
         }
         let bw = (16u64 << 20) as f64 / total.as_secs_f64() / 1e6;
-        assert!((9.5..12.5).contains(&bw), "table2 disk streams at {bw} MB/s");
+        assert!(
+            (9.5..12.5).contains(&bw),
+            "table2 disk streams at {bw} MB/s"
+        );
 
         // Random 4 KiB: average latency near 18 ms.
         let mut rng = sleds_sim_core::DetRng::new(42);

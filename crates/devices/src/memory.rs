@@ -59,9 +59,10 @@ impl MemoryDevice {
     }
 
     fn xfer(&self, sectors: u64) -> SimDuration {
-        self.latency + self
-            .bandwidth
-            .transfer_time(sectors * sleds_sim_core::SECTOR_SIZE)
+        self.latency
+            + self
+                .bandwidth
+                .transfer_time(sectors * sleds_sim_core::SECTOR_SIZE)
     }
 }
 
@@ -117,9 +118,7 @@ mod tests {
     #[test]
     fn page_copy_cost_matches_table2() {
         let mut m = MemoryDevice::table2("ram", 64 << 20);
-        let t = m
-            .read(0, PAGE_SIZE / 512, SimTime::ZERO)
-            .expect("in range");
+        let t = m.read(0, PAGE_SIZE / 512, SimTime::ZERO).expect("in range");
         // 175ns + 4096B / 48MB/s = 175ns + 85333ns.
         let expect = 175 + (4096.0 / 48e6 * 1e9) as u64;
         assert!((t.as_nanos() as i64 - expect as i64).abs() <= 1);

@@ -196,7 +196,11 @@ const SRV_PAGE_SECTORS: u64 = 8;
 
 impl NfsServerDevice {
     /// Creates a server around `disk`.
-    pub fn new(name: impl Into<String>, disk: crate::disk::DiskDevice, params: NfsServerParams) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        disk: crate::disk::DiskDevice,
+        params: NfsServerParams,
+    ) -> Self {
         NfsServerDevice {
             name: name.into(),
             cache: sleds_pagecache::PageCache::lru(params.server_cache_pages.max(1)),
@@ -314,7 +318,8 @@ impl BlockDevice for NfsServerDevice {
         let first_page = start / SRV_PAGE_SECTORS;
         let last_page = (start + sectors - 1) / SRV_PAGE_SECTORS;
         for p in first_page..=last_page {
-            self.cache.insert(sleds_pagecache::PageKey::new(0, p), false);
+            self.cache
+                .insert(sleds_pagecache::PageKey::new(0, p), false);
         }
         self.next_sequential = start + sectors;
         self.stats.note_write(sectors, t, false);
@@ -405,7 +410,10 @@ mod tests {
         srv.read(0, 128, SimTime::ZERO).unwrap();
         let (hot_lat, hot_bw) = srv.dynamic_probe(0).unwrap();
         let (cold_lat, cold_bw) = srv.dynamic_probe(1 << 20).unwrap();
-        assert!(hot_lat < cold_lat, "cached range is cheaper: {hot_lat} vs {cold_lat}");
+        assert!(
+            hot_lat < cold_lat,
+            "cached range is cheaper: {hot_lat} vs {cold_lat}"
+        );
         assert!(hot_bw >= cold_bw);
         // Hot latency is just the round trip.
         assert!((hot_lat - 0.002).abs() < 1e-9);
@@ -427,8 +435,7 @@ mod tests {
 
     #[test]
     fn jitter_varies_first_byte() {
-        let mut nfs = NfsDevice::table2_mount("srv:/export")
-            .with_jitter(DetRng::new(5), 0.2);
+        let mut nfs = NfsDevice::table2_mount("srv:/export").with_jitter(DetRng::new(5), 0.2);
         let mut seen = std::collections::BTreeSet::new();
         for i in 0..8 {
             // Alternate far-apart offsets so each read repositions.

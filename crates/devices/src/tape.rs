@@ -126,7 +126,10 @@ impl TapeDevice {
         }
         let frac = self
             .position
-            .map(|s| self.coords(s.min(self.capacity.saturating_sub(1))).long_frac)
+            .map(|s| {
+                self.coords(s.min(self.capacity.saturating_sub(1)))
+                    .long_frac
+            })
             .unwrap_or(0.0);
         self.loaded = false;
         self.position = None;
@@ -139,7 +142,11 @@ impl TapeDevice {
         let within = sector - wrap as u64 * self.sectors_per_wrap;
         let frac = within as f64 / self.sectors_per_wrap as f64;
         // Even wraps run forward, odd wraps run backward.
-        let long_frac = if wrap.is_multiple_of(2) { frac } else { 1.0 - frac };
+        let long_frac = if wrap.is_multiple_of(2) {
+            frac
+        } else {
+            1.0 - frac
+        };
         TapePos { wrap, long_frac }
     }
 
@@ -151,7 +158,9 @@ impl TapeDevice {
 
     /// Locate from the current position to `target` sector.
     fn locate(&mut self, target: u64) -> SimDuration {
-        let from = self.position.expect("locate requires a loaded, positioned tape");
+        let from = self
+            .position
+            .expect("locate requires a loaded, positioned tape");
         if from == target {
             return SimDuration::ZERO;
         }
@@ -208,8 +217,7 @@ impl BlockDevice for TapeDevice {
         check_range(&self.name, self.capacity, start, sectors)?;
         let before = self.position;
         let t = self.service(start, sectors);
-        self.stats
-            .note_read(sectors, t, before != Some(start));
+        self.stats.note_read(sectors, t, before != Some(start));
         Ok(t)
     }
 
@@ -217,8 +225,7 @@ impl BlockDevice for TapeDevice {
         check_range(&self.name, self.capacity, start, sectors)?;
         let before = self.position;
         let t = self.service(start, sectors);
-        self.stats
-            .note_write(sectors, t, before != Some(start));
+        self.stats.note_write(sectors, t, before != Some(start));
         Ok(t)
     }
 
@@ -281,7 +288,10 @@ mod tests {
         let mid_wrap = t.sectors_per_wrap / 2;
         t.read(mid_wrap, 8, SimTime::ZERO).unwrap();
         let far = t.unload();
-        assert!(far > near, "rewind from mid-tape ({far}) should exceed ({near})");
+        assert!(
+            far > near,
+            "rewind from mid-tape ({far}) should exceed ({near})"
+        );
         assert!(!t.is_loaded());
     }
 

@@ -82,8 +82,9 @@ impl Bitpix {
         for &v in values {
             match self {
                 Bitpix::U8 => out.push(v.clamp(0.0, 255.0) as u8),
-                Bitpix::I16 => out
-                    .extend_from_slice(&(v.clamp(i16::MIN as f64, i16::MAX as f64) as i16).to_be_bytes()),
+                Bitpix::I16 => out.extend_from_slice(
+                    &(v.clamp(i16::MIN as f64, i16::MAX as f64) as i16).to_be_bytes(),
+                ),
                 Bitpix::I32 => out.extend_from_slice(
                     &(v.clamp(i32::MIN as f64, i32::MAX as f64) as i32).to_be_bytes(),
                 ),
@@ -101,7 +102,13 @@ mod tests {
 
     #[test]
     fn codes_roundtrip() {
-        for b in [Bitpix::U8, Bitpix::I16, Bitpix::I32, Bitpix::F32, Bitpix::F64] {
+        for b in [
+            Bitpix::U8,
+            Bitpix::I16,
+            Bitpix::I32,
+            Bitpix::F32,
+            Bitpix::F64,
+        ] {
             assert_eq!(Bitpix::from_code(b.code()).unwrap(), b);
         }
         assert!(Bitpix::from_code(64).is_err());
@@ -110,7 +117,13 @@ mod tests {
     #[test]
     fn decode_encode_roundtrip_all_types() {
         let values = vec![0.0, 1.0, 100.0, 255.0];
-        for b in [Bitpix::U8, Bitpix::I16, Bitpix::I32, Bitpix::F32, Bitpix::F64] {
+        for b in [
+            Bitpix::U8,
+            Bitpix::I16,
+            Bitpix::I32,
+            Bitpix::F32,
+            Bitpix::F64,
+        ] {
             let enc = b.encode(&values);
             assert_eq!(enc.len(), values.len() * b.bytes_per_pixel());
             let dec = b.decode(&enc).unwrap();
@@ -149,7 +162,9 @@ mod tests {
         let values = vec![-1.5, 3.25, -0.0, f64::MAX];
         let dec = Bitpix::F64.decode(&Bitpix::F64.encode(&values)).unwrap();
         assert_eq!(dec, values);
-        let dec32 = Bitpix::F32.decode(&Bitpix::F32.encode(&[-1.5, 3.25])).unwrap();
+        let dec32 = Bitpix::F32
+            .decode(&Bitpix::F32.encode(&[-1.5, 3.25]))
+            .unwrap();
         assert_eq!(dec32, vec![-1.5, 3.25]);
     }
 }

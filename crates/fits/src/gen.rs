@@ -89,7 +89,9 @@ mod tests {
         let bytes = generate_image_bytes(256, 256, Bitpix::F64, 3);
         let (h, consumed) = FitsHeader::parse(&bytes).unwrap();
         let n = h.pixel_count().unwrap() as usize;
-        let values = Bitpix::F64.decode(&bytes[consumed..consumed + n * 8]).unwrap();
+        let values = Bitpix::F64
+            .decode(&bytes[consumed..consumed + n * 8])
+            .unwrap();
         let bright = values.iter().filter(|&&v| v > 500.0).count();
         assert!(bright > 5, "expected some stars, got {bright}");
         assert!(bright < n / 100, "too many stars: {bright}");

@@ -133,8 +133,8 @@ impl FitsHeader {
             }
             let card = &bytes[pos..pos + CARD_SIZE];
             pos += CARD_SIZE;
-            let text = std::str::from_utf8(card)
-                .map_err(|_| format_error("non-ASCII header card"))?;
+            let text =
+                std::str::from_utf8(card).map_err(|_| format_error("non-ASCII header card"))?;
             let keyword = text[..8.min(text.len())].trim_end();
             if keyword == "END" {
                 break;

@@ -217,7 +217,8 @@ mod tests {
     fn kernel() -> Kernel {
         let mut k = Kernel::table3();
         k.mkdir("/data").unwrap();
-        k.mount_disk("/data", DiskDevice::table3_disk("hda")).unwrap();
+        k.mount_disk("/data", DiskDevice::table3_disk("hda"))
+            .unwrap();
         k
     }
 

@@ -1,50 +1,53 @@
 //! Property tests for the FITS substrate: header/codec round trips and
 //! streaming I/O invariants over the simulated kernel.
-
-use proptest::prelude::*;
+//!
+//! Runs under the in-repo `check` harness; enable with
+//! `cargo test -p sleds-fits --features proptests`.
 
 use sleds_devices::DiskDevice;
 use sleds_fits::{header::padded_len, Bitpix, FitsHeader, FitsReader, FitsWriter, BLOCK_SIZE};
 use sleds_fs::Kernel;
+use sleds_sim_core::{check, DetRng};
 
-fn bitpix_strategy() -> impl Strategy<Value = Bitpix> {
-    prop::sample::select(vec![
+fn random_bitpix(rng: &mut DetRng) -> Bitpix {
+    [
         Bitpix::U8,
         Bitpix::I16,
         Bitpix::I32,
         Bitpix::F32,
         Bitpix::F64,
-    ])
+    ][rng.range_usize(0, 5)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Header encode/parse round trips for arbitrary shapes.
-    #[test]
-    fn header_roundtrip(
-        bitpix in bitpix_strategy(),
-        axes in prop::collection::vec(1usize..10_000, 0..4),
-    ) {
+/// Header encode/parse round trips for arbitrary shapes.
+#[test]
+fn header_roundtrip() {
+    check::run("header_roundtrip", |rng| {
+        let bitpix = random_bitpix(rng);
+        let naxes = rng.range_usize(0, 4);
+        let axes: Vec<usize> = (0..naxes).map(|_| rng.range_usize(1, 10_000)).collect();
         let h = FitsHeader::primary(bitpix, &axes);
         let enc = h.encode();
-        prop_assert!(enc.len().is_multiple_of(BLOCK_SIZE));
+        assert!(enc.len().is_multiple_of(BLOCK_SIZE));
         let (parsed, consumed) = FitsHeader::parse(&enc).unwrap();
-        prop_assert_eq!(consumed, enc.len());
-        prop_assert_eq!(parsed.bitpix().unwrap(), bitpix);
-        prop_assert_eq!(parsed.axes().unwrap(), axes);
-    }
+        assert_eq!(consumed, enc.len());
+        assert_eq!(parsed.bitpix().unwrap(), bitpix);
+        assert_eq!(parsed.axes().unwrap(), axes);
+    });
+}
 
-    /// Integer codecs round trip exactly for in-range integral values;
-    /// float codecs round trip exactly for f32-representable values.
-    #[test]
-    fn codec_roundtrip(
-        bitpix in bitpix_strategy(),
-        raw in prop::collection::vec(-30_000i32..30_000, 0..200),
-    ) {
-        let values: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+/// Integer codecs round trip exactly for in-range integral values;
+/// float codecs round trip exactly for f32-representable values.
+#[test]
+fn codec_roundtrip() {
+    check::run("codec_roundtrip", |rng| {
+        let bitpix = random_bitpix(rng);
+        let n = rng.range_usize(0, 200);
+        let values: Vec<f64> = (0..n)
+            .map(|_| rng.range_u64(0, 60_000) as f64 - 30_000.0)
+            .collect();
         let enc = bitpix.encode(&values);
-        prop_assert_eq!(enc.len(), values.len() * bitpix.bytes_per_pixel());
+        assert_eq!(enc.len(), values.len() * bitpix.bytes_per_pixel());
         let dec = bitpix.decode(&enc).unwrap();
         for (orig, got) in values.iter().zip(&dec) {
             let expect = match bitpix {
@@ -52,35 +55,36 @@ proptest! {
                 Bitpix::I16 => orig.clamp(i16::MIN as f64, i16::MAX as f64),
                 _ => *orig,
             };
-            prop_assert_eq!(*got, expect);
+            assert_eq!(*got, expect);
         }
-    }
+    });
+}
 
-    /// padded_len is the least multiple of the block size >= input.
-    #[test]
-    fn padded_len_properties(n in 0u64..10_000_000) {
+/// padded_len is the least multiple of the block size >= input.
+#[test]
+fn padded_len_properties() {
+    check::run("padded_len_properties", |rng| {
+        let n = rng.range_u64(0, 10_000_000);
         let p = padded_len(n);
-        prop_assert!(p >= n);
-        prop_assert!(p.is_multiple_of(BLOCK_SIZE as u64));
-        prop_assert!(p < n + BLOCK_SIZE as u64);
-    }
+        assert!(p >= n);
+        assert!(p.is_multiple_of(BLOCK_SIZE as u64));
+        assert!(p < n + BLOCK_SIZE as u64);
+    });
+}
 
-    /// Full write/read cycles through the kernel preserve pixels exactly,
-    /// for arbitrary image shapes and chunked writes.
-    #[test]
-    fn kernel_io_roundtrip(
-        width in 1usize..64,
-        height in 1usize..32,
-        chunk in 1usize..512,
-        seed in any::<u64>(),
-    ) {
+/// Full write/read cycles through the kernel preserve pixels exactly,
+/// for arbitrary image shapes and chunked writes.
+#[test]
+fn kernel_io_roundtrip() {
+    check::run("kernel_io_roundtrip", |rng| {
+        let width = rng.range_usize(1, 64);
+        let height = rng.range_usize(1, 32);
+        let chunk = rng.range_usize(1, 512);
         let mut k = Kernel::table3();
         k.mkdir("/d").unwrap();
         k.mount_disk("/d", DiskDevice::table3_disk("hda")).unwrap();
         let n = width * height;
-        let mut rng = sleds_sim_core::DetRng::new(seed);
-        let values: Vec<f64> =
-            (0..n).map(|_| rng.range_u64(0, 30_000) as f64).collect();
+        let values: Vec<f64> = (0..n).map(|_| rng.range_u64(0, 30_000) as f64).collect();
         let mut w =
             FitsWriter::create(&mut k, "/d/img.fits", Bitpix::I32, &[width, height]).unwrap();
         for c in values.chunks(chunk) {
@@ -90,18 +94,18 @@ proptest! {
         k.close(fd).unwrap();
 
         let r = FitsReader::open(&mut k, "/d/img.fits").unwrap();
-        prop_assert_eq!(r.pixel_count(), n as u64);
+        assert_eq!(r.pixel_count(), n as u64);
         // Read back in a different chunking.
         let mut got = Vec::with_capacity(n);
         let mut idx = 0u64;
         while (idx as usize) < n {
             let part = r.read_pixels_at(&mut k, idx, chunk + 7).unwrap();
-            prop_assert!(!part.is_empty());
+            assert!(!part.is_empty());
             idx += part.len() as u64;
             got.extend(part);
         }
-        prop_assert_eq!(got, values);
+        assert_eq!(got, values);
         let size = k.stat("/d/img.fits").unwrap().size;
-        prop_assert!(size.is_multiple_of(BLOCK_SIZE as u64));
-    }
+        assert!(size.is_multiple_of(BLOCK_SIZE as u64));
+    });
 }

@@ -75,8 +75,7 @@ impl Kernel {
         while off < size {
             let first_page = off / PAGE_SIZE;
             let last_page = (size.min(off + chunk_size as u64) - 1) / PAGE_SIZE;
-            let resident = (first_page..=last_page)
-                .all(|p| self.cache_contains(ino, p));
+            let resident = (first_page..=last_page).all(|p| self.cache_contains(ino, p));
             if resident {
                 cached.push(off);
             } else {
@@ -209,7 +208,10 @@ mod tests {
         k.install_file("/d/f", &vec![2u8; n]).unwrap();
         let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
         let (_, rep) = k.aio_read_file(fd, 64 << 10, 5).unwrap();
-        assert!(rep.thrash > SimDuration::ZERO, "2 MiB of overflow must swap");
+        assert!(
+            rep.thrash > SimDuration::ZERO,
+            "2 MiB of overflow must swap"
+        );
         // Same file within RAM: no thrash.
         let mut k2 = kernel(16);
         k2.install_file("/d/f", &vec![2u8; n]).unwrap();

@@ -1,10 +1,21 @@
 //! Inodes: files and directories.
+//!
+//! File layout is kept run-length encoded: a [`PageMap`] stores maximal
+//! `(start_page, pages, dev, sector)` runs instead of one `PagePlace` per
+//! page, so layout queries cost O(log runs) and the SLED page walk can move
+//! extent by extent instead of page by page. The map also carries a
+//! generation counter, bumped on every layout or size change, which the
+//! kernel combines with the page cache's per-inode residency generation to
+//! version SLED vectors.
 
 use std::collections::BTreeMap;
 
-use sleds_sim_core::{SimTime, PAGE_SIZE};
+use sleds_sim_core::{SimTime, PAGE_SIZE, SECTOR_SIZE};
 
 use crate::kernel::{DeviceId, MountId};
+
+/// Sectors per page.
+pub const SECTORS_PER_PAGE: u64 = PAGE_SIZE / SECTOR_SIZE;
 
 /// An inode number, unique across the whole kernel.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -28,6 +39,247 @@ pub struct PagePlace {
     pub sector: u64,
 }
 
+/// One run of a file's layout: `pages` consecutive file pages starting at
+/// `start_page`, stored device-contiguously starting at `sector` on `dev`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LayoutRun {
+    /// First file page of the run.
+    pub start_page: u64,
+    /// Number of pages in the run.
+    pub pages: u64,
+    /// The device holding the run.
+    pub dev: DeviceId,
+    /// First sector of `start_page` on that device.
+    pub sector: u64,
+}
+
+impl LayoutRun {
+    /// First file page past the run.
+    pub fn end_page(&self) -> u64 {
+        self.start_page + self.pages
+    }
+
+    /// Where `page` lives. `page` must lie inside the run.
+    pub fn place_of(&self, page: u64) -> PagePlace {
+        debug_assert!(self.start_page <= page && page < self.end_page());
+        PagePlace {
+            dev: self.dev,
+            sector: self.sector + (page - self.start_page) * SECTORS_PER_PAGE,
+        }
+    }
+}
+
+/// A file's stable-storage layout as sorted, maximal runs.
+///
+/// Invariants: runs are sorted by `start_page` and tile `[0, page_count)`
+/// contiguously (files are always fully mapped); adjacent runs that are
+/// device-contiguous are merged, so each run is maximal and the run count
+/// equals the number of genuine layout discontinuities plus one.
+#[derive(Clone, Debug, Default)]
+pub struct PageMap {
+    runs: Vec<LayoutRun>,
+    pages: u64,
+    /// Bumped on every mutation (append, remap, clear) and by the kernel on
+    /// size changes; never reset, so `(residency gen, layout gen)` pairs
+    /// version SLED vectors without ABA.
+    gen: u64,
+}
+
+impl PageMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PageMap::default()
+    }
+
+    /// Number of mapped pages.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    /// True when nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Number of layout runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The layout generation: changes whenever the mapping changes.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Bumps the generation without changing the mapping — the kernel calls
+    /// this when the file *size* changes within the already-mapped pages
+    /// (a ragged tail growing), which changes SLED lengths.
+    pub fn bump_generation(&mut self) {
+        self.gen += 1;
+    }
+
+    /// All runs, ascending by `start_page`.
+    pub fn runs(&self) -> &[LayoutRun] {
+        &self.runs
+    }
+
+    fn run_index_of(&self, page: u64) -> Option<usize> {
+        if page >= self.pages {
+            return None;
+        }
+        // Runs tile [0, pages), so the last run starting at or before `page`
+        // contains it.
+        let idx = self.runs.partition_point(|r| r.start_page <= page);
+        debug_assert!(idx > 0);
+        Some(idx - 1)
+    }
+
+    /// The run containing `page`, if mapped.
+    pub fn run_of(&self, page: u64) -> Option<LayoutRun> {
+        self.run_index_of(page).map(|i| self.runs[i])
+    }
+
+    /// Where `page` lives, if mapped. O(log runs).
+    pub fn place_of(&self, page: u64) -> Option<PagePlace> {
+        self.run_of(page).map(|r| r.place_of(page))
+    }
+
+    /// First page past `page` at which the layout stops being
+    /// device-contiguous with `page` — the end of its (maximal) run.
+    pub fn contiguous_end(&self, page: u64) -> Option<u64> {
+        self.run_of(page).map(|r| r.end_page())
+    }
+
+    /// The runs overlapping `first..=last`, clipped to it, ascending.
+    pub fn runs_in(&self, first: u64, last: u64) -> Vec<LayoutRun> {
+        if first > last {
+            return Vec::new();
+        }
+        let start = self.runs.partition_point(|r| r.end_page() <= first);
+        let mut out = Vec::new();
+        for r in &self.runs[start..] {
+            if r.start_page > last {
+                break;
+            }
+            let s = r.start_page.max(first);
+            let e = r.end_page().min(last.saturating_add(1));
+            out.push(LayoutRun {
+                start_page: s,
+                pages: e - s,
+                dev: r.dev,
+                sector: r.sector + (s - r.start_page) * SECTORS_PER_PAGE,
+            });
+        }
+        out
+    }
+
+    fn push_coalescing(out: &mut Vec<LayoutRun>, r: LayoutRun) {
+        if r.pages == 0 {
+            return;
+        }
+        if let Some(last) = out.last_mut() {
+            if last.dev == r.dev
+                && last.end_page() == r.start_page
+                && last.sector + last.pages * SECTORS_PER_PAGE == r.sector
+            {
+                last.pages += r.pages;
+                return;
+            }
+        }
+        out.push(r);
+    }
+
+    /// Appends `pages` pages at the end of the mapping, starting at
+    /// `sector` on `dev`; merges with the final run when contiguous.
+    pub fn append_run(&mut self, dev: DeviceId, sector: u64, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        let r = LayoutRun {
+            start_page: self.pages,
+            pages,
+            dev,
+            sector,
+        };
+        Self::push_coalescing(&mut self.runs, r);
+        self.pages += pages;
+        self.gen += 1;
+    }
+
+    /// Remaps pages `[start_page, start_page + pages)` — which must already
+    /// be mapped — to a device-contiguous run starting at `sector` on `dev`.
+    /// Used by HSM staging (tape run → disk copy) and migration.
+    pub fn remap_run(&mut self, start_page: u64, pages: u64, dev: DeviceId, sector: u64) {
+        if pages == 0 {
+            return;
+        }
+        let end = start_page + pages;
+        assert!(end <= self.pages, "remap_run beyond mapping");
+        let mut out: Vec<LayoutRun> = Vec::with_capacity(self.runs.len() + 2);
+        let new_run = LayoutRun {
+            start_page,
+            pages,
+            dev,
+            sector,
+        };
+        let mut inserted = false;
+        for &r in &self.runs {
+            if r.end_page() <= start_page {
+                Self::push_coalescing(&mut out, r);
+                continue;
+            }
+            if r.start_page >= end {
+                if !inserted {
+                    Self::push_coalescing(&mut out, new_run);
+                    inserted = true;
+                }
+                Self::push_coalescing(&mut out, r);
+                continue;
+            }
+            // Overlap: keep the head before the remapped range...
+            if r.start_page < start_page {
+                Self::push_coalescing(
+                    &mut out,
+                    LayoutRun {
+                        start_page: r.start_page,
+                        pages: start_page - r.start_page,
+                        dev: r.dev,
+                        sector: r.sector,
+                    },
+                );
+            }
+            if !inserted {
+                Self::push_coalescing(&mut out, new_run);
+                inserted = true;
+            }
+            // ...and the tail after it.
+            if r.end_page() > end {
+                Self::push_coalescing(
+                    &mut out,
+                    LayoutRun {
+                        start_page: end,
+                        pages: r.end_page() - end,
+                        dev: r.dev,
+                        sector: r.sector + (end - r.start_page) * SECTORS_PER_PAGE,
+                    },
+                );
+            }
+        }
+        if !inserted {
+            Self::push_coalescing(&mut out, new_run);
+        }
+        self.runs = out;
+        self.gen += 1;
+    }
+
+    /// Unmaps everything (truncate). The generation keeps counting.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.pages = 0;
+        self.gen += 1;
+    }
+}
+
 /// A regular file's metadata and contents.
 #[derive(Clone, Debug, Default)]
 pub struct FileNode {
@@ -36,11 +288,12 @@ pub struct FileNode {
     /// File contents. The simulator holds real bytes so applications
     /// compute real answers; devices only model cost.
     pub data: Vec<u8>,
-    /// Stable-storage location of each page. `pages.len() == size.pages()`.
-    pub pages: Vec<PagePlace>,
-    /// For HSM files: the tape home of each page, kept while the page is
-    /// staged on disk so it can be discarded without copying back.
-    pub tape_home: Option<Vec<PagePlace>>,
+    /// Stable-storage layout, run-length encoded. Covers at least
+    /// `size.div_ceil(PAGE_SIZE)` pages.
+    pub pages: PageMap,
+    /// For HSM files: the tape-home layout, kept while pages are staged on
+    /// disk so the staged copy can be discarded without copying back.
+    pub tape_home: Option<PageMap>,
 }
 
 impl FileNode {
@@ -169,5 +422,129 @@ mod tests {
         assert_eq!(d.kind(), FileKind::Dir);
         assert!(d.as_dir().is_some());
         assert!(d.as_file().is_none());
+    }
+
+    const D0: DeviceId = DeviceId(0);
+    const D1: DeviceId = DeviceId(1);
+
+    #[test]
+    fn append_run_merges_contiguous_allocations() {
+        let mut m = PageMap::new();
+        m.append_run(D0, 2048, 4);
+        m.append_run(D0, 2048 + 4 * SECTORS_PER_PAGE, 4);
+        assert_eq!(m.run_count(), 1, "contiguous appends must merge");
+        assert_eq!(m.page_count(), 8);
+        // A gap breaks the run.
+        m.append_run(D0, 9000, 2);
+        assert_eq!(m.run_count(), 2);
+        assert_eq!(m.page_count(), 10);
+        // A different device always breaks the run.
+        m.append_run(D1, 9000 + 2 * SECTORS_PER_PAGE, 1);
+        assert_eq!(m.run_count(), 3);
+    }
+
+    #[test]
+    fn place_of_matches_per_page_expansion() {
+        let mut m = PageMap::new();
+        m.append_run(D0, 2048, 4);
+        m.append_run(D0, 9000, 3);
+        for (page, want) in [
+            (0u64, (D0, 2048)),
+            (3, (D0, 2048 + 3 * SECTORS_PER_PAGE)),
+            (4, (D0, 9000)),
+            (6, (D0, 9000 + 2 * SECTORS_PER_PAGE)),
+        ] {
+            let p = m.place_of(page).unwrap();
+            assert_eq!((p.dev, p.sector), want, "page {page}");
+        }
+        assert!(m.place_of(7).is_none(), "beyond the mapping");
+    }
+
+    #[test]
+    fn contiguous_end_is_run_end() {
+        let mut m = PageMap::new();
+        m.append_run(D0, 2048, 4);
+        m.append_run(D0, 9000, 3);
+        assert_eq!(m.contiguous_end(0), Some(4));
+        assert_eq!(m.contiguous_end(3), Some(4));
+        assert_eq!(m.contiguous_end(4), Some(7));
+        assert_eq!(m.contiguous_end(7), None);
+    }
+
+    #[test]
+    fn runs_in_clips() {
+        let mut m = PageMap::new();
+        m.append_run(D0, 2048, 4); // pages 0..4
+        m.append_run(D0, 9000, 4); // pages 4..8
+        let clipped = m.runs_in(2, 5);
+        assert_eq!(clipped.len(), 2);
+        assert_eq!(clipped[0].start_page, 2);
+        assert_eq!(clipped[0].pages, 2);
+        assert_eq!(clipped[0].sector, 2048 + 2 * SECTORS_PER_PAGE);
+        assert_eq!(clipped[1].start_page, 4);
+        assert_eq!(clipped[1].pages, 2);
+        assert_eq!(clipped[1].sector, 9000);
+        assert!(m.runs_in(8, 20).is_empty());
+        assert!(m.runs_in(5, 2).is_empty());
+    }
+
+    #[test]
+    fn remap_run_splits_and_coalesces() {
+        let mut m = PageMap::new();
+        m.append_run(D0, 2048, 8); // pages 0..8 on disk
+        let g0 = m.generation();
+        // Stage pages 2..5 somewhere else.
+        m.remap_run(2, 3, D1, 100);
+        assert!(m.generation() > g0);
+        assert_eq!(m.page_count(), 8);
+        assert_eq!(m.run_count(), 3);
+        assert_eq!(m.place_of(1).unwrap().sector, 2048 + SECTORS_PER_PAGE);
+        assert_eq!(
+            m.place_of(2).unwrap(),
+            PagePlace {
+                dev: D1,
+                sector: 100
+            }
+        );
+        assert_eq!(
+            m.place_of(4).unwrap(),
+            PagePlace {
+                dev: D1,
+                sector: 100 + 2 * SECTORS_PER_PAGE
+            }
+        );
+        assert_eq!(
+            m.place_of(5).unwrap(),
+            PagePlace {
+                dev: D0,
+                sector: 2048 + 5 * SECTORS_PER_PAGE
+            }
+        );
+        // Remapping back to the original location re-coalesces to one run.
+        m.remap_run(2, 3, D0, 2048 + 2 * SECTORS_PER_PAGE);
+        assert_eq!(m.run_count(), 1);
+    }
+
+    #[test]
+    fn remap_whole_mapping_replaces_it() {
+        let mut m = PageMap::new();
+        m.append_run(D0, 2048, 4);
+        m.append_run(D0, 9000, 4);
+        m.remap_run(0, 8, D1, 0);
+        assert_eq!(m.run_count(), 1);
+        assert_eq!(m.place_of(7).unwrap().dev, D1);
+    }
+
+    #[test]
+    fn clear_keeps_generation_counting() {
+        let mut m = PageMap::new();
+        m.append_run(D0, 2048, 4);
+        let g = m.generation();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.page_count(), 0);
+        assert!(m.generation() > g, "clear must advance the generation");
+        m.append_run(D0, 4096, 1);
+        assert_eq!(m.place_of(0).unwrap().sector, 4096);
     }
 }

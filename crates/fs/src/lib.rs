@@ -5,9 +5,12 @@
 //! `stat`/`readdir`/...), a page cache (from `sleds-pagecache`), block
 //! devices (from `sleds-devices`), mount points, per-job resource usage, and
 //! — the hook the SLEDs API needs — a page-residency walk
-//! ([`Kernel::page_locations`]) that reports, for every page of an open
-//! file, whether it is in the buffer cache and on which device sectors it
-//! lives otherwise.
+//! ([`Kernel::page_extents`]) that reports, extent by extent, whether an
+//! open file's pages are in the buffer cache and on which device sectors
+//! they live otherwise. The walk is run-length throughout: file layout is a
+//! [`inode::PageMap`] of maximal device-contiguous runs, residency is the
+//! page cache's extent index, and the walk's cost is one probe per extent
+//! plus a per-page floor rather than one probe per page.
 //!
 //! Unlike a real kernel, file *contents* are held in memory (`Vec<u8>`) so
 //! applications compute real answers, while all *costs* are charged against
@@ -26,7 +29,7 @@ pub mod machine;
 pub mod rusage;
 
 pub use aio::AioReport;
-pub use inode::{FileKind, Ino, PagePlace, Stat};
-pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageLocation, Whence};
+pub use inode::{FileKind, Ino, LayoutRun, PageMap, PagePlace, Stat, SECTORS_PER_PAGE};
+pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageExtent, PageLocation, Whence};
 pub use machine::MachineConfig;
 pub use rusage::{JobReport, JobTimer, Rusage};

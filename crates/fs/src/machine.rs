@@ -26,8 +26,16 @@ pub struct MachineConfig {
     pub syscall_cpu: SimDuration,
     /// CPU cost of handling one page fault (kernel path, not the I/O).
     pub fault_cpu: SimDuration,
-    /// CPU cost per page examined by the SLED residency walk.
+    /// CPU cost per *extent probe* of the SLED residency walk. With the
+    /// run-length residency index the walk performs one probe per extent it
+    /// emits rather than one per page; this is the probe's cost (it was the
+    /// per-page cost before the index existed, and still is for the
+    /// retained per-page reference walk).
     pub page_walk_cpu: SimDuration,
+    /// Per-page floor of the SLED residency walk: copying the result out
+    /// and bookkeeping still touch every page's worth of output, so even a
+    /// one-extent walk over a huge file is not free.
+    pub page_walk_floor_cpu: SimDuration,
     /// Pages to prefetch beyond a demand-miss run (0 disables readahead).
     ///
     /// Off by default: the paper's measured fault counts scale with file
@@ -48,6 +56,7 @@ impl MachineConfig {
             syscall_cpu: SimDuration::from_micros(5),
             fault_cpu: SimDuration::from_micros(2),
             page_walk_cpu: SimDuration::from_nanos(250),
+            page_walk_floor_cpu: SimDuration::from_nanos(1),
             readahead_pages: 0,
         }
     }
@@ -59,6 +68,21 @@ impl MachineConfig {
             mem_bandwidth: Bandwidth::mb_per_sec(87.0),
             ..MachineConfig::table2()
         }
+    }
+
+    /// CPU cost of a SLED residency walk that emitted `extents` extents
+    /// covering `pages` pages: one probe per extent plus the per-page
+    /// floor. O(runs) with a per-page floor — the extent-index cost model.
+    pub fn page_walk_cost(&self, extents: u64, pages: u64) -> SimDuration {
+        SimDuration::from_nanos(
+            self.page_walk_cpu.as_nanos() * extents + self.page_walk_floor_cpu.as_nanos() * pages,
+        )
+    }
+
+    /// CPU cost of the legacy per-page residency walk over `pages` pages —
+    /// what every walk cost before the extent index.
+    pub fn page_walk_cost_per_page(&self, pages: u64) -> SimDuration {
+        SimDuration::from_nanos(self.page_walk_cpu.as_nanos() * pages)
     }
 
     /// Number of pages the page cache may hold.

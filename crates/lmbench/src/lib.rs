@@ -81,10 +81,9 @@ pub fn measure_memory(kernel: &mut Kernel, scratch_dir: &str) -> SimResult<Calib
 /// file system (so it includes the syscall and copy costs applications see).
 /// The scratch file is removed afterwards.
 pub fn measure_mount(kernel: &mut Kernel, dir: &str) -> SimResult<Calibration> {
-    let mount = kernel
-        .stat(dir)?
-        .mount
-        .ok_or_else(|| sleds_sim_core::SimError::new(sleds_sim_core::Errno::Einval, format!("{dir}: not a mount")))?;
+    let mount = kernel.stat(dir)?.mount.ok_or_else(|| {
+        sleds_sim_core::SimError::new(sleds_sim_core::Errno::Einval, format!("{dir}: not a mount"))
+    })?;
     let dev = kernel.device_of_mount(mount).expect("mount has device");
     let cap = kernel.device_capacity(dev).expect("device registered");
     let path = format!("{dir}/__lmbench_dev");
@@ -145,9 +144,7 @@ pub fn fill_table(kernel: &mut Kernel, mounts: &[(&str, MountId)]) -> SimResult<
             .expect("mount id from caller");
         table.fill_device(dev, SledsEntry::new(cal.latency, cal.bandwidth));
         if let Some(tape) = kernel.tape_of_mount(*mount) {
-            let profile = kernel
-                .device_profile(tape)
-                .expect("tape device registered");
+            let profile = kernel.device_profile(tape).expect("tape device registered");
             table.fill_device(
                 tape,
                 SledsEntry::new(
@@ -167,13 +164,12 @@ pub fn fill_table(kernel: &mut Kernel, mounts: &[(&str, MountId)]) -> SimResult<
 /// bandwidths are the device's *relative* zone speeds anchored to the
 /// *measured* flat bandwidth — so the syscall/copy overheads baked into the
 /// measurement carry over to every zone.
-pub fn fill_table_zoned(
-    kernel: &mut Kernel,
-    mounts: &[(&str, MountId)],
-) -> SimResult<SledsTable> {
+pub fn fill_table_zoned(kernel: &mut Kernel, mounts: &[(&str, MountId)]) -> SimResult<SledsTable> {
     let mut table = fill_table(kernel, mounts)?;
     for (_, mount) in mounts {
-        let dev = kernel.device_of_mount(*mount).expect("mount id from caller");
+        let dev = kernel
+            .device_of_mount(*mount)
+            .expect("mount id from caller");
         let spans = kernel.device_zone_map(dev).expect("device registered");
         if spans.len() < 2 {
             continue;
@@ -207,7 +203,8 @@ mod tests {
     fn memory_row_matches_table2_model() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let cal = measure_memory(&mut k, "/data").unwrap();
         // Latency ~175 ns (the model's memory latency).
         assert!(
@@ -224,7 +221,8 @@ mod tests {
     fn disk_row_matches_table2() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let cal = measure_mount(&mut k, "/data").unwrap();
         let ms = cal.latency * 1e3;
         assert!((14.0..22.0).contains(&ms), "disk latency {ms} ms");
@@ -236,9 +234,11 @@ mod tests {
     fn cdrom_row_matches_table2() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         k.mkdir("/cdrom").unwrap();
-        k.mount_cdrom("/cdrom", CdRomDevice::table2_drive("cd0")).unwrap();
+        k.mount_cdrom("/cdrom", CdRomDevice::table2_drive("cd0"))
+            .unwrap();
         let cal = measure_mount(&mut k, "/cdrom").unwrap();
         let ms = cal.latency * 1e3;
         assert!((100.0..170.0).contains(&ms), "cdrom latency {ms} ms");
@@ -250,9 +250,11 @@ mod tests {
     fn nfs_row_matches_table2() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         k.mkdir("/nfs").unwrap();
-        k.mount_nfs("/nfs", NfsDevice::table2_mount("srv:/exp")).unwrap();
+        k.mount_nfs("/nfs", NfsDevice::table2_mount("srv:/exp"))
+            .unwrap();
         let cal = measure_mount(&mut k, "/nfs").unwrap();
         let ms = cal.latency * 1e3;
         assert!((240.0..300.0).contains(&ms), "nfs latency {ms} ms");
@@ -264,9 +266,13 @@ mod tests {
     fn fill_table_covers_all_mounts() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m1 = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m1 = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         k.mkdir("/nfs").unwrap();
-        let m2 = k.mount_nfs("/nfs", NfsDevice::table2_mount("srv:/exp")).unwrap();
+        let m2 = k
+            .mount_nfs("/nfs", NfsDevice::table2_mount("srv:/exp"))
+            .unwrap();
         let table = fill_table(&mut k, &[("/data", m1), ("/nfs", m2)]).unwrap();
         assert!(table.is_filled());
         assert_eq!(table.device_count(), 2);
@@ -280,7 +286,9 @@ mod tests {
     fn zoned_table_orders_zones_and_anchors_to_measurement() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         let table = fill_table_zoned(&mut k, &[("/data", m)]).unwrap();
         let dev = k.device_of_mount(m).unwrap();
         assert!(table.has_zones(dev));
@@ -301,7 +309,8 @@ mod tests {
     fn probes_clean_up_after_themselves() {
         let mut k = Kernel::table2();
         k.mkdir("/data").unwrap();
-        k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+        k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
         measure_memory(&mut k, "/data").unwrap();
         measure_mount(&mut k, "/data").unwrap();
         assert!(k.readdir("/data").unwrap().is_empty());

@@ -12,11 +12,23 @@
 //! approximation. Clock, FIFO, MRU and 2Q are provided for the ablation
 //! benchmarks. The cache stores no data bytes — the simulator models *cost*,
 //! and file contents live with the file system — only residency metadata.
+//!
+//! Residency, dirty and pinned state are stored per inode as sorted
+//! run-length extents ([`ExtentSet`]), so the SLED construction path can ask
+//! for the resident runs of a byte range ([`PageCache::resident_runs`]) or
+//! the next residency transition ([`PageCache::next_boundary`]) in O(log
+//! runs) instead of probing every page. Each inode also carries a
+//! **generation counter**, bumped whenever its residency changes, which lets
+//! callers memoize derived results (like a SLED vector) and revalidate them
+//! in O(1).
 
+pub mod extent;
 pub mod policy;
 
 use std::collections::HashMap;
+use std::ops::RangeInclusive;
 
+pub use extent::ExtentSet;
 pub use policy::{
     ClockPolicy, FifoPolicy, LruPolicy, MruPolicy, PolicyKind, ReplacementPolicy, TwoQPolicy,
 };
@@ -61,11 +73,27 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
+/// Per-inode extent bookkeeping: residency, dirty and pinned page sets plus
+/// the residency generation.
+#[derive(Clone, Debug, Default)]
+struct InodeIndex {
+    resident: ExtentSet,
+    dirty: ExtentSet,
+    pinned: ExtentSet,
+    /// Bumped on every residency change (insert of a new page, eviction,
+    /// removal). Dirty/pin transitions do not move it: they don't change
+    /// which storage level a byte would be served from.
+    generation: u64,
+}
+
 /// The buffer cache: residency + dirty metadata under a replacement policy.
 pub struct PageCache {
     capacity: usize,
-    resident: HashMap<PageKey, bool>, // value = dirty
-    pinned: std::collections::HashSet<PageKey>,
+    len: usize,
+    pinned_len: usize,
+    /// Inode number -> extent index. Entries are kept once created (even
+    /// when emptied) so generation counters never restart.
+    index: HashMap<u64, InodeIndex>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
 }
@@ -74,7 +102,7 @@ impl std::fmt::Debug for PageCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PageCache")
             .field("capacity", &self.capacity)
-            .field("resident", &self.resident.len())
+            .field("resident", &self.len)
             .field("policy", &self.policy.name())
             .field("stats", &self.stats)
             .finish()
@@ -92,8 +120,9 @@ impl PageCache {
         assert!(capacity > 0, "page cache needs at least one page");
         PageCache {
             capacity,
-            resident: HashMap::with_capacity(capacity),
-            pinned: Default::default(),
+            len: 0,
+            pinned_len: 0,
+            index: HashMap::new(),
             policy: policy.build(capacity),
             stats: CacheStats::default(),
         }
@@ -111,12 +140,12 @@ impl PageCache {
 
     /// Current number of resident pages.
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.len
     }
 
     /// True when no pages are resident.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.len == 0
     }
 
     /// The replacement policy's name, for reports.
@@ -140,13 +169,15 @@ impl PageCache {
     /// is what the kernel's SLED walk uses, and observing state must not
     /// change it.
     pub fn contains(&self, key: PageKey) -> bool {
-        self.resident.contains_key(&key)
+        self.index
+            .get(&key.inode)
+            .is_some_and(|ix| ix.resident.contains(key.index))
     }
 
     /// Looks a page up on behalf of a read. Returns true on a hit (and
     /// informs the policy); counts a miss otherwise.
     pub fn lookup(&mut self, key: PageKey) -> bool {
-        if self.resident.contains_key(&key) {
+        if self.contains(key) {
             self.policy.on_hit(key);
             self.stats.hits += 1;
             true
@@ -156,30 +187,53 @@ impl PageCache {
         }
     }
 
+    /// Detaches a resident page from the extent index without informing the
+    /// policy (the caller has already settled with it). Returns whether the
+    /// page was dirty, or None when it was not resident.
+    fn detach(&mut self, key: PageKey) -> Option<bool> {
+        let ix = self.index.get_mut(&key.inode)?;
+        if !ix.resident.remove(key.index) {
+            return None;
+        }
+        let dirty = ix.dirty.remove(key.index);
+        if ix.pinned.remove(key.index) {
+            self.pinned_len -= 1;
+        }
+        ix.generation += 1;
+        self.len -= 1;
+        Some(dirty)
+    }
+
     /// Inserts a page (clean unless `dirty`), evicting if necessary.
     ///
     /// Returns the evicted page, if any, so the caller can charge a
     /// writeback for dirty victims. Inserting an already-resident page just
     /// refreshes it (and ORs the dirty bit).
     pub fn insert(&mut self, key: PageKey, dirty: bool) -> Option<Evicted> {
-        if let Some(d) = self.resident.get_mut(&key) {
-            *d |= dirty;
+        if self.contains(key) {
+            if dirty {
+                self.index
+                    .get_mut(&key.inode)
+                    .expect("resident page has an index")
+                    .dirty
+                    .insert(key.index);
+            }
             self.policy.on_hit(key);
             return None;
         }
         let mut evicted = None;
-        if self.resident.len() >= self.capacity {
+        if self.len >= self.capacity {
             // Pinned pages are not evictable: skip them (re-inserting into
             // the policy) up to one full pass. If everything is pinned the
             // cache overflows, as mlock'd memory does — pinning reduces the
             // reclaimable set, it does not make allocation fail.
-            for _ in 0..=self.resident.len() {
+            for _ in 0..=self.len {
                 match self.policy.evict() {
-                    Some(victim) if self.pinned.contains(&victim) => {
+                    Some(victim) if self.is_pinned(victim) => {
                         self.policy.on_insert(victim);
                     }
                     Some(victim) => {
-                        let was_dirty = self.resident.remove(&victim).unwrap_or(false);
+                        let was_dirty = self.detach(victim).unwrap_or(false);
                         self.stats.evictions += 1;
                         if was_dirty {
                             self.stats.dirty_evictions += 1;
@@ -194,7 +248,13 @@ impl PageCache {
                 }
             }
         }
-        self.resident.insert(key, dirty);
+        let ix = self.index.entry(key.inode).or_default();
+        ix.resident.insert(key.index);
+        if dirty {
+            ix.dirty.insert(key.index);
+        }
+        ix.generation += 1;
+        self.len += 1;
         self.policy.on_insert(key);
         self.stats.insertions += 1;
         evicted
@@ -211,61 +271,76 @@ impl PageCache {
     /// Returns false (and pins nothing) when the page is not resident —
     /// a reservation can only hold what exists.
     pub fn pin(&mut self, key: PageKey) -> bool {
-        if self.resident.contains_key(&key) {
-            self.pinned.insert(key);
-            true
-        } else {
-            false
+        let Some(ix) = self.index.get_mut(&key.inode) else {
+            return false;
+        };
+        if !ix.resident.contains(key.index) {
+            return false;
         }
+        if ix.pinned.insert(key.index) {
+            self.pinned_len += 1;
+        }
+        true
     }
 
     /// Releases a pin. No-op if not pinned.
     pub fn unpin(&mut self, key: PageKey) {
-        self.pinned.remove(&key);
+        if let Some(ix) = self.index.get_mut(&key.inode) {
+            if ix.pinned.remove(key.index) {
+                self.pinned_len -= 1;
+            }
+        }
     }
 
     /// True when the page is pinned.
     pub fn is_pinned(&self, key: PageKey) -> bool {
-        self.pinned.contains(&key)
+        self.index
+            .get(&key.inode)
+            .is_some_and(|ix| ix.pinned.contains(key.index))
     }
 
     /// Number of pinned pages.
     pub fn pinned_count(&self) -> usize {
-        self.pinned.len()
+        self.pinned_len
     }
 
     /// Marks a resident page dirty. No-op if the page is not resident.
     pub fn mark_dirty(&mut self, key: PageKey) {
-        if let Some(d) = self.resident.get_mut(&key) {
-            *d = true;
+        if let Some(ix) = self.index.get_mut(&key.inode) {
+            if ix.resident.contains(key.index) {
+                ix.dirty.insert(key.index);
+            }
         }
     }
 
     /// True if the page is resident and dirty.
     pub fn is_dirty(&self, key: PageKey) -> bool {
-        self.resident.get(&key).copied().unwrap_or(false)
+        self.index
+            .get(&key.inode)
+            .is_some_and(|ix| ix.dirty.contains(key.index))
     }
 
     /// Drops a page without writeback accounting (e.g. truncate). Returns
     /// whether it was dirty.
     pub fn remove(&mut self, key: PageKey) -> Option<bool> {
-        let dirty = self.resident.remove(&key)?;
-        self.pinned.remove(&key);
+        let dirty = self.detach(key)?;
         self.policy.on_remove(key);
         Some(dirty)
     }
 
     /// Drops every page of `inode`, returning the dirty ones (the caller
     /// decides whether they must be flushed first, as `fsync` would).
+    ///
+    /// Costs O(pages of this inode), not O(cache): the extent index knows
+    /// exactly which pages belong to the file.
     pub fn remove_file(&mut self, inode: u64) -> Vec<PageKey> {
-        let keys: Vec<PageKey> = self
-            .resident
-            .keys()
-            .filter(|k| k.inode == inode)
-            .copied()
-            .collect();
+        let Some(ix) = self.index.get(&inode) else {
+            return Vec::new();
+        };
+        let pages: Vec<u64> = ix.resident.iter_pages().collect();
         let mut dirty = Vec::new();
-        for k in keys {
+        for p in pages {
+            let k = PageKey::new(inode, p);
             if self.remove(k) == Some(true) {
                 dirty.push(k);
             }
@@ -275,34 +350,84 @@ impl PageCache {
 
     /// Returns the dirty pages of `inode` without removing them (`fsync`).
     pub fn dirty_pages_of(&self, inode: u64) -> Vec<PageKey> {
-        let mut v: Vec<PageKey> = self
-            .resident
-            .iter()
-            .filter(|(k, &d)| k.inode == inode && d)
-            .map(|(k, _)| *k)
-            .collect();
-        v.sort();
-        v
+        self.index
+            .get(&inode)
+            .map(|ix| {
+                ix.dirty
+                    .iter_pages()
+                    .map(|p| PageKey::new(inode, p))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Marks a page clean after writeback.
     pub fn mark_clean(&mut self, key: PageKey) {
-        if let Some(d) = self.resident.get_mut(&key) {
-            *d = false;
+        if let Some(ix) = self.index.get_mut(&key.inode) {
+            ix.dirty.remove(key.index);
         }
     }
 
     /// Residency bitmap for the first `npages` pages of `inode` — the whole
-    /// of `mincore(2)`, and the input to the kernel's SLED construction.
+    /// of `mincore(2)`, and the input to the per-page reference SLED walk.
     pub fn residency(&self, inode: u64, npages: u64) -> Vec<bool> {
-        (0..npages)
-            .map(|i| self.contains(PageKey::new(inode, i)))
-            .collect()
+        let mut v = vec![false; npages as usize];
+        if npages == 0 {
+            return v;
+        }
+        for run in self.resident_runs(inode, 0..=npages - 1) {
+            for p in run {
+                v[p as usize] = true;
+            }
+        }
+        v
+    }
+
+    /// The resident runs of `inode` overlapping `range` (page indices,
+    /// inclusive), clipped to it, ascending. O(log runs + runs-in-range).
+    pub fn resident_runs(
+        &self,
+        inode: u64,
+        range: RangeInclusive<u64>,
+    ) -> Vec<RangeInclusive<u64>> {
+        self.index
+            .get(&inode)
+            .map(|ix| ix.resident.runs_in(range))
+            .unwrap_or_default()
+    }
+
+    /// The first page index `> page` where `inode`'s residency state flips,
+    /// or `u64::MAX` when it never does. O(log runs).
+    pub fn next_boundary(&self, inode: u64, page: u64) -> u64 {
+        self.index
+            .get(&inode)
+            .map(|ix| ix.resident.next_boundary(page))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Number of resident runs for `inode` (0 when nothing is cached).
+    pub fn resident_run_count(&self, inode: u64) -> usize {
+        self.index
+            .get(&inode)
+            .map(|ix| ix.resident.run_count())
+            .unwrap_or(0)
+    }
+
+    /// The residency generation of `inode`: bumped whenever a page of the
+    /// file enters or leaves the cache. Starts at 0 for never-cached files
+    /// and never restarts, so `(inode, generation)` uniquely identifies a
+    /// residency state for memoization.
+    pub fn generation(&self, inode: u64) -> u64 {
+        self.index.get(&inode).map(|ix| ix.generation).unwrap_or(0)
     }
 
     /// Drops everything (unmount without writeback; test helper).
     pub fn clear(&mut self) {
-        let keys: Vec<PageKey> = self.resident.keys().copied().collect();
+        let keys: Vec<PageKey> = self
+            .index
+            .iter()
+            .flat_map(|(&ino, ix)| ix.resident.iter_pages().map(move |p| PageKey::new(ino, p)))
+            .collect();
         for k in keys {
             self.remove(k);
         }
@@ -511,5 +636,71 @@ mod tests {
         c.pin(key(0));
         c.remove(key(0));
         assert_eq!(c.pinned_count(), 0);
+    }
+
+    #[test]
+    fn resident_runs_coalesce_and_clip() {
+        let mut c = PageCache::lru(32);
+        for i in [0u64, 1, 2, 3, 10, 11, 30] {
+            c.insert(key(i), false);
+        }
+        assert_eq!(c.resident_runs(1, 0..=63), vec![0..=3, 10..=11, 30..=30]);
+        assert_eq!(c.resident_runs(1, 2..=10), vec![2..=3, 10..=10]);
+        assert_eq!(c.resident_runs(2, 0..=63), Vec::<_>::new());
+        assert_eq!(c.resident_run_count(1), 3);
+    }
+
+    #[test]
+    fn next_boundary_tracks_residency_flips() {
+        let mut c = PageCache::lru(32);
+        for i in [4u64, 5, 6] {
+            c.insert(key(i), false);
+        }
+        assert_eq!(c.next_boundary(1, 0), 4);
+        assert_eq!(c.next_boundary(1, 4), 7);
+        assert_eq!(c.next_boundary(1, 7), u64::MAX);
+        assert_eq!(c.next_boundary(99, 0), u64::MAX, "unknown inode: no flips");
+    }
+
+    #[test]
+    fn generation_bumps_on_residency_changes_only() {
+        let mut c = PageCache::lru(4);
+        assert_eq!(c.generation(1), 0);
+        c.insert(key(0), false);
+        let g1 = c.generation(1);
+        assert!(g1 > 0);
+        // Re-insert, pin, dirty: no residency change, no bump.
+        c.insert(key(0), true);
+        c.pin(key(0));
+        c.mark_dirty(key(0));
+        c.mark_clean(key(0));
+        c.unpin(key(0));
+        assert_eq!(c.generation(1), g1);
+        // Removal bumps.
+        c.remove(key(0));
+        assert!(c.generation(1) > g1);
+    }
+
+    #[test]
+    fn generation_survives_full_eviction() {
+        let mut c = PageCache::lru(2);
+        c.insert(key(0), false);
+        c.insert(key(1), false);
+        let g = c.generation(1);
+        c.remove_file(1);
+        assert!(c.is_empty());
+        assert!(
+            c.generation(1) > g,
+            "generation must keep counting after the file leaves the cache"
+        );
+    }
+
+    #[test]
+    fn eviction_bumps_victims_generation() {
+        let mut c = PageCache::lru(1);
+        c.insert(PageKey::new(1, 0), false);
+        let g = c.generation(1);
+        c.insert(PageKey::new(2, 0), false); // evicts inode 1's page
+        assert!(c.generation(1) > g);
     }
 }

@@ -1,9 +1,11 @@
 //! Model-based property tests: the LRU policy against a straightforward
 //! reference implementation, and structural invariants for every policy.
-
-use proptest::prelude::*;
+//!
+//! Runs under the in-repo `check` harness; enable with
+//! `cargo test -p sleds-pagecache --features proptests`.
 
 use sleds_pagecache::{PageCache, PageKey, PolicyKind};
+use sleds_sim_core::{check, DetRng};
 
 /// Operations the model exercises.
 #[derive(Clone, Debug)]
@@ -15,14 +17,15 @@ enum Op {
     Unpin(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..32).prop_map(Op::Lookup),
-        (0u64..32).prop_map(Op::Insert),
-        (0u64..32).prop_map(Op::Remove),
-        (0u64..32).prop_map(Op::Pin),
-        (0u64..32).prop_map(Op::Unpin),
-    ]
+fn random_op(rng: &mut DetRng) -> Op {
+    let k = rng.range_u64(0, 32);
+    match rng.range_u64(0, 5) {
+        0 => Op::Lookup(k),
+        1 => Op::Insert(k),
+        2 => Op::Remove(k),
+        3 => Op::Pin(k),
+        _ => Op::Unpin(k),
+    }
 }
 
 /// A trivially-correct LRU cache: Vec ordered oldest-first.
@@ -77,22 +80,24 @@ impl ModelLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The real LRU cache and the reference model agree on residency after
-    /// any op sequence (evictions compared implicitly through residency).
-    #[test]
-    fn lru_matches_reference_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+/// The real LRU cache and the reference model agree on residency after
+/// any op sequence (evictions compared implicitly through residency).
+#[test]
+fn lru_matches_reference_model() {
+    check::run("lru_matches_reference_model", |rng| {
         let capacity = 8;
         let mut real = PageCache::lru(capacity);
-        let mut model = ModelLru { capacity, ..Default::default() };
-        for op in ops {
-            match op {
+        let mut model = ModelLru {
+            capacity,
+            ..Default::default()
+        };
+        let nops = rng.range_usize(0, 200);
+        for _ in 0..nops {
+            match random_op(rng) {
                 Op::Lookup(k) => {
                     let r = real.lookup(PageKey::new(1, k));
                     let m = model.lookup(k);
-                    prop_assert_eq!(r, m, "lookup({})", k);
+                    assert_eq!(r, m, "lookup({k})");
                 }
                 Op::Insert(k) => {
                     real.insert(PageKey::new(1, k), false);
@@ -107,7 +112,7 @@ proptest! {
                     if r {
                         model.pinned.insert(k);
                     }
-                    prop_assert_eq!(r, model.order.contains(&k));
+                    assert_eq!(r, model.order.contains(&k));
                 }
                 Op::Unpin(k) => {
                     real.unpin(PageKey::new(1, k));
@@ -116,49 +121,57 @@ proptest! {
             }
             // Residency must agree exactly.
             for k in 0u64..32 {
-                prop_assert_eq!(
+                assert_eq!(
                     real.contains(PageKey::new(1, k)),
                     model.order.contains(&k),
-                    "residency of {} diverged", k
+                    "residency of {k} diverged"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Structural invariants hold for every policy: capacity is respected
-    /// (absent pins), stats add up, and reads after insert always hit.
-    #[test]
-    fn all_policies_respect_capacity_and_stats(
-        kind_idx in 0usize..5,
-        keys in prop::collection::vec(0u64..64, 1..300),
-    ) {
-        let kind = PolicyKind::all()[kind_idx];
+/// Structural invariants hold for every policy: capacity is respected
+/// (absent pins), stats add up, and reads after insert always hit.
+#[test]
+fn all_policies_respect_capacity_and_stats() {
+    check::run("all_policies_respect_capacity_and_stats", |rng| {
+        let kind = PolicyKind::all()[rng.range_usize(0, 5)];
         let capacity = 10;
         let mut cache = PageCache::new(capacity, kind);
+        let nkeys = rng.range_usize(1, 300);
+        let keys: Vec<u64> = (0..nkeys).map(|_| rng.range_u64(0, 64)).collect();
         for &k in &keys {
             let key = PageKey::new(1, k);
             if !cache.lookup(key) {
                 cache.insert(key, false);
             }
-            prop_assert!(cache.contains(key), "{}: just-inserted page missing", kind.name());
-            prop_assert!(cache.len() <= capacity, "{} overflowed", kind.name());
+            assert!(
+                cache.contains(key),
+                "{}: just-inserted page missing",
+                kind.name()
+            );
+            assert!(cache.len() <= capacity, "{} overflowed", kind.name());
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits + s.misses, keys.len() as u64);
-        prop_assert_eq!(s.insertions, s.misses);
-        prop_assert!(s.evictions <= s.insertions);
-    }
+        assert_eq!(s.hits + s.misses, keys.len() as u64);
+        assert_eq!(s.insertions, s.misses);
+        assert!(s.evictions <= s.insertions);
+    });
+}
 
-    /// Dirty accounting: every dirty page is either still resident and
-    /// dirty, was evicted as dirty, or was explicitly cleaned/removed.
-    #[test]
-    fn dirty_pages_are_never_silently_lost(
-        ops in prop::collection::vec((0u64..16, prop::bool::ANY), 1..200),
-    ) {
+/// Dirty accounting: every dirty page is either still resident and
+/// dirty, was evicted as dirty, or was explicitly cleaned/removed.
+#[test]
+fn dirty_pages_are_never_silently_lost() {
+    check::run("dirty_pages_are_never_silently_lost", |rng| {
         let mut cache = PageCache::lru(4);
         let mut dirty_evicted = 0u64;
         let mut dirtied = std::collections::BTreeSet::new();
-        for (k, dirty) in ops {
+        let nops = rng.range_usize(1, 200);
+        for _ in 0..nops {
+            let k = rng.range_u64(0, 16);
+            let dirty = rng.chance(0.5);
             let key = PageKey::new(1, k);
             if let Some(ev) = cache.insert(key, dirty) {
                 if ev.dirty {
@@ -173,7 +186,65 @@ proptest! {
         let still_dirty = (0u64..16)
             .filter(|&k| cache.is_dirty(PageKey::new(1, k)))
             .count() as u64;
-        prop_assert_eq!(cache.stats().dirty_evictions, dirty_evicted);
-        prop_assert_eq!(still_dirty, dirtied.len() as u64);
-    }
+        assert_eq!(cache.stats().dirty_evictions, dirty_evicted);
+        assert_eq!(still_dirty, dirtied.len() as u64);
+    });
+}
+
+/// The extent index agrees with per-page `contains` on every inode after
+/// arbitrary op sequences, and `next_boundary` marks true state changes.
+#[test]
+fn extent_index_matches_per_page_probes() {
+    check::run("extent_index_matches_per_page_probes", |rng| {
+        let mut cache = PageCache::lru(12);
+        let nops = rng.range_usize(0, 250);
+        for _ in 0..nops {
+            match random_op(rng) {
+                Op::Lookup(k) => {
+                    cache.lookup(PageKey::new(1, k));
+                }
+                Op::Insert(k) => {
+                    cache.insert(PageKey::new(1, k), rng.chance(0.3));
+                }
+                Op::Remove(k) => {
+                    cache.remove(PageKey::new(1, k));
+                }
+                Op::Pin(k) => {
+                    cache.pin(PageKey::new(1, k));
+                }
+                Op::Unpin(k) => {
+                    cache.unpin(PageKey::new(1, k));
+                }
+            }
+        }
+        // Runs reported by the extent index must exactly tile the set of
+        // pages that per-page probes report resident.
+        let mut from_runs = vec![false; 40];
+        for run in cache.resident_runs(1, 0..=39) {
+            for p in run.clone() {
+                assert!(!from_runs[p as usize], "overlapping runs at page {p}");
+                from_runs[p as usize] = true;
+            }
+        }
+        for k in 0u64..40 {
+            assert_eq!(
+                from_runs[k as usize],
+                cache.contains(PageKey::new(1, k)),
+                "extent/per-page disagreement at page {k}"
+            );
+        }
+        // next_boundary always lands on a residency flip (or past the probe).
+        for k in 0u64..40 {
+            let b = cache.next_boundary(1, k);
+            assert!(b > k, "boundary {b} not past probe {k}");
+            let here = cache.contains(PageKey::new(1, k));
+            for p in k..b.min(40) {
+                assert_eq!(
+                    cache.contains(PageKey::new(1, p)),
+                    here,
+                    "state flipped before boundary at {p}"
+                );
+            }
+        }
+    });
 }

@@ -1,0 +1,105 @@
+//! Minimal randomized property-check harness.
+//!
+//! A dependency-free stand-in for an external property-testing crate: each
+//! property runs a fixed number of cases, every case drawing its inputs from
+//! a [`DetRng`] seeded deterministically from the property name and case
+//! index. Failures report the case index and seed so a single case can be
+//! replayed by hand with `DetRng::new(seed)`.
+//!
+//! Case count defaults to 96 and can be raised or lowered with the
+//! `SLEDS_CHECK_CASES` environment variable.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::DetRng;
+
+/// Number of cases each property runs.
+pub fn cases() -> usize {
+    std::env::var("SLEDS_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
+/// FNV-1a over the property name: stable across runs and platforms.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `property` for [`cases`] deterministic random cases.
+///
+/// Panics (re-raising the property's own panic) after printing the failing
+/// case index and seed.
+pub fn run(name: &str, property: impl Fn(&mut DetRng)) {
+    let n = cases();
+    for case in 0..n {
+        let seed = name_hash(name) ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = DetRng::new(seed);
+            property(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!("property '{name}' failed on case {case}/{n} (seed {seed:#018x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A random byte vector with length in `[0, max_len]`.
+pub fn bytes(rng: &mut DetRng, max_len: usize) -> Vec<u8> {
+    let len = rng.range_usize(0, max_len + 1);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// A random printable-ASCII string with length in `[0, max_len]`.
+pub fn ascii(rng: &mut DetRng, max_len: usize) -> String {
+    let len = rng.range_usize(0, max_len + 1);
+    (0..len)
+        .map(|_| rng.range_u64(0x20, 0x7f) as u8 as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_case() {
+        let counter = std::cell::Cell::new(0usize);
+        run("counting", |_rng| counter.set(counter.get() + 1));
+        assert_eq!(counter.get(), cases());
+    }
+
+    #[test]
+    fn cases_see_distinct_seeds() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        run("distinct", |rng| seen.borrow_mut().push(rng.seed()));
+        let mut v = seen.borrow().clone();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), cases());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run("failing", |_rng| panic!("boom"));
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        run("generators", |rng| {
+            assert!(bytes(rng, 16).len() <= 16);
+            let s = ascii(rng, 24);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        });
+    }
+}

@@ -12,6 +12,7 @@
 //! is ever consulted, which makes every experiment deterministic and
 //! repeatable.
 
+pub mod check;
 pub mod error;
 pub mod rng;
 pub mod stats;

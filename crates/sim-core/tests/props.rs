@@ -1,95 +1,122 @@
 //! Property tests for the statistics and time substrate.
-
-use proptest::prelude::*;
+//!
+//! Runs under the in-repo `check` harness; enable with
+//! `cargo test -p sleds-sim-core --features proptests`.
 
 use sleds_sim_core::stats::{Ecdf, Summary};
-use sleds_sim_core::{DetRng, SimDuration, SimTime};
+use sleds_sim_core::{check, DetRng, SimDuration, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn sample_vec(rng: &mut DetRng, min_len: usize, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let len = rng.range_usize(min_len, max_len);
+    (0..len).map(|_| lo + rng.unit_f64() * (hi - lo)).collect()
+}
 
-    /// Summary invariants: min <= mean <= max, non-negative spread, and a
-    /// CI that never exceeds the full range.
-    #[test]
-    fn summary_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+/// Summary invariants: min <= mean <= max, non-negative spread, and a
+/// CI that never exceeds the full range.
+#[test]
+fn summary_invariants() {
+    check::run("summary_invariants", |rng| {
+        let xs = sample_vec(rng, 1, 100, -1e6, 1e6);
         let s = Summary::of(&xs).unwrap();
-        prop_assert_eq!(s.n, xs.len());
-        prop_assert!(s.min <= s.mean + 1e-9);
-        prop_assert!(s.mean <= s.max + 1e-9);
-        prop_assert!(s.stddev >= 0.0);
-        prop_assert!(s.ci90 >= 0.0);
+        assert_eq!(s.n, xs.len());
+        assert!(s.min <= s.mean + 1e-9);
+        assert!(s.mean <= s.max + 1e-9);
+        assert!(s.stddev >= 0.0);
+        assert!(s.ci90 >= 0.0);
         if s.n >= 2 {
             // t * sd / sqrt(n) <= t * range (very loose but always true).
-            prop_assert!(s.ci90 <= 6.32 * (s.max - s.min) + 1e-9);
+            assert!(s.ci90 <= 6.32 * (s.max - s.min) + 1e-9);
         }
-    }
+    });
+}
 
-    /// ECDF: fraction_at is monotone, 0 before the min, 1 at the max, and
-    /// quantile() inverts it within rank rounding.
-    #[test]
-    fn ecdf_invariants(xs in prop::collection::vec(0f64..1e6, 1..100)) {
+/// ECDF: fraction_at is monotone, 0 before the min, 1 at the max, and
+/// quantile() inverts it within rank rounding.
+#[test]
+fn ecdf_invariants() {
+    check::run("ecdf_invariants", |rng| {
+        let xs = sample_vec(rng, 1, 100, 0.0, 1e6);
         let e = Ecdf::of(&xs).unwrap();
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(e.fraction_at(lo - 1.0), 0.0);
-        prop_assert_eq!(e.fraction_at(hi), 1.0);
+        assert_eq!(e.fraction_at(lo - 1.0), 0.0);
+        assert_eq!(e.fraction_at(hi), 1.0);
         let mut prev = 0.0;
         for (x, f) in e.steps() {
-            prop_assert!(f >= prev);
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!((lo..=hi).contains(&x));
+            assert!(f >= prev);
+            assert!((0.0..=1.0).contains(&f));
+            assert!((lo..=hi).contains(&x));
             prev = f;
         }
         // Quantiles are within the sample and ordered.
         let q25 = e.quantile(0.25);
         let q75 = e.quantile(0.75);
-        prop_assert!(q25 <= q75);
-        prop_assert!((lo..=hi).contains(&q25));
-    }
+        assert!(q25 <= q75);
+        assert!((lo..=hi).contains(&q25));
+    });
+}
 
-    /// Duration arithmetic never wraps: any sum of durations is at least
-    /// as large as each operand (saturating, monotone).
-    #[test]
-    fn duration_sums_are_monotone(ns in prop::collection::vec(0u64..u64::MAX / 4, 1..20)) {
+/// Duration arithmetic never wraps: any sum of durations is at least
+/// as large as each operand (saturating, monotone).
+#[test]
+fn duration_sums_are_monotone() {
+    check::run("duration_sums_are_monotone", |rng| {
+        let len = rng.range_usize(1, 20);
         let mut acc = SimDuration::ZERO;
-        for &n in &ns {
-            let d = SimDuration::from_nanos(n);
+        for _ in 0..len {
+            let d = SimDuration::from_nanos(rng.range_u64(0, u64::MAX / 4));
             let next = acc + d;
-            prop_assert!(next >= acc);
-            prop_assert!(next >= d);
+            assert!(next >= acc);
+            assert!(next >= d);
             acc = next;
         }
-    }
+    });
+}
 
-    /// Instant/duration round trips: (t + d) - t == d whenever no
-    /// saturation occurs.
-    #[test]
-    fn time_roundtrip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
-        let t0 = SimTime::from_nanos(t);
-        let dd = SimDuration::from_nanos(d);
-        prop_assert_eq!((t0 + dd) - t0, dd);
-    }
+/// Instant/duration round trips: (t + d) - t == d whenever no
+/// saturation occurs.
+#[test]
+fn time_roundtrip() {
+    check::run("time_roundtrip", |rng| {
+        let t0 = SimTime::from_nanos(rng.range_u64(0, u64::MAX / 2));
+        let dd = SimDuration::from_nanos(rng.range_u64(0, u64::MAX / 4));
+        assert_eq!((t0 + dd) - t0, dd);
+    });
+}
 
-    /// Derived RNG streams are deterministic and stream-dependent.
-    #[test]
-    fn rng_derivation_is_stable(seed in any::<u64>(), stream in 0u64..1000) {
+/// Derived RNG streams are deterministic and stream-dependent.
+#[test]
+fn rng_derivation_is_stable() {
+    check::run("rng_derivation_is_stable", |rng| {
+        let seed = rng.range_u64(0, u64::MAX);
+        let stream = rng.range_u64(0, 1000);
         let a = DetRng::new(seed);
         let mut c1 = a.derive(stream);
         let mut c2 = DetRng::new(seed).derive(stream);
         for _ in 0..8 {
-            prop_assert_eq!(c1.range_u64(0, u64::MAX), c2.range_u64(0, u64::MAX));
+            assert_eq!(c1.range_u64(0, u64::MAX), c2.range_u64(0, u64::MAX));
         }
         let mut other = a.derive(stream + 1);
-        let v1: Vec<u64> = (0..8).map(|_| a.derive(stream).range_u64(0, 1 << 30)).collect();
+        let v1: Vec<u64> = (0..8)
+            .map(|_| a.derive(stream).range_u64(0, 1 << 30))
+            .collect();
         let v2: Vec<u64> = (0..8).map(|_| other.range_u64(0, 1 << 30)).collect();
-        prop_assert_ne!(v1, v2);
-    }
+        assert_ne!(v1, v2);
+    });
+}
 
-    /// from_secs_f64 and as_secs_f64 agree to within a nanosecond for
-    /// sane magnitudes.
-    #[test]
-    fn secs_f64_roundtrip(s in 0.0f64..1e6) {
+/// from_secs_f64 and as_secs_f64 agree to within a nanosecond for
+/// sane magnitudes.
+#[test]
+fn secs_f64_roundtrip() {
+    check::run("secs_f64_roundtrip", |rng| {
+        let s = rng.unit_f64() * 1e6;
         let d = SimDuration::from_secs_f64(s);
-        prop_assert!((d.as_secs_f64() - s).abs() < 1e-6, "{} vs {}", d.as_secs_f64(), s);
-    }
+        assert!(
+            (d.as_secs_f64() - s).abs() < 1e-6,
+            "{} vs {}",
+            d.as_secs_f64(),
+            s
+        );
+    });
 }

@@ -245,9 +245,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b) => b,
             };
-            if self.peek() == Some(b'-')
-                && self.pat.get(self.pos + 1).is_some_and(|&b| b != b']')
-            {
+            if self.peek() == Some(b'-') && self.pat.get(self.pos + 1).is_some_and(|&b| b != b']') {
                 self.bump(); // '-'
                 let hi = match self.bump() {
                     None => return Err(self.error("unclosed character class")),

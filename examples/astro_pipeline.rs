@@ -26,16 +26,30 @@ fn main() {
     let (w, h) = sleds_repro::fits::gen::dimensions_for_bytes(48 << 20, Bitpix::I16);
     println!("generating a {w}x{h} I16 star field (~48 MiB)...");
     let image = generate_image_bytes(w, h, Bitpix::I16, 2026);
-    kernel.install_file("/data/field.fits", &image).expect("install");
+    kernel
+        .install_file("/data/field.fits", &image)
+        .expect("install");
 
     for (label, use_sleds) in [("without SLEDs", false), ("with SLEDs", true)] {
         let t = use_sleds.then_some(&table);
         // Warm-up pass, discarded (the paper's protocol).
-        fimhisto(&mut kernel, "/data/field.fits", "/data/h.fits", DEFAULT_BINS, t)
-            .expect("fimhisto warmup");
+        fimhisto(
+            &mut kernel,
+            "/data/field.fits",
+            "/data/h.fits",
+            DEFAULT_BINS,
+            t,
+        )
+        .expect("fimhisto warmup");
         let job = kernel.start_job();
-        let histo = fimhisto(&mut kernel, "/data/field.fits", "/data/h.fits", DEFAULT_BINS, t)
-            .expect("fimhisto");
+        let histo = fimhisto(
+            &mut kernel,
+            "/data/field.fits",
+            "/data/h.fits",
+            DEFAULT_BINS,
+            t,
+        )
+        .expect("fimhisto");
         let rep = kernel.finish_job(&job);
         println!(
             "fimhisto {label:>14}: {:>8} elapsed, {:>6} major faults  (pixel range {:.0}..{:.0})",
@@ -44,8 +58,8 @@ fn main() {
 
         fimgbin(&mut kernel, "/data/field.fits", "/data/r.fits", 2, t).expect("fimgbin warmup");
         let job = kernel.start_job();
-        let rebin = fimgbin(&mut kernel, "/data/field.fits", "/data/r.fits", 2, t)
-            .expect("fimgbin");
+        let rebin =
+            fimgbin(&mut kernel, "/data/field.fits", "/data/r.fits", 2, t).expect("fimgbin");
         let rep = kernel.finish_job(&job);
         println!(
             "fimgbin  {label:>14}: {:>8} elapsed, {:>6} major faults  ({}x{} -> {}x{})",

@@ -18,16 +18,22 @@ fn main() {
         .expect("mount");
     // Zone-aware calibration: the disk self-reports its zones and the
     // table gets per-zone bandwidth rows.
-    let table = lmbench::fill_table_zoned(&mut kernel, &[("/data", mount)])
-        .expect("zoned calibration");
+    let table =
+        lmbench::fill_table_zoned(&mut kernel, &[("/data", mount)]).expect("zoned calibration");
 
     // --- Zone-aware SLEDs ------------------------------------------------
     // Put one file at the outer edge and one deep inside the disk.
-    kernel.install_file("/data/outer.bin", &vec![1u8; 2 << 20]).expect("install");
+    kernel
+        .install_file("/data/outer.bin", &vec![1u8; 2 << 20])
+        .expect("install");
     let dev = kernel.device_of_mount(mount).expect("device");
     let cap = kernel.device_capacity(dev).expect("capacity");
-    kernel.advance_allocator(mount, (cap * 8 / 10) / 8).expect("seek inward");
-    kernel.install_file("/data/inner.bin", &vec![2u8; 2 << 20]).expect("install");
+    kernel
+        .advance_allocator(mount, (cap * 8 / 10) / 8)
+        .expect("seek inward");
+    kernel
+        .install_file("/data/inner.bin", &vec![2u8; 2 << 20])
+        .expect("install");
     for path in ["/data/outer.bin", "/data/inner.bin"] {
         let fd = kernel.open(path, OpenFlags::RDONLY).expect("open");
         let sleds = fsleds_get(&mut kernel, fd, &table).expect("sleds");
@@ -37,9 +43,15 @@ fn main() {
     println!("(same device, different zones -> different SLED bandwidths)\n");
 
     // --- Forecast + lease -------------------------------------------------
-    kernel.install_file("/data/hot.bin", &vec![3u8; 8 << 20]).expect("install");
-    kernel.install_file("/data/noise.bin", &vec![4u8; 64 << 20]).expect("install");
-    let fd = kernel.open("/data/hot.bin", OpenFlags::RDONLY).expect("open");
+    kernel
+        .install_file("/data/hot.bin", &vec![3u8; 8 << 20])
+        .expect("install");
+    kernel
+        .install_file("/data/noise.bin", &vec![4u8; 64 << 20])
+        .expect("install");
+    let fd = kernel
+        .open("/data/hot.bin", OpenFlags::RDONLY)
+        .expect("open");
     kernel.lseek(fd, 0, Whence::Set).expect("seek");
     kernel.read(fd, 8 << 20).expect("warm fully");
 
@@ -57,8 +69,13 @@ fn main() {
 
     // Take a lease, then hammer the cache with 64 MiB of noise.
     let lease = SledLease::acquire(&mut kernel, &table, fd).expect("lease");
-    println!("\nleased {} pages; flooding the cache with 64 MiB...", lease.pinned_pages());
-    let noise = kernel.open("/data/noise.bin", OpenFlags::RDONLY).expect("open");
+    println!(
+        "\nleased {} pages; flooding the cache with 64 MiB...",
+        lease.pinned_pages()
+    );
+    let noise = kernel
+        .open("/data/noise.bin", OpenFlags::RDONLY)
+        .expect("open");
     while !kernel.read(noise, 1 << 20).expect("read").is_empty() {}
     kernel.close(noise).expect("close");
 
@@ -69,7 +86,9 @@ fn main() {
     );
     lease.release(&mut kernel).expect("release");
 
-    let noise = kernel.open("/data/noise.bin", OpenFlags::RDONLY).expect("open");
+    let noise = kernel
+        .open("/data/noise.bin", OpenFlags::RDONLY)
+        .expect("open");
     kernel.lseek(noise, 0, Whence::Set).expect("seek");
     while !kernel.read(noise, 1 << 20).expect("read").is_empty() {}
     kernel.close(noise).expect("close");

@@ -33,7 +33,13 @@ fn main() {
     // Six 4 MiB "project archives"; the even ones were migrated to tape
     // long ago.
     let payload: Vec<u8> = (0..4 << 20)
-        .map(|i| if i % 61 == 0 { b'\n' } else { b'a' + (i % 23) as u8 })
+        .map(|i| {
+            if i % 61 == 0 {
+                b'\n'
+            } else {
+                b'a' + (i % 23) as u8
+            }
+        })
         .collect();
     for i in 0..6 {
         let path = format!("/hsm/project{i}.log");
@@ -59,8 +65,19 @@ fn main() {
     .expect("find");
     println!("find -latency -10 kept {} of 6 files:", cheap.len());
     for hit in &cheap {
-        println!("  {}  (est. {:.3}s)", hit.path, hit.estimate_secs.unwrap_or(0.0));
-        grep(&mut kernel, &hit.path, &re, &GrepOptions::default(), Some(&table)).expect("grep");
+        println!(
+            "  {}  (est. {:.3}s)",
+            hit.path,
+            hit.estimate_secs.unwrap_or(0.0)
+        );
+        grep(
+            &mut kernel,
+            &hit.path,
+            &re,
+            &GrepOptions::default(),
+            Some(&table),
+        )
+        .expect("grep");
     }
     let pruned = kernel.finish_job(&job);
     println!("pruned search finished in {}\n", pruned.elapsed);
@@ -74,7 +91,10 @@ fn main() {
         }
     }
     let full = kernel.finish_job(&job);
-    println!("unpruned search (staged 3 tape files) took {}", full.elapsed);
+    println!(
+        "unpruned search (staged 3 tape files) took {}",
+        full.elapsed
+    );
     println!(
         "pruning advantage: {:.0}x",
         full.elapsed.as_secs_f64() / pruned.elapsed.as_secs_f64().max(1e-9)

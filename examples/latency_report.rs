@@ -45,17 +45,24 @@ fn main() {
         kernel.install_file(path, &payload).expect("install");
     }
     // Half-cache the disk file so its panel shows a split.
-    let fd = kernel.open("/data/report.dat", OpenFlags::RDONLY).expect("open");
+    let fd = kernel
+        .open("/data/report.dat", OpenFlags::RDONLY)
+        .expect("open");
     kernel.read(fd, 2 << 20).expect("warm");
     kernel.close(fd).expect("close");
     // Send the HSM file to tape.
-    kernel.hsm_migrate("/hsm/report.dat", true).expect("migrate");
+    kernel
+        .hsm_migrate("/hsm/report.dat", true)
+        .expect("migrate");
 
     for path in ["/data/report.dat", "/nfs/report.dat", "/hsm/report.dat"] {
         let panel = properties_panel(&mut kernel, &table, path).expect("panel");
         println!("{panel}");
         if panel.best_secs > 30.0 {
-            println!("  !! retrieval will take {:.0}s — mount required\n", panel.best_secs);
+            println!(
+                "  !! retrieval will take {:.0}s — mount required\n",
+                panel.best_secs
+            );
         } else {
             println!();
         }

@@ -26,8 +26,12 @@ fn main() {
 
     // A 2 MiB file; warm the middle 1 MiB so the cache state is interesting.
     let data = vec![42u8; 2 << 20];
-    kernel.install_file("/data/demo.bin", &data).expect("install");
-    let fd = kernel.open("/data/demo.bin", OpenFlags::RDONLY).expect("open");
+    kernel
+        .install_file("/data/demo.bin", &data)
+        .expect("install");
+    let fd = kernel
+        .open("/data/demo.bin", OpenFlags::RDONLY)
+        .expect("open");
     kernel.lseek(fd, 512 << 10, Whence::Set).expect("seek");
     kernel.read(fd, 1 << 20).expect("warm read");
 

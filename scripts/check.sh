@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate: everything here must pass with no network access.
+# Usage: scripts/check.sh [--with-proptests]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Fail fast if something reintroduces an external dependency: the whole
+# point of the hermetic workspace is that a fresh checkout builds with an
+# empty cargo registry.
+export CARGO_NET_OFFLINE=true
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test -q
+
+if [[ "${1:-}" == "--with-proptests" ]]; then
+    # The randomized equivalence suites; heavier, so opt-in.
+    run cargo test -q -p sleds-fs --features proptests
+    run cargo test -q -p sleds --features proptests
+fi
+
+echo "All checks passed."

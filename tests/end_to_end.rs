@@ -20,7 +20,9 @@ fn small_machine() -> MachineConfig {
 fn disk_env() -> (Kernel, SledsTable, MountId) {
     let mut k = Kernel::new(small_machine());
     k.mkdir("/data").unwrap();
-    let m = k.mount_disk("/data", DiskDevice::table2_disk("hda")).unwrap();
+    let m = k
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .unwrap();
     let t = fill_table(&mut k, &[("/data", m)]).unwrap();
     k.reset_counters();
     (k, t, m)
@@ -29,7 +31,9 @@ fn disk_env() -> (Kernel, SledsTable, MountId) {
 fn nfs_env() -> (Kernel, SledsTable, MountId) {
     let mut k = Kernel::new(small_machine());
     k.mkdir("/nfs").unwrap();
-    let m = k.mount_nfs("/nfs", NfsDevice::table2_mount("srv:/x")).unwrap();
+    let m = k
+        .mount_nfs("/nfs", NfsDevice::table2_mount("srv:/x"))
+        .unwrap();
     let t = fill_table(&mut k, &[("/nfs", m)]).unwrap();
     k.reset_counters();
     (k, t, m)
@@ -137,9 +141,15 @@ fn first_match_grep_ideal_case() {
     let r = grep(&mut k, "/data/hay.txt", &re, &opts, None).unwrap();
     let base = k.finish_job(&j);
     assert!(r.stopped_early);
-    assert!(base.usage.major_faults > 100, "baseline must read the cold head");
+    assert!(
+        base.usage.major_faults > 100,
+        "baseline must read the cold head"
+    );
     let ratio = base.elapsed.as_secs_f64() / with.elapsed.as_secs_f64();
-    assert!(ratio > 10.0, "ideal-case speedup {ratio:.1} should be an order of magnitude");
+    assert!(
+        ratio > 10.0,
+        "ideal-case speedup {ratio:.1} should be an order of magnitude"
+    );
 }
 
 /// Performance degrades gracefully with SLEDs as size grows past the
@@ -191,12 +201,22 @@ fn grep_all_matches_reduces_total_io() {
 
     grep(&mut k, "/data/hay.txt", &re, &GrepOptions::default(), None).unwrap(); // re-warm
     let j = k.start_job();
-    let with = grep(&mut k, "/data/hay.txt", &re, &GrepOptions::default(), Some(&table)).unwrap();
+    let with = grep(
+        &mut k,
+        "/data/hay.txt",
+        &re,
+        &GrepOptions::default(),
+        Some(&table),
+    )
+    .unwrap();
     let with_rep = k.finish_job(&j);
 
     assert_eq!(base.matches.len(), with.matches.len());
     for (a, b) in base.matches.iter().zip(&with.matches) {
-        assert_eq!((a.offset, a.line_number, &a.line), (b.offset, b.line_number, &b.line));
+        assert_eq!(
+            (a.offset, a.line_number, &a.line),
+            (b.offset, b.line_number, &b.line)
+        );
     }
     assert!(
         with_rep.usage.major_faults < base_rep.usage.major_faults,

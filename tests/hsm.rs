@@ -4,8 +4,8 @@
 
 use sleds_repro::apps::find::{find, FindOptions};
 use sleds_repro::apps::wc::wc;
-use sleds_repro::devices::{DiskDevice, Jukebox, TapeDevice};
 use sleds_repro::devices::jukebox::JukeboxParams;
+use sleds_repro::devices::{DiskDevice, Jukebox, TapeDevice};
 use sleds_repro::fs::{Kernel, OpenFlags};
 use sleds_repro::lmbench::fill_table;
 use sleds_repro::sim_core::{DetRng, SimDuration, PAGE_SIZE};
@@ -72,7 +72,10 @@ fn staged_reread_is_orders_of_magnitude_faster() {
     let j = k.start_job();
     wc(&mut k, "/hsm/f.dat", None).unwrap();
     let cold = k.finish_job(&j).elapsed;
-    assert!(cold > SimDuration::from_secs(40), "mount+locate dominates: {cold}");
+    assert!(
+        cold > SimDuration::from_secs(40),
+        "mount+locate dominates: {cold}"
+    );
 
     let j = k.start_job();
     wc(&mut k, "/hsm/f.dat", None).unwrap();
@@ -104,7 +107,8 @@ fn sleds_report_offline_files_with_tape_latency() {
 fn find_latency_tracks_migration_state() {
     let (mut k, t) = hsm_env();
     for i in 0..4 {
-        k.install_file(&format!("/hsm/f{i}.dat"), &corpus(1 << 20, 10 + i)).unwrap();
+        k.install_file(&format!("/hsm/f{i}.dat"), &corpus(1 << 20, 10 + i))
+            .unwrap();
     }
     k.hsm_migrate("/hsm/f1.dat", true).unwrap();
     k.hsm_migrate("/hsm/f3.dat", true).unwrap();

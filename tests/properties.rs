@@ -1,13 +1,14 @@
 //! Property-based integration tests: invariants of the SLEDs stack under
 //! randomized cache states, file sizes and workloads.
-
-use proptest::prelude::*;
+//!
+//! Runs under the in-repo `check` harness; enable with
+//! `cargo test --features proptests`.
 
 use sleds_repro::apps::grep::{grep, GrepOptions};
 use sleds_repro::apps::wc::wc;
 use sleds_repro::devices::DiskDevice;
 use sleds_repro::fs::{Kernel, MachineConfig, OpenFlags, Whence};
-use sleds_repro::sim_core::{ByteSize, PAGE_SIZE};
+use sleds_repro::sim_core::{check, ByteSize, DetRng, PAGE_SIZE};
 use sleds_repro::sleds::{
     estimate_seconds, fsleds_get, AttackPlan, PickConfig, PickSession, SledsEntry, SledsTable,
 };
@@ -27,6 +28,14 @@ fn tiny_env() -> (Kernel, SledsTable) {
     (k, t)
 }
 
+/// Random page ranges in the shape the old strategies produced.
+fn random_ranges(rng: &mut DetRng, max_count: usize) -> Vec<(u64, u64)> {
+    let n = rng.range_usize(0, max_count + 1);
+    (0..n)
+        .map(|_| (rng.range_u64(0, 64), rng.range_u64(0, 8)))
+        .collect()
+}
+
 /// Warm an arbitrary set of page ranges.
 fn warm(k: &mut Kernel, path: &str, ranges: &[(u64, u64)], npages: u64) {
     if npages == 0 {
@@ -42,16 +51,13 @@ fn warm(k: &mut Kernel, path: &str, ranges: &[(u64, u64)], npages: u64) {
     k.close(fd).unwrap();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// SLEDs tile the file exactly: sorted, contiguous, complete, and
-    /// alternating in level.
-    #[test]
-    fn sleds_tile_the_file(
-        size in 1usize..200_000,
-        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
-    ) {
+/// SLEDs tile the file exactly: sorted, contiguous, complete, and
+/// alternating in level.
+#[test]
+fn sleds_tile_the_file() {
+    check::run("sleds_tile_the_file", |rng| {
+        let size = rng.range_usize(1, 200_000);
+        let ranges = random_ranges(rng, 3);
         let (mut k, t) = tiny_env();
         k.install_file("/d/f", &vec![9u8; size]).unwrap();
         let npages = (size as u64).div_ceil(PAGE_SIZE);
@@ -60,24 +66,25 @@ proptest! {
         let sleds = fsleds_get(&mut k, fd, &t).unwrap();
         let mut expect = 0u64;
         for w in sleds.windows(2) {
-            prop_assert!(!w[0].same_level(&w[1]), "adjacent SLEDs must differ");
+            assert!(!w[0].same_level(&w[1]), "adjacent SLEDs must differ");
         }
         for s in &sleds {
-            prop_assert_eq!(s.offset, expect);
-            prop_assert!(s.length > 0);
+            assert_eq!(s.offset, expect);
+            assert!(s.length > 0);
             expect = s.end();
         }
-        prop_assert_eq!(expect, size as u64);
-    }
+        assert_eq!(expect, size as u64);
+    });
+}
 
-    /// The pick plan covers every byte exactly once, whatever the cache
-    /// state and chunk size — byte mode.
-    #[test]
-    fn pick_plan_covers_exactly_once(
-        size in 1usize..150_000,
-        preferred in 1usize..40_000,
-        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
-    ) {
+/// The pick plan covers every byte exactly once, whatever the cache
+/// state and chunk size — byte mode.
+#[test]
+fn pick_plan_covers_exactly_once() {
+    check::run("pick_plan_covers_exactly_once", |rng| {
+        let size = rng.range_usize(1, 150_000);
+        let preferred = rng.range_usize(1, 40_000);
+        let ranges = random_ranges(rng, 3);
         let (mut k, t) = tiny_env();
         k.install_file("/d/f", &vec![1u8; size]).unwrap();
         let npages = (size as u64).div_ceil(PAGE_SIZE);
@@ -86,21 +93,23 @@ proptest! {
         let mut p = PickSession::init(&mut k, &t, fd, PickConfig::bytes(preferred)).unwrap();
         let mut covered = vec![0u8; size];
         while let Some((off, len)) = p.next_read() {
-            prop_assert!(len <= preferred);
+            assert!(len <= preferred);
             for c in &mut covered[off as usize..off as usize + len] {
                 *c += 1;
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
-    }
+        assert!(covered.iter().all(|&c| c == 1));
+    });
+}
 
-    /// ... and in record mode, where SLED edges move to separators.
-    #[test]
-    fn record_mode_still_covers_exactly_once(
-        paragraphs in prop::collection::vec(1usize..4000, 1..6),
-        preferred in 512usize..20_000,
-        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..3),
-    ) {
+/// ... and in record mode, where SLED edges move to separators.
+#[test]
+fn record_mode_still_covers_exactly_once() {
+    check::run("record_mode_still_covers_exactly_once", |rng| {
+        let nparas = rng.range_usize(1, 6);
+        let paragraphs: Vec<usize> = (0..nparas).map(|_| rng.range_usize(1, 4000)).collect();
+        let preferred = rng.range_usize(512, 20_000);
+        let ranges = random_ranges(rng, 2);
         let mut data = Vec::new();
         for (i, len) in paragraphs.iter().enumerate() {
             data.extend(std::iter::repeat_n(b'a' + (i % 26) as u8, *len));
@@ -119,40 +128,46 @@ proptest! {
                 *c += 1;
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
-    }
+        assert!(covered.iter().all(|&c| c == 1));
+    });
+}
 
-    /// wc agrees between baseline and SLEDs modes for arbitrary byte soup
-    /// and cache states.
-    #[test]
-    fn wc_mode_equivalence(
-        data in prop::collection::vec(prop::num::u8::ANY, 0..60_000),
-        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
-    ) {
+/// wc agrees between baseline and SLEDs modes for arbitrary byte soup
+/// and cache states.
+#[test]
+fn wc_mode_equivalence() {
+    check::run("wc_mode_equivalence", |rng| {
+        let data = check::bytes(rng, 60_000);
+        let ranges = random_ranges(rng, 3);
         let (mut k, t) = tiny_env();
         k.install_file("/d/f", &data).unwrap();
         let base = wc(&mut k, "/d/f", None).unwrap();
         let npages = (data.len() as u64).div_ceil(PAGE_SIZE);
         warm(&mut k, "/d/f", &ranges, npages);
         let with = wc(&mut k, "/d/f", Some(&t)).unwrap();
-        prop_assert_eq!(base, with);
-    }
+        assert_eq!(base, with);
+    });
+}
 
-    /// grep (all matches) agrees between modes: same matches, same line
-    /// numbers, same offsets — on random line-structured text.
-    #[test]
-    fn grep_mode_equivalence(
-        lines in prop::collection::vec(("[a-z ]{0,40}", 0u8..10), 1..60),
-        ranges in prop::collection::vec((0u64..64, 0u64..8), 0..4),
-    ) {
+/// grep (all matches) agrees between modes: same matches, same line
+/// numbers, same offsets — on random line-structured text.
+#[test]
+fn grep_mode_equivalence() {
+    check::run("grep_mode_equivalence", |rng| {
+        let nlines = rng.range_usize(1, 60);
         let mut data = Vec::new();
-        for (text, hit) in &lines {
-            if *hit == 0 {
+        for _ in 0..nlines {
+            let linelen = rng.range_usize(0, 41);
+            let hit = rng.range_u64(0, 10);
+            if hit == 0 {
                 data.extend_from_slice(b"xZQXJx");
             }
-            data.extend_from_slice(text.as_bytes());
+            for _ in 0..linelen {
+                data.push(b"abcdefghijklmnopqrstuvwxyz "[rng.range_usize(0, 27)]);
+            }
             data.push(b'\n');
         }
+        let ranges = random_ranges(rng, 3);
         let (mut k, t) = tiny_env();
         k.install_file("/d/f", &data).unwrap();
         let re = Regex::new("ZQXJ").unwrap();
@@ -160,43 +175,52 @@ proptest! {
         let npages = (data.len() as u64).div_ceil(PAGE_SIZE);
         warm(&mut k, "/d/f", &ranges, npages);
         let with = grep(&mut k, "/d/f", &re, &GrepOptions::default(), Some(&t)).unwrap();
-        prop_assert_eq!(base, with);
-    }
+        assert_eq!(base, with);
+    });
+}
 
-    /// Delivery estimates: Best never exceeds Linear, and both are
-    /// monotone under adding cached bytes... i.e. warming pages never
-    /// increases the estimate.
-    #[test]
-    fn warming_never_increases_estimate(
-        size in PAGE_SIZE as usize..300_000,
-        ranges in prop::collection::vec((0u64..64, 0u64..8), 1..4),
-    ) {
+/// Delivery estimates: Best never exceeds Linear, and both are
+/// monotone under adding cached bytes... i.e. warming pages never
+/// increases the estimate.
+#[test]
+fn warming_never_increases_estimate() {
+    check::run("warming_never_increases_estimate", |rng| {
+        let size = rng.range_usize(PAGE_SIZE as usize, 300_000);
+        let ranges = random_ranges(rng, 3)
+            .into_iter()
+            .chain([(0, 4)])
+            .collect::<Vec<_>>();
         let (mut k, t) = tiny_env();
         k.install_file("/d/f", &vec![0u8; size]).unwrap();
         let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
         let cold = fsleds_get(&mut k, fd, &t).unwrap();
         let cold_linear = estimate_seconds(&cold, AttackPlan::Linear);
         let cold_best = estimate_seconds(&cold, AttackPlan::Best);
-        prop_assert!(cold_best <= cold_linear + 1e-12);
+        assert!(cold_best <= cold_linear + 1e-12);
         let npages = (size as u64).div_ceil(PAGE_SIZE);
         warm(&mut k, "/d/f", &ranges, npages);
         let warm_sleds = fsleds_get(&mut k, fd, &t).unwrap();
         let warm_best = estimate_seconds(&warm_sleds, AttackPlan::Best);
-        prop_assert!(warm_best <= cold_best + 1e-9,
-            "warming increased estimate {cold_best} -> {warm_best}");
-    }
+        assert!(
+            warm_best <= cold_best + 1e-9,
+            "warming increased estimate {cold_best} -> {warm_best}"
+        );
+    });
+}
 
-    /// The regex engine agrees with a naive substring search for literal
-    /// patterns on arbitrary haystacks.
-    #[test]
-    fn regex_literal_agrees_with_naive(
-        needle in "[a-c]{1,4}",
-        hay in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'\n']), 0..200),
-    ) {
+/// The regex engine agrees with a naive substring search for literal
+/// patterns on arbitrary haystacks.
+#[test]
+fn regex_literal_agrees_with_naive() {
+    check::run("regex_literal_agrees_with_naive", |rng| {
+        let needle: String = (0..rng.range_usize(1, 5))
+            .map(|_| b"abc"[rng.range_usize(0, 3)] as char)
+            .collect();
+        let hay: Vec<u8> = (0..rng.range_usize(0, 200))
+            .map(|_| b"abc\n"[rng.range_usize(0, 4)])
+            .collect();
         let re = Regex::literal(&needle);
-        let naive = hay
-            .windows(needle.len())
-            .any(|w| w == needle.as_bytes());
-        prop_assert_eq!(re.is_match(&hay), naive);
-    }
+        let naive = hay.windows(needle.len()).any(|w| w == needle.as_bytes());
+        assert_eq!(re.is_match(&hay), naive);
+    });
 }
