@@ -19,7 +19,7 @@
 //!   one table. If the table is refilled mid-run, call
 //!   [`SledCache::invalidate_all`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sleds_fs::{Fd, Kernel};
 use sleds_sim_core::SimResult;
@@ -33,7 +33,7 @@ use crate::Sled;
 /// per-file generation stamp.
 #[derive(Debug, Default)]
 pub struct SledCache {
-    entries: HashMap<u64, (u64, Vec<Sled>)>,
+    entries: BTreeMap<u64, (u64, Vec<Sled>)>,
     hits: u64,
     misses: u64,
 }

@@ -31,10 +31,9 @@ pub fn estimate_seconds(sleds: &[Sled], plan: AttackPlan) -> f64 {
             // latency once and streams its total bytes.
             let mut levels: Vec<(f64, f64, u64)> = Vec::new();
             for s in sleds {
-                match levels
-                    .iter_mut()
-                    .find(|(lat, bw, _)| *lat == s.latency && *bw == s.bandwidth)
-                {
+                match levels.iter_mut().find(|(lat, bw, _)| {
+                    lat.to_bits() == s.latency.to_bits() && bw.to_bits() == s.bandwidth.to_bits()
+                }) {
                     Some((_, _, bytes)) => *bytes += s.length,
                     None => levels.push((s.latency, s.bandwidth, s.length)),
                 }

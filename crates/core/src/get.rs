@@ -23,7 +23,10 @@ fn push_sled(out: &mut Vec<Sled>, offset: u64, length: u64, entry: SledsEntry) {
         return;
     }
     match out.last_mut() {
-        Some(last) if last.latency == entry.latency && last.bandwidth == entry.bandwidth => {
+        Some(last)
+            if last.latency.to_bits() == entry.latency.to_bits()
+                && last.bandwidth.to_bits() == entry.bandwidth.to_bits() =>
+        {
             last.length += length;
         }
         _ => out.push(Sled {

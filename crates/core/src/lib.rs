@@ -73,7 +73,9 @@ pub struct Sled {
 impl Sled {
     /// End offset (exclusive) of the segment.
     pub fn end(&self) -> u64 {
-        self.offset + self.length
+        // Saturation intended: a segment at the top of the offset space
+        // still reports a well-ordered end.
+        self.offset.saturating_add(self.length)
     }
 
     /// Estimated time to deliver this whole segment, in seconds.
@@ -88,8 +90,13 @@ impl Sled {
     }
 
     /// True when two SLEDs report the same performance estimates.
+    ///
+    /// Bit identity, not float equality: levels are "same" only when they
+    /// carry the exact same reported values, and NaN reports stay grouped
+    /// with themselves instead of splitting every level.
     pub fn same_level(&self, other: &Sled) -> bool {
-        self.latency == other.latency && self.bandwidth == other.bandwidth
+        self.latency.to_bits() == other.latency.to_bits()
+            && self.bandwidth.to_bits() == other.bandwidth.to_bits()
     }
 }
 

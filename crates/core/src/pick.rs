@@ -179,11 +179,7 @@ impl PickSession {
                 .unwrap_or(f64::MAX);
             chunks.push((off, len, lat));
         }
-        chunks.sort_by(|a, b| {
-            a.2.partial_cmp(&b.2)
-                .expect("latencies are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        chunks.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
         kernel.charge_cpu(SimDuration::from_nanos(
             PLAN_NS_PER_CHUNK * chunks.len() as u64,
         ));
@@ -210,11 +206,7 @@ fn plan_chunks(sleds: &[Sled], preferred: usize) -> Vec<(u64, usize)> {
     // Stable sort: equal latencies keep offset order (chunks were generated
     // in ascending offset within each sled, but sleds of equal latency may
     // interleave, so sort by offset explicitly).
-    chunks.sort_by(|a, b| {
-        a.2.partial_cmp(&b.2)
-            .expect("latencies are finite")
-            .then(a.0.cmp(&b.0))
-    });
+    chunks.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
     chunks.into_iter().map(|(o, l, _)| (o, l)).collect()
 }
 

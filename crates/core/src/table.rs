@@ -6,7 +6,7 @@
 //! primary memory. [`SledsTable`] is that table; `sleds-lmbench` plays the
 //! role of the boot script.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sleds_fs::DeviceId;
 
@@ -36,9 +36,9 @@ impl SledsEntry {
 #[derive(Clone, Debug, Default)]
 pub struct SledsTable {
     memory: Option<SledsEntry>,
-    devices: HashMap<DeviceId, SledsEntry>,
+    devices: BTreeMap<DeviceId, SledsEntry>,
     /// Per-device zone rows: `(first sector, entry)`, sorted by sector.
-    zones: HashMap<DeviceId, Vec<(u64, SledsEntry)>>,
+    zones: BTreeMap<DeviceId, Vec<(u64, SledsEntry)>>,
     /// When set, `fsleds_get` asks devices for dynamic self-reports
     /// (`BlockDevice::dynamic_probe`) before falling back to table rows —
     /// the client/server SLEDs channel of the paper's section 6.
@@ -128,7 +128,7 @@ impl SledsTable {
         self.memory.is_some()
     }
 
-    /// Iterates device rows in unspecified order.
+    /// Iterates device rows in ascending `DeviceId` order.
     pub fn iter_devices(&self) -> impl Iterator<Item = (DeviceId, SledsEntry)> + '_ {
         self.devices.iter().map(|(d, e)| (*d, *e))
     }

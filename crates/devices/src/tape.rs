@@ -138,6 +138,7 @@ impl TapeDevice {
     }
 
     fn coords(&self, sector: u64) -> TapePos {
+        // sledlint::allow(D007, clamped to wraps - 1 which is u32)
         let wrap = (sector / self.sectors_per_wrap).min(self.params.wraps as u64 - 1) as u32;
         let within = sector - wrap as u64 * self.sectors_per_wrap;
         let frac = within as f64 / self.sectors_per_wrap as f64;
@@ -156,11 +157,8 @@ impl TapeDevice {
         self.params.rate.transfer_time(wrap_bytes).as_secs_f64()
     }
 
-    /// Locate from the current position to `target` sector.
-    fn locate(&mut self, target: u64) -> SimDuration {
-        let from = self
-            .position
-            .expect("locate requires a loaded, positioned tape");
+    /// Locate from sector `from` to `target` sector.
+    fn locate(&mut self, from: u64, target: u64) -> SimDuration {
         if from == target {
             return SimDuration::ZERO;
         }
@@ -178,8 +176,10 @@ impl TapeDevice {
 
     fn service(&mut self, start: u64, sectors: u64) -> SimDuration {
         let mut t = self.ensure_loaded();
-        if self.position != Some(start) {
-            t += self.locate(start);
+        // ensure_loaded positions a fresh mount at sector 0.
+        let from = self.position.unwrap_or(0);
+        if from != start {
+            t += self.locate(from, start);
         }
         t += self.params.rate.transfer_time(sectors * SECTOR_SIZE);
         self.position = Some(start + sectors);

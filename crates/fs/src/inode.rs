@@ -56,7 +56,9 @@ pub struct LayoutRun {
 impl LayoutRun {
     /// First file page past the run.
     pub fn end_page(&self) -> u64 {
-        self.start_page + self.pages
+        // Saturation intended: a run at the top of the page space still
+        // compares correctly as "ends at the end".
+        self.start_page.saturating_add(self.pages)
     }
 
     /// Where `page` lives. `page` must lie inside the run.

@@ -21,7 +21,7 @@
 //! copy — before the read proceeds. The tape home is remembered so a later
 //! purge can drop the disk copy without copying data back.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sleds_devices::{BlockDevice, DevStats, DeviceClass};
 use sleds_pagecache::{PageCache, PageKey};
@@ -188,9 +188,9 @@ pub struct Kernel {
     cache: PageCache,
     devices: Vec<Box<dyn BlockDevice>>,
     mounts: Vec<Mount>,
-    inodes: HashMap<Ino, Inode>,
+    inodes: BTreeMap<Ino, Inode>,
     next_ino: u64,
-    fds: HashMap<u64, OpenFile>,
+    fds: BTreeMap<u64, OpenFile>,
     next_fd: u64,
     usage: Rusage,
     root: Ino,
@@ -212,7 +212,7 @@ impl Kernel {
     pub fn new(cfg: MachineConfig) -> Self {
         let cache = PageCache::new(cfg.cache_pages(), cfg.policy);
         let root = Ino(1);
-        let mut inodes = HashMap::new();
+        let mut inodes = BTreeMap::new();
         inodes.insert(
             root,
             Inode {
@@ -230,7 +230,7 @@ impl Kernel {
             mounts: Vec::new(),
             inodes,
             next_ino: 2,
-            fds: HashMap::new(),
+            fds: BTreeMap::new(),
             next_fd: 3, // 0..2 reserved, as tradition demands
             usage: Rusage::default(),
             root,
@@ -431,7 +431,7 @@ impl Kernel {
             frag: None,
             hsm: None,
         });
-        self.inodes.get_mut(&dir).expect("just resolved").mount = Some(id);
+        self.inode_mut(dir)?.mount = Some(id);
         Ok(id)
     }
 
@@ -510,6 +510,30 @@ impl Kernel {
         self.inodes
             .get_mut(&ino)
             .ok_or_else(|| SimError::new(Errno::Eio, format!("stale inode {ino:?}")))
+    }
+
+    fn file_of(&self, ino: Ino) -> SimResult<&FileNode> {
+        self.inode(ino)?
+            .as_file()
+            .ok_or_else(|| SimError::new(Errno::Eisdir, format!("inode {ino:?} is a directory")))
+    }
+
+    fn file_of_mut(&mut self, ino: Ino) -> SimResult<&mut FileNode> {
+        self.inode_mut(ino)?
+            .as_file_mut()
+            .ok_or_else(|| SimError::new(Errno::Eisdir, format!("inode {ino:?} is a directory")))
+    }
+
+    fn dir_of_mut(&mut self, ino: Ino) -> SimResult<&mut BTreeMap<String, Ino>> {
+        self.inode_mut(ino)?.as_dir_mut().ok_or_else(|| {
+            SimError::new(Errno::Enotdir, format!("inode {ino:?} is not a directory"))
+        })
+    }
+
+    fn openfile_mut(&mut self, fd: Fd) -> SimResult<&mut OpenFile> {
+        self.fds
+            .get_mut(&fd.0)
+            .ok_or_else(|| SimError::new(Errno::Ebadf, format!("fd {}", fd.0)))
     }
 
     fn components(path: &str) -> SimResult<Vec<&str>> {
@@ -592,10 +616,7 @@ impl Kernel {
             },
         );
         let name = name.to_string();
-        self.inode_mut(parent)?
-            .as_dir_mut()
-            .expect("checked above")
-            .insert(name, ino);
+        self.dir_of_mut(parent)?.insert(name, ino);
         Ok(())
     }
 
@@ -652,10 +673,7 @@ impl Kernel {
             return Err(SimError::new(Errno::Eisdir, format!("unlink({path})")));
         }
         let name = name.to_string();
-        self.inode_mut(parent)?
-            .as_dir_mut()
-            .expect("checked above")
-            .remove(&name);
+        self.dir_of_mut(parent)?.remove(&name);
         self.inodes.remove(&ino);
         self.cache.remove_file(ino.0);
         Ok(())
@@ -764,7 +782,7 @@ impl Kernel {
             .filter(|&n| n >= 0)
             .ok_or_else(|| SimError::new(Errno::Einval, format!("lseek({}, {offset})", fd.0)))?
             as u64;
-        self.fds.get_mut(&fd.0).expect("checked above").pos = new;
+        self.openfile_mut(fd)?.pos = new;
         Ok(new)
     }
 
@@ -779,7 +797,7 @@ impl Kernel {
             return Err(SimError::new(Errno::Ebadf, "read on write-only fd"));
         }
         let data = self.do_read(of.ino, of.pos, len)?;
-        self.fds.get_mut(&fd.0).expect("checked above").pos += data.len() as u64;
+        self.openfile_mut(fd)?.pos += data.len() as u64;
         self.usage.bytes_read += data.len() as u64;
         Ok(data)
     }
@@ -810,7 +828,7 @@ impl Kernel {
             of.pos
         };
         self.do_write(of.ino, pos, buf)?;
-        self.fds.get_mut(&fd.0).expect("checked above").pos = pos + buf.len() as u64;
+        self.openfile_mut(fd)?.pos = pos + buf.len() as u64;
         self.usage.bytes_written += buf.len() as u64;
         Ok(buf.len())
     }
@@ -856,7 +874,9 @@ impl Kernel {
         if pos >= size || len == 0 {
             return Ok(Vec::new());
         }
-        let end = size.min(pos + len as u64);
+        // Saturation intended: a request past u64::MAX still just reads to
+        // end-of-file.
+        let end = size.min(pos.saturating_add(len as u64));
         let first_page = pos / PAGE_SIZE;
         let last_page = (end - 1) / PAGE_SIZE;
 
@@ -866,8 +886,7 @@ impl Kernel {
         // contents past `data.len()`; holes read as zeros.
         let bytes = end - pos;
         self.charge_memcpy(bytes);
-        let node = self.inode(ino)?;
-        let f = node.as_file().expect("checked above");
+        let f = self.file_of(ino)?;
         let len = f.data.len() as u64;
         let (lo, hi) = (pos.min(len), end.min(len));
         let mut out = f.data[lo as usize..hi as usize].to_vec();
@@ -976,13 +995,14 @@ impl Kernel {
         if !self.is_offline(ino, p)? {
             return self.place_of(ino, p);
         }
-        let mount = self.inode(ino)?.mount.expect("offline implies mount");
-        let hsm = self.mounts[mount.0].hsm.expect("offline implies hsm");
-        let page_count = self
+        let mount = self
             .inode(ino)?
-            .as_file()
-            .expect("offline implies file")
-            .page_count();
+            .mount
+            .ok_or_else(|| SimError::new(Errno::Eio, "offline page on an unmounted inode"))?;
+        let hsm = self.mounts[mount.0]
+            .hsm
+            .ok_or_else(|| SimError::new(Errno::Eio, "offline page on a non-HSM mount"))?;
+        let page_count = self.file_of(ino)?.page_count();
         let chunk = hsm.stage_chunk_pages;
         let chunk_start = (p / chunk) * chunk;
         let chunk_end = (chunk_start + chunk).min(page_count);
@@ -994,9 +1014,7 @@ impl Kernel {
         let mut q = chunk_start;
         while q < chunk_end {
             let run = self
-                .inode(ino)?
-                .as_file()
-                .expect("offline implies file")
+                .file_of(ino)?
                 .pages
                 .run_of(q)
                 .ok_or_else(|| SimError::new(Errno::Eio, format!("page {q} beyond mapping")))?;
@@ -1021,8 +1039,7 @@ impl Kernel {
             self.charge_io(t);
             self.usage.device_writes += 1;
             // Remap, remembering the tape home.
-            let node = self.inode_mut(ino)?;
-            let f = node.as_file_mut().expect("file");
+            let f = self.file_of_mut(ino)?;
             if f.tape_home.is_none() {
                 f.tape_home = Some(f.pages.clone());
             }
@@ -1047,7 +1064,9 @@ impl Kernel {
         if self.mounts[mount.0].read_only {
             return Err(SimError::new(Errno::Erofs, "write on read-only mount"));
         }
-        let end = pos + buf.len() as u64;
+        let end = pos
+            .checked_add(buf.len() as u64)
+            .ok_or_else(|| SimError::new(Errno::Efbig, "write end offset overflows u64"))?;
         // Grow the mapping first, run by run (fragmentation decides the
         // allocation chunking; `append_run` merges contiguous chunks).
         let old_pages = {
@@ -1072,8 +1091,7 @@ impl Kernel {
                 left -= take;
             }
             let dev = self.mounts[mount.0].dev;
-            let node = self.inode_mut(ino)?;
-            let f = node.as_file_mut().expect("checked above");
+            let f = self.file_of_mut(ino)?;
             for (first, take) in allocated {
                 f.pages.append_run(dev, first, take);
             }
@@ -1083,10 +1101,12 @@ impl Kernel {
         // read-modify-write if not cached.
         let first_page = pos / PAGE_SIZE;
         let last_page = (end - 1) / PAGE_SIZE;
-        let old_size = self.inode(ino)?.as_file().expect("file").size;
+        let old_size = self.file_of(ino)?.size;
         for page in [first_page, last_page] {
             let page_start = page * PAGE_SIZE;
-            let page_end = page_start + PAGE_SIZE;
+            // Saturation intended: a ragged final page at the top of the
+            // offset space still counts as not fully covered.
+            let page_end = page_start.saturating_add(PAGE_SIZE);
             let covered = pos <= page_start && end >= page_end;
             let has_old_data = page_start < old_size;
             if !covered && has_old_data && !self.cache.contains(PageKey::new(ino.0, page)) {
@@ -1102,7 +1122,10 @@ impl Kernel {
         {
             let now = self.clock.now();
             let node = self.inode_mut(ino)?;
-            let f = node.as_file_mut().expect("checked above");
+            node.mtime = now;
+            let f = node
+                .as_file_mut()
+                .ok_or_else(|| SimError::new(Errno::Eisdir, "write on directory"))?;
             if f.data.len() < end as usize {
                 f.data.resize(end as usize, 0);
             }
@@ -1113,7 +1136,6 @@ impl Kernel {
                 f.size = end;
                 f.pages.bump_generation();
             }
-            node.mtime = now;
         }
         for page in first_page..=last_page {
             self.cache_insert(PageKey::new(ino.0, page), true)?;
@@ -1126,18 +1148,24 @@ impl Kernel {
         // Fragmentation: skip a random gap before each chunk.
         if let Some(frag) = &mut m.frag {
             let gap = frag.rng.range_u64(0, frag.gap_pages + 1);
-            m.next_sector += gap * SECTORS_PER_PAGE;
+            // Saturation intended: a saturated cursor fails the capacity
+            // check below as "device full" instead of wrapping.
+            m.next_sector = m.next_sector.saturating_add(gap * SECTORS_PER_PAGE);
         }
         let first = m.next_sector;
-        let needed = pages * SECTORS_PER_PAGE;
         let cap = self.devices[m.dev.0].capacity_sectors();
-        if first + needed > cap {
-            return Err(SimError::new(
-                Errno::Enospc,
-                format!("device {} full", self.devices[m.dev.0].name()),
-            ));
-        }
-        m.next_sector += needed;
+        let end = pages
+            .checked_mul(SECTORS_PER_PAGE)
+            .and_then(|needed| first.checked_add(needed))
+            .filter(|&end| end <= cap)
+            .ok_or_else(|| {
+                SimError::new(
+                    Errno::Enospc,
+                    format!("device {} full", self.devices[m.dev.0].name()),
+                )
+            })?;
+        let m = &mut self.mounts[mount.0];
+        m.next_sector = end;
         Ok(first)
     }
 
@@ -1415,20 +1443,29 @@ impl Kernel {
             return Ok(());
         }
         // Allocate a contiguous tape region.
+        let sectors = pages
+            .checked_mul(SECTORS_PER_PAGE)
+            .ok_or_else(|| SimError::new(Errno::Enospc, format!("hsm_migrate({path})")))?;
         let first = {
-            let h = self.mounts[mount.0].hsm.as_mut().expect("checked above");
+            let h = self.mounts[mount.0].hsm.as_mut().ok_or_else(|| {
+                SimError::new(
+                    Errno::Einval,
+                    format!("hsm_migrate({path}): not an HSM mount"),
+                )
+            })?;
             let first = h.tape_next_sector;
-            h.tape_next_sector += pages * SECTORS_PER_PAGE;
+            h.tape_next_sector = first
+                .checked_add(sectors)
+                .ok_or_else(|| SimError::new(Errno::Enospc, format!("hsm_migrate({path})")))?;
             first
         };
         if !free {
             let now = self.clock.now();
-            let t = self.devices[hsm.tape.0].write(first, pages * SECTORS_PER_PAGE, now)?;
+            let t = self.devices[hsm.tape.0].write(first, sectors, now)?;
             self.charge_io(t);
             self.usage.device_writes += 1;
         }
-        let node = self.inode_mut(ino)?;
-        let f = node.as_file_mut().expect("checked above");
+        let f = self.file_of_mut(ino)?;
         let mapped = f.pages.page_count();
         f.pages.remap_run(0, mapped, hsm.tape, first);
         f.tape_home = None;
@@ -1561,13 +1598,15 @@ impl Kernel {
             .inode_mut(ino)?
             .as_file_mut()
             .ok_or_else(|| SimError::new(Errno::Eisdir, format!("poke_file({path})")))?;
-        let end = offset + data.len() as u64;
-        if end > f.size {
-            return Err(SimError::new(
-                Errno::Einval,
-                format!("poke_file({path}): {end} beyond size {}", f.size),
-            ));
-        }
+        let end = offset
+            .checked_add(data.len() as u64)
+            .filter(|&end| end <= f.size)
+            .ok_or_else(|| {
+                SimError::new(
+                    Errno::Einval,
+                    format!("poke_file({path}): range beyond size {}", f.size),
+                )
+            })?;
         f.data[offset as usize..end as usize].copy_from_slice(data);
         Ok(())
     }

@@ -25,7 +25,7 @@
 pub mod extent;
 pub mod policy;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::RangeInclusive;
 
 pub use extent::ExtentSet;
@@ -93,7 +93,7 @@ pub struct PageCache {
     pinned_len: usize,
     /// Inode number -> extent index. Entries are kept once created (even
     /// when emptied) so generation counters never restart.
-    index: HashMap<u64, InodeIndex>,
+    index: BTreeMap<u64, InodeIndex>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
 }
@@ -122,7 +122,7 @@ impl PageCache {
             capacity,
             len: 0,
             pinned_len: 0,
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             policy: policy.build(capacity),
             stats: CacheStats::default(),
         }
@@ -210,13 +210,13 @@ impl PageCache {
     /// writeback for dirty victims. Inserting an already-resident page just
     /// refreshes it (and ORs the dirty bit).
     pub fn insert(&mut self, key: PageKey, dirty: bool) -> Option<Evicted> {
-        if self.contains(key) {
+        if let Some(ix) = self
+            .index
+            .get_mut(&key.inode)
+            .filter(|ix| ix.resident.contains(key.index))
+        {
             if dirty {
-                self.index
-                    .get_mut(&key.inode)
-                    .expect("resident page has an index")
-                    .dirty
-                    .insert(key.index);
+                ix.dirty.insert(key.index);
             }
             self.policy.on_hit(key);
             return None;

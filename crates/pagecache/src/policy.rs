@@ -6,7 +6,7 @@
 //! opposite, and 2Q resists exactly the sequential-flood behaviour SLEDs
 //! exploits — making it an interesting counterfactual.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::PageKey;
 
@@ -91,7 +91,7 @@ impl PolicyKind {
 #[derive(Debug, Default)]
 struct RecencyList {
     seq: u64,
-    by_key: HashMap<PageKey, u64>,
+    by_key: BTreeMap<PageKey, u64>,
     by_seq: BTreeMap<u64, PageKey>,
 }
 
@@ -211,7 +211,7 @@ impl ReplacementPolicy for MruPolicy {
 #[derive(Debug, Default)]
 pub struct FifoPolicy {
     queue: VecDeque<PageKey>,
-    present: HashMap<PageKey, ()>,
+    present: BTreeMap<PageKey, ()>,
 }
 
 impl FifoPolicy {
@@ -264,7 +264,7 @@ impl ReplacementPolicy for FifoPolicy {
 #[derive(Debug, Default)]
 pub struct ClockPolicy {
     ring: VecDeque<PageKey>,
-    referenced: HashMap<PageKey, bool>,
+    referenced: BTreeMap<PageKey, bool>,
 }
 
 impl ClockPolicy {
@@ -318,7 +318,7 @@ impl ReplacementPolicy for ClockPolicy {
 pub struct TwoQPolicy {
     a1_target: usize,
     a1: VecDeque<PageKey>,
-    a1_set: HashMap<PageKey, ()>,
+    a1_set: BTreeMap<PageKey, ()>,
     am: RecencyList,
     am_len: usize,
 }
@@ -329,7 +329,7 @@ impl TwoQPolicy {
         TwoQPolicy {
             a1_target: (capacity / 4).max(1),
             a1: VecDeque::new(),
-            a1_set: HashMap::new(),
+            a1_set: BTreeMap::new(),
             am: RecencyList::default(),
             am_len: 0,
         }

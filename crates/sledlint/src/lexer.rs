@@ -1,0 +1,435 @@
+//! A minimal Rust lexer: just enough token structure for domain linting.
+//!
+//! The rules sledlint enforces are lexical (banned identifiers, operator
+//! contexts, attribute-delimited regions), so a full parser is unnecessary —
+//! but a plain substring grep is *wrong*: `"std::time::Instant"` inside a
+//! string literal, `unwrap()` in a doc comment, or `'a` lifetimes would all
+//! confuse it. This lexer produces a token stream with strings, characters,
+//! lifetimes, comments and raw identifiers handled correctly (including
+//! nested block comments and `r#"…"#` raw strings), and keeps comments in a
+//! side channel so the waiver parser can read them.
+
+/// What a token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (lexed loosely; the rules never interpret values).
+    Num,
+    /// String or byte-string literal, raw or not.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation or operator; multi-char operators are single tokens.
+    Punct,
+}
+
+/// One token, with the line it starts on (1-based).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The token's text as written (raw identifiers keep their `r#`).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// A comment (line or block), kept out of the token stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Comment {
+    /// Full comment text including delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators joined by maximal munch. Order matters: longer
+/// operators first so `<<=` never lexes as `<<` `=`.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "..", "->", "=>", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unexpected bytes are
+/// emitted as single-character punctuation, which at worst produces an
+/// unmatchable token, never a missed string/comment boundary.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances past `n` chars, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for k in 0..$n {
+                if b[i + k] == '\n' {
+                    line += 1;
+                }
+            }
+            i += $n;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            let start_line = line;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!(2);
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings and raw/byte prefixes: r"", r#""#, b"", br#""#, c"".
+        if matches!(c, 'r' | 'b' | 'c') {
+            let mut j = i;
+            // Allow br / rb-style two-letter prefixes.
+            while j < b.len() && matches!(b[j], 'r' | 'b' | 'c') && j - i < 2 {
+                j += 1;
+            }
+            let raw = b[i..j].contains(&'r');
+            let mut hashes = 0usize;
+            let mut k = j;
+            while raw && k < b.len() && b[k] == '#' {
+                hashes += 1;
+                k += 1;
+            }
+            if k < b.len() && b[k] == '"' && (raw || hashes == 0) {
+                let start = i;
+                let start_line = line;
+                bump!(k - i + 1);
+                if raw {
+                    // Scan to `"` followed by `hashes` hash marks.
+                    'rawscan: while i < b.len() {
+                        if b[i] == '"' {
+                            let mut h = 0usize;
+                            while i + 1 + h < b.len() && b[i + 1 + h] == '#' && h < hashes {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                bump!(1 + hashes);
+                                break 'rawscan;
+                            }
+                        }
+                        bump!(1);
+                    }
+                } else {
+                    lex_quoted(&b, &mut i, &mut line, '"');
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+                continue;
+            }
+            // Raw identifier r#name.
+            if raw && hashes == 1 && k < b.len() && is_ident_start(b[k]) {
+                let start = i;
+                i = k;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b/c.
+        }
+        // Plain string.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            bump!(1);
+            lex_quoted(&b, &mut i, &mut line, '"');
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // `'a` / `'static` are lifetimes when not closed by a quote;
+            // `'a'`, `'\n'`, `'\''` are char literals.
+            let is_lifetime = i + 1 < b.len()
+                && is_ident_start(b[i + 1])
+                && !(i + 2 < b.len() && b[i + 2] == '\'');
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                let start = i;
+                let start_line = line;
+                bump!(1);
+                lex_quoted(&b, &mut i, &mut line, '\'');
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Number. Lexed loosely (digits, underscores, type suffixes, one
+        // fraction, exponents); `1..2` must leave `..` intact.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            // Exponent sign: 1e-9 / 2.5E+3.
+            if i < b.len()
+                && (b[i] == '+' || b[i] == '-')
+                && b[i - 1].eq_ignore_ascii_case(&'e')
+                && b[start..i].iter().any(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Operators, maximal munch.
+        let mut matched = false;
+        for op in OPERATORS {
+            let n = op.len();
+            if i + n <= b.len() && b[i..i + n].iter().collect::<String>() == **op {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += n;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        bump!(1);
+    }
+    out
+}
+
+/// Consumes a quoted literal body up to and including the closing `quote`,
+/// honouring backslash escapes. `i` points just past the opening quote.
+fn lex_quoted(b: &[char], i: &mut usize, line: &mut u32, quote: char) {
+    while *i < b.len() {
+        let c = b[*i];
+        if c == '\n' {
+            *line += 1;
+        }
+        if c == '\\' && *i + 1 < b.len() {
+            *i += 2;
+            continue;
+        }
+        *i += 1;
+        if c == quote {
+            return;
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let x = "std::time::Instant now unwrap()";"#);
+        assert!(idents(r#"let x = "Instant";"#) == vec!["let", "x"]);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex(r##"let s = r#"a "quoted" HashMap"#; let t = 1;"##);
+        let strs: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("HashMap"));
+        assert!(idents(r##"let s = r#"HashMap"#;"##)
+            .iter()
+            .all(|i| i != "HashMap"));
+    }
+
+    #[test]
+    fn comments_are_side_channel() {
+        let l = lex("// unwrap() here\nlet a = 1; /* nested /* Instant */ done */");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[1].text.contains("done"));
+        assert!(idents("// Instant\nfn f() {}")
+            .iter()
+            .all(|i| i != "Instant"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_quote_char() {
+        let l = lex(r"let c = '\''; let d = '\n';");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let texts: Vec<String> = lex("a == b != c :: d .. e")
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(texts, vec!["==", "!=", "::", ".."]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { let x = 1.5e-3f64; }");
+        assert!(l.tokens.iter().any(|t| t.text == ".."));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5e-3f64"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let l = lex("let r#type = 1;");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#type"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\"s\ntring\"\nc");
+        let c = l.tokens.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c.line, 5);
+    }
+}

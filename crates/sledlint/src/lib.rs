@@ -1,0 +1,26 @@
+//! `sledlint` — a hermetic domain lint for the SLEDs simulator.
+//!
+//! The simulator's claim to reproduce SLEDs (Van Meter & Gao, OSDI 2000)
+//! rests on a deterministic virtual clock and a trustworthy cost model. One
+//! stray `Instant::now()`, one `HashMap` iteration in simulation state, or
+//! one silent `as` truncation in a latency formula corrupts results without
+//! failing a test. This crate makes those invariants machine-enforced:
+//!
+//! - [`lexer`] — a minimal Rust lexer (strings, comments, lifetimes, raw
+//!   strings handled correctly; no parser).
+//! - [`rules`] — the rule table (`D001`…`D007` plus waiver hygiene `W001`/
+//!   `W002`) and the scope policy deciding where each rule applies.
+//! - [`engine`] — detection, `#[cfg(test)]` region tracking, and
+//!   `// sledlint::allow(RULE, reason)` waiver resolution.
+//! - [`walk`] — workspace discovery and the file walk.
+//!
+//! The crate is deliberately dependency-free: PR 1 made the workspace
+//! hermetic, and the lint gate must not be the thing that breaks that.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use engine::{scan_source, Finding};
+pub use walk::{find_workspace_root, scan_workspace};

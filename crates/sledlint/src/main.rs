@@ -1,0 +1,84 @@
+//! CLI for sledlint.
+//!
+//! Usage:
+//!   sledlint [--root <dir>]   scan the workspace (default: ascend from cwd)
+//!   sledlint --list           print the rule table
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = tool error (bad usage,
+//! unreadable workspace).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sledlint::rules::RULES;
+use sledlint::{find_workspace_root, scan_workspace};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root_arg: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("sledlint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("sledlint: unknown argument `{other}` (try --list or --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = match root_arg {
+        Some(dir) => dir,
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("sledlint: cannot determine current directory: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let root = match find_workspace_root(&start) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sledlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match scan_workspace(&root) {
+        Ok((files, findings)) => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            if findings.is_empty() {
+                println!("sledlint: clean ({files} files scanned)");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "sledlint: {} finding(s) in {files} files scanned",
+                    findings.len()
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("sledlint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_rules() {
+    println!("sledlint rules (waive with `// sledlint::allow(RULE, reason)`):");
+    for r in RULES {
+        println!("  {}  {:<24} {}", r.code, r.name, r.invariant);
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace discovery and the file walk.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::engine::{scan_source, Finding};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Fixture trees deliberately contain violations; they are test data for
+/// sledlint itself, not workspace code.
+const SKIP_REL_PATHS: &[&str] = &["crates/sledlint/tests/fixtures"];
+
+/// Ascends from `start` to the first directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && fs::read_to_string(&manifest)?.contains("[workspace]") {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no workspace Cargo.toml found above {}", start.display()),
+            ));
+        }
+    }
+}
+
+/// Scans every workspace `.rs` file. Returns `(files_scanned, findings)`,
+/// findings ordered by path then line.
+pub fn scan_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let src = fs::read_to_string(root.join(path))?;
+        findings.extend(scan_source(path, &src));
+    }
+    Ok((files.len(), findings))
+}
+
+/// Recursively collects workspace-relative `.rs` paths (with `/` separators,
+/// sorted traversal so output order is stable across platforms).
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel = rel_string(root, &path);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            if SKIP_REL_PATHS.contains(&rel.as_str()) {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_string(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

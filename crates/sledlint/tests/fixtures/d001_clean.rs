@@ -1,0 +1,4 @@
+fn measure(clock: &Clock) -> SimTime {
+    // The virtual clock is the only source of time.
+    clock.now()
+}

@@ -1,0 +1,4 @@
+fn fan_out(jobs: &mut Vec<Job>) {
+    // Single-threaded event loop: jobs interleave on the virtual clock.
+    jobs.sort_by_key(|j| j.deadline);
+}

@@ -1,0 +1,5 @@
+fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    std::process::exit(3);
+}

@@ -1,0 +1,4 @@
+fn scatter(rng: &mut DetRng) -> u64 {
+    // All randomness is seeded and replayable.
+    rng.range_u64(0, 64)
+}

@@ -1,0 +1,6 @@
+fn scatter() -> u64 {
+    let mut rng = rand::thread_rng();
+    let seeded = StdRng::from_entropy();
+    let _ = seeded;
+    rng.gen()
+}

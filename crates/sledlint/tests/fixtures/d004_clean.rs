@@ -1,0 +1,4 @@
+fn same(a: &Sled, b: &Sled) -> bool {
+    a.latency.to_bits() == b.latency.to_bits()
+        && a.bandwidth.total_cmp(&b.bandwidth) == std::cmp::Ordering::Equal
+}

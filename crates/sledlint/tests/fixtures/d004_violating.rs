@@ -1,0 +1,3 @@
+fn same(a: &Sled, b: &Sled) -> bool {
+    a.latency == b.latency && a.bandwidth != b.bandwidth
+}

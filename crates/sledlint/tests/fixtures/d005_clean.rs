@@ -1,0 +1,6 @@
+fn syscall(map: &Fds, fd: u64) -> SimResult<u64> {
+    let of = map
+        .get(&fd)
+        .ok_or_else(|| SimError::new(Errno::Ebadf, "closed fd"))?;
+    Ok(of.ino)
+}

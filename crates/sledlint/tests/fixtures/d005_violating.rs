@@ -1,0 +1,8 @@
+fn syscall(map: &Fds, fd: u64) -> u64 {
+    let of = map.get(&fd).unwrap();
+    let ino = of.ino().expect("open file has an inode");
+    if ino == 0 {
+        panic!("zero inode");
+    }
+    todo!("finish the syscall")
+}

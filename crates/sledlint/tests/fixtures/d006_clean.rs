@@ -1,0 +1,6 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+struct State {
+    inodes: BTreeMap<u64, Inode>,
+    dirty: BTreeSet<u64>,
+}

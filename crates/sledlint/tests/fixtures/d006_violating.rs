@@ -1,0 +1,6 @@
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    inodes: HashMap<u64, Inode>,
+    dirty: HashSet<u64>,
+}

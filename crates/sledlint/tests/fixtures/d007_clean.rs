@@ -1,0 +1,3 @@
+fn head_of(sector: u64, spt: u64) -> Result<u32, std::num::TryFromIntError> {
+    u32::try_from(sector / spt)
+}

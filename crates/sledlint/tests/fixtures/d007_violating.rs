@@ -1,0 +1,3 @@
+fn head_of(sector: u64, spt: u64) -> u32 {
+    (sector / spt) as u32
+}

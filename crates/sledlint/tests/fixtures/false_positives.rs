@@ -1,0 +1,14 @@
+//! Mentions of banned names in non-code positions must not fire:
+//! HashMap, Instant, unwrap(), std::thread, rand::thread_rng.
+
+/* block comment: panic! todo! HashSet SystemTime
+   /* nested: x.unwrap() as u32 */
+   still inside the outer comment */
+
+fn strings<'a>(tag: &'a str) -> String {
+    let plain = "HashMap and Instant and x.unwrap() and rand::thread_rng()";
+    let raw = r#"std::thread::spawn and "panic!" and SystemTime"#;
+    let ch = '"';
+    let lifetime_not_char: &'a str = tag;
+    format!("{plain}{raw}{ch}{lifetime_not_char}")
+}

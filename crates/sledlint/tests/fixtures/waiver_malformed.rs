@@ -1,0 +1,4 @@
+fn locate(sector: u64, spt: u64) -> u32 {
+    // sledlint::allow(D007)
+    (sector / spt) as u32
+}

@@ -1,0 +1,4 @@
+// sledlint::allow(D006, nothing on the next line uses a hash map)
+fn nothing() -> u64 {
+    42
+}

@@ -1,0 +1,6 @@
+use std::collections::HashMap; // sledlint::allow(D006, keyed access only, never iterated)
+
+fn locate(sector: u64, spt: u64) -> u32 {
+    // sledlint::allow(D007, quotient bounded by the u32 head count)
+    (sector / spt) as u32
+}

@@ -17,6 +17,7 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
+run cargo run -p sledlint --release
 run cargo test -q
 
 if [[ "${1:-}" == "--with-proptests" ]]; then
