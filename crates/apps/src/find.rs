@@ -64,8 +64,11 @@ pub fn find(
             "find -latency requires SLEDs support",
         ));
     }
+    kernel.trace_app_begin("find");
     let mut out = Vec::new();
-    walk(kernel, root, opts, table, &mut out)?;
+    let r = walk(kernel, root, opts, table, &mut out);
+    kernel.trace_app_end();
+    r?;
     Ok(out)
 }
 

@@ -65,12 +65,21 @@ pub fn grep(
     opts: &GrepOptions,
     table: Option<&SledsTable>,
 ) -> SimResult<GrepResult> {
-    let fd = kernel.open(path, OpenFlags::RDONLY)?;
-    let result = match table {
-        None => grep_baseline(kernel, fd, re, opts),
-        Some(table) => grep_sleds(kernel, fd, re, opts, table),
-    };
-    kernel.close(fd)?;
+    kernel.trace_app_begin(if table.is_some() {
+        "grep --sleds"
+    } else {
+        "grep"
+    });
+    let result = (|| {
+        let fd = kernel.open(path, OpenFlags::RDONLY)?;
+        let result = match table {
+            None => grep_baseline(kernel, fd, re, opts),
+            Some(table) => grep_sleds(kernel, fd, re, opts, table),
+        };
+        kernel.close(fd)?;
+        result
+    })();
+    kernel.trace_app_end();
     result
 }
 

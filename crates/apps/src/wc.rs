@@ -99,12 +99,17 @@ fn stitch(mut segments: Vec<Segment>) -> WcResult {
 /// `table` selects the mode: `Some` uses the SLEDs pick library (the
 /// paper's `wc --sleds` switch), `None` is the stock sequential scan.
 pub fn wc(kernel: &mut Kernel, path: &str, table: Option<&SledsTable>) -> SimResult<WcResult> {
-    let fd = kernel.open(path, OpenFlags::RDONLY)?;
-    let result = match table {
-        None => wc_baseline(kernel, fd),
-        Some(table) => wc_sleds(kernel, fd, table),
-    };
-    kernel.close(fd)?;
+    kernel.trace_app_begin(if table.is_some() { "wc --sleds" } else { "wc" });
+    let result = (|| {
+        let fd = kernel.open(path, OpenFlags::RDONLY)?;
+        let result = match table {
+            None => wc_baseline(kernel, fd),
+            Some(table) => wc_sleds(kernel, fd, table),
+        };
+        kernel.close(fd)?;
+        result
+    })();
+    kernel.trace_app_end();
     result
 }
 

@@ -63,7 +63,11 @@ pub fn total_delivery_time(
     plan: AttackPlan,
 ) -> SimResult<f64> {
     let sleds = fsleds_get(kernel, fd, table)?;
-    Ok(estimate_seconds(&sleds, plan))
+    let est = estimate_seconds(&sleds, plan);
+    if kernel.tracing_enabled() && est.is_finite() {
+        kernel.trace_predict(fd, sleds_sim_core::SimDuration::from_secs_f64(est))?;
+    }
+    Ok(est)
 }
 
 #[cfg(test)]

@@ -110,6 +110,15 @@ impl PickSession {
         kernel.charge_cpu(SimDuration::from_nanos(
             PLAN_NS_PER_CHUNK * plan.len() as u64,
         ));
+        // A pick plan drains each level in one streaming pass, which is
+        // exactly the `SLEDS_BEST` estimate; record it for the accuracy
+        // audit when tracing is on.
+        if kernel.tracing_enabled() {
+            let est = crate::estimate::estimate_seconds(&sleds, crate::estimate::AttackPlan::Best);
+            if est.is_finite() {
+                kernel.trace_predict(fd, SimDuration::from_secs_f64(est))?;
+            }
+        }
         Ok(PickSession {
             planned_chunks: plan.len(),
             plan: plan.into(),

@@ -12,7 +12,10 @@
 
 use sleds_sim_core::{Bandwidth, DetRng, SimDuration, SimResult, SimTime, SECTOR_SIZE};
 
-use crate::{check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile};
+use crate::{
+    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
+    ServicePhase,
+};
 
 /// Timing parameters for a CD-ROM drive.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +53,7 @@ pub struct CdRomDevice {
     /// Sector just past the last one transferred; the laser tracks here.
     position: u64,
     stats: DevStats,
+    phases: PhaseLog,
     jitter: Option<(DetRng, f64)>,
 }
 
@@ -62,6 +66,7 @@ impl CdRomDevice {
             capacity: capacity_bytes / SECTOR_SIZE,
             position: 0,
             stats: DevStats::default(),
+            phases: PhaseLog::default(),
             jitter: None,
         }
     }
@@ -93,6 +98,8 @@ impl CdRomDevice {
     }
 
     fn service(&mut self, start: u64, sectors: u64) -> (SimDuration, bool) {
+        self.phases.clear();
+        self.phases.add(PhaseKind::Overhead, self.params.overhead);
         let mut t = self.params.overhead;
         let repositioned = start != self.position;
         if repositioned {
@@ -101,9 +108,13 @@ impl CdRomDevice {
                 + dist_frac * self.params.seek_full.as_secs_f64()
                 + self.params.settle.as_secs_f64();
             let jf = self.jitter_factor();
-            t += SimDuration::from_secs_f64(seek_secs * jf);
+            let seek = SimDuration::from_secs_f64(seek_secs * jf);
+            self.phases.add(PhaseKind::Seek, seek);
+            t += seek;
         }
-        t += self.params.media_rate.transfer_time(sectors * SECTOR_SIZE);
+        let xfer = self.params.media_rate.transfer_time(sectors * SECTOR_SIZE);
+        self.phases.add(PhaseKind::Transfer, xfer);
+        t += xfer;
         self.position = start + sectors;
         (t, repositioned)
     }
@@ -156,11 +167,29 @@ impl BlockDevice for CdRomDevice {
     fn reset_stats(&mut self) {
         self.stats = DevStats::default();
     }
+
+    fn last_phases(&self) -> &[ServicePhase] {
+        self.phases.as_slice()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phases_cover_overhead_seek_transfer() {
+        let mut cd = CdRomDevice::table2_drive("cd0");
+        cd.read(1000, 8, SimTime::ZERO).unwrap();
+        let t = cd.read(0, 8, SimTime::ZERO).unwrap();
+        let total: SimDuration = cd.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, t);
+        let kinds: Vec<PhaseKind> = cd.last_phases().iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![PhaseKind::Overhead, PhaseKind::Seek, PhaseKind::Transfer]
+        );
+    }
 
     #[test]
     fn sequential_reads_skip_seek() {

@@ -22,7 +22,10 @@
 
 use sleds_sim_core::{Bandwidth, DetRng, SimDuration, SimResult, SimTime, SECTOR_SIZE};
 
-use crate::{check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile};
+use crate::{
+    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
+    ServicePhase,
+};
 
 /// A recording zone: a contiguous run of cylinders with uniform
 /// sectors-per-track.
@@ -102,6 +105,7 @@ pub struct DiskDevice {
     /// out of the drive's read-ahead buffer: no seek, no rotational wait.
     next_sequential: u64,
     stats: DevStats,
+    phases: PhaseLog,
     jitter: Option<(DetRng, f64)>,
     // Seek-curve coefficients, fitted once at construction.
     seek_sqrt_a: f64,
@@ -145,6 +149,7 @@ impl DiskDevice {
             current_cylinder: 0,
             next_sequential: u64::MAX,
             stats: DevStats::default(),
+            phases: PhaseLog::default(),
             jitter: None,
             seek_sqrt_a: a,
             seek_sqrt_b: b,
@@ -306,13 +311,18 @@ impl DiskDevice {
         let target = self.locate(start);
         let period = self.geom.rotation_period();
         let sequential = start == self.next_sequential;
+        self.phases.clear();
+        self.phases
+            .add(PhaseKind::Overhead, self.geom.controller_overhead);
         let mut elapsed = self.geom.controller_overhead;
         if !sequential {
             // Random access: seek, then wait for the target sector to pass
             // under the head.
             let distance = self.current_cylinder.abs_diff(target.cylinder);
             let jf = self.jitter_factor();
-            elapsed += SimDuration::from_secs_f64(self.seek_time(distance).as_secs_f64() * jf);
+            let seek = SimDuration::from_secs_f64(self.seek_time(distance).as_secs_f64() * jf);
+            self.phases.add(PhaseKind::Seek, seek);
+            elapsed += seek;
             let spt = self.geom.zones[target.zone].sectors_per_track;
             let target_angle = target.sector as f64 / spt as f64;
             let angle = self.angle_at(now + elapsed);
@@ -320,7 +330,9 @@ impl DiskDevice {
             if wait < 0.0 {
                 wait += 1.0;
             }
-            elapsed += SimDuration::from_secs_f64(wait * period.as_secs_f64());
+            let rotation = SimDuration::from_secs_f64(wait * period.as_secs_f64());
+            self.phases.add(PhaseKind::Rotation, rotation);
+            elapsed += rotation;
         }
         // A sequential continuation streams out of the drive's read-ahead
         // buffer; the head keeps up with the media rate by construction.
@@ -334,7 +346,9 @@ impl DiskDevice {
             let on_track = (spt - pos.sector) as u64;
             let take = on_track.min(left);
             let frac = take as f64 / spt as f64;
-            elapsed += SimDuration::from_secs_f64(frac * period.as_secs_f64());
+            let xfer = SimDuration::from_secs_f64(frac * period.as_secs_f64());
+            self.phases.add(PhaseKind::Transfer, xfer);
+            elapsed += xfer;
             left -= take;
             if left == 0 {
                 // Head ends within (or just past) this track.
@@ -346,10 +360,14 @@ impl DiskDevice {
             // time rotationally, so only the switch cost itself is added.
             if pos.head + 1 < self.geom.heads {
                 pos.head += 1;
+                self.phases
+                    .add(PhaseKind::HeadSwitch, self.geom.head_switch);
                 elapsed += self.geom.head_switch;
             } else {
                 pos.head = 0;
                 pos.cylinder += 1;
+                self.phases
+                    .add(PhaseKind::TrackSwitch, self.geom.track_to_track);
                 elapsed += self.geom.track_to_track;
                 // Did we cross into the next zone?
                 pos.zone = self.locate(start + (sectors - left)).zone;
@@ -407,6 +425,10 @@ impl BlockDevice for DiskDevice {
 
     fn reset_stats(&mut self) {
         self.stats = DevStats::default();
+    }
+
+    fn last_phases(&self) -> &[ServicePhase] {
+        self.phases.as_slice()
     }
 
     fn zone_map(&self) -> Vec<crate::ZoneSpan> {
@@ -605,6 +627,27 @@ mod tests {
         assert!(d.read(30_000, 1, SimTime::ZERO).is_err());
         assert!(d.write(29_999, 2, SimTime::ZERO).is_err());
         assert!(d.read(0, 0, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_service_time() {
+        let mut d = small_disk();
+        d.read(0, 1, SimTime::ZERO).unwrap();
+        let t = d.read(29_999, 1, SimTime::from_nanos(50_000_000)).unwrap();
+        let phases = d.last_phases();
+        let total: SimDuration = phases.iter().map(|p| p.dur).sum();
+        assert_eq!(total, t, "phases must account for all service time");
+        let kinds: Vec<PhaseKind> = phases.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PhaseKind::Overhead));
+        assert!(kinds.contains(&PhaseKind::Seek));
+        assert!(kinds.contains(&PhaseKind::Transfer));
+        // A long transfer reports head/track switches too.
+        let t = d.read(0, 250, SimTime::from_nanos(1_000_000_000)).unwrap();
+        let total: SimDuration = d.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, t);
+        let kinds: Vec<PhaseKind> = d.last_phases().iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PhaseKind::HeadSwitch));
+        assert!(kinds.contains(&PhaseKind::TrackSwitch));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 use sleds_sim_core::{SimDuration, SimResult, SimTime};
 
 use crate::tape::{no_medium, TapeDevice, TapeParams};
-use crate::{check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile};
+use crate::{
+    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
+    ServicePhase,
+};
 
 /// Robot timing for a jukebox.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +48,7 @@ pub struct Jukebox {
     drive_lru: Vec<usize>,
     cart_sectors: u64,
     stats: DevStats,
+    phases: PhaseLog,
 }
 
 impl Jukebox {
@@ -75,6 +79,7 @@ impl Jukebox {
             drive_lru: (0..drives).collect(),
             cart_sectors,
             stats: DevStats::default(),
+            phases: PhaseLog::default(),
         }
     }
 
@@ -125,12 +130,20 @@ impl Jukebox {
             .position(|slot| slot.is_none())
             .unwrap_or_else(|| self.drive_lru[0]);
         if let Some(old) = self.in_drive[d] {
-            spent += self.cartridges[old].unload();
+            let unload = self.cartridges[old].unload();
+            self.phases.add(PhaseKind::Mount, unload);
+            spent += unload;
+            self.phases
+                .add(PhaseKind::RobotMove, self.params.robot_move);
             spent += self.params.robot_move; // drive -> slot
             self.drive_of[old] = None;
         }
+        self.phases
+            .add(PhaseKind::RobotMove, self.params.robot_move);
         spent += self.params.robot_move; // slot -> drive
-        spent += self.cartridges[c].ensure_loaded();
+        let load = self.cartridges[c].ensure_loaded();
+        self.phases.add(PhaseKind::Mount, load);
+        spent += load;
         self.in_drive[d] = Some(c);
         self.drive_of[c] = Some(d);
         self.touch_drive(d);
@@ -154,6 +167,7 @@ impl Jukebox {
                 format!("{}: transfer crosses cartridge boundary", self.name),
             ));
         }
+        self.phases.clear();
         let (_, mut t) = self.mount(c)?;
         let local = start - c as u64 * self.cart_sectors;
         t += if write {
@@ -161,6 +175,12 @@ impl Jukebox {
         } else {
             self.cartridges[c].read(local, sectors, now)?
         };
+        // Fold the cartridge's own breakdown (locate, stream) into ours so
+        // `last_phases` covers the full service time.
+        for i in 0..self.cartridges[c].last_phases().len() {
+            let p = self.cartridges[c].last_phases()[i];
+            self.phases.add(p.kind, p.dur);
+        }
         Ok(t)
     }
 }
@@ -209,6 +229,10 @@ impl BlockDevice for Jukebox {
         for t in &mut self.cartridges {
             t.reset_stats();
         }
+    }
+
+    fn last_phases(&self) -> &[ServicePhase] {
+        self.phases.as_slice()
     }
 }
 
@@ -276,6 +300,26 @@ mod tests {
         assert!(jb.is_mounted(0));
         assert!(!jb.is_mounted(1));
         assert!(jb.is_mounted(2));
+    }
+
+    #[test]
+    fn phases_cover_robot_mount_and_tape_time() {
+        let mut jb = small_jukebox(1);
+        let cart = jb.cartridge_sectors();
+        let t = jb.read(cart + 1000, 8, SimTime::ZERO).unwrap();
+        let total: SimDuration = jb.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, t);
+        let kinds: Vec<PhaseKind> = jb.last_phases().iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PhaseKind::RobotMove));
+        assert!(kinds.contains(&PhaseKind::Mount));
+        assert!(kinds.contains(&PhaseKind::Locate));
+        assert!(kinds.contains(&PhaseKind::Stream));
+        // A warm sequential read is pure streaming.
+        let t2 = jb.read(cart + 1008, 8, SimTime::ZERO).unwrap();
+        let kinds2: Vec<PhaseKind> = jb.last_phases().iter().map(|p| p.kind).collect();
+        assert_eq!(kinds2, vec![PhaseKind::Stream]);
+        let total2: SimDuration = jb.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total2, t2);
     }
 
     #[test]

@@ -112,6 +112,116 @@ impl DevStats {
     }
 }
 
+/// One mechanical component of a device's service time.
+///
+/// Devices decompose each command's duration into phases (seek vs.
+/// rotation vs. transfer, locate vs. stream, RPC vs. link) so the tracing
+/// layer can attribute virtual time *inside* a device, not just to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Fixed per-command overhead (controller, protocol setup).
+    Overhead,
+    /// Disk arm or CD-ROM pickup movement.
+    Seek,
+    /// Rotational wait for the target sector.
+    Rotation,
+    /// Media or bus data movement.
+    Transfer,
+    /// Head-switch time between tracks of one cylinder.
+    HeadSwitch,
+    /// Track-to-track repositioning during a multi-track transfer.
+    TrackSwitch,
+    /// Cartridge load (tape mount, jukebox load).
+    Mount,
+    /// Longitudinal tape positioning.
+    Locate,
+    /// Streaming tape transfer.
+    Stream,
+    /// Network RPC round-trip overhead.
+    Rpc,
+    /// Server-side wait for the first byte after a reposition.
+    FirstByte,
+    /// Network link transfer.
+    Link,
+    /// Jukebox robot arm movement.
+    RobotMove,
+    /// Time an NFS server spent on its backing disk.
+    ServerDisk,
+}
+
+impl PhaseKind {
+    /// Short lowercase label, stable for trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::Overhead => "overhead",
+            PhaseKind::Seek => "seek",
+            PhaseKind::Rotation => "rotation",
+            PhaseKind::Transfer => "transfer",
+            PhaseKind::HeadSwitch => "head_switch",
+            PhaseKind::TrackSwitch => "track_switch",
+            PhaseKind::Mount => "mount",
+            PhaseKind::Locate => "locate",
+            PhaseKind::Stream => "stream",
+            PhaseKind::Rpc => "rpc",
+            PhaseKind::FirstByte => "first_byte",
+            PhaseKind::Link => "link",
+            PhaseKind::RobotMove => "robot_move",
+            PhaseKind::ServerDisk => "server_disk",
+        }
+    }
+}
+
+/// A phase and how long it took within one command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServicePhase {
+    /// Which mechanical component.
+    pub kind: PhaseKind,
+    /// Time spent in it.
+    pub dur: SimDuration,
+}
+
+/// Per-command phase accumulator kept by each device model.
+///
+/// Cleared at the start of every command; repeated contributions of one
+/// kind (e.g. head switches during a long transfer) accumulate into a
+/// single entry, so the log stays bounded by the number of phase kinds and
+/// its order is the deterministic first-occurrence order.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseLog {
+    phases: Vec<ServicePhase>,
+}
+
+impl PhaseLog {
+    /// Empties the log for a new command.
+    pub fn clear(&mut self) {
+        self.phases.clear();
+    }
+
+    /// Adds `dur` to the `kind` phase (no-op for zero durations).
+    pub fn add(&mut self, kind: PhaseKind, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        for p in &mut self.phases {
+            if p.kind == kind {
+                p.dur += dur;
+                return;
+            }
+        }
+        self.phases.push(ServicePhase { kind, dur });
+    }
+
+    /// The recorded phases in first-occurrence order.
+    pub fn as_slice(&self) -> &[ServicePhase] {
+        &self.phases
+    }
+
+    /// Sum of all recorded phase durations.
+    pub fn total(&self) -> SimDuration {
+        self.phases.iter().map(|p| p.dur).sum()
+    }
+}
+
 /// A contiguous sector span with uniform performance — one row of a
 /// device's self-characterization.
 ///
@@ -175,6 +285,13 @@ pub trait BlockDevice {
         }]
     }
 
+    /// Mechanical breakdown of the most recent `read`/`write` service time,
+    /// in service order. Devices that record phases clear and refill their
+    /// [`PhaseLog`] on every command; the default reports nothing.
+    fn last_phases(&self) -> &[ServicePhase] {
+        &[]
+    }
+
     /// Dynamic self-report: `(latency seconds, bandwidth bytes/s)` for
     /// retrieving `sector` *right now*, if the device knows.
     ///
@@ -220,6 +337,23 @@ mod tests {
         assert!(check_range("d", 100, 99, 2).is_err());
         assert!(check_range("d", 100, 0, 0).is_err());
         assert!(check_range("d", 100, u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn phase_log_accumulates_by_kind_in_first_occurrence_order() {
+        let mut log = PhaseLog::default();
+        log.add(PhaseKind::Seek, SimDuration::from_micros(10));
+        log.add(PhaseKind::Transfer, SimDuration::from_micros(5));
+        log.add(PhaseKind::Rotation, SimDuration::ZERO); // elided
+        log.add(PhaseKind::Seek, SimDuration::from_micros(2));
+        let phases = log.as_slice();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].kind, PhaseKind::Seek);
+        assert_eq!(phases[0].dur, SimDuration::from_micros(12));
+        assert_eq!(phases[1].kind, PhaseKind::Transfer);
+        assert_eq!(log.total(), SimDuration::from_micros(17));
+        log.clear();
+        assert!(log.as_slice().is_empty());
     }
 
     #[test]

@@ -7,7 +7,10 @@
 
 use sleds_sim_core::{Bandwidth, SimDuration, SimResult, SimTime};
 
-use crate::{check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile};
+use crate::{
+    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
+    ServicePhase,
+};
 
 /// A RAM "device": fixed latency plus copy bandwidth, no positional state.
 #[derive(Debug, Clone)]
@@ -17,6 +20,7 @@ pub struct MemoryDevice {
     latency: SimDuration,
     bandwidth: Bandwidth,
     stats: DevStats,
+    phases: PhaseLog,
 }
 
 impl MemoryDevice {
@@ -35,6 +39,7 @@ impl MemoryDevice {
             latency,
             bandwidth,
             stats: DevStats::default(),
+            phases: PhaseLog::default(),
         }
     }
 
@@ -58,11 +63,14 @@ impl MemoryDevice {
         )
     }
 
-    fn xfer(&self, sectors: u64) -> SimDuration {
-        self.latency
-            + self
-                .bandwidth
-                .transfer_time(sectors * sleds_sim_core::SECTOR_SIZE)
+    fn xfer(&mut self, sectors: u64) -> SimDuration {
+        let copy = self
+            .bandwidth
+            .transfer_time(sectors * sleds_sim_core::SECTOR_SIZE);
+        self.phases.clear();
+        self.phases.add(PhaseKind::Overhead, self.latency);
+        self.phases.add(PhaseKind::Transfer, copy);
+        self.latency + copy
     }
 }
 
@@ -108,12 +116,26 @@ impl BlockDevice for MemoryDevice {
     fn reset_stats(&mut self) {
         self.stats = DevStats::default();
     }
+
+    fn last_phases(&self) -> &[ServicePhase] {
+        self.phases.as_slice()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sleds_sim_core::PAGE_SIZE;
+
+    #[test]
+    fn phases_split_latency_and_copy() {
+        let mut m = MemoryDevice::table2("ram", 64 << 20);
+        let t = m.read(0, 8, SimTime::ZERO).unwrap();
+        let total: SimDuration = m.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, t);
+        let kinds: Vec<PhaseKind> = m.last_phases().iter().map(|p| p.kind).collect();
+        assert_eq!(kinds, vec![PhaseKind::Overhead, PhaseKind::Transfer]);
+    }
 
     #[test]
     fn page_copy_cost_matches_table2() {

@@ -11,7 +11,10 @@
 
 use sleds_sim_core::{Bandwidth, DetRng, SimDuration, SimResult, SimTime, SECTOR_SIZE};
 
-use crate::{check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile};
+use crate::{
+    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
+    ServicePhase,
+};
 
 /// Timing parameters for an NFS mount.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +46,7 @@ pub struct NfsDevice {
     /// Sector just past the last transfer; sequential runs continue here.
     next_sequential: u64,
     stats: DevStats,
+    phases: PhaseLog,
     jitter: Option<(DetRng, f64)>,
 }
 
@@ -55,6 +59,7 @@ impl NfsDevice {
             capacity: capacity_bytes / SECTOR_SIZE,
             next_sequential: u64::MAX,
             stats: DevStats::default(),
+            phases: PhaseLog::default(),
             jitter: None,
         }
     }
@@ -82,13 +87,19 @@ impl NfsDevice {
     }
 
     fn service(&mut self, start: u64, sectors: u64) -> (SimDuration, bool) {
+        self.phases.clear();
+        self.phases.add(PhaseKind::Rpc, self.params.per_op);
         let mut t = self.params.per_op;
         let repositioned = start != self.next_sequential;
         if repositioned {
             let jf = self.jitter_factor();
-            t += SimDuration::from_secs_f64(self.params.first_byte.as_secs_f64() * jf);
+            let first = SimDuration::from_secs_f64(self.params.first_byte.as_secs_f64() * jf);
+            self.phases.add(PhaseKind::FirstByte, first);
+            t += first;
         }
-        t += self.params.bandwidth.transfer_time(sectors * SECTOR_SIZE);
+        let link = self.params.bandwidth.transfer_time(sectors * SECTOR_SIZE);
+        self.phases.add(PhaseKind::Link, link);
+        t += link;
         self.next_sequential = start + sectors;
         (t, repositioned)
     }
@@ -136,6 +147,10 @@ impl BlockDevice for NfsDevice {
     fn reset_stats(&mut self) {
         self.stats = DevStats::default();
     }
+
+    fn last_phases(&self) -> &[ServicePhase] {
+        self.phases.as_slice()
+    }
 }
 
 /// Parameters for a modeled NFS *server* (as opposed to the flat
@@ -180,6 +195,7 @@ pub struct NfsServerDevice {
     cache: sleds_pagecache::PageCache,
     next_sequential: u64,
     stats: DevStats,
+    phases: PhaseLog,
 }
 
 impl std::fmt::Debug for NfsServerDevice {
@@ -208,6 +224,7 @@ impl NfsServerDevice {
             disk,
             next_sequential: u64::MAX,
             stats: DevStats::default(),
+            phases: PhaseLog::default(),
         }
     }
 
@@ -232,8 +249,11 @@ impl NfsServerDevice {
     }
 
     fn service(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
+        self.phases.clear();
+        self.phases.add(PhaseKind::Rpc, self.params.per_op);
         let mut t = self.params.per_op;
         if start != self.next_sequential {
+            self.phases.add(PhaseKind::Rpc, self.params.rtt);
             t += self.params.rtt;
         }
         self.next_sequential = start + sectors;
@@ -257,11 +277,13 @@ impl NfsServerDevice {
             {
                 run_len += 1;
             }
-            t += self.disk.read(
+            let disk_t = self.disk.read(
                 run_start * SRV_PAGE_SECTORS,
                 run_len * SRV_PAGE_SECTORS,
                 now + t,
             )?;
+            self.phases.add(PhaseKind::ServerDisk, disk_t);
+            t += disk_t;
             for i in 0..run_len {
                 self.cache
                     .insert(sleds_pagecache::PageKey::new(0, run_start + i), false);
@@ -269,7 +291,9 @@ impl NfsServerDevice {
             p = run_start + run_len;
         }
         // Link transfer of the payload.
-        t += self.params.link.transfer_time(sectors * SECTOR_SIZE);
+        let link = self.params.link.transfer_time(sectors * SECTOR_SIZE);
+        self.phases.add(PhaseKind::Link, link);
+        t += link;
         Ok(t)
     }
 }
@@ -312,9 +336,16 @@ impl BlockDevice for NfsServerDevice {
         check_range(&self.name, self.capacity_sectors(), start, sectors)?;
         // Write-through: link + disk, dirtying the server cache as clean
         // copies (the server commits before replying, as NFSv2 did).
+        self.phases.clear();
+        self.phases
+            .add(PhaseKind::Rpc, self.params.per_op + self.params.rtt);
         let mut t = self.params.per_op + self.params.rtt;
-        t += self.params.link.transfer_time(sectors * SECTOR_SIZE);
-        t += self.disk.write(start, sectors, now + t)?;
+        let link = self.params.link.transfer_time(sectors * SECTOR_SIZE);
+        self.phases.add(PhaseKind::Link, link);
+        t += link;
+        let disk_t = self.disk.write(start, sectors, now + t)?;
+        self.phases.add(PhaseKind::ServerDisk, disk_t);
+        t += disk_t;
         let first_page = start / SRV_PAGE_SECTORS;
         let last_page = (start + sectors - 1) / SRV_PAGE_SECTORS;
         for p in first_page..=last_page {
@@ -332,6 +363,10 @@ impl BlockDevice for NfsServerDevice {
 
     fn reset_stats(&mut self) {
         self.stats = DevStats::default();
+    }
+
+    fn last_phases(&self) -> &[ServicePhase] {
+        self.phases.as_slice()
     }
 
     fn dynamic_probe(&self, sector: u64) -> Option<(f64, f64)> {
@@ -425,6 +460,34 @@ mod tests {
         let t = srv.write(256, 8, SimTime::ZERO).unwrap();
         assert!(t >= SimDuration::from_millis(2), "write pays rtt+disk: {t}");
         assert!(srv.server_cached(256), "written data is hot on the server");
+    }
+
+    #[test]
+    fn phases_split_rpc_firstbyte_link_and_server_disk() {
+        let mut nfs = NfsDevice::table2_mount("srv:/export");
+        let t = nfs.read(0, 128, SimTime::ZERO).unwrap();
+        let total: SimDuration = nfs.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, t);
+        let kinds: Vec<PhaseKind> = nfs.last_phases().iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![PhaseKind::Rpc, PhaseKind::FirstByte, PhaseKind::Link]
+        );
+
+        let mut srv = NfsServerDevice::lan_mount("lan0");
+        let cold = srv.read(0, 128, SimTime::ZERO).unwrap();
+        let total: SimDuration = srv.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, cold);
+        assert!(srv
+            .last_phases()
+            .iter()
+            .any(|p| p.kind == PhaseKind::ServerDisk));
+        // Warm hit: no server-disk phase.
+        srv.read(0, 128, SimTime::ZERO).unwrap();
+        assert!(!srv
+            .last_phases()
+            .iter()
+            .any(|p| p.kind == PhaseKind::ServerDisk));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 
 use sleds_sim_core::{Bandwidth, Errno, SimDuration, SimError, SimResult, SimTime, SECTOR_SIZE};
 
-use crate::{check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile};
+use crate::{
+    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
+    ServicePhase,
+};
 
 /// Timing and geometry parameters for a tape drive + cartridge.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +78,7 @@ pub struct TapeDevice {
     /// Sector just past the head's position, if positioned.
     position: Option<u64>,
     stats: DevStats,
+    phases: PhaseLog,
 }
 
 impl TapeDevice {
@@ -94,6 +98,7 @@ impl TapeDevice {
             loaded: false,
             position: None,
             stats: DevStats::default(),
+            phases: PhaseLog::default(),
         }
     }
 
@@ -175,13 +180,20 @@ impl TapeDevice {
     }
 
     fn service(&mut self, start: u64, sectors: u64) -> SimDuration {
-        let mut t = self.ensure_loaded();
+        self.phases.clear();
+        let mount = self.ensure_loaded();
+        self.phases.add(PhaseKind::Mount, mount);
+        let mut t = mount;
         // ensure_loaded positions a fresh mount at sector 0.
         let from = self.position.unwrap_or(0);
         if from != start {
-            t += self.locate(from, start);
+            let locate = self.locate(from, start);
+            self.phases.add(PhaseKind::Locate, locate);
+            t += locate;
         }
-        t += self.params.rate.transfer_time(sectors * SECTOR_SIZE);
+        let stream = self.params.rate.transfer_time(sectors * SECTOR_SIZE);
+        self.phases.add(PhaseKind::Stream, stream);
+        t += stream;
         self.position = Some(start + sectors);
         t
     }
@@ -235,6 +247,10 @@ impl BlockDevice for TapeDevice {
 
     fn reset_stats(&mut self) {
         self.stats = DevStats::default();
+    }
+
+    fn last_phases(&self) -> &[ServicePhase] {
+        self.phases.as_slice()
     }
 }
 
@@ -317,6 +333,26 @@ mod tests {
         let secs = d.as_secs_f64();
         // locate_base + wrap change + stop/start, no longitudinal motion.
         assert!(secs < 6.0, "adjacent-wrap locate {secs}");
+    }
+
+    #[test]
+    fn phases_cover_mount_locate_stream() {
+        let mut t = TapeDevice::dlt("st0");
+        let cap = t.capacity_sectors();
+        let d = t.read(cap / 2, 8, SimTime::ZERO).unwrap();
+        let phases = t.last_phases();
+        let total: SimDuration = phases.iter().map(|p| p.dur).sum();
+        assert_eq!(total, d);
+        let kinds: Vec<PhaseKind> = phases.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![PhaseKind::Mount, PhaseKind::Locate, PhaseKind::Stream]
+        );
+        // Sequential continuation: stream only.
+        let d = t.read(cap / 2 + 8, 8, SimTime::ZERO).unwrap();
+        assert_eq!(t.last_phases().len(), 1);
+        assert_eq!(t.last_phases()[0].kind, PhaseKind::Stream);
+        assert_eq!(t.last_phases()[0].dur, d);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 use sleds_devices::{BlockDevice, DevStats, DeviceClass};
 use sleds_pagecache::{PageCache, PageKey};
 use sleds_sim_core::{Clock, DetRng, Errno, SimDuration, SimError, SimResult, SimTime, PAGE_SIZE};
+use sleds_trace::{Layer, Metrics, TraceEvent, Tracer};
 
 use crate::inode::{FileKind, FileNode, Ino, Inode, InodeBody, PageMap, PagePlace, Stat};
 use crate::machine::MachineConfig;
@@ -194,6 +195,7 @@ pub struct Kernel {
     next_fd: u64,
     usage: Rusage,
     root: Ino,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -234,6 +236,7 @@ impl Kernel {
             next_fd: 3, // 0..2 reserved, as tradition demands
             usage: Rusage::default(),
             root,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -276,9 +279,159 @@ impl Kernel {
         self.cache.len()
     }
 
+    /// Number of resident pages that are dirty — the writeback debt the
+    /// trace viewer reports next to residency.
+    pub fn cache_dirty_pages(&self) -> u64 {
+        self.cache.dirty_count()
+    }
+
     /// Page-cache capacity in pages.
     pub fn cache_capacity_pages(&self) -> usize {
         self.cache.capacity()
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing: a zero-cost observer of the virtual clock
+    // ------------------------------------------------------------------
+
+    /// Enables event tracing with the default ring capacity.
+    ///
+    /// The tracer is a pure observer: it never advances the clock and never
+    /// touches rusage, so a traced run produces virtual-time results
+    /// byte-identical to an untraced one.
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled();
+    }
+
+    /// Enables tracing with an explicit ring capacity, in events.
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.tracer = Tracer::with_capacity(capacity);
+    }
+
+    /// Disables tracing, discarding any buffered events and metrics.
+    pub fn disable_tracing(&mut self) {
+        self.tracer = Tracer::disabled();
+    }
+
+    /// Whether tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Snapshot of the trace ring, oldest event first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.events()
+    }
+
+    /// Events dropped to ring overflow since tracing was enabled.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// Per-layer metrics accumulated since tracing was enabled; `None`
+    /// while tracing is off.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.tracer.metrics()
+    }
+
+    /// The `FSLEDS_STAT` ioctl: a snapshot of the per-layer counters and
+    /// latency histograms. Charges one syscall; all-zero when tracing is
+    /// off (the counters simply never ran).
+    pub fn fsleds_stat(&mut self, fd: Fd) -> SimResult<Metrics> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_stat", t0, [fd.0, 0, 0]);
+        self.charge_syscall();
+        let r = self
+            .openfile(fd)
+            .map(|_| self.tracer.metrics().cloned().unwrap_or_default());
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    /// Opens an application-level span (e.g. one `grep` invocation); the
+    /// span nests every syscall traced until [`Kernel::trace_app_end`].
+    pub fn trace_app_begin(&mut self, name: &'static str) {
+        let now = self.clock.now();
+        self.tracer.begin(Layer::App, name, now, [0; 3]);
+    }
+
+    /// Closes the innermost open application-level span.
+    pub fn trace_app_end(&mut self) {
+        let now = self.clock.now();
+        self.tracer.end(now);
+    }
+
+    /// Records a delivery-time prediction for an open file — the trace half
+    /// of the accuracy audit. The prediction is tagged with the class of
+    /// the device the file's data would come from (tape when any page of an
+    /// HSM file is still offline, the home mount device otherwise), and
+    /// paired by the audit with the durations of later reads on the fd.
+    pub fn trace_predict(&mut self, fd: Fd, predicted: SimDuration) -> SimResult<()> {
+        if !self.tracer.is_enabled() {
+            return Ok(());
+        }
+        let of = self.openfile(fd)?;
+        let class = self.serving_class_of(of.ino)?;
+        let now = self.clock.now();
+        self.tracer
+            .predict(now, fd.0, predicted.as_nanos(), class_code(class));
+        Ok(())
+    }
+
+    /// The device class that would serve a cold read of this file: the tape
+    /// class while any page is HSM-offline, the home mount device otherwise
+    /// (memory for mountless files).
+    fn serving_class_of(&self, ino: Ino) -> SimResult<DeviceClass> {
+        let node = self.inode(ino)?;
+        let f = node
+            .as_file()
+            .ok_or_else(|| SimError::new(Errno::Eisdir, "predict on directory"))?;
+        let mount = match node.mount {
+            Some(m) => m,
+            None => return Ok(DeviceClass::Memory),
+        };
+        let n = f.page_count();
+        if let Some(h) = self.mounts[mount.0].hsm {
+            if n > 0 && f.pages.runs_in(0, n - 1).iter().any(|r| r.dev == h.tape) {
+                return Ok(self.devices[h.tape.0].class());
+            }
+        }
+        Ok(self.devices[self.mounts[mount.0].dev.0].class())
+    }
+
+    /// Emits a device-service span, with the device's own phase breakdown
+    /// (seek/rotation/transfer, locate/stream, rpc/link, ...) as children.
+    fn trace_device(
+        &mut self,
+        dev: DeviceId,
+        write: bool,
+        ts: SimTime,
+        dur: SimDuration,
+        sector: u64,
+        sectors: u64,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let d = &self.devices[dev.0];
+        let class = d.class();
+        let phases: Vec<(&'static str, SimDuration)> = d
+            .last_phases()
+            .iter()
+            .map(|p| (p.kind.label(), p.dur))
+            .collect();
+        self.tracer.device(
+            class_code(class),
+            device_event_name(class, write),
+            write,
+            ts,
+            dur,
+            sector,
+            sectors,
+            &phases,
+        );
     }
 
     /// Per-device counters.
@@ -325,6 +478,7 @@ impl Kernel {
         let now = self.clock.now();
         let t = d.read(sector, sectors, now)?;
         self.charge_io(t);
+        self.trace_device(dev, false, now, t, sector, sectors);
         self.usage.device_reads += 1;
         Ok(())
     }
@@ -692,6 +846,15 @@ impl Kernel {
 
     /// Opens (and possibly creates) a file.
     pub fn open(&mut self, path: &str, flags: OpenFlags) -> SimResult<Fd> {
+        let t0 = self.clock.now();
+        self.tracer.begin(Layer::Syscall, "open", t0, [0; 3]);
+        let r = self.open_impl(path, flags);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn open_impl(&mut self, path: &str, flags: OpenFlags) -> SimResult<Fd> {
         self.charge_syscall();
         let ino = match self.resolve(path) {
             Ok(i) => {
@@ -760,15 +923,31 @@ impl Kernel {
 
     /// Closes a file descriptor.
     pub fn close(&mut self, fd: Fd) -> SimResult<()> {
+        let t0 = self.clock.now();
+        self.tracer.begin(Layer::Syscall, "close", t0, [fd.0, 0, 0]);
         self.charge_syscall();
-        self.fds
+        let r = self
+            .fds
             .remove(&fd.0)
             .map(|_| ())
-            .ok_or_else(|| SimError::new(Errno::Ebadf, format!("close({})", fd.0)))
+            .ok_or_else(|| SimError::new(Errno::Ebadf, format!("close({})", fd.0)));
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
     }
 
     /// Repositions a file offset.
     pub fn lseek(&mut self, fd: Fd, offset: i64, whence: Whence) -> SimResult<u64> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "lseek", t0, [fd.0, offset as u64, 0]);
+        let r = self.lseek_impl(fd, offset, whence);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn lseek_impl(&mut self, fd: Fd, offset: i64, whence: Whence) -> SimResult<u64> {
         self.charge_syscall();
         let of = self.openfile(fd)?;
         let size = self.inode(of.ino)?.as_file().map(|f| f.size).unwrap_or(0);
@@ -791,6 +970,16 @@ impl Kernel {
     /// Returns the bytes actually read (shorter at end of file, empty at or
     /// past it), advancing the offset.
     pub fn read(&mut self, fd: Fd, len: usize) -> SimResult<Vec<u8>> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "read", t0, [fd.0, len as u64, 0]);
+        let r = self.read_impl(fd, len);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn read_impl(&mut self, fd: Fd, len: usize) -> SimResult<Vec<u8>> {
         self.charge_syscall();
         let of = self.openfile(fd)?;
         if !of.flags.read {
@@ -804,6 +993,16 @@ impl Kernel {
 
     /// Positioned read: `pread(2)`. Does not move the file offset.
     pub fn pread(&mut self, fd: Fd, pos: u64, len: usize) -> SimResult<Vec<u8>> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "pread", t0, [fd.0, len as u64, pos]);
+        let r = self.pread_impl(fd, pos, len);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn pread_impl(&mut self, fd: Fd, pos: u64, len: usize) -> SimResult<Vec<u8>> {
         self.charge_syscall();
         let of = self.openfile(fd)?;
         if !of.flags.read {
@@ -817,6 +1016,16 @@ impl Kernel {
     /// Writes `buf` at the current offset (or the end with `O_APPEND`),
     /// extending the file as needed. Returns bytes written.
     pub fn write(&mut self, fd: Fd, buf: &[u8]) -> SimResult<usize> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "write", t0, [fd.0, buf.len() as u64, 0]);
+        let r = self.write_impl(fd, buf);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn write_impl(&mut self, fd: Fd, buf: &[u8]) -> SimResult<usize> {
         self.charge_syscall();
         let of = self.openfile(fd)?;
         if !of.flags.write {
@@ -835,6 +1044,15 @@ impl Kernel {
 
     /// Flushes an open file's dirty pages to its device.
     pub fn fsync(&mut self, fd: Fd) -> SimResult<()> {
+        let t0 = self.clock.now();
+        self.tracer.begin(Layer::Syscall, "fsync", t0, [fd.0, 0, 0]);
+        let r = self.fsync_impl(fd);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn fsync_impl(&mut self, fd: Fd) -> SimResult<()> {
         self.charge_syscall();
         let of = self.openfile(fd)?;
         let dirty = self.cache.dirty_pages_of(of.ino.0);
@@ -901,6 +1119,8 @@ impl Kernel {
             let key = PageKey::new(ino.0, p);
             if self.cache.lookup(key) {
                 self.usage.minor_faults += 1;
+                let now = self.clock.now();
+                self.tracer.cache_hit(now, p, ino.0);
                 p += 1;
                 continue;
             }
@@ -934,12 +1154,21 @@ impl Kernel {
             }
             // One clustered device command for the run (plus readahead).
             let now = self.clock.now();
+            self.tracer.cache_miss(now, run_start, run_len, ino.0);
             let t = self.devices[start_place.dev.0].read(
                 start_place.sector,
                 (run_len + ra_len) * SECTORS_PER_PAGE,
                 now,
             )?;
             self.charge_io(t);
+            self.trace_device(
+                start_place.dev,
+                false,
+                now,
+                t,
+                start_place.sector,
+                (run_len + ra_len) * SECTORS_PER_PAGE,
+            );
             self.usage.device_reads += 1;
             self.usage.major_faults += run_len;
             let fault_cpu = SimDuration::from_nanos(self.cfg.fault_cpu.as_nanos() * run_len);
@@ -1030,6 +1259,14 @@ impl Kernel {
             let t =
                 self.devices[first.dev.0].read(first.sector, run_len * SECTORS_PER_PAGE, now)?;
             self.charge_io(t);
+            self.trace_device(
+                first.dev,
+                false,
+                now,
+                t,
+                first.sector,
+                run_len * SECTORS_PER_PAGE,
+            );
             self.usage.device_reads += 1;
             // Disk write of the staged copy.
             let sectors = self.allocate_sectors(mount, run_len)?;
@@ -1037,6 +1274,7 @@ impl Kernel {
             let now = self.clock.now();
             let t = self.devices[disk.0].write(sectors, run_len * SECTORS_PER_PAGE, now)?;
             self.charge_io(t);
+            self.trace_device(disk, true, now, t, sectors, run_len * SECTORS_PER_PAGE);
             self.usage.device_writes += 1;
             // Remap, remembering the tape home.
             let f = self.file_of_mut(ino)?;
@@ -1171,6 +1409,9 @@ impl Kernel {
 
     fn cache_insert(&mut self, key: PageKey, dirty: bool) -> SimResult<()> {
         if let Some(ev) = self.cache.insert(key, dirty) {
+            let now = self.clock.now();
+            self.tracer
+                .cache_evict(now, ev.key.index, u64::from(ev.dirty), ev.key.inode);
             if ev.dirty {
                 self.writeback(ev.key)?;
             }
@@ -1188,8 +1429,10 @@ impl Kernel {
             None => return Ok(()),
         };
         let now = self.clock.now();
+        self.tracer.cache_writeback(now, key.index, key.inode);
         let t = self.devices[place.dev.0].write(place.sector, SECTORS_PER_PAGE, now)?;
         self.charge_io(t);
+        self.trace_device(place.dev, true, now, t, place.sector, SECTORS_PER_PAGE);
         self.usage.device_writes += 1;
         Ok(())
     }
@@ -1250,6 +1493,16 @@ impl Kernel {
     /// extent of this open file live right now? Cost is one probe per
     /// extent plus a per-page floor — O(runs), not O(pages).
     pub fn page_extents(&mut self, fd: Fd) -> SimResult<Vec<PageExtent>> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_get", t0, [fd.0, 0, 0]);
+        let r = self.page_extents_impl(fd);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn page_extents_impl(&mut self, fd: Fd) -> SimResult<Vec<PageExtent>> {
         self.charge_syscall();
         let of = self.openfile(fd)?;
         let out = self.page_extents_of(of.ino)?;
@@ -1463,6 +1716,7 @@ impl Kernel {
             let now = self.clock.now();
             let t = self.devices[hsm.tape.0].write(first, sectors, now)?;
             self.charge_io(t);
+            self.trace_device(hsm.tape, true, now, t, first, sectors);
             self.usage.device_writes += 1;
         }
         let f = self.file_of_mut(ino)?;
@@ -1626,6 +1880,33 @@ impl Kernel {
         for d in &mut self.devices {
             d.reset_stats();
         }
+    }
+}
+
+/// The device-class code carried in trace-event args; decoded for display
+/// by `sleds_trace::class_label`.
+fn class_code(class: DeviceClass) -> u64 {
+    match class {
+        DeviceClass::Memory => 0,
+        DeviceClass::Disk => 1,
+        DeviceClass::CdRom => 2,
+        DeviceClass::Network => 3,
+        DeviceClass::Tape => 4,
+    }
+}
+
+fn device_event_name(class: DeviceClass, write: bool) -> &'static str {
+    match (class, write) {
+        (DeviceClass::Memory, false) => "memory.read",
+        (DeviceClass::Memory, true) => "memory.write",
+        (DeviceClass::Disk, false) => "disk.read",
+        (DeviceClass::Disk, true) => "disk.write",
+        (DeviceClass::CdRom, false) => "cdrom.read",
+        (DeviceClass::CdRom, true) => "cdrom.write",
+        (DeviceClass::Network, false) => "nfs.read",
+        (DeviceClass::Network, true) => "nfs.write",
+        (DeviceClass::Tape, false) => "tape.read",
+        (DeviceClass::Tape, true) => "tape.write",
     }
 }
 
@@ -2022,5 +2303,91 @@ mod tests {
         let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
         assert_eq!(k.pread(fd, 4, 3).unwrap(), b"456");
         assert_eq!(k.read(fd, 3).unwrap(), b"012");
+    }
+
+    #[test]
+    fn tracing_is_a_zero_cost_observer() {
+        let run = |traced: bool| {
+            let mut k = kernel_with_disk();
+            if traced {
+                k.enable_tracing();
+            }
+            let data = vec![7u8; 8 * PAGE_SIZE as usize];
+            k.install_file("/data/f", &data).unwrap();
+            let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+            let t = k.start_job();
+            k.read(fd, data.len()).unwrap();
+            k.lseek(fd, 0, Whence::Set).unwrap();
+            k.read(fd, data.len()).unwrap();
+            k.close(fd).unwrap();
+            let rep = k.finish_job(&t);
+            (rep.elapsed, rep.usage, k.trace_events())
+        };
+        let (e1, u1, ev1) = run(false);
+        let (e2, u2, ev2) = run(true);
+        assert_eq!(e1, e2, "tracing must not move the virtual clock");
+        assert_eq!(u1, u2, "tracing must not perturb rusage");
+        assert!(ev1.is_empty());
+        assert!(!ev2.is_empty());
+    }
+
+    #[test]
+    fn traced_syscall_spans_balance_and_nest_device_work() {
+        use sleds_trace::EventPhase;
+        let mut k = kernel_with_disk();
+        k.enable_tracing();
+        let data = vec![1u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.read(fd, data.len()).unwrap();
+        k.close(fd).unwrap();
+        let evs = k.trace_events();
+        let begins = evs.iter().filter(|e| e.phase == EventPhase::Begin).count();
+        let ends = evs.iter().filter(|e| e.phase == EventPhase::End).count();
+        assert_eq!(begins, ends, "all spans closed");
+        // The cold read's one clustered device command, with dur matching
+        // the io_wait it charged.
+        let io: SimDuration = evs
+            .iter()
+            .filter(|e| {
+                e.layer == Layer::Device && e.phase == EventPhase::Complete && e.args[1] > 0
+            })
+            .map(|e| e.dur)
+            .sum();
+        assert_eq!(io, k.usage().io_wait, "device spans account for io_wait");
+        // The read End span carries the fd for the audit.
+        let read_end = evs
+            .iter()
+            .find(|e| e.phase == EventPhase::End && e.name == "read")
+            .expect("read span");
+        assert_eq!(read_end.args[0], fd.0);
+    }
+
+    #[test]
+    fn fsleds_stat_snapshots_metrics() {
+        let mut k = kernel_with_disk();
+        k.enable_tracing();
+        let data = vec![2u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.read(fd, data.len()).unwrap();
+        k.lseek(fd, 0, Whence::Set).unwrap();
+        k.read(fd, data.len()).unwrap();
+        let m = k.fsleds_stat(fd).unwrap();
+        assert!(
+            m.syscalls >= 4,
+            "open+read+lseek+read traced: {}",
+            m.syscalls
+        );
+        assert_eq!(m.cache_misses, 1, "one clustered miss run");
+        assert_eq!(m.cache_hits, 4, "warm re-read hits every page");
+        assert_eq!(m.device[1].reads, 1, "one disk command");
+        assert!(m.device[1].service.sum() > 0);
+        // Disabled tracing yields all-zero counters, not an error.
+        let mut k2 = kernel_with_disk();
+        k2.install_file("/data/f", b"x").unwrap();
+        let fd2 = k2.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let m2 = k2.fsleds_stat(fd2).unwrap();
+        assert_eq!(m2, Metrics::default());
     }
 }

@@ -33,3 +33,4 @@ pub use inode::{FileKind, Ino, LayoutRun, PageMap, PagePlace, Stat, SECTORS_PER_
 pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageExtent, PageLocation, Whence};
 pub use machine::MachineConfig;
 pub use rusage::{JobReport, JobTimer, Rusage};
+pub use sleds_trace as trace;

@@ -10,6 +10,7 @@
 //! byte-identical reports, elapsed times, and usage counters.
 
 use sleds_devices::DiskDevice;
+use sleds_fs::trace::{chrome_trace_json, TraceEvent};
 use sleds_fs::{JobReport, Kernel, OpenFlags, Whence};
 use sleds_sim_core::PAGE_SIZE;
 
@@ -17,7 +18,16 @@ use sleds_sim_core::PAGE_SIZE;
 /// across the disk, then one `drop_caches` flushes them all, then cold reads
 /// pay whatever head position the flush order left behind.
 fn run_workload() -> (JobReport, u64, u64) {
+    let (report, ns, sum, _) = run_workload_traced(false);
+    (report, ns, sum)
+}
+
+/// The same workload, optionally observed by the tracer.
+fn run_workload_traced(traced: bool) -> (JobReport, u64, u64, Vec<TraceEvent>) {
     let mut k = Kernel::table2();
+    if traced {
+        k.enable_tracing();
+    }
     k.mkdir("/data").unwrap();
     k.mount_disk("/data", DiskDevice::table2_disk("hda"))
         .unwrap();
@@ -56,7 +66,26 @@ fn run_workload() -> (JobReport, u64, u64) {
         k.close(fd).unwrap();
     }
     let report = k.finish_job(&t);
-    (report, report.elapsed.as_nanos(), checksum)
+    (
+        report,
+        report.elapsed.as_nanos(),
+        checksum,
+        k.trace_events(),
+    )
+}
+
+/// Elapsed virtual time must account exactly: the simulated process is
+/// single-threaded and synchronous here, so every nanosecond of the job is
+/// either CPU or device wait. Drift between the clock and the rusage
+/// counters would mean some path advanced one without the other.
+fn assert_rusage_sums(r: &JobReport) {
+    assert_eq!(
+        r.elapsed,
+        r.usage.cpu + r.usage.io_wait,
+        "elapsed must equal cpu + io_wait exactly (cpu {}, io_wait {})",
+        r.usage.cpu,
+        r.usage.io_wait
+    );
 }
 
 #[test]
@@ -68,5 +97,38 @@ fn identical_runs_are_byte_identical() {
     assert_eq!(
         r1, r2,
         "full job report (usage counters included) must replay identically"
+    );
+    assert_rusage_sums(&r1);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    // The tracer is a pure observer: the traced run's virtual results are
+    // byte-identical to the untraced run's, and its rusage still sums.
+    let (plain, ns_plain, sum_plain, events) = run_workload_traced(false);
+    let (traced, ns_traced, sum_traced, traced_events) = run_workload_traced(true);
+    assert!(events.is_empty(), "untraced run must record nothing");
+    assert!(!traced_events.is_empty(), "traced run must record events");
+    assert_eq!(
+        sum_plain, sum_traced,
+        "contents must not change under trace"
+    );
+    assert_eq!(ns_plain, ns_traced, "virtual time must not change");
+    assert_eq!(plain, traced, "job report must not change under trace");
+    assert_rusage_sums(&traced);
+}
+
+#[test]
+fn identical_traced_runs_export_identical_traces() {
+    // Determinism extends to the trace itself: two identical workloads
+    // produce byte-identical event buffers and byte-identical exported
+    // JSON, so a stored trace is a replayable artifact.
+    let (_, _, _, ev1) = run_workload_traced(true);
+    let (_, _, _, ev2) = run_workload_traced(true);
+    assert_eq!(ev1, ev2, "trace buffers must replay identically");
+    assert_eq!(
+        chrome_trace_json(&ev1, 0),
+        chrome_trace_json(&ev2, 0),
+        "exported Chrome trace JSON must replay identically"
     );
 }

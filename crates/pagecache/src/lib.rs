@@ -148,6 +148,12 @@ impl PageCache {
         self.len == 0
     }
 
+    /// Current number of dirty resident pages across all inodes — the
+    /// writeback debt a cache-state report shows next to residency.
+    pub fn dirty_count(&self) -> u64 {
+        self.index.values().map(|ix| ix.dirty.page_count()).sum()
+    }
+
     /// The replacement policy's name, for reports.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
@@ -450,6 +456,20 @@ mod tests {
         assert!(c.lookup(key(0)));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn dirty_count_tracks_writeback_debt() {
+        let mut c = PageCache::lru(8);
+        assert_eq!(c.dirty_count(), 0);
+        c.insert(key(0), true);
+        c.insert(key(1), false);
+        c.insert(PageKey::new(2, 0), true);
+        assert_eq!(c.dirty_count(), 2);
+        c.mark_clean(key(0));
+        assert_eq!(c.dirty_count(), 1);
+        c.remove(PageKey::new(2, 0));
+        assert_eq!(c.dirty_count(), 0);
     }
 
     #[test]

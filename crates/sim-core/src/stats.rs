@@ -139,6 +139,123 @@ impl Ecdf {
     }
 }
 
+/// A fixed-bucket latency histogram over power-of-two nanosecond buckets.
+///
+/// Bucket `i` counts observations `x` with `2^i <= x < 2^(i+1)` (bucket 0
+/// also absorbs zero). Sixty-four buckets cover the full `u64` nanosecond
+/// range, so recording never saturates into an "overflow" bucket and two
+/// identical runs produce identical bucket vectors. Everything is integer
+/// arithmetic — no floats, no allocation after construction — which keeps
+/// the histogram safe to embed in kernel-path metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a nanosecond observation: floor(log2(x)), with zero
+    /// mapping to bucket 0.
+    pub fn bucket_of(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros()) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i` in nanoseconds.
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i.min(63)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations in nanoseconds (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation in nanoseconds (integer division), zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nearest-rank `q`-quantile (`q` in [0,1]), resolved to the *floor* of
+    /// the bucket holding that rank. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets as `(floor_ns, count)` pairs in
+    /// ascending bucket order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +326,50 @@ mod tests {
     #[test]
     fn ecdf_empty_is_none() {
         assert!(Ecdf::of(&[]).is_none());
+    }
+
+    #[test]
+    fn log_histogram_bucketing() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(4), 2);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+        assert_eq!(LogHistogram::bucket_floor(0), 0);
+        assert_eq!(LogHistogram::bucket_floor(10), 1024);
+    }
+
+    #[test]
+    fn log_histogram_records_and_summarizes() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        for ns in [100u64, 200, 300, 5_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5_600);
+        assert_eq!(h.mean(), 1_400);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 5_000);
+        // p50 rank 2 → 200 lives in bucket 7 (floor 128).
+        assert_eq!(h.quantile(0.5), 128);
+        // p100 → bucket of 5000 is 12 (floor 4096).
+        assert_eq!(h.quantile(1.0), 4096);
+        let nz: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(nz, vec![(64, 1), (128, 1), (256, 1), (4096, 1)]);
+    }
+
+    #[test]
+    fn log_histogram_replays_identically() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for ns in 0..2_000u64 {
+            a.record(ns * 37);
+            b.record(ns * 37);
+        }
+        assert_eq!(a, b);
     }
 }

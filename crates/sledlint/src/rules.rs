@@ -74,8 +74,10 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
-/// Crates whose `src/` is a kernel path (syscall/cost-model code).
-pub const KERNEL_CRATES: &[&str] = &["core", "devices", "fs", "pagecache"];
+/// Crates whose `src/` is a kernel path (syscall/cost-model code). The
+/// tracer is included: its hooks run inside syscalls, so a panic there
+/// aborts an experiment batch just like one in the kernel proper.
+pub const KERNEL_CRATES: &[&str] = &["core", "devices", "fs", "pagecache", "trace"];
 
 /// Crates exempt from wall-clock/host-API rules: `bench` measures the host
 /// on purpose, and `sledlint` itself is a host tool (it exits the process).

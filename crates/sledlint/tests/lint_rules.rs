@@ -123,3 +123,47 @@ fn fixture_dir_is_excluded_from_workspace_scan() {
         .iter()
         .all(|f| !f.path.starts_with("crates/sledlint/tests/fixtures/")));
 }
+
+#[test]
+fn trace_crate_is_kernel_path_and_clean() {
+    // The tracer runs inside syscalls, so `crates/trace/src` is a kernel
+    // path: the wall-clock rule (and the other kernel rules) must be in
+    // scope there, and the shipped sources must satisfy them with no
+    // waivers. `EventPhase::Mark` exists precisely so the crate never
+    // needs a D001 waiver for a domain name.
+    let src = fixture("d001_violating.rs");
+    let f = scan_source("crates/trace/src/fixture.rs", &src);
+    assert!(
+        f.iter().any(|f| f.rule == "D001"),
+        "D001 must apply under crates/trace/src: {f:?}"
+    );
+    let src = fixture("d005_violating.rs");
+    assert!(
+        !scan_source("crates/trace/src/fixture.rs", &src).is_empty(),
+        "D005 must apply under crates/trace/src"
+    );
+
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = sledlint::find_workspace_root(&manifest).expect("workspace root");
+    let dir = root.join("crates/trace/src");
+    let mut scanned = 0;
+    for entry in fs::read_dir(&dir).expect("read crates/trace/src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let rel = format!(
+            "crates/trace/src/{}",
+            path.file_name().expect("name").to_string_lossy()
+        );
+        let src = fs::read_to_string(&path).expect("read source");
+        let f = scan_source(&rel, &src);
+        assert!(f.is_empty(), "{rel} has findings: {f:?}");
+        assert!(
+            !src.contains("sledlint::allow"),
+            "{rel} must stay waiver-free"
+        );
+        scanned += 1;
+    }
+    assert!(scanned >= 8, "expected the tracer's modules, got {scanned}");
+}

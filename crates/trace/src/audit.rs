@@ -1,0 +1,260 @@
+//! Prediction-accuracy audit.
+//!
+//! For every fd that published a `sleds.predict` marker (the
+//! `sleds_total_delivery_time` estimate captured when a pick session
+//! started), the audit sums the traced durations of the subsequent
+//! `read`/`pread` syscall spans on that fd — the actual virtual time spent
+//! delivering the data, device waits and cache copies included — and
+//! reports the error distribution per device class. File descriptors are
+//! never reused by the simulated kernel, so the pairing is exact.
+
+use std::collections::BTreeMap;
+
+use sleds_sim_core::stats::Ecdf;
+
+use crate::event::{class_label, EventPhase, Layer, TraceEvent};
+
+/// One audited (prediction, actual) pair.
+#[derive(Clone, Copy, Debug)]
+pub struct AccuracySample {
+    /// File descriptor the prediction was made for.
+    pub fd: u64,
+    /// Device class code of the file's home device.
+    pub class: u64,
+    /// Predicted delivery time, nanoseconds.
+    pub predicted_ns: u64,
+    /// Traced actual delivery time (sum of read-span durations), nanoseconds.
+    pub actual_ns: u64,
+}
+
+impl AccuracySample {
+    /// Signed relative error `(predicted - actual) / actual`.
+    pub fn rel_err(&self) -> f64 {
+        (self.predicted_ns as f64 - self.actual_ns as f64) / self.actual_ns as f64
+    }
+}
+
+/// Error distribution for one device class.
+#[derive(Clone, Debug)]
+pub struct ClassAccuracy {
+    /// Device class code.
+    pub class: u64,
+    /// Human label for the class.
+    pub label: &'static str,
+    /// Number of audited requests.
+    pub n: usize,
+    /// Mean predicted delivery time, seconds.
+    pub mean_predicted_s: f64,
+    /// Mean actual delivery time, seconds.
+    pub mean_actual_s: f64,
+    /// Mean signed relative error (positive = overprediction).
+    pub mean_rel_err: f64,
+    /// Mean absolute relative error.
+    pub mean_abs_rel_err: f64,
+    /// Median absolute relative error.
+    pub p50_abs_rel_err: f64,
+    /// 90th-percentile absolute relative error.
+    pub p90_abs_rel_err: f64,
+    /// Worst absolute relative error.
+    pub max_abs_rel_err: f64,
+}
+
+/// The audit result: all samples plus per-class distributions.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Every audited pair, in fd order.
+    pub samples: Vec<AccuracySample>,
+    /// Predictions whose fd saw no traced reads (e.g. `find -latency`
+    /// estimates that pruned the file) — excluded from the distributions.
+    pub unread_predictions: usize,
+    /// Per-class error distributions, in class-code order.
+    pub classes: Vec<ClassAccuracy>,
+}
+
+/// Runs the audit over a trace buffer.
+pub fn audit_accuracy(events: &[TraceEvent]) -> AuditReport {
+    // fd -> (predicted_ns, class, actual_ns accumulated so far).
+    let mut by_fd: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for ev in events {
+        match ev.phase {
+            EventPhase::Mark if ev.name == "sleds.predict" => {
+                by_fd.insert(ev.args[0], (ev.args[1], ev.args[2], 0));
+            }
+            EventPhase::End
+                if ev.layer == Layer::Syscall && (ev.name == "read" || ev.name == "pread") =>
+            {
+                if let Some(entry) = by_fd.get_mut(&ev.args[0]) {
+                    entry.2 = entry.2.saturating_add(ev.dur.as_nanos());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut report = AuditReport::default();
+    let mut by_class: BTreeMap<u64, Vec<AccuracySample>> = BTreeMap::new();
+    for (fd, (predicted_ns, class, actual_ns)) in by_fd {
+        if actual_ns == 0 {
+            report.unread_predictions += 1;
+            continue;
+        }
+        let s = AccuracySample {
+            fd,
+            class,
+            predicted_ns,
+            actual_ns,
+        };
+        report.samples.push(s);
+        by_class.entry(class).or_default().push(s);
+    }
+
+    for (class, samples) in by_class {
+        let n = samples.len();
+        let inv = 1.0 / n as f64;
+        let mean_predicted_s =
+            samples.iter().map(|s| s.predicted_ns as f64).sum::<f64>() * inv / 1e9;
+        let mean_actual_s = samples.iter().map(|s| s.actual_ns as f64).sum::<f64>() * inv / 1e9;
+        let abs_errs: Vec<f64> = samples.iter().map(|s| s.rel_err().abs()).collect();
+        let mean_rel_err = samples.iter().map(|s| s.rel_err()).sum::<f64>() * inv;
+        let mean_abs_rel_err = abs_errs.iter().sum::<f64>() * inv;
+        let (p50, p90, max) = match Ecdf::of(&abs_errs) {
+            Some(e) => (e.quantile(0.50), e.quantile(0.90), e.quantile(1.0)),
+            None => (0.0, 0.0, 0.0),
+        };
+        report.classes.push(ClassAccuracy {
+            class,
+            label: class_label(class),
+            n,
+            mean_predicted_s,
+            mean_actual_s,
+            mean_rel_err,
+            mean_abs_rel_err,
+            p50_abs_rel_err: p50,
+            p90_abs_rel_err: p90,
+            max_abs_rel_err: max,
+        });
+    }
+    report
+}
+
+impl AuditReport {
+    /// Serializes the report in the house results-JSON style
+    /// (cf. `results/BENCH_fsleds_get.json`). Hand-rolled and
+    /// fixed-precision so identical runs serialize identically.
+    pub fn to_json(&self, regenerate: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"audit\": \"prediction accuracy: sleds_total_delivery_time vs traced actual delivery time\",\n");
+        out.push_str(&format!("  \"regenerate\": \"{regenerate}\",\n"));
+        out.push_str("  \"units\": {\"predicted\": \"seconds\", \"actual\": \"seconds\", \"errors\": \"relative (predicted-actual)/actual\"},\n");
+        out.push_str(&format!(
+            "  \"audited_requests\": {},\n  \"unread_predictions\": {},\n",
+            self.samples.len(),
+            self.unread_predictions
+        ));
+        out.push_str("  \"classes\": [\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"class\": \"{}\", \"n\": {}, \"mean_predicted_s\": {:.6}, \"mean_actual_s\": {:.6}, \"mean_rel_err\": {:.4}, \"mean_abs_rel_err\": {:.4}, \"p50_abs_rel_err\": {:.4}, \"p90_abs_rel_err\": {:.4}, \"max_abs_rel_err\": {:.4}}}",
+                c.label,
+                c.n,
+                c.mean_predicted_s,
+                c.mean_actual_s,
+                c.mean_rel_err,
+                c.mean_abs_rel_err,
+                c.p50_abs_rel_err,
+                c.p90_abs_rel_err,
+                c.max_abs_rel_err
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// One-line-per-class text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "audited {} requests ({} predictions unread)\n",
+            self.samples.len(),
+            self.unread_predictions
+        ));
+        for c in &self.classes {
+            out.push_str(&format!(
+                "{:>8}: n={:<4} predicted {:>10.6}s actual {:>10.6}s rel_err mean {:+.3} |mean| {:.3} p50 {:.3} p90 {:.3} max {:.3}\n",
+                c.label,
+                c.n,
+                c.mean_predicted_s,
+                c.mean_actual_s,
+                c.mean_rel_err,
+                c.mean_abs_rel_err,
+                c.p50_abs_rel_err,
+                c.p90_abs_rel_err,
+                c.max_abs_rel_err
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+    use sleds_sim_core::SimTime;
+
+    fn traced_read(t: &mut Tracer, fd: u64, at: u64, dur: u64) {
+        t.begin(Layer::Syscall, "read", SimTime::from_nanos(at), [fd, 0, 0]);
+        t.end(SimTime::from_nanos(at + dur));
+    }
+
+    #[test]
+    fn pairs_predictions_with_read_spans_per_class() {
+        let mut t = Tracer::enabled();
+        // fd 3 on disk: predicted 1ms, actual 2 reads x 600us = 1.2ms.
+        t.predict(SimTime::ZERO, 3, 1_000_000, 1);
+        traced_read(&mut t, 3, 100, 600_000);
+        traced_read(&mut t, 3, 700_200, 600_000);
+        // fd 4 on tape: predicted 2s, actual 1s.
+        t.predict(SimTime::from_nanos(2_000_000), 4, 2_000_000_000, 4);
+        traced_read(&mut t, 4, 3_000_000, 1_000_000_000);
+        // fd 5: predicted but never read.
+        t.predict(SimTime::from_nanos(5_000_000), 5, 42, 1);
+        let rep = audit_accuracy(&t.events());
+        assert_eq!(rep.samples.len(), 2);
+        assert_eq!(rep.unread_predictions, 1);
+        assert_eq!(rep.classes.len(), 2);
+        let disk = &rep.classes[0];
+        assert_eq!(disk.label, "disk");
+        assert_eq!(disk.n, 1);
+        assert!((disk.mean_rel_err - (-1.0 / 6.0)).abs() < 1e-9);
+        let tape = &rep.classes[1];
+        assert_eq!(tape.label, "tape");
+        assert!((tape.mean_rel_err - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_balanced() {
+        let mut t = Tracer::enabled();
+        t.predict(SimTime::ZERO, 3, 500, 1);
+        traced_read(&mut t, 3, 10, 400);
+        let rep = audit_accuracy(&t.events());
+        let a = rep.to_json("cargo run --release --example trace_viewer");
+        let b = rep.to_json("cargo run --release --example trace_viewer");
+        assert_eq!(a, b);
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert!(a.contains("\"audited_requests\": 1"));
+        let text = rep.render_text();
+        assert!(text.contains("disk"));
+    }
+
+    #[test]
+    fn empty_trace_audits_empty() {
+        let rep = audit_accuracy(&[]);
+        assert!(rep.samples.is_empty());
+        assert!(rep.classes.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Virtual-clock tracing for the SLEDs simulator.
+//!
+//! The paper's claim is that SLEDs *predict* delivery latency well enough
+//! for applications to reorder and prune their I/O. This crate is the
+//! instrument that checks the claim: a bounded ring buffer of structured
+//! [`TraceEvent`]s stamped with [`SimTime`](sleds_sim_core::SimTime), per-layer
+//! [`Metrics`] (counters plus log-bucket latency histograms), a Chrome
+//! `trace_event` JSON exporter, a folded-stack flamegraph summary, and a
+//! prediction-accuracy audit that pairs each `sleds_total_delivery_time`
+//! estimate with the traced actual virtual duration of the reads it covered.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Virtual time only.** Every timestamp is the kernel's [`SimTime`];
+//!   no wall clock is ever consulted, so traces replay bit-identically and
+//!   sledlint rule D001 holds in this crate like any other.
+//! * **Zero-cost observer.** Tracing never advances the virtual clock and
+//!   never touches `Rusage`, whether enabled or not. A traced run and an
+//!   untraced run of the same workload produce byte-identical virtual
+//!   results; the trace is a pure projection of what happened.
+//!
+//! The buffer is bounded (drop-oldest on overflow, with a dropped-event
+//! counter) so long workloads cannot grow memory without bound.
+
+mod audit;
+mod chrome;
+mod event;
+mod flame;
+mod metrics;
+mod ring;
+mod tracer;
+
+pub use audit::{audit_accuracy, AccuracySample, AuditReport, ClassAccuracy};
+pub use chrome::chrome_trace_json;
+pub use event::{class_label, EventPhase, Layer, TraceEvent};
+pub use flame::folded_stacks;
+pub use metrics::{ClassMetrics, Metrics, NUM_DEVICE_CLASSES};
+pub use ring::RingBuffer;
+pub use tracer::{Tracer, DEFAULT_CAPACITY};

@@ -1,0 +1,135 @@
+//! Per-layer monotonic counters and latency histograms.
+//!
+//! Built on [`LogHistogram`] from `sim-core::stats`: power-of-two
+//! nanosecond buckets, integer-only, so the metrics replay bit-identically
+//! and are safe to snapshot from kernel paths (`FSLEDS_STAT`).
+
+use sleds_sim_core::stats::LogHistogram;
+
+use crate::event::class_label;
+
+/// Number of device classes tracked (memory, disk, CD-ROM, network, tape).
+pub const NUM_DEVICE_CLASSES: usize = 5;
+
+/// Counters and a service-time histogram for one device class.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassMetrics {
+    /// Read commands serviced.
+    pub reads: u64,
+    /// Write commands serviced.
+    pub writes: u64,
+    /// Per-command service time, nanoseconds.
+    pub service: LogHistogram,
+}
+
+/// Per-layer metrics snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Syscall spans completed.
+    pub syscalls: u64,
+    /// Per-syscall latency (entry to exit), nanoseconds.
+    pub syscall_latency: LogHistogram,
+    /// Page-cache hits observed.
+    pub cache_hits: u64,
+    /// Page-cache misses (major-fault runs) observed.
+    pub cache_misses: u64,
+    /// Pages evicted.
+    pub cache_evictions: u64,
+    /// Dirty pages written back.
+    pub cache_writebacks: u64,
+    /// Device command counters and service histograms, indexed by class code.
+    pub device: [ClassMetrics; NUM_DEVICE_CLASSES],
+    /// Application-level spans completed.
+    pub app_spans: u64,
+}
+
+impl Metrics {
+    /// Records one completed syscall span.
+    pub fn note_syscall(&mut self, dur_ns: u64) {
+        self.syscalls += 1;
+        self.syscall_latency.record(dur_ns);
+    }
+
+    /// Records one device command.
+    pub fn note_device(&mut self, class: u64, write: bool, dur_ns: u64) {
+        let idx = (class as usize).min(NUM_DEVICE_CLASSES - 1);
+        let m = &mut self.device[idx];
+        if write {
+            m.writes += 1;
+        } else {
+            m.reads += 1;
+        }
+        m.service.record(dur_ns);
+    }
+
+    /// Total device commands across every class.
+    pub fn device_commands(&self) -> u64 {
+        self.device.iter().map(|m| m.reads + m.writes).sum()
+    }
+
+    /// Compact human-readable dump, one line per populated row.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "syscalls {} (mean {} ns, p90 {} ns, max {} ns)\n",
+            self.syscalls,
+            self.syscall_latency.mean(),
+            self.syscall_latency.quantile(0.90),
+            self.syscall_latency.max(),
+        ));
+        out.push_str(&format!(
+            "cache hits {} misses {} evictions {} writebacks {}\n",
+            self.cache_hits, self.cache_misses, self.cache_evictions, self.cache_writebacks,
+        ));
+        for (code, m) in self.device.iter().enumerate() {
+            if m.reads + m.writes == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "device[{}] reads {} writes {} service mean {} ns p90 {} ns max {} ns\n",
+                class_label(code as u64),
+                m.reads,
+                m.writes,
+                m.service.mean(),
+                m.service.quantile(0.90),
+                m.service.max(),
+            ));
+        }
+        if self.app_spans > 0 {
+            out.push_str(&format!("app spans {}\n", self.app_spans));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_paths_update_the_right_rows() {
+        let mut m = Metrics::default();
+        m.note_syscall(5_000);
+        m.note_syscall(7_000);
+        m.note_device(1, false, 18_000_000);
+        m.note_device(1, true, 20_000_000);
+        m.note_device(4, false, 40_000_000_000);
+        assert_eq!(m.syscalls, 2);
+        assert_eq!(m.syscall_latency.count(), 2);
+        assert_eq!(m.device[1].reads, 1);
+        assert_eq!(m.device[1].writes, 1);
+        assert_eq!(m.device[4].reads, 1);
+        assert_eq!(m.device_commands(), 3);
+        let text = m.render_text();
+        assert!(text.contains("device[disk]"));
+        assert!(text.contains("device[tape]"));
+        assert!(!text.contains("device[memory]"));
+    }
+
+    #[test]
+    fn out_of_range_class_clamps() {
+        let mut m = Metrics::default();
+        m.note_device(77, false, 10);
+        assert_eq!(m.device[NUM_DEVICE_CLASSES - 1].reads, 1);
+    }
+}

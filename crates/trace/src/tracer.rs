@@ -1,0 +1,359 @@
+//! The tracer the kernel owns.
+//!
+//! Disabled is the default and costs one pointer-null check per hook; no
+//! allocation, no event, no metric. Enabled, every hook stamps the caller's
+//! [`SimTime`] into the ring buffer — the tracer itself never advances the
+//! clock or touches `Rusage`, so traced and untraced runs produce
+//! byte-identical virtual results.
+
+use sleds_sim_core::{SimDuration, SimTime};
+
+use crate::event::{EventPhase, Layer, TraceEvent};
+use crate::metrics::Metrics;
+use crate::ring::RingBuffer;
+
+/// Default ring-buffer capacity (events retained).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+struct Inner {
+    ring: RingBuffer,
+    metrics: Metrics,
+    seq: u64,
+    /// Open spans, innermost last. The simulator is single-threaded and
+    /// synchronous, so begin/end nest like a call stack.
+    stack: Vec<(Layer, &'static str, SimTime, [u64; 3])>,
+}
+
+/// Event sink owned by the kernel; a no-op unless enabled.
+#[derive(Default)]
+pub struct Tracer {
+    inner: Option<Box<Inner>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: every hook is a null check.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with the default buffer capacity.
+    pub fn enabled() -> Tracer {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Box::new(Inner {
+                ring: RingBuffer::new(capacity),
+                metrics: Metrics::default(),
+                seq: 0,
+                stack: Vec::new(),
+            })),
+        }
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn emit(
+        inner: &mut Inner,
+        ts: SimTime,
+        dur: SimDuration,
+        phase: EventPhase,
+        layer: Layer,
+        name: &'static str,
+        args: [u64; 3],
+    ) {
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.ring.push(TraceEvent {
+            seq,
+            ts,
+            dur,
+            phase,
+            layer,
+            name,
+            args,
+        });
+    }
+
+    /// Opens a span. Must be balanced by [`Tracer::end`].
+    pub fn begin(&mut self, layer: Layer, name: &'static str, ts: SimTime, args: [u64; 3]) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.stack.push((layer, name, ts, args));
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Begin,
+            layer,
+            name,
+            args,
+        );
+    }
+
+    /// Closes the innermost open span, stamping its duration and feeding
+    /// the layer's latency histogram. Unbalanced calls are ignored.
+    pub fn end(&mut self, ts: SimTime) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        let Some((layer, name, began, args)) = inner.stack.pop() else {
+            return;
+        };
+        let dur = ts.duration_since(began);
+        match layer {
+            Layer::Syscall => inner.metrics.note_syscall(dur.as_nanos()),
+            Layer::App => inner.metrics.app_spans += 1,
+            Layer::Cache | Layer::Device => {}
+        }
+        Self::emit(inner, ts, dur, EventPhase::End, layer, name, args);
+    }
+
+    /// Emits a zero-width marker.
+    pub fn instant(&mut self, layer: Layer, name: &'static str, ts: SimTime, args: [u64; 3]) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            layer,
+            name,
+            args,
+        );
+    }
+
+    /// Records a page-cache hit (`args`: page index within file, ino).
+    pub fn cache_hit(&mut self, ts: SimTime, page: u64, ino: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.cache_hits += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Cache,
+            "cache.hit",
+            [page, 1, ino],
+        );
+    }
+
+    /// Records a page-cache miss run (`pages` missing pages starting at `page`).
+    pub fn cache_miss(&mut self, ts: SimTime, page: u64, pages: u64, ino: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.cache_misses += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Cache,
+            "cache.miss",
+            [page, pages, ino],
+        );
+    }
+
+    /// Records an eviction (`dirty` is 1 when the page needed writeback).
+    pub fn cache_evict(&mut self, ts: SimTime, page: u64, dirty: u64, ino: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.cache_evictions += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Cache,
+            "cache.evict",
+            [page, dirty, ino],
+        );
+    }
+
+    /// Records one dirty-page writeback.
+    pub fn cache_writeback(&mut self, ts: SimTime, page: u64, ino: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.cache_writebacks += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Cache,
+            "cache.writeback",
+            [page, 1, ino],
+        );
+    }
+
+    /// Records one device command as a complete span with its mechanical
+    /// phases nested inside it.
+    ///
+    /// `phases` is the device's own breakdown of the service time, as
+    /// `(name, duration)` pairs in service order; each is laid out
+    /// back-to-back from the command's start so viewers show them as
+    /// children of the command span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn device(
+        &mut self,
+        class: u64,
+        name: &'static str,
+        write: bool,
+        ts: SimTime,
+        dur: SimDuration,
+        sector: u64,
+        sectors: u64,
+        phases: &[(&'static str, SimDuration)],
+    ) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.note_device(class, write, dur.as_nanos());
+        Self::emit(
+            inner,
+            ts,
+            dur,
+            EventPhase::Complete,
+            Layer::Device,
+            name,
+            [sector, sectors, class],
+        );
+        let mut at = ts;
+        for &(pname, pdur) in phases {
+            if pdur.is_zero() {
+                continue;
+            }
+            Self::emit(
+                inner,
+                at,
+                pdur,
+                EventPhase::Complete,
+                Layer::Device,
+                pname,
+                [sector, 0, class],
+            );
+            at += pdur;
+        }
+    }
+
+    /// Records a delivery-time prediction for `fd` (nanoseconds, device
+    /// class of the file's home device). The accuracy audit pairs this
+    /// marker with the subsequent traced read spans on the same fd.
+    pub fn predict(&mut self, ts: SimTime, fd: u64, predicted_ns: u64, class: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::App,
+            "sleds.predict",
+            [fd, predicted_ns, class],
+        );
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.ring.to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Metrics snapshot; `None` when disabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// Events overwritten by ring overflow.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.ring.dropped())
+    }
+
+    /// Total events emitted (including overwritten ones).
+    pub fn emitted(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let mut t = Tracer::disabled();
+        t.begin(Layer::Syscall, "read", SimTime::ZERO, [0; 3]);
+        t.end(SimTime::from_nanos(10));
+        t.cache_hit(SimTime::ZERO, 0, 0);
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert!(t.metrics().is_none());
+        assert_eq!(t.emitted(), 0);
+    }
+
+    #[test]
+    fn spans_pair_and_feed_metrics() {
+        let mut t = Tracer::enabled();
+        t.begin(Layer::Syscall, "read", SimTime::from_nanos(100), [3, 0, 0]);
+        t.end(SimTime::from_nanos(700));
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].phase, EventPhase::Begin);
+        assert_eq!(evs[1].phase, EventPhase::End);
+        assert_eq!(evs[1].dur.as_nanos(), 600);
+        assert_eq!(evs[1].args, [3, 0, 0]);
+        let m = t.metrics().unwrap();
+        assert_eq!(m.syscalls, 1);
+        assert_eq!(m.syscall_latency.count(), 1);
+    }
+
+    #[test]
+    fn device_phases_nest_back_to_back() {
+        let mut t = Tracer::enabled();
+        t.device(
+            1,
+            "disk.read",
+            false,
+            SimTime::from_nanos(1_000),
+            SimDuration::from_nanos(30),
+            8,
+            16,
+            &[
+                ("disk.seek", SimDuration::from_nanos(10)),
+                ("disk.rotation", SimDuration::ZERO),
+                ("disk.transfer", SimDuration::from_nanos(20)),
+            ],
+        );
+        let evs = t.events();
+        assert_eq!(evs.len(), 3); // zero-length phase elided
+        assert_eq!(evs[0].name, "disk.read");
+        assert_eq!(evs[1].name, "disk.seek");
+        assert_eq!(evs[1].ts.as_nanos(), 1_000);
+        assert_eq!(evs[2].name, "disk.transfer");
+        assert_eq!(evs[2].ts.as_nanos(), 1_010);
+        assert_eq!(t.metrics().unwrap().device[1].reads, 1);
+    }
+
+    #[test]
+    fn unbalanced_end_is_ignored() {
+        let mut t = Tracer::enabled();
+        t.end(SimTime::from_nanos(5));
+        assert!(t.events().is_empty());
+    }
+}

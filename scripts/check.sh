@@ -20,6 +20,11 @@ run cargo build --release
 run cargo run -p sledlint --release
 run cargo test -q
 
+# The observability pipeline end to end: traced mixed-device workload,
+# Chrome trace export, prediction-accuracy audit. The example asserts the
+# exported JSON is balanced and the audit is non-empty.
+run cargo run --release --example trace_viewer
+
 if [[ "${1:-}" == "--with-proptests" ]]; then
     # The randomized equivalence suites; heavier, so opt-in.
     run cargo test -q -p sleds-fs --features proptests

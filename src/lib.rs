@@ -13,3 +13,4 @@ pub use sleds_lmbench as lmbench;
 pub use sleds_pagecache as pagecache;
 pub use sleds_sim_core as sim_core;
 pub use sleds_textmatch as textmatch;
+pub use sleds_trace as trace;
