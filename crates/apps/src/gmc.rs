@@ -5,7 +5,7 @@
 //! time (its Figure 6), so users can decide whether a file is worth opening
 //! — the pure *reporting* use of SLEDs. This module produces that panel.
 
-use sleds::{fsleds_get, AttackPlan, SledReport, SledsTable};
+use sleds::{fsleds_get, AttackPlan, ObservedError, SledReport, SledsTable};
 use sleds_fs::{Kernel, OpenFlags};
 use sleds_sim_core::SimResult;
 
@@ -38,9 +38,27 @@ pub fn properties_panel(
     let fd = kernel.open(path, OpenFlags::RDONLY)?;
     let sleds = fsleds_get(kernel, fd, table)?;
     let forecasts = sleds::forecast(kernel, table, fd)?;
+    // Observed prediction error for the class that would serve this file,
+    // from the kernel's rolling accuracy windows. The ioctl is issued
+    // unconditionally so a traced panel costs the same virtual time as an
+    // untraced one; an untraced kernel just returns empty windows.
+    let class = kernel.serving_class_code(fd)?;
+    let stats = kernel.fsleds_stat(fd)?;
+    let eta_error = stats
+        .device
+        .get(class as usize)
+        .and_then(|cm| {
+            cm.accuracy
+                .mean_abs_rel_err()
+                .map(|e| (e, cm.accuracy.len()))
+        })
+        .map(|(e, n)| ObservedError {
+            mean_abs_rel_err: e,
+            samples: n,
+        });
     kernel.close(fd)?;
     let stable_for_bytes = forecasts.iter().filter_map(|f| f.survives_bytes()).min();
-    let report = SledReport::new(path, sleds);
+    let report = SledReport::new(path, sleds).with_observed_error(eta_error);
     Ok(PropertiesPanel {
         linear_secs: report.total_secs(AttackPlan::Linear),
         best_secs: report.total_secs(AttackPlan::Best),
@@ -118,6 +136,34 @@ mod tests {
         assert!(text.contains("50% cached"));
         assert!(text.contains("estimated delivery"));
         assert!(text.contains("stable for"));
+    }
+
+    #[test]
+    fn panel_carries_observed_error_bar_when_traced() {
+        let mut k = Kernel::table2();
+        k.enable_tracing();
+        k.mkdir("/data").unwrap();
+        let m = k
+            .mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
+        let data = vec![7u8; 8 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let t = fill_table(&mut k, &[("/data", m)]).unwrap();
+
+        // No audited predictions yet: panel renders without an error bar.
+        let before = properties_panel(&mut k, &t, "/data/f").unwrap();
+        assert!(before.report.observed_error().is_none());
+
+        // Predict, read to completion, close — one audited pair.
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        sleds::total_delivery_time(&mut k, &t, fd, AttackPlan::Linear).unwrap();
+        k.read(fd, data.len()).unwrap();
+        k.close(fd).unwrap();
+
+        let after = properties_panel(&mut k, &t, "/data/f").unwrap();
+        let err = after.report.observed_error().expect("window has a sample");
+        assert_eq!(err.samples, 1);
+        assert!(format!("{after}").contains("observed error"));
     }
 
     #[test]

@@ -74,6 +74,8 @@ fn device_event_ns(t: &mut Tracer) -> f64 {
             sleds_sim_core::SimDuration::from_nanos(12_900_000),
             ts / 1000,
             8,
+            8 * 512,
+            900_000,
             &phases,
         );
         ts += 20_000_000;

@@ -65,7 +65,11 @@ pub fn total_delivery_time(
     let sleds = fsleds_get(kernel, fd, table)?;
     let est = estimate_seconds(&sleds, plan);
     if kernel.tracing_enabled() && est.is_finite() {
-        kernel.trace_predict(fd, sleds_sim_core::SimDuration::from_secs_f64(est))?;
+        kernel.trace_predict(
+            fd,
+            sleds_sim_core::SimDuration::from_secs_f64(est),
+            table.generation(),
+        )?;
     }
     Ok(est)
 }

@@ -38,6 +38,7 @@ pub mod get;
 pub mod lease;
 pub mod pick;
 pub mod predicate;
+pub mod recal;
 pub mod report;
 pub mod table;
 
@@ -48,7 +49,10 @@ pub use get::fsleds_get;
 pub use lease::SledLease;
 pub use pick::{PickConfig, PickSession};
 pub use predicate::LatencyPredicate;
-pub use report::SledReport;
+pub use recal::{
+    recalibrate, recalibrate_from_metrics, ClassObservation, RecalOutcome, RecalPolicy,
+};
+pub use report::{ObservedError, SledReport};
 pub use table::{SledsEntry, SledsTable};
 
 /// A Storage Latency Estimation Descriptor.

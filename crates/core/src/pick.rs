@@ -79,7 +79,7 @@ impl PickSession {
         cfg: PickConfig,
     ) -> SimResult<PickSession> {
         let sleds = fsleds_get(kernel, fd, table)?;
-        PickSession::plan_from(kernel, fd, cfg, sleds)
+        PickSession::plan_from(kernel, fd, cfg, sleds, table.generation())
     }
 
     /// [`PickSession::init`] through a [`SledCache`]: when the file's SLED
@@ -93,7 +93,7 @@ impl PickSession {
         cache: &mut SledCache,
     ) -> SimResult<PickSession> {
         let sleds = cache.get(kernel, table, fd)?;
-        PickSession::plan_from(kernel, fd, cfg, sleds)
+        PickSession::plan_from(kernel, fd, cfg, sleds, table.generation())
     }
 
     fn plan_from(
@@ -101,6 +101,7 @@ impl PickSession {
         fd: Fd,
         cfg: PickConfig,
         mut sleds: Vec<Sled>,
+        table_generation: u64,
     ) -> SimResult<PickSession> {
         if let Some(sep) = cfg.record_separator {
             adjust_to_records(kernel, fd, &mut sleds, sep)?;
@@ -116,7 +117,7 @@ impl PickSession {
         if kernel.tracing_enabled() {
             let est = crate::estimate::estimate_seconds(&sleds, crate::estimate::AttackPlan::Best);
             if est.is_finite() {
-                kernel.trace_predict(fd, SimDuration::from_secs_f64(est))?;
+                kernel.trace_predict(fd, SimDuration::from_secs_f64(est), table_generation)?;
             }
         }
         Ok(PickSession {

@@ -6,12 +6,25 @@ use std::fmt;
 use crate::estimate::{estimate_seconds, AttackPlan};
 use crate::Sled;
 
+/// Observed prediction error for the device class that would serve a file,
+/// from the kernel's rolling accuracy windows (`FSLEDS_STAT`). Attached to
+/// a [`SledReport`] it turns the bare ETA into "ETA ± what we've actually
+/// been off by lately".
+#[derive(Clone, Copy, Debug)]
+pub struct ObservedError {
+    /// Mean |predicted − actual| / actual over the window.
+    pub mean_abs_rel_err: f64,
+    /// Audited prediction pairs in the window.
+    pub samples: usize,
+}
+
 /// A formatted report over a file's SLED vector: one row per SLED plus the
 /// estimated total delivery times, as in the paper's Figure 6 panel.
 #[derive(Clone, Debug)]
 pub struct SledReport {
     name: String,
     sleds: Vec<Sled>,
+    eta_error: Option<ObservedError>,
 }
 
 impl SledReport {
@@ -20,7 +33,20 @@ impl SledReport {
         SledReport {
             name: name.into(),
             sleds,
+            eta_error: None,
         }
+    }
+
+    /// Attaches the observed prediction error of the file's serving class;
+    /// the rendered ETA then carries an error bar.
+    pub fn with_observed_error(mut self, err: Option<ObservedError>) -> Self {
+        self.eta_error = err;
+        self
+    }
+
+    /// The attached observed error, if any.
+    pub fn observed_error(&self) -> Option<ObservedError> {
+        self.eta_error
     }
 
     /// The SLED rows.
@@ -91,7 +117,20 @@ impl fmt::Display for SledReport {
             "  estimated delivery: {} linear, {} reordered",
             fmt_secs(self.total_secs(AttackPlan::Linear)),
             fmt_secs(self.total_secs(AttackPlan::Best))
-        )
+        )?;
+        if let Some(e) = self.eta_error {
+            let best = self.total_secs(AttackPlan::Best);
+            if best.is_finite() {
+                writeln!(
+                    f,
+                    "  observed error: ±{:.0}% over last {} predictions (±{})",
+                    e.mean_abs_rel_err * 100.0,
+                    e.samples,
+                    fmt_secs(best * e.mean_abs_rel_err),
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -127,6 +166,18 @@ mod tests {
         assert!(text.contains("18.00ms"));
         assert!(text.contains("175ns"));
         assert!(text.contains("estimated delivery"));
+    }
+
+    #[test]
+    fn observed_error_bar_renders_with_eta() {
+        let r = sample().with_observed_error(Some(ObservedError {
+            mean_abs_rel_err: 0.10,
+            samples: 12,
+        }));
+        let text = format!("{r}");
+        assert!(text.contains("observed error: ±10% over last 12 predictions"));
+        // Without an attached error the line is absent.
+        assert!(!format!("{}", sample()).contains("observed error"));
     }
 
     #[test]

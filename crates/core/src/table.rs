@@ -43,6 +43,10 @@ pub struct SledsTable {
     /// (`BlockDevice::dynamic_probe`) before falling back to table rows —
     /// the client/server SLEDs channel of the paper's section 6.
     trust_device_reports: bool,
+    /// Table generation: 0 for a boot-time fill, bumped by each
+    /// recalibration. Predictions are tagged with it so the accuracy
+    /// audit can tell which table priced each estimate.
+    generation: u64,
 }
 
 impl SledsTable {
@@ -115,6 +119,24 @@ impl SledsTable {
     /// Whether device dynamic self-reports are consulted.
     pub fn trust_device_reports(&self) -> bool {
         self.trust_device_reports
+    }
+
+    /// The table's generation (0 = boot-time fill).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamps the table's generation; recalibration sets it to the
+    /// kernel's sleds epoch.
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Drops a device's per-zone rows, so its flat row governs again.
+    /// Recalibration uses this: the observed class-wide rates replace the
+    /// boot-time zone survey, which no longer reflects what was measured.
+    pub fn clear_device_zones(&mut self, dev: DeviceId) {
+        self.zones.remove(&dev);
     }
 
     /// Number of device rows.
@@ -197,6 +219,20 @@ mod tests {
         // Inside the last zone the entry never changes again.
         assert_eq!(t.zone_end(DeviceId(0), 5_000), None);
         assert_eq!(t.zone_end(DeviceId(0), 1 << 40), None);
+    }
+
+    #[test]
+    fn generation_stamps_and_zone_rows_clear() {
+        let mut t = SledsTable::new();
+        assert_eq!(t.generation(), 0);
+        t.set_generation(3);
+        assert_eq!(t.generation(), 3);
+        t.fill_device(DeviceId(0), SledsEntry::new(0.018, 9e6));
+        t.fill_device_zones(DeviceId(0), vec![(0, SledsEntry::new(0.018, 11e6))]);
+        assert_eq!(t.entry_at(DeviceId(0), 0).unwrap().bandwidth, 11e6);
+        t.clear_device_zones(DeviceId(0));
+        assert!(!t.has_zones(DeviceId(0)));
+        assert_eq!(t.entry_at(DeviceId(0), 0).unwrap().bandwidth, 9e6);
     }
 
     #[test]

@@ -56,6 +56,19 @@ impl DeviceClass {
             DeviceClass::Tape => "tape",
         }
     }
+
+    /// Stable numeric code carried in trace-event payloads and the
+    /// per-class metrics arrays (`sleds_trace::class_label` is its
+    /// inverse). Declaration order, starting at 0.
+    pub fn code(self) -> u64 {
+        match self {
+            DeviceClass::Memory => 0,
+            DeviceClass::Disk => 1,
+            DeviceClass::CdRom => 2,
+            DeviceClass::Network => 3,
+            DeviceClass::Tape => 4,
+        }
+    }
 }
 
 /// Nominal performance characteristics of a device.

@@ -23,9 +23,11 @@
 
 use std::collections::BTreeMap;
 
-use sleds_devices::{BlockDevice, DevStats, DeviceClass};
+use sleds_devices::{BlockDevice, DevStats, DeviceClass, PhaseKind};
 use sleds_pagecache::{PageCache, PageKey};
-use sleds_sim_core::{Clock, DetRng, Errno, SimDuration, SimError, SimResult, SimTime, PAGE_SIZE};
+use sleds_sim_core::{
+    Clock, DetRng, Errno, SimDuration, SimError, SimResult, SimTime, PAGE_SIZE, SECTOR_SIZE,
+};
 use sleds_trace::{Layer, Metrics, TraceEvent, Tracer};
 
 use crate::inode::{FileKind, FileNode, Ino, Inode, InodeBody, PageMap, PagePlace, Stat};
@@ -196,6 +198,11 @@ pub struct Kernel {
     usage: Rusage,
     root: Ino,
     tracer: Tracer,
+    /// Count of `FSLEDS_RECAL` calls. Folded into [`Kernel::sled_generation`]
+    /// so every cached SLED vector and lease goes stale the moment the
+    /// sleds table is recalibrated, without the cache or lease layers
+    /// knowing recalibration exists.
+    sleds_epoch: u64,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -237,6 +244,7 @@ impl Kernel {
             usage: Rusage::default(),
             root,
             tracer: Tracer::disabled(),
+            sleds_epoch: 0,
         }
     }
 
@@ -344,10 +352,41 @@ impl Kernel {
         self.charge_syscall();
         let r = self
             .openfile(fd)
-            .map(|_| self.tracer.metrics().cloned().unwrap_or_default());
+            .map(|_| self.tracer.metrics_snapshot().unwrap_or_default());
         let t1 = self.clock.now();
         self.tracer.end(t1);
         r
+    }
+
+    /// The `FSLEDS_RECAL` ioctl: marks a sleds-table recalibration point.
+    /// Bumps the kernel's sleds epoch — invalidating every memoized SLED
+    /// vector and lease via [`Kernel::sled_generation`] — emits a
+    /// `sleds.recal` marker so the accuracy audit can fence prediction
+    /// pairs at the boundary, and returns the metrics snapshot the caller
+    /// recalibrates from. Charges one syscall. The epoch bump happens
+    /// whether or not tracing is on (untraced callers get empty metrics),
+    /// so traced and untraced runs stay byte-identical.
+    pub fn fsleds_recal(&mut self, fd: Fd) -> SimResult<Metrics> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_recal", t0, [fd.0, 0, 0]);
+        self.charge_syscall();
+        let r = self.openfile(fd).map(|_| {
+            self.sleds_epoch += 1;
+            let snap = self.tracer.metrics_snapshot().unwrap_or_default();
+            let now = self.clock.now();
+            self.tracer.recal(now, self.sleds_epoch);
+            snap
+        });
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    /// Number of `FSLEDS_RECAL` calls so far — the generation new
+    /// predictions should be tagged with after a recalibration.
+    pub fn sleds_epoch(&self) -> u64 {
+        self.sleds_epoch
     }
 
     /// Opens an application-level span (e.g. one `grep` invocation); the
@@ -368,16 +407,37 @@ impl Kernel {
     /// the device the file's data would come from (tape when any page of an
     /// HSM file is still offline, the home mount device otherwise), and
     /// paired by the audit with the durations of later reads on the fd.
-    pub fn trace_predict(&mut self, fd: Fd, predicted: SimDuration) -> SimResult<()> {
+    /// `table_generation` is the generation of the sleds table the
+    /// estimate was priced from; the audit discards pairs whose reads
+    /// happened under a different table.
+    pub fn trace_predict(
+        &mut self,
+        fd: Fd,
+        predicted: SimDuration,
+        table_generation: u64,
+    ) -> SimResult<()> {
         if !self.tracer.is_enabled() {
             return Ok(());
         }
         let of = self.openfile(fd)?;
         let class = self.serving_class_of(of.ino)?;
         let now = self.clock.now();
-        self.tracer
-            .predict(now, fd.0, predicted.as_nanos(), class_code(class));
+        self.tracer.predict(
+            now,
+            fd.0,
+            predicted.as_nanos(),
+            class_code(class),
+            table_generation,
+        );
         Ok(())
+    }
+
+    /// The numeric device-class code (as used in trace events and the
+    /// per-class metrics arrays) that would serve a cold read of this open
+    /// file. Pure query: charges nothing.
+    pub fn serving_class_code(&self, fd: Fd) -> SimResult<u64> {
+        let of = self.openfile(fd)?;
+        Ok(class_code(self.serving_class_of(of.ino)?))
     }
 
     /// The device class that would serve a cold read of this file: the tape
@@ -422,6 +482,20 @@ impl Kernel {
             .iter()
             .map(|p| (p.kind.label(), p.dur))
             .collect();
+        // Time the device spent actually moving data, as opposed to
+        // positioning for it — the first-byte/bandwidth split the
+        // recalibrator rebuilds SLED rows from.
+        let transfer_ns: u64 = d
+            .last_phases()
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.kind,
+                    PhaseKind::Transfer | PhaseKind::Stream | PhaseKind::Link
+                )
+            })
+            .map(|p| p.dur.as_nanos())
+            .sum();
         self.tracer.device(
             class_code(class),
             device_event_name(class, write),
@@ -430,6 +504,8 @@ impl Kernel {
             dur,
             sector,
             sectors,
+            sectors * SECTOR_SIZE,
+            transfer_ns,
             &phases,
         );
     }
@@ -442,6 +518,11 @@ impl Kernel {
     /// The class of a device.
     pub fn device_class(&self, dev: DeviceId) -> Option<DeviceClass> {
         self.devices.get(dev.0).map(|d| d.class())
+    }
+
+    /// Number of attached devices; ids `0..count` are all valid.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
     }
 
     /// The nominal profile of a device.
@@ -1583,9 +1664,9 @@ impl Kernel {
             .ok_or_else(|| SimError::new(Errno::Eisdir, "sled_generation on directory"))?
             .pages
             .generation();
-        // Both counters are monotone, so their sum is a valid version: any
-        // change to either strictly increases it.
-        Ok(self.cache.generation(of.ino.0) + layout)
+        // All three counters are monotone, so their sum is a valid version:
+        // any change to any one strictly increases it.
+        Ok(self.cache.generation(of.ino.0) + layout + self.sleds_epoch)
     }
 
     /// Number of resident extents the cache tracks for an open file — the
@@ -2389,5 +2470,55 @@ mod tests {
         let fd2 = k2.open("/data/f", OpenFlags::RDONLY).unwrap();
         let m2 = k2.fsleds_stat(fd2).unwrap();
         assert_eq!(m2, Metrics::default());
+    }
+
+    #[test]
+    fn fsleds_recal_bumps_epoch_and_generation() {
+        let mut k = kernel_with_disk();
+        k.enable_tracing();
+        let data = vec![3u8; 2 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.read(fd, data.len()).unwrap();
+        assert_eq!(k.sleds_epoch(), 0);
+        let g0 = k.sled_generation(fd).unwrap();
+        let snap = k.fsleds_recal(fd).unwrap();
+        assert_eq!(k.sleds_epoch(), 1);
+        assert!(snap.device[1].reads >= 1, "snapshot sees the disk read");
+        // The epoch bump invalidates every memoized SLED vector: the
+        // generation stamp strictly advances even though the file's cache
+        // residency and layout are untouched.
+        let g1 = k.sled_generation(fd).unwrap();
+        assert_eq!(g1, g0 + 1);
+        // The recal fence is in the event stream for the audit.
+        assert!(k
+            .trace_events()
+            .iter()
+            .any(|e| e.name == "sleds.recal" && e.args[0] == 1));
+        // Untraced: empty metrics, but the epoch still bumps so traced
+        // and untraced runs stay in lockstep.
+        let mut k2 = kernel_with_disk();
+        k2.install_file("/data/f", b"x").unwrap();
+        let fd2 = k2.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let m2 = k2.fsleds_recal(fd2).unwrap();
+        assert_eq!(m2, Metrics::default());
+        assert_eq!(k2.sleds_epoch(), 1);
+    }
+
+    #[test]
+    fn predict_reads_pairs_feed_accuracy_window() {
+        let mut k = kernel_with_disk();
+        k.enable_tracing();
+        let data = vec![4u8; 2 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.trace_predict(fd, SimDuration::from_nanos(1_000_000), 0)
+            .unwrap();
+        k.read(fd, data.len()).unwrap();
+        k.close(fd).unwrap();
+        let fd2 = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let m = k.fsleds_stat(fd2).unwrap();
+        assert_eq!(m.device[1].accuracy.len(), 1, "one audited pair");
+        assert_eq!(m.accuracy_cross_generation, 0);
     }
 }

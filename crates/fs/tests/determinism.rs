@@ -132,3 +132,95 @@ fn identical_traced_runs_export_identical_traces() {
         "exported Chrome trace JSON must replay identically"
     );
 }
+
+/// The seed workload followed by a full recalibration loop: fill the table
+/// from lmbench probes, read everything cold, recalibrate from what the
+/// tracer observed, then read again under the refreshed table. Returns the
+/// usual replay signature plus the recalibrated table rows as bit patterns.
+fn run_recal_workload(traced: bool) -> (JobReport, u64, u64, Vec<(u64, u64)>) {
+    let mut k = Kernel::table2();
+    if traced {
+        k.enable_tracing();
+    }
+    k.mkdir("/data").unwrap();
+    let m = k
+        .mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .unwrap();
+    let table = sleds_lmbench::fill_table(&mut k, &[("/data", m)]).unwrap();
+
+    let t = k.start_job();
+    let files = 6;
+    let pages_per_file = 4usize;
+    for i in 0..files {
+        let path = format!("/data/f{i}");
+        k.install_file(&path, &vec![i as u8; pages_per_file * PAGE_SIZE as usize])
+            .unwrap();
+    }
+    k.drop_caches().unwrap();
+    let mut checksum = 0u64;
+    for i in 0..files {
+        let path = format!("/data/f{i}");
+        let fd = k.open(&path, OpenFlags::RDONLY).unwrap();
+        sleds::total_delivery_time(&mut k, &table, fd, sleds::AttackPlan::Linear).unwrap();
+        let data = k.read(fd, pages_per_file * PAGE_SIZE as usize).unwrap();
+        checksum = data
+            .iter()
+            .fold(checksum, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64));
+        k.close(fd).unwrap();
+    }
+
+    // Recalibrate from the run so far and re-read under the new table.
+    let fd = k.open("/data/f0", OpenFlags::RDONLY).unwrap();
+    let outcome = sleds::recalibrate(&mut k, &table, fd, &sleds::RecalPolicy::default()).unwrap();
+    k.close(fd).unwrap();
+    let table = outcome.table;
+    k.drop_caches().unwrap();
+    for i in 0..files {
+        let path = format!("/data/f{i}");
+        let fd = k.open(&path, OpenFlags::RDONLY).unwrap();
+        sleds::total_delivery_time(&mut k, &table, fd, sleds::AttackPlan::Linear).unwrap();
+        let data = k.read(fd, pages_per_file * PAGE_SIZE as usize).unwrap();
+        checksum = data
+            .iter()
+            .fold(checksum, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64));
+        k.close(fd).unwrap();
+    }
+    let report = k.finish_job(&t);
+    let rows: Vec<(u64, u64)> = table
+        .iter_devices()
+        .map(|(_, e)| (e.latency.to_bits(), e.bandwidth.to_bits()))
+        .collect();
+    (report, report.elapsed.as_nanos(), checksum, rows)
+}
+
+#[test]
+fn recalibration_is_deterministic() {
+    // Same trace, same table: two identical traced runs recalibrate to
+    // byte-identical rows (bit-for-bit floats, not approximately equal).
+    let (r1, ns1, sum1, rows1) = run_recal_workload(true);
+    let (r2, ns2, sum2, rows2) = run_recal_workload(true);
+    assert_eq!(rows1, rows2, "recalibrated rows must be byte-identical");
+    assert_eq!(sum1, sum2);
+    assert_eq!(ns1, ns2);
+    assert_eq!(r1, r2);
+    assert_rusage_sums(&r1);
+}
+
+#[test]
+fn recalibrated_run_is_identical_traced_vs_untraced() {
+    // `FSLEDS_RECAL` must not let observation leak into virtual results:
+    // the traced run refreshes table rows and the untraced run keeps its
+    // boot-time rows (its snapshot is empty), but the virtual clock,
+    // usage counters, and file contents stay byte-identical — the table
+    // only changes *estimates*, never the I/O itself.
+    let (plain, ns_plain, sum_plain, rows_plain) = run_recal_workload(false);
+    let (traced, ns_traced, sum_traced, rows_traced) = run_recal_workload(true);
+    assert_eq!(sum_plain, sum_traced, "contents must not change");
+    assert_eq!(ns_plain, ns_traced, "virtual time must not change");
+    assert_eq!(plain, traced, "job report must not change");
+    assert_ne!(
+        rows_plain, rows_traced,
+        "the traced run must actually have refreshed its rows"
+    );
+    assert_rusage_sums(&traced);
+}

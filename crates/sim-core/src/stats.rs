@@ -150,6 +150,10 @@ impl Ecdf {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogHistogram {
     buckets: [u64; 64],
+    /// Per-bucket sum of observations (saturating), parallel to `buckets`.
+    /// Lets quantile queries resolve to the count-weighted mean of the
+    /// bucket holding the rank instead of the lossy power-of-two floor.
+    sums: [u64; 64],
     count: u64,
     sum: u64,
     min: u64,
@@ -167,6 +171,7 @@ impl LogHistogram {
     pub const fn new() -> LogHistogram {
         LogHistogram {
             buckets: [0; 64],
+            sums: [0; 64],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -191,7 +196,9 @@ impl LogHistogram {
 
     /// Records one observation.
     pub fn record(&mut self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)] += 1;
+        let b = Self::bucket_of(ns);
+        self.buckets[b] += 1;
+        self.sums[b] = self.sums[b].saturating_add(ns);
         self.count += 1;
         self.sum = self.sum.saturating_add(ns);
         self.min = self.min.min(ns);
@@ -243,6 +250,45 @@ impl LogHistogram {
             }
         }
         self.max
+    }
+
+    /// Nearest-rank `q`-quantile resolved to the *count-weighted mean* of
+    /// the bucket holding that rank (integer division). Exact whenever the
+    /// bucket holds a single distinct value — in particular for an empty
+    /// histogram (zero), a single sample, and samples sitting exactly on
+    /// bucket boundaries — and always within `[min, max]` otherwise,
+    /// because a bucket's mean is bounded by its own observations. Bucket
+    /// means are monotone across buckets (bucket `i+1`'s floor exceeds
+    /// bucket `i`'s ceiling), so `p50() <= p90() <= p99()` always holds.
+    pub fn quantile_mean(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.sums[i].checked_div(c).unwrap_or(0);
+            }
+        }
+        self.max
+    }
+
+    /// Median observation (count-weighted bucket mean).
+    pub fn p50(&self) -> u64 {
+        self.quantile_mean(0.50)
+    }
+
+    /// 90th-percentile observation (count-weighted bucket mean).
+    pub fn p90(&self) -> u64 {
+        self.quantile_mean(0.90)
+    }
+
+    /// 99th-percentile observation (count-weighted bucket mean).
+    pub fn p99(&self) -> u64 {
+        self.quantile_mean(0.99)
     }
 
     /// Iterates the non-empty buckets as `(floor_ns, count)` pairs in
@@ -360,6 +406,51 @@ mod tests {
         assert_eq!(h.quantile(1.0), 4096);
         let nz: Vec<(u64, u64)> = h.nonzero_buckets().collect();
         assert_eq!(nz, vec![(64, 1), (128, 1), (256, 1), (4096, 1)]);
+    }
+
+    #[test]
+    fn quantile_mean_is_exact_on_bucket_boundaries() {
+        // Powers of two each live alone in their bucket, so every quantile
+        // resolves to the exact observation, not a lossy floor.
+        let mut h = LogHistogram::new();
+        for ns in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(ns);
+        }
+        assert_eq!(h.p50(), 16); // rank 5 of 10
+        assert_eq!(h.p90(), 256); // rank 9
+        assert_eq!(h.p99(), 512); // rank 10
+        assert_eq!(h.quantile_mean(0.0), 1);
+        assert_eq!(h.quantile_mean(1.0), 512);
+    }
+
+    #[test]
+    fn quantile_mean_empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.quantile_mean(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_mean_single_sample_is_that_sample() {
+        let mut h = LogHistogram::new();
+        h.record(18_350_081); // not a power of two; floor would lose 2.3ms
+        assert_eq!(h.p50(), 18_350_081);
+        assert_eq!(h.p90(), 18_350_081);
+        assert_eq!(h.p99(), 18_350_081);
+        // The legacy floor quantile is still the bucket floor.
+        assert_eq!(h.quantile(0.5), 1 << 24);
+    }
+
+    #[test]
+    fn quantile_mean_uses_bucket_mean_for_mixed_buckets() {
+        let mut h = LogHistogram::new();
+        // 100 and 120 share bucket 6; their count-weighted mean is 110.
+        h.record(100);
+        h.record(120);
+        assert_eq!(h.p50(), 110);
+        assert!(h.p50() >= h.min() && h.p50() <= h.max());
     }
 
     #[test]

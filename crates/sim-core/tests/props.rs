@@ -120,3 +120,34 @@ fn secs_f64_roundtrip() {
         );
     });
 }
+
+/// Log-histogram percentile queries: p50 <= p90 <= p99, all within the
+/// observed [min, max], and the count-weighted quantile is never coarser
+/// than the bucket floor the legacy query returns.
+#[test]
+fn log_histogram_percentiles_are_ordered_and_bounded() {
+    use sleds_sim_core::stats::LogHistogram;
+    check::run("log_histogram_percentiles_are_ordered_and_bounded", |rng| {
+        let mut h = LogHistogram::new();
+        let len = rng.range_usize(1, 200);
+        for _ in 0..len {
+            // Span many buckets: mix tiny and huge observations.
+            let mag = rng.range_u64(0, 40);
+            h.record(rng.range_u64(0, (1u64 << mag).max(1)));
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        for q in [p50, p90, p99] {
+            assert!(q >= h.min(), "{q} below min {}", h.min());
+            assert!(q <= h.max(), "{q} above max {}", h.max());
+        }
+        // The weighted quantile refines the floor quantile: same bucket,
+        // so it is at least the floor and below the next power of two.
+        for qf in [0.5, 0.9, 0.99] {
+            let floor = h.quantile(qf);
+            let exact = h.quantile_mean(qf);
+            assert!(exact >= floor, "weighted {exact} under floor {floor}");
+        }
+    });
+}

@@ -87,9 +87,32 @@ pub fn class_label(code: u64) -> &'static str {
     }
 }
 
+/// Packs a device-class code and a sleds-table generation into the third
+/// `sleds.predict` argument: class in the low 8 bits, generation above.
+/// Generation 0 leaves the argument equal to the bare class code, so
+/// pre-generation traces decode unchanged.
+pub fn pack_class_generation(class: u64, generation: u64) -> u64 {
+    (class & 0xff) | (generation << 8)
+}
+
+/// Inverse of [`pack_class_generation`]: `(class, generation)`.
+pub fn unpack_class_generation(arg: u64) -> (u64, u64) {
+    (arg & 0xff, arg >> 8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_generation_packing_roundtrips() {
+        for (class, generation) in [(0u64, 0u64), (4, 0), (1, 1), (3, 7_000_000)] {
+            let packed = pack_class_generation(class, generation);
+            assert_eq!(unpack_class_generation(packed), (class, generation));
+        }
+        // Generation 0 is the identity: old traces decode as before.
+        assert_eq!(pack_class_generation(2, 0), 2);
+    }
 
     #[test]
     fn labels_are_stable() {

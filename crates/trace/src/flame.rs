@@ -117,6 +117,8 @@ mod tests {
             SimDuration::from_nanos(500),
             0,
             8,
+            8 * 512,
+            300,
             &[
                 ("disk.seek", SimDuration::from_nanos(200)),
                 ("disk.transfer", SimDuration::from_nanos(300)),

@@ -3,6 +3,13 @@
 //! Built on [`LogHistogram`] from `sim-core::stats`: power-of-two
 //! nanosecond buckets, integer-only, so the metrics replay bit-identically
 //! and are safe to snapshot from kernel paths (`FSLEDS_STAT`).
+//!
+//! Device-class rows are indexed by the same class codes the prediction
+//! audit uses (`sleds_trace::class_label` decodes them), so a recalibration
+//! pass can join "what we predicted per class" against "what we measured
+//! per class" without any remapping.
+
+use std::collections::VecDeque;
 
 use sleds_sim_core::stats::LogHistogram;
 
@@ -11,7 +18,82 @@ use crate::event::class_label;
 /// Number of device classes tracked (memory, disk, CD-ROM, network, tape).
 pub const NUM_DEVICE_CLASSES: usize = 5;
 
-/// Counters and a service-time histogram for one device class.
+/// Rolling (prediction, actual) pairs retained per class.
+pub const ACCURACY_WINDOW: usize = 128;
+
+/// A rolling window of audited (predicted, actual) delivery-time pairs.
+///
+/// Integer nanoseconds only, bounded at [`ACCURACY_WINDOW`] samples
+/// (drop-oldest), so it is safe to embed in kernel-path metrics and
+/// replays bit-identically. Error ratios are derived on demand and never
+/// stored.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccuracyWindow {
+    /// Retained `(predicted_ns, actual_ns)` pairs, oldest first.
+    samples: VecDeque<(u64, u64)>,
+    /// Pairs observed since tracing was enabled, including evicted ones.
+    total: u64,
+}
+
+impl AccuracyWindow {
+    /// Records one completed pair, evicting the oldest beyond the window.
+    pub fn push(&mut self, predicted_ns: u64, actual_ns: u64) {
+        if self.samples.len() == ACCURACY_WINDOW {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((predicted_ns, actual_ns));
+        self.total += 1;
+    }
+
+    /// Pairs currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no pairs have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Pairs observed in total, including ones the window has evicted.
+    pub fn total_observed(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates retained `(predicted_ns, actual_ns)` pairs, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Mean signed relative error `(predicted - actual) / actual` over the
+    /// window; `None` when empty. Positive means overprediction.
+    pub fn mean_rel_err(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&(p, a)| (p as f64 - a as f64) / (a as f64).max(1.0))
+            .sum();
+        Some(sum / self.samples.len() as f64)
+    }
+
+    /// Mean absolute relative error over the window; `None` when empty.
+    pub fn mean_abs_rel_err(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&(p, a)| ((p as f64 - a as f64) / (a as f64).max(1.0)).abs())
+            .sum();
+        Some(sum / self.samples.len() as f64)
+    }
+}
+
+/// Counters and service-time histograms for one device class.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ClassMetrics {
     /// Read commands serviced.
@@ -20,6 +102,31 @@ pub struct ClassMetrics {
     pub writes: u64,
     /// Per-command service time, nanoseconds.
     pub service: LogHistogram,
+    /// Per-read-command time to the first byte: service time minus the
+    /// data-moving phases (transfer/stream/link). This is the observable
+    /// the sleds-table latency column models, so its p50 drives
+    /// recalibration.
+    pub first_byte: LogHistogram,
+    /// Bytes moved by read commands.
+    pub read_bytes: u64,
+    /// Nanoseconds read commands spent in data-moving phases.
+    pub read_transfer_ns: u64,
+    /// Rolling audited (predicted, actual) delivery-time pairs for files
+    /// served by this class — the continuous accuracy observatory.
+    pub accuracy: AccuracyWindow,
+}
+
+impl ClassMetrics {
+    /// Observed streaming bandwidth in bytes per second: bytes moved by
+    /// read commands over the time spent moving them. `None` until a read
+    /// command has spent time transferring. This is the observable the
+    /// sleds-table bandwidth column models.
+    pub fn effective_bandwidth(&self) -> Option<f64> {
+        if self.read_transfer_ns == 0 {
+            return None;
+        }
+        Some(self.read_bytes as f64 * 1e9 / self.read_transfer_ns as f64)
+    }
 }
 
 /// Per-layer metrics snapshot.
@@ -41,6 +148,14 @@ pub struct Metrics {
     pub device: [ClassMetrics; NUM_DEVICE_CLASSES],
     /// Application-level spans completed.
     pub app_spans: u64,
+    /// Events the trace ring overwrote (drop-oldest overflow). Non-zero
+    /// means audits over the event buffer saw a truncated input.
+    pub trace_dropped: u64,
+    /// Ring high-water mark: most events retained at once.
+    pub trace_high_water: u64,
+    /// Read spans whose prediction was made under an older sleds-table
+    /// generation and therefore excluded from the accuracy windows.
+    pub accuracy_cross_generation: u64,
 }
 
 impl Metrics {
@@ -50,16 +165,34 @@ impl Metrics {
         self.syscall_latency.record(dur_ns);
     }
 
-    /// Records one device command.
-    pub fn note_device(&mut self, class: u64, write: bool, dur_ns: u64) {
+    /// Records one device command. `bytes` is the payload moved and
+    /// `transfer_ns` the portion of `dur_ns` spent in data-moving phases;
+    /// the remainder is first-byte time (positioning, rpc, mount...).
+    pub fn note_device(
+        &mut self,
+        class: u64,
+        write: bool,
+        dur_ns: u64,
+        bytes: u64,
+        transfer_ns: u64,
+    ) {
         let idx = (class as usize).min(NUM_DEVICE_CLASSES - 1);
         let m = &mut self.device[idx];
         if write {
             m.writes += 1;
         } else {
             m.reads += 1;
+            m.first_byte.record(dur_ns.saturating_sub(transfer_ns));
+            m.read_bytes += bytes;
+            m.read_transfer_ns += transfer_ns;
         }
         m.service.record(dur_ns);
+    }
+
+    /// Records one completed (prediction, actual) accuracy pair.
+    pub fn note_accuracy(&mut self, class: u64, predicted_ns: u64, actual_ns: u64) {
+        let idx = (class as usize).min(NUM_DEVICE_CLASSES - 1);
+        self.device[idx].accuracy.push(predicted_ns, actual_ns);
     }
 
     /// Total device commands across every class.
@@ -74,7 +207,7 @@ impl Metrics {
             "syscalls {} (mean {} ns, p90 {} ns, max {} ns)\n",
             self.syscalls,
             self.syscall_latency.mean(),
-            self.syscall_latency.quantile(0.90),
+            self.syscall_latency.p90(),
             self.syscall_latency.max(),
         ));
         out.push_str(&format!(
@@ -86,17 +219,44 @@ impl Metrics {
                 continue;
             }
             out.push_str(&format!(
-                "device[{}] reads {} writes {} service mean {} ns p90 {} ns max {} ns\n",
+                "device[{}] reads {} writes {} service p50 {} ns p90 {} ns p99 {} ns max {} ns\n",
                 class_label(code as u64),
                 m.reads,
                 m.writes,
-                m.service.mean(),
-                m.service.quantile(0.90),
+                m.service.p50(),
+                m.service.p90(),
+                m.service.p99(),
                 m.service.max(),
             ));
+            if m.reads > 0 {
+                let bw = m
+                    .effective_bandwidth()
+                    .map(|b| format!("{:.2} MB/s", b / 1e6))
+                    .unwrap_or_else(|| "n/a".to_string());
+                out.push_str(&format!(
+                    "device[{}] first_byte p50 {} ns effective bandwidth {}\n",
+                    class_label(code as u64),
+                    m.first_byte.p50(),
+                    bw,
+                ));
+            }
+            if !m.accuracy.is_empty() {
+                out.push_str(&format!(
+                    "device[{}] prediction error |mean| {:.3} over {} requests\n",
+                    class_label(code as u64),
+                    m.accuracy.mean_abs_rel_err().unwrap_or(0.0),
+                    m.accuracy.len(),
+                ));
+            }
         }
         if self.app_spans > 0 {
             out.push_str(&format!("app spans {}\n", self.app_spans));
+        }
+        if self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "trace ring TRUNCATED: {} events dropped (high water {})\n",
+                self.trace_dropped, self.trace_high_water
+            ));
         }
         out
     }
@@ -111,9 +271,9 @@ mod tests {
         let mut m = Metrics::default();
         m.note_syscall(5_000);
         m.note_syscall(7_000);
-        m.note_device(1, false, 18_000_000);
-        m.note_device(1, true, 20_000_000);
-        m.note_device(4, false, 40_000_000_000);
+        m.note_device(1, false, 18_000_000, 65_536, 7_000_000);
+        m.note_device(1, true, 20_000_000, 65_536, 8_000_000);
+        m.note_device(4, false, 40_000_000_000, 1 << 20, 1_000_000_000);
         assert_eq!(m.syscalls, 2);
         assert_eq!(m.syscall_latency.count(), 2);
         assert_eq!(m.device[1].reads, 1);
@@ -129,7 +289,55 @@ mod tests {
     #[test]
     fn out_of_range_class_clamps() {
         let mut m = Metrics::default();
-        m.note_device(77, false, 10);
+        m.note_device(77, false, 10, 0, 0);
         assert_eq!(m.device[NUM_DEVICE_CLASSES - 1].reads, 1);
+    }
+
+    #[test]
+    fn first_byte_and_bandwidth_split_reads_only() {
+        let mut m = Metrics::default();
+        // Read: 18ms service, 7ms of it transferring 64KiB.
+        m.note_device(1, false, 18_000_000, 65_536, 7_000_000);
+        // Write: must not feed the read-side observables.
+        m.note_device(1, true, 30_000_000, 65_536, 9_000_000);
+        let d = &m.device[1];
+        assert_eq!(d.first_byte.count(), 1);
+        assert_eq!(d.first_byte.p50(), 11_000_000);
+        assert_eq!(d.read_bytes, 65_536);
+        assert_eq!(d.read_transfer_ns, 7_000_000);
+        let bw = d.effective_bandwidth().unwrap();
+        assert!((bw - 65_536.0 * 1e9 / 7_000_000.0).abs() < 1e-6);
+        assert_eq!(d.service.count(), 2);
+    }
+
+    #[test]
+    fn effective_bandwidth_needs_transfer_time() {
+        let m = ClassMetrics::default();
+        assert!(m.effective_bandwidth().is_none());
+    }
+
+    #[test]
+    fn accuracy_window_rolls_and_summarizes() {
+        let mut w = AccuracyWindow::default();
+        assert!(w.mean_abs_rel_err().is_none());
+        w.push(150, 100); // +50%
+        w.push(50, 100); // -50%
+        assert_eq!(w.len(), 2);
+        assert!((w.mean_rel_err().unwrap() - 0.0).abs() < 1e-12);
+        assert!((w.mean_abs_rel_err().unwrap() - 0.5).abs() < 1e-12);
+        for i in 0..2 * ACCURACY_WINDOW as u64 {
+            w.push(i, i + 1);
+        }
+        assert_eq!(w.len(), ACCURACY_WINDOW);
+        assert_eq!(w.total_observed(), 2 + 2 * ACCURACY_WINDOW as u64);
+    }
+
+    #[test]
+    fn truncation_is_loud_in_render() {
+        let mut m = Metrics::default();
+        assert!(!m.render_text().contains("TRUNCATED"));
+        m.trace_dropped = 9;
+        m.trace_high_water = 16;
+        assert!(m.render_text().contains("TRUNCATED"));
     }
 }

@@ -55,6 +55,14 @@ impl RingBuffer {
         self.dropped
     }
 
+    /// High-water mark: the most events the buffer has ever retained at
+    /// once. Occupancy only grows until it hits capacity, so this equals
+    /// `len()` — exposed separately so `FSLEDS_STAT` can report occupancy
+    /// against capacity even after a future `clear` is added.
+    pub fn high_water(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
     /// Capacity the buffer was created with.
     pub fn capacity(&self) -> usize {
         self.cap

@@ -8,7 +8,8 @@
 
 use sleds_sim_core::{SimDuration, SimTime};
 
-use crate::event::{EventPhase, Layer, TraceEvent};
+use crate::audit::AccuracyTracker;
+use crate::event::{pack_class_generation, EventPhase, Layer, TraceEvent};
 use crate::metrics::Metrics;
 use crate::ring::RingBuffer;
 
@@ -18,6 +19,7 @@ pub const DEFAULT_CAPACITY: usize = 1 << 16;
 struct Inner {
     ring: RingBuffer,
     metrics: Metrics,
+    tracker: AccuracyTracker,
     seq: u64,
     /// Open spans, innermost last. The simulator is single-threaded and
     /// synchronous, so begin/end nest like a call stack.
@@ -47,6 +49,7 @@ impl Tracer {
             inner: Some(Box::new(Inner {
                 ring: RingBuffer::new(capacity),
                 metrics: Metrics::default(),
+                tracker: AccuracyTracker::default(),
                 seq: 0,
                 stack: Vec::new(),
             })),
@@ -78,6 +81,10 @@ impl Tracer {
             name,
             args,
         });
+        // Mirror the ring's truncation state into the metrics so an
+        // `FSLEDS_STAT` snapshot can flag audits over a clipped buffer.
+        inner.metrics.trace_dropped = inner.ring.dropped();
+        inner.metrics.trace_high_water = inner.ring.high_water();
     }
 
     /// Opens a span. Must be balanced by [`Tracer::end`].
@@ -108,7 +115,20 @@ impl Tracer {
         };
         let dur = ts.duration_since(began);
         match layer {
-            Layer::Syscall => inner.metrics.note_syscall(dur.as_nanos()),
+            Layer::Syscall => {
+                inner.metrics.note_syscall(dur.as_nanos());
+                // Feed the continuous accuracy tracker: read spans extend
+                // the open prediction on their fd, close finalizes it.
+                match name {
+                    "read" | "pread" => {
+                        inner
+                            .tracker
+                            .note_read(&mut inner.metrics, args[0], dur.as_nanos());
+                    }
+                    "close" => inner.tracker.note_close(&mut inner.metrics, args[0]),
+                    _ => {}
+                }
+            }
             Layer::App => inner.metrics.app_spans += 1,
             Layer::Cache | Layer::Device => {}
         }
@@ -205,7 +225,10 @@ impl Tracer {
     /// `phases` is the device's own breakdown of the service time, as
     /// `(name, duration)` pairs in service order; each is laid out
     /// back-to-back from the command's start so viewers show them as
-    /// children of the command span.
+    /// children of the command span. `bytes` is the payload moved and
+    /// `transfer_ns` the portion of `dur` the device spent moving it
+    /// (its transfer/stream/link phases); the split feeds the per-class
+    /// first-byte and effective-bandwidth observables.
     #[allow(clippy::too_many_arguments)]
     pub fn device(
         &mut self,
@@ -216,12 +239,16 @@ impl Tracer {
         dur: SimDuration,
         sector: u64,
         sectors: u64,
+        bytes: u64,
+        transfer_ns: u64,
         phases: &[(&'static str, SimDuration)],
     ) {
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
-        inner.metrics.note_device(class, write, dur.as_nanos());
+        inner
+            .metrics
+            .note_device(class, write, dur.as_nanos(), bytes, transfer_ns);
         Self::emit(
             inner,
             ts,
@@ -250,12 +277,24 @@ impl Tracer {
     }
 
     /// Records a delivery-time prediction for `fd` (nanoseconds, device
-    /// class of the file's home device). The accuracy audit pairs this
-    /// marker with the subsequent traced read spans on the same fd.
-    pub fn predict(&mut self, ts: SimTime, fd: u64, predicted_ns: u64, class: u64) {
+    /// class of the file's home device, sleds-table generation the
+    /// estimate was priced from). The accuracy audit pairs this marker
+    /// with the subsequent traced read spans on the same fd, and the
+    /// generation lets it discard pairs that straddle a recalibration.
+    pub fn predict(
+        &mut self,
+        ts: SimTime,
+        fd: u64,
+        predicted_ns: u64,
+        class: u64,
+        generation: u64,
+    ) {
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
+        inner
+            .tracker
+            .note_predict(&mut inner.metrics, fd, predicted_ns, class, generation);
         Self::emit(
             inner,
             ts,
@@ -263,7 +302,25 @@ impl Tracer {
             EventPhase::Mark,
             Layer::App,
             "sleds.predict",
-            [fd, predicted_ns, class],
+            [fd, predicted_ns, pack_class_generation(class, generation)],
+        );
+    }
+
+    /// Records a sleds-table recalibration: predictions emitted after this
+    /// marker were priced from table generation `generation`.
+    pub fn recal(&mut self, ts: SimTime, generation: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.tracker.note_recal(generation);
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::App,
+            "sleds.recal",
+            [generation, 0, 0],
         );
     }
 
@@ -278,6 +335,19 @@ impl Tracer {
     /// Metrics snapshot; `None` when disabled.
     pub fn metrics(&self) -> Option<&Metrics> {
         self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// Owned metrics snapshot with the accuracy tracker's still-open
+    /// prediction pairs folded in; `None` when disabled. This is what
+    /// `FSLEDS_STAT` and `FSLEDS_RECAL` hand out: mid-run, a prediction
+    /// whose file is still being read has partial actual time, and the
+    /// snapshot should reflect it without disturbing the live tracker.
+    pub fn metrics_snapshot(&self) -> Option<Metrics> {
+        self.inner.as_ref().map(|i| {
+            let mut m = i.metrics.clone();
+            i.tracker.flush_into(&mut m);
+            m
+        })
     }
 
     /// Events overwritten by ring overflow.
@@ -334,6 +404,8 @@ mod tests {
             SimDuration::from_nanos(30),
             8,
             16,
+            16 * 512,
+            20,
             &[
                 ("disk.seek", SimDuration::from_nanos(10)),
                 ("disk.rotation", SimDuration::ZERO),

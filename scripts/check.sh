@@ -25,6 +25,16 @@ run cargo test -q
 # exported JSON is balanced and the audit is non-empty.
 run cargo run --release --example trace_viewer
 
+# Closed-loop accuracy gate: run -> audit -> FSLEDS_RECAL -> re-run. The
+# example asserts post-recalibration error is strictly lower for every
+# exercised class, and recalibration is a pure function of the trace, so
+# its output must match the committed baseline byte-for-byte — any drift
+# in prediction accuracy fails this diff.
+recal_tmp=$(mktemp -d)
+trap 'rm -rf "$recal_tmp"' EXIT
+run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example recal_loop
+run diff -u results/AUDIT_recal.json "$recal_tmp/AUDIT_recal.json"
+
 if [[ "${1:-}" == "--with-proptests" ]]; then
     # The randomized equivalence suites; heavier, so opt-in.
     run cargo test -q -p sleds-fs --features proptests
