@@ -11,6 +11,8 @@ use sleds::{total_delivery_time, AttackPlan, LatencyPredicate, SledsTable};
 use sleds_fs::{FileKind, Kernel, OpenFlags};
 use sleds_sim_core::{SimDuration, SimResult};
 
+use crate::FileDiagnostic;
+
 /// Per-entry CPU cost of the tree walk (glob matching, bookkeeping).
 const FIND_NS_PER_ENTRY: u64 = 400;
 
@@ -46,18 +48,53 @@ pub struct FindHit {
     pub estimate_secs: Option<f64>,
 }
 
+/// Full outcome of a find run: the hits plus the entries the walk had to
+/// skip over.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FindReport {
+    /// Entries satisfying every predicate, in deterministic (name) order.
+    pub hits: Vec<FindHit>,
+    /// Entries the walk could not examine (stat, readdir or `-latency`
+    /// estimation failed), with the error each one hit.
+    pub skipped: Vec<FileDiagnostic>,
+}
+
+impl FindReport {
+    /// Real find's exit status: 0 when the whole walk succeeded, 1 when
+    /// any entry had to be skipped — nonzero but not fatal, the rest of
+    /// the tree was still visited.
+    pub fn exit_status(&self) -> i32 {
+        i32::from(!self.skipped.is_empty())
+    }
+}
+
 /// Walks `root` depth-first, returning entries that satisfy every
 /// predicate, in deterministic (name) order.
 ///
 /// `table` enables the `-latency` predicate; passing a predicate without a
 /// table is an error, mirroring running the paper's find on a kernel
-/// without SLEDs support.
+/// without SLEDs support. Per-entry failures (an unreadable directory, a
+/// file whose `-latency` estimate fails) are skipped, as real find skips
+/// them; use [`find_report`] to see the diagnostics and exit status.
 pub fn find(
     kernel: &mut Kernel,
     root: &str,
     opts: &FindOptions,
     table: Option<&SledsTable>,
 ) -> SimResult<Vec<FindHit>> {
+    find_report(kernel, root, opts, table).map(|r| r.hits)
+}
+
+/// [`find`] with real find's error semantics surfaced: every entry the
+/// walk could not examine becomes a [`FileDiagnostic`] (the stderr line)
+/// and flips the exit status to 1, while the rest of the tree is still
+/// walked instead of propagating the first `SimError`.
+pub fn find_report(
+    kernel: &mut Kernel,
+    root: &str,
+    opts: &FindOptions,
+    table: Option<&SledsTable>,
+) -> SimResult<FindReport> {
     if opts.latency.is_some() && table.is_none() {
         return Err(sleds_sim_core::SimError::new(
             sleds_sim_core::Errno::Enosys,
@@ -65,10 +102,9 @@ pub fn find(
         ));
     }
     kernel.trace_app_begin("find");
-    let mut out = Vec::new();
-    let r = walk(kernel, root, opts, table, &mut out);
+    let mut out = FindReport::default();
+    walk(kernel, root, opts, table, &mut out);
     kernel.trace_app_end();
-    r?;
     Ok(out)
 }
 
@@ -77,22 +113,45 @@ fn walk(
     path: &str,
     opts: &FindOptions,
     table: Option<&SledsTable>,
-    out: &mut Vec<FindHit>,
-) -> SimResult<()> {
-    let st = kernel.stat(path)?;
+    out: &mut FindReport,
+) {
+    let st = match kernel.stat(path) {
+        Ok(st) => st,
+        Err(error) => {
+            out.skipped.push(FileDiagnostic {
+                path: path.to_string(),
+                error,
+            });
+            return;
+        }
+    };
     kernel.charge_cpu(SimDuration::from_nanos(FIND_NS_PER_ENTRY));
-    keep(kernel, path, st.kind, st.size, opts, table, out)?;
+    if let Err(error) = keep(kernel, path, st.kind, st.size, opts, table, &mut out.hits) {
+        out.skipped.push(FileDiagnostic {
+            path: path.to_string(),
+            error,
+        });
+    }
     if st.kind == FileKind::Dir {
-        for name in kernel.readdir(path)? {
+        let names = match kernel.readdir(path) {
+            Ok(names) => names,
+            Err(error) => {
+                out.skipped.push(FileDiagnostic {
+                    path: path.to_string(),
+                    error,
+                });
+                return;
+            }
+        };
+        for name in names {
             let child = if path == "/" {
                 format!("/{name}")
             } else {
                 format!("{path}/{name}")
             };
-            walk(kernel, &child, opts, table, out)?;
+            walk(kernel, &child, opts, table, out);
         }
     }
-    Ok(())
 }
 
 /// Applies the predicates; records and returns whether the entry matched.
@@ -342,6 +401,84 @@ mod tests {
         let paths: Vec<&str> = hits.iter().map(|h| h.path.as_str()).collect();
         assert_eq!(paths, vec!["/hsm/offline.dat"]);
         assert!(hits[0].estimate_secs.unwrap() > 10.0);
+    }
+
+    #[test]
+    fn latency_treats_offline_extents_as_infinite() {
+        use sleds_devices::FaultPlan;
+        use sleds_sim_core::{SimDuration, SimTime};
+        let (mut k, t) = setup_tree();
+        // Warm big.bin fully; the sources stay cold on a disk that then
+        // drops off the bus.
+        let fd = k.open("/data/big.bin", OpenFlags::RDONLY).unwrap();
+        k.read(fd, 256 * 1024).unwrap();
+        k.close(fd).unwrap();
+        k.apply_fault_plan(&FaultPlan::new().offline(
+            "hda",
+            SimTime::ZERO,
+            SimTime::from_nanos(u64::MAX),
+            SimDuration::from_millis(1),
+        ));
+        // Unreachable extents price as infinite latency: any upper bound
+        // excludes them...
+        let hits = find(
+            &mut k,
+            "/data",
+            &FindOptions {
+                latency: Some(LatencyPredicate::parse("-m10").unwrap()),
+                ..Default::default()
+            },
+            Some(&t),
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path, "/data/big.bin");
+        // ...and any lower bound keeps exactly the unreachable files.
+        let hits = find(
+            &mut k,
+            "/data",
+            &FindOptions {
+                latency: Some(LatencyPredicate::parse("+1000").unwrap()),
+                ..Default::default()
+            },
+            Some(&t),
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 4);
+        assert!(hits.iter().all(|h| h.estimate_secs.unwrap().is_infinite()));
+    }
+
+    #[test]
+    fn find_report_skips_entries_it_cannot_estimate() {
+        let mut k = Kernel::table2();
+        k.mkdir("/a").unwrap();
+        k.mkdir("/b").unwrap();
+        let m = k.mount_disk("/a", DiskDevice::table2_disk("hda")).unwrap();
+        k.mount_disk("/b", DiskDevice::table2_disk("hdb")).unwrap();
+        k.install_file("/a/ok.c", b"int main(){}\n").unwrap();
+        k.install_file("/b/stray.c", b"int x;\n").unwrap();
+        // The table only knows hda: estimating /b/stray.c fails, and real
+        // find skips the entry with a diagnostic instead of dying.
+        let t = fill_table(&mut k, &[("/a", m)]).unwrap();
+        k.drop_caches().unwrap();
+        let r = find_report(
+            &mut k,
+            "/",
+            &FindOptions {
+                latency: Some(LatencyPredicate::parse("+0").unwrap()),
+                ..Default::default()
+            },
+            Some(&t),
+        )
+        .unwrap();
+        assert_eq!(r.skipped.len(), 1);
+        assert_eq!(r.skipped[0].path, "/b/stray.c");
+        assert_eq!(r.exit_status(), 1);
+        let paths: Vec<&str> = r.hits.iter().map(|h| h.path.as_str()).collect();
+        assert!(paths.contains(&"/a/ok.c"), "rest of the tree still walked");
+        assert!(r.skipped[0]
+            .render("find")
+            .starts_with("find: /b/stray.c: "));
     }
 
     #[test]

@@ -24,11 +24,29 @@ pub mod grep;
 pub mod treegrep;
 pub mod wc;
 
-use sleds_sim_core::SimDuration;
+use sleds_sim_core::{SimDuration, SimError};
 
 /// Default application buffer size, matching the BUFSIZE the paper's
 /// pseudocode passes to `sleds_pick_init`.
 pub const BUFSIZE: usize = 64 << 10;
+
+/// A per-file failure a multi-file tool skipped over instead of dying on —
+/// the `grep: foo: Input/output error` line real tools print to stderr
+/// while continuing with the rest of their arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileDiagnostic {
+    /// The file that could not be processed.
+    pub path: String,
+    /// Why.
+    pub error: SimError,
+}
+
+impl FileDiagnostic {
+    /// The stderr line a real tool would print for this failure.
+    pub fn render(&self, tool: &str) -> String {
+        format!("{tool}: {}: {}", self.path, self.error)
+    }
+}
 
 /// Charges `ns_per_byte` of application CPU for processing `bytes`.
 pub(crate) fn charge_per_byte(kernel: &mut sleds_fs::Kernel, bytes: usize, ns_per_byte: u64) {

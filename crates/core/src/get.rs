@@ -12,6 +12,7 @@
 //! path is dynamic device self-reports (`trust_device_reports`), where a
 //! server's cache state can differ page by page.
 
+use sleds_devices::FaultState;
 use sleds_fs::{Fd, Kernel, PageLocation, SECTORS_PER_PAGE};
 use sleds_sim_core::{Errno, SimError, SimResult, PAGE_SIZE};
 
@@ -45,6 +46,25 @@ fn missing_row(dev: sleds_fs::DeviceId) -> SimError {
     )
 }
 
+/// Folds a device's current fault state into a table entry: a degraded
+/// window inflates latency and deflates bandwidth by its multiplier, and
+/// an offline window prices the extent unavailable (infinite latency,
+/// zero bandwidth — [`Sled::unavailable`]), which every downstream
+/// estimate and predicate treats as an infinite delivery time.
+fn degrade(entry: SledsEntry, state: FaultState) -> SledsEntry {
+    match state {
+        FaultState::Healthy => entry,
+        FaultState::Degraded(m) => SledsEntry {
+            latency: entry.latency * m,
+            bandwidth: entry.bandwidth / m,
+        },
+        FaultState::Offline => SledsEntry {
+            latency: f64::INFINITY,
+            bandwidth: 0.0,
+        },
+    }
+}
+
 /// Retrieves the SLED vector for an open file.
 ///
 /// Returns one SLED per run of pages sharing `(latency, bandwidth)`. The
@@ -74,6 +94,9 @@ pub fn fsleds_get(kernel: &mut Kernel, fd: Fd, table: &SledsTable) -> SimResult<
                 push_sled(&mut out, ext_off, length, mem);
             }
             PageLocation::Device { dev, sector } if table.trust_device_reports() => {
+                let state = kernel
+                    .device_fault_state(dev)
+                    .unwrap_or(FaultState::Healthy);
                 // Dynamic device self-report (client/server SLEDs): the
                 // server's cache state can differ page by page, so this
                 // channel probes each page of the extent.
@@ -85,10 +108,18 @@ pub fn fsleds_get(kernel: &mut Kernel, fd: Fd, table: &SledsTable) -> SimResult<
                         .or_else(|| table.entry_at(dev, s))
                         .ok_or_else(|| missing_row(dev))?;
                     let offset = ext_off + i * PAGE_SIZE;
-                    push_sled(&mut out, offset, PAGE_SIZE.min(size - offset), entry);
+                    push_sled(
+                        &mut out,
+                        offset,
+                        PAGE_SIZE.min(size - offset),
+                        degrade(entry, state),
+                    );
                 }
             }
             PageLocation::Device { dev, sector } => {
+                let state = kernel
+                    .device_fault_state(dev)
+                    .unwrap_or(FaultState::Healthy);
                 // Static table rows: constant between zone boundaries, so
                 // one lookup covers every page up to the next boundary.
                 let mut p = 0;
@@ -101,7 +132,7 @@ pub fn fsleds_get(kernel: &mut Kernel, fd: Fd, table: &SledsTable) -> SimResult<
                     };
                     let offset = ext_off + p * PAGE_SIZE;
                     let length = (span * PAGE_SIZE).min(size - offset);
-                    push_sled(&mut out, offset, length, entry);
+                    push_sled(&mut out, offset, length, degrade(entry, state));
                     p += span;
                 }
             }
@@ -277,6 +308,48 @@ mod tests {
         assert_eq!(sleds[1].offset, 3 * PAGE_SIZE);
         assert_eq!(sleds[1].length, 5 * PAGE_SIZE);
         assert_eq!(sleds[1].bandwidth, 7e6);
+    }
+
+    #[test]
+    fn offline_device_prices_extents_unavailable() {
+        use sleds_devices::FaultPlan;
+        use sleds_sim_core::{SimDuration, SimTime};
+        let (mut k, t) = setup();
+        let data = vec![0u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let plan = FaultPlan::new().offline(
+            "hda",
+            SimTime::ZERO,
+            SimTime::from_nanos(u64::MAX),
+            SimDuration::from_millis(1),
+        );
+        k.apply_fault_plan(&plan);
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 1);
+        assert!(sleds[0].unavailable());
+        assert!(sleds[0].delivery_time().is_infinite());
+        // Coverage is still exact: degradation changes prices, not shape.
+        assert_eq!(sleds[0].length, data.len() as u64);
+    }
+
+    #[test]
+    fn degraded_device_inflates_latency_and_deflates_bandwidth() {
+        use sleds_devices::FaultPlan;
+        use sleds_sim_core::SimTime;
+        let (mut k, t) = setup();
+        let data = vec![0u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        let clean = fsleds_get(&mut k, fd, &t).unwrap();
+        let plan =
+            FaultPlan::new().degraded("hda", SimTime::ZERO, SimTime::from_nanos(u64::MAX), 3.0);
+        k.apply_fault_plan(&plan);
+        let slow = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(slow.len(), 1);
+        assert!(!slow[0].unavailable());
+        assert!((slow[0].latency - clean[0].latency * 3.0).abs() < 1e-12);
+        assert!((slow[0].bandwidth - clean[0].bandwidth / 3.0).abs() < 1e-6);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use estimate::{estimate_seconds, total_delivery_time, AttackPlan};
 pub use forecast::{forecast, SledForecast};
 pub use get::fsleds_get;
 pub use lease::SledLease;
-pub use pick::{PickConfig, PickSession};
+pub use pick::{PickConfig, PickSession, UnavailablePolicy};
 pub use predicate::LatencyPredicate;
 pub use recal::{
     recalibrate, recalibrate_from_metrics, ClassObservation, RecalOutcome, RecalPolicy,
@@ -91,6 +91,14 @@ impl Sled {
             return f64::INFINITY;
         }
         self.latency + self.length as f64 / self.bandwidth
+    }
+
+    /// True when this segment is currently unreachable: its device is in
+    /// an offline fault window, so `FSLEDS_GET` priced it at infinite
+    /// latency and zero bandwidth. [`delivery_time`](Sled::delivery_time)
+    /// is infinite and pick plans defer or prune it.
+    pub fn unavailable(&self) -> bool {
+        self.length > 0 && (self.bandwidth <= 0.0 || !self.latency.is_finite())
     }
 
     /// True when two SLEDs report the same performance estimates.

@@ -32,6 +32,21 @@ const SCAN_NS_PER_BYTE: u64 = 3;
 /// Per-chunk CPU cost of planning (sorting the pick order).
 const PLAN_NS_PER_CHUNK: u64 = 120;
 
+/// What a pick plan does with [unavailable](Sled::unavailable) SLEDs —
+/// extents whose device is inside an offline fault window at plan time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UnavailablePolicy {
+    /// Plan them last (their infinite latency already sorts them behind
+    /// every reachable chunk), hoping the device recovers by the time the
+    /// consumer gets there.
+    #[default]
+    Defer,
+    /// Prune them from the plan entirely — the paper's behavior for
+    /// consumers that would rather deliver partial data now than block on
+    /// an offline device.
+    Skip,
+}
+
 /// Configuration for [`PickSession::init`].
 #[derive(Clone, Copy, Debug)]
 pub struct PickConfig {
@@ -39,6 +54,8 @@ pub struct PickConfig {
     pub preferred_size: usize,
     /// Record separator for record-oriented mode (e.g. `Some(b'\n')`).
     pub record_separator: Option<u8>,
+    /// Skip-or-defer handling of extents on offline devices.
+    pub unavailable: UnavailablePolicy,
 }
 
 impl PickConfig {
@@ -47,6 +64,7 @@ impl PickConfig {
         PickConfig {
             preferred_size,
             record_separator: None,
+            unavailable: UnavailablePolicy::Defer,
         }
     }
 
@@ -55,7 +73,14 @@ impl PickConfig {
         PickConfig {
             preferred_size,
             record_separator: Some(separator),
+            unavailable: UnavailablePolicy::Defer,
         }
+    }
+
+    /// Prunes unavailable extents from the plan instead of deferring them.
+    pub fn skip_unavailable(mut self) -> Self {
+        self.unavailable = UnavailablePolicy::Skip;
+        self
     }
 }
 
@@ -106,16 +131,26 @@ impl PickSession {
         if let Some(sep) = cfg.record_separator {
             adjust_to_records(kernel, fd, &mut sleds, sep)?;
         }
-        let plan = plan_chunks(&sleds, cfg.preferred_size.max(1));
+        let skip = cfg.unavailable == UnavailablePolicy::Skip;
+        let plan = plan_chunks(&sleds, cfg.preferred_size.max(1), skip);
         // Planning cost: the sort is the dominant term.
         kernel.charge_cpu(SimDuration::from_nanos(
             PLAN_NS_PER_CHUNK * plan.len() as u64,
         ));
         // A pick plan drains each level in one streaming pass, which is
         // exactly the `SLEDS_BEST` estimate; record it for the accuracy
-        // audit when tracing is on.
+        // audit when tracing is on. A skipping plan is priced over the
+        // chunks it will actually deliver; a deferring plan over an
+        // offline extent has an infinite estimate, which is not a
+        // prediction worth auditing.
         if kernel.tracing_enabled() {
-            let est = crate::estimate::estimate_seconds(&sleds, crate::estimate::AttackPlan::Best);
+            let est = if skip {
+                let priced: Vec<Sled> =
+                    sleds.iter().filter(|s| !s.unavailable()).copied().collect();
+                crate::estimate::estimate_seconds(&priced, crate::estimate::AttackPlan::Best)
+            } else {
+                crate::estimate::estimate_seconds(&sleds, crate::estimate::AttackPlan::Best)
+            };
             if est.is_finite() {
                 kernel.trace_predict(fd, SimDuration::from_secs_f64(est), table_generation)?;
             }
@@ -202,10 +237,15 @@ impl PickSession {
 }
 
 /// Splits SLEDs into preferred-size chunks and orders them
-/// lowest-latency-first, lowest-offset among equals.
-fn plan_chunks(sleds: &[Sled], preferred: usize) -> Vec<(u64, usize)> {
+/// lowest-latency-first, lowest-offset among equals. Unavailable SLEDs
+/// are pruned when `skip_unavailable` is set; otherwise their infinite
+/// latency sorts them behind every reachable chunk (defer).
+fn plan_chunks(sleds: &[Sled], preferred: usize, skip_unavailable: bool) -> Vec<(u64, usize)> {
     let mut chunks: Vec<(u64, usize, f64)> = Vec::new();
     for s in sleds {
+        if skip_unavailable && s.unavailable() {
+            continue;
+        }
         let mut off = s.offset;
         while off < s.end() {
             let len = (s.end() - off).min(preferred as u64) as usize;
@@ -532,6 +572,42 @@ mod tests {
         p.refresh_cached(&mut k, &t, fd, &mut cache).unwrap();
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn defer_plans_offline_extents_last_and_skip_prunes_them() {
+        use sleds_devices::FaultPlan;
+        use sleds_sim_core::SimTime;
+        let (mut k, t) = setup();
+        let data = vec![0u8; 8 * PAGE_SIZE as usize];
+        k.install_file("/data/f", &data).unwrap();
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        // Pages 0..4 cached, 4..8 still on a disk that then goes offline.
+        warm_range(&mut k, fd, 0..4);
+        let plan = FaultPlan::new().offline(
+            "hda",
+            SimTime::ZERO,
+            SimTime::from_nanos(u64::MAX),
+            SimDuration::from_millis(1),
+        );
+        k.apply_fault_plan(&plan);
+        let cfg = PickConfig::bytes(PAGE_SIZE as usize);
+
+        // Defer (default): every chunk is planned, the offline tail last.
+        let mut defer = PickSession::init(&mut k, &t, fd, cfg).unwrap();
+        assert_eq!(defer.planned_chunks(), 8);
+        for expect in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            assert_eq!(defer.next_read().unwrap().0, expect * PAGE_SIZE);
+        }
+
+        // Skip: the offline tail is pruned from the plan entirely.
+        let mut skip = PickSession::init(&mut k, &t, fd, cfg.skip_unavailable()).unwrap();
+        assert_eq!(skip.planned_chunks(), 4);
+        let mut max_off = 0;
+        while let Some((off, _)) = skip.next_read() {
+            max_off = max_off.max(off);
+        }
+        assert!(max_off < 4 * PAGE_SIZE);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use sleds_sim_core::{Bandwidth, DetRng, SimDuration, SimResult, SimTime, SECTOR_SIZE};
 
 use crate::{
-    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
-    ServicePhase,
+    apply_fault_overheads, check_range, fault_gate, BlockDevice, DevStats, DeviceClass,
+    DeviceProfile, FaultInjector, FaultState, PhaseKind, PhaseLog, ServicePhase,
 };
 
 /// Timing parameters for a CD-ROM drive.
@@ -55,6 +55,7 @@ pub struct CdRomDevice {
     stats: DevStats,
     phases: PhaseLog,
     jitter: Option<(DetRng, f64)>,
+    faults: Option<FaultInjector>,
 }
 
 impl CdRomDevice {
@@ -68,6 +69,7 @@ impl CdRomDevice {
             stats: DevStats::default(),
             phases: PhaseLog::default(),
             jitter: None,
+            faults: None,
         }
     }
 
@@ -146,9 +148,11 @@ impl BlockDevice for CdRomDevice {
         }
     }
 
-    fn read(&mut self, start: u64, sectors: u64, _now: SimTime) -> SimResult<SimDuration> {
+    fn read(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity, start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let (t, repo) = self.service(start, sectors);
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats.note_read(sectors, t, repo);
         Ok(t)
     }
@@ -170,6 +174,20 @@ impl BlockDevice for CdRomDevice {
 
     fn last_phases(&self) -> &[ServicePhase] {
         self.phases.as_slice()
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    fn fault_epoch(&self, now: SimTime) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.epoch(now))
+    }
+
+    fn fault_state(&self, now: SimTime) -> FaultState {
+        self.faults
+            .as_ref()
+            .map_or(FaultState::Healthy, |f| f.state(now))
     }
 }
 

@@ -23,8 +23,8 @@
 use sleds_sim_core::{Bandwidth, DetRng, SimDuration, SimResult, SimTime, SECTOR_SIZE};
 
 use crate::{
-    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
-    ServicePhase,
+    apply_fault_overheads, check_range, fault_gate, BlockDevice, DevStats, DeviceClass,
+    DeviceProfile, FaultInjector, FaultState, PhaseKind, PhaseLog, ServicePhase,
 };
 
 /// A recording zone: a contiguous run of cylinders with uniform
@@ -107,6 +107,7 @@ pub struct DiskDevice {
     stats: DevStats,
     phases: PhaseLog,
     jitter: Option<(DetRng, f64)>,
+    faults: Option<FaultInjector>,
     // Seek-curve coefficients, fitted once at construction.
     seek_sqrt_a: f64,
     seek_sqrt_b: f64,
@@ -151,6 +152,7 @@ impl DiskDevice {
             stats: DevStats::default(),
             phases: PhaseLog::default(),
             jitter: None,
+            faults: None,
             seek_sqrt_a: a,
             seek_sqrt_b: b,
             seek_lin_c: c,
@@ -403,8 +405,10 @@ impl BlockDevice for DiskDevice {
 
     fn read(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity, start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let before = self.current_cylinder;
         let t = self.service(start, sectors, now);
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats
             .note_read(sectors, t, before != self.current_cylinder);
         Ok(t)
@@ -412,8 +416,10 @@ impl BlockDevice for DiskDevice {
 
     fn write(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity, start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let before = self.current_cylinder;
         let t = self.service(start, sectors, now);
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats
             .note_write(sectors, t, before != self.current_cylinder);
         Ok(t)
@@ -444,6 +450,20 @@ impl BlockDevice for DiskDevice {
             sector += sectors;
         }
         spans
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    fn fault_epoch(&self, now: SimTime) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.epoch(now))
+    }
+
+    fn fault_state(&self, now: SimTime) -> FaultState {
+        self.faults
+            .as_ref()
+            .map_or(FaultState::Healthy, |f| f.state(now))
     }
 }
 
@@ -662,5 +682,66 @@ mod tests {
         let expect = 0.0001 + 0.0099 + 0.025 + 0.0005 + 0.001;
         assert!((t - expect).abs() < 2e-4, "got {t}, expected ~{expect}");
         assert_eq!(d.current_cylinder(), 1);
+    }
+
+    #[test]
+    fn injected_faults_keep_phase_sums_exact() {
+        use crate::FaultPlan;
+        use sleds_sim_core::Errno;
+        let fail_cost = SimDuration::from_millis(3);
+        let plan = FaultPlan::new()
+            .transient(
+                "hda",
+                SimTime::ZERO,
+                SimTime::from_nanos(1 << 40),
+                1,
+                fail_cost,
+            )
+            .degraded(
+                "hda",
+                SimTime::from_nanos(1 << 41),
+                SimTime::from_nanos(1 << 42),
+                3.0,
+            );
+        let mut d = small_disk();
+        d.set_fault_injector(plan.injector_for("hda").unwrap());
+
+        // First submission fails EAGAIN; the span is exactly the fail cost.
+        let err = d.read(0, 8, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.errno, Errno::Eagain);
+        let phases = d.last_phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].kind, PhaseKind::Fault);
+        assert_eq!(phases[0].dur, fail_cost);
+
+        // The retried submission succeeds, pays the Retry resume overhead,
+        // and its phases still sum to the returned service time.
+        let t = d.read(0, 8, SimTime::ZERO).unwrap();
+        let total: SimDuration = d.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, t);
+        let retry: SimDuration = d
+            .last_phases()
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Retry)
+            .map(|p| p.dur)
+            .sum();
+        assert_eq!(retry, fail_cost / 2);
+
+        // Inside the degraded window the surplus lands in a Fault phase and
+        // the command takes ~3x a clean one.
+        let mut clean = small_disk();
+        clean.read(0, 8, SimTime::ZERO).unwrap();
+        let t_clean = clean.read(20_000, 8, SimTime::from_nanos(1 << 41)).unwrap();
+        d.read(0, 8, SimTime::from_nanos(1 << 40)).unwrap(); // re-sync head state
+        let t_deg = d.read(20_000, 8, SimTime::from_nanos(1 << 41)).unwrap();
+        let total: SimDuration = d.last_phases().iter().map(|p| p.dur).sum();
+        assert_eq!(total, t_deg);
+        let ratio = t_deg.as_secs_f64() / t_clean.as_secs_f64();
+        assert!((2.5..3.5).contains(&ratio), "degraded ratio {ratio}");
+        assert_eq!(
+            d.fault_state(SimTime::from_nanos(1 << 41)),
+            FaultState::Degraded(3.0)
+        );
+        assert!(d.fault_epoch(SimTime::from_nanos(1 << 42)) > d.fault_epoch(SimTime::ZERO));
     }
 }

@@ -12,8 +12,8 @@ use sleds_sim_core::{SimDuration, SimResult, SimTime};
 
 use crate::tape::{no_medium, TapeDevice, TapeParams};
 use crate::{
-    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
-    ServicePhase,
+    apply_fault_overheads, check_range, fault_gate, BlockDevice, DevStats, DeviceClass,
+    DeviceProfile, FaultInjector, FaultState, PhaseKind, PhaseLog, ServicePhase,
 };
 
 /// Robot timing for a jukebox.
@@ -49,6 +49,7 @@ pub struct Jukebox {
     cart_sectors: u64,
     stats: DevStats,
     phases: PhaseLog,
+    faults: Option<FaultInjector>,
 }
 
 impl Jukebox {
@@ -80,6 +81,7 @@ impl Jukebox {
             cart_sectors,
             stats: DevStats::default(),
             phases: PhaseLog::default(),
+            faults: None,
         }
     }
 
@@ -168,6 +170,7 @@ impl Jukebox {
             ));
         }
         self.phases.clear();
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let (_, mut t) = self.mount(c)?;
         let local = start - c as u64 * self.cart_sectors;
         t += if write {
@@ -181,6 +184,7 @@ impl Jukebox {
             let p = self.cartridges[c].last_phases()[i];
             self.phases.add(p.kind, p.dur);
         }
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         Ok(t)
     }
 }
@@ -233,6 +237,20 @@ impl BlockDevice for Jukebox {
 
     fn last_phases(&self) -> &[ServicePhase] {
         self.phases.as_slice()
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    fn fault_epoch(&self, now: SimTime) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.epoch(now))
+    }
+
+    fn fault_state(&self, now: SimTime) -> FaultState {
+        self.faults
+            .as_ref()
+            .map_or(FaultState::Healthy, |f| f.state(now))
     }
 }
 

@@ -27,6 +27,7 @@ pub use disk::{DiskDevice, DiskGeometry, Zone};
 pub use jukebox::Jukebox;
 pub use memory::MemoryDevice;
 pub use nfs::{NfsDevice, NfsServerDevice, NfsServerParams};
+pub use sleds_faults::{Decision, FaultInjector, FaultPlan, FaultState, FaultWindow};
 pub use tape::TapeDevice;
 
 /// The broad class a device belongs to, mirroring the storage levels in the
@@ -160,6 +161,12 @@ pub enum PhaseKind {
     RobotMove,
     /// Time an NFS server spent on its backing disk.
     ServerDisk,
+    /// Virtual time burned by an injected fault (a failed submission's
+    /// cost, or the surplus of a degraded-window command).
+    Fault,
+    /// Resubmission overhead paid by the first success after a transient
+    /// failure.
+    Retry,
 }
 
 impl PhaseKind {
@@ -180,6 +187,8 @@ impl PhaseKind {
             PhaseKind::Link => "link",
             PhaseKind::RobotMove => "robot_move",
             PhaseKind::ServerDisk => "server_disk",
+            PhaseKind::Fault => "fault",
+            PhaseKind::Retry => "retry",
         }
     }
 }
@@ -316,6 +325,76 @@ pub trait BlockDevice {
     fn dynamic_probe(&self, _sector: u64) -> Option<(f64, f64)> {
         None
     }
+
+    /// Installs a fault injector the device consults on every command.
+    ///
+    /// The default discards it: a device model that has not been taught to
+    /// consult an injector simply never faults.
+    fn set_fault_injector(&mut self, _injector: FaultInjector) {}
+
+    /// The device's fault epoch at `now`: how many fault-window boundaries
+    /// have passed. Monotone; the kernel folds it into `sled_generation` so
+    /// cached SLED vectors invalidate when the health regime changes.
+    fn fault_epoch(&self, _now: SimTime) -> u64 {
+        0
+    }
+
+    /// Coarse health at `now`, for SLED pricing. Pure: never consumes
+    /// transient fault budget.
+    fn fault_state(&self, _now: SimTime) -> FaultState {
+        FaultState::Healthy
+    }
+}
+
+/// Consults an optional fault injector at the top of a command.
+///
+/// On a fail decision the phase log is reset to a single `Fault` phase
+/// carrying the burned cost — the span still sums exactly to the virtual
+/// time the failed submission consumed — and the injected errno is
+/// returned. On proceed, yields `(multiplier, resume)` for
+/// [`apply_fault_overheads`] once the mechanical service time is known.
+pub(crate) fn fault_gate(
+    faults: &mut Option<FaultInjector>,
+    phases: &mut PhaseLog,
+    name: &str,
+    now: SimTime,
+) -> SimResult<(f64, SimDuration)> {
+    use sleds_sim_core::SimError;
+    let decision = match faults.as_mut() {
+        Some(inj) => inj.decide(now),
+        None => Decision::CLEAN,
+    };
+    match decision {
+        Decision::Fail { errno, cost } => {
+            phases.clear();
+            phases.add(PhaseKind::Fault, cost);
+            Err(SimError::new(errno, format!("{name}: injected fault")))
+        }
+        Decision::Proceed { multiplier, resume } => Ok((multiplier, resume)),
+    }
+}
+
+/// Folds fault overheads into a command that did proceed: the degraded
+/// surplus (`t * (multiplier - 1)`) lands in a `Fault` phase and the
+/// resubmission overhead in a `Retry` phase, so phases still sum exactly to
+/// the returned service time.
+pub(crate) fn apply_fault_overheads(
+    phases: &mut PhaseLog,
+    t: SimDuration,
+    multiplier: f64,
+    resume: SimDuration,
+) -> SimDuration {
+    let mut total = t;
+    if multiplier > 1.0 {
+        let surplus = SimDuration::from_secs_f64(t.as_secs_f64() * (multiplier - 1.0));
+        phases.add(PhaseKind::Fault, surplus);
+        total += surplus;
+    }
+    if !resume.is_zero() {
+        phases.add(PhaseKind::Retry, resume);
+        total += resume;
+    }
+    total
 }
 
 /// Validates a sector range against a device capacity.

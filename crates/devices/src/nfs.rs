@@ -12,8 +12,8 @@
 use sleds_sim_core::{Bandwidth, DetRng, SimDuration, SimResult, SimTime, SECTOR_SIZE};
 
 use crate::{
-    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
-    ServicePhase,
+    apply_fault_overheads, check_range, fault_gate, BlockDevice, DevStats, DeviceClass,
+    DeviceProfile, FaultInjector, FaultState, PhaseKind, PhaseLog, ServicePhase,
 };
 
 /// Timing parameters for an NFS mount.
@@ -48,6 +48,7 @@ pub struct NfsDevice {
     stats: DevStats,
     phases: PhaseLog,
     jitter: Option<(DetRng, f64)>,
+    faults: Option<FaultInjector>,
 }
 
 impl NfsDevice {
@@ -61,6 +62,7 @@ impl NfsDevice {
             stats: DevStats::default(),
             phases: PhaseLog::default(),
             jitter: None,
+            faults: None,
         }
     }
 
@@ -126,16 +128,20 @@ impl BlockDevice for NfsDevice {
         }
     }
 
-    fn read(&mut self, start: u64, sectors: u64, _now: SimTime) -> SimResult<SimDuration> {
+    fn read(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity, start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let (t, repo) = self.service(start, sectors);
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats.note_read(sectors, t, repo);
         Ok(t)
     }
 
-    fn write(&mut self, start: u64, sectors: u64, _now: SimTime) -> SimResult<SimDuration> {
+    fn write(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity, start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let (t, repo) = self.service(start, sectors);
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats.note_write(sectors, t, repo);
         Ok(t)
     }
@@ -150,6 +156,20 @@ impl BlockDevice for NfsDevice {
 
     fn last_phases(&self) -> &[ServicePhase] {
         self.phases.as_slice()
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    fn fault_epoch(&self, now: SimTime) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.epoch(now))
+    }
+
+    fn fault_state(&self, now: SimTime) -> FaultState {
+        self.faults
+            .as_ref()
+            .map_or(FaultState::Healthy, |f| f.state(now))
     }
 }
 
@@ -196,6 +216,7 @@ pub struct NfsServerDevice {
     next_sequential: u64,
     stats: DevStats,
     phases: PhaseLog,
+    faults: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for NfsServerDevice {
@@ -225,6 +246,7 @@ impl NfsServerDevice {
             next_sequential: u64::MAX,
             stats: DevStats::default(),
             phases: PhaseLog::default(),
+            faults: None,
         }
     }
 
@@ -327,13 +349,16 @@ impl BlockDevice for NfsServerDevice {
 
     fn read(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity_sectors(), start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let t = self.service(start, sectors, now)?;
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats.note_read(sectors, t, false);
         Ok(t)
     }
 
     fn write(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity_sectors(), start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         // Write-through: link + disk, dirtying the server cache as clean
         // copies (the server commits before replying, as NFSv2 did).
         self.phases.clear();
@@ -353,6 +378,7 @@ impl BlockDevice for NfsServerDevice {
                 .insert(sleds_pagecache::PageKey::new(0, p), false);
         }
         self.next_sequential = start + sectors;
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats.note_write(sectors, t, false);
         Ok(t)
     }
@@ -367,6 +393,20 @@ impl BlockDevice for NfsServerDevice {
 
     fn last_phases(&self) -> &[ServicePhase] {
         self.phases.as_slice()
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    fn fault_epoch(&self, now: SimTime) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.epoch(now))
+    }
+
+    fn fault_state(&self, now: SimTime) -> FaultState {
+        self.faults
+            .as_ref()
+            .map_or(FaultState::Healthy, |f| f.state(now))
     }
 
     fn dynamic_probe(&self, sector: u64) -> Option<(f64, f64)> {

@@ -14,8 +14,8 @@
 use sleds_sim_core::{Bandwidth, Errno, SimDuration, SimError, SimResult, SimTime, SECTOR_SIZE};
 
 use crate::{
-    check_range, BlockDevice, DevStats, DeviceClass, DeviceProfile, PhaseKind, PhaseLog,
-    ServicePhase,
+    apply_fault_overheads, check_range, fault_gate, BlockDevice, DevStats, DeviceClass,
+    DeviceProfile, FaultInjector, FaultState, PhaseKind, PhaseLog, ServicePhase,
 };
 
 /// Timing and geometry parameters for a tape drive + cartridge.
@@ -79,6 +79,7 @@ pub struct TapeDevice {
     position: Option<u64>,
     stats: DevStats,
     phases: PhaseLog,
+    faults: Option<FaultInjector>,
 }
 
 impl TapeDevice {
@@ -99,6 +100,7 @@ impl TapeDevice {
             position: None,
             stats: DevStats::default(),
             phases: PhaseLog::default(),
+            faults: None,
         }
     }
 
@@ -225,18 +227,22 @@ impl BlockDevice for TapeDevice {
         }
     }
 
-    fn read(&mut self, start: u64, sectors: u64, _now: SimTime) -> SimResult<SimDuration> {
+    fn read(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity, start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let before = self.position;
         let t = self.service(start, sectors);
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats.note_read(sectors, t, before != Some(start));
         Ok(t)
     }
 
-    fn write(&mut self, start: u64, sectors: u64, _now: SimTime) -> SimResult<SimDuration> {
+    fn write(&mut self, start: u64, sectors: u64, now: SimTime) -> SimResult<SimDuration> {
         check_range(&self.name, self.capacity, start, sectors)?;
+        let (mult, resume) = fault_gate(&mut self.faults, &mut self.phases, &self.name, now)?;
         let before = self.position;
         let t = self.service(start, sectors);
+        let t = apply_fault_overheads(&mut self.phases, t, mult, resume);
         self.stats.note_write(sectors, t, before != Some(start));
         Ok(t)
     }
@@ -251,6 +257,20 @@ impl BlockDevice for TapeDevice {
 
     fn last_phases(&self) -> &[ServicePhase] {
         self.phases.as_slice()
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    fn fault_epoch(&self, now: SimTime) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.epoch(now))
+    }
+
+    fn fault_state(&self, now: SimTime) -> FaultState {
+        self.faults
+            .as_ref()
+            .map_or(FaultState::Healthy, |f| f.state(now))
     }
 }
 

@@ -222,6 +222,40 @@ mod tests {
     }
 
     #[test]
+    fn inflight_requests_hit_offline_window() {
+        use sleds_devices::FaultPlan;
+        let mut k = kernel(8);
+        let n = 16 * PAGE_SIZE as usize;
+        k.install_file("/d/f", &vec![3u8; n]).unwrap();
+        k.drop_caches().unwrap();
+        let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+        // The outage opens 5 ms in: the first posted chunk is submitted
+        // before it and completes, the chunks still in flight when the
+        // clock crosses the boundary fail with the injected EIO.
+        let start = k.now() + SimDuration::from_millis(5);
+        let end = start + SimDuration::from_secs(10);
+        k.apply_fault_plan(&FaultPlan::new().offline(
+            "hda",
+            start,
+            end,
+            SimDuration::from_millis(1),
+        ));
+        let err = k.aio_read_file(fd, 4 * PAGE_SIZE as usize, 5).unwrap_err();
+        assert_eq!(err.errno, Errno::Eio);
+        assert!(
+            err.context.ends_with("injected fault"),
+            "unexpected failure: {err}"
+        );
+        // The descriptor survives the outage: once the window closes, the
+        // same whole-file read completes normally.
+        k.charge_cpu(SimDuration::from_secs(20));
+        let (chunks, rep) = k.aio_read_file(fd, 4 * PAGE_SIZE as usize, 5).unwrap();
+        let total: usize = chunks.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, n, "recovered read delivers every byte");
+        assert!(rep.major_faults > 0, "the retry really went to the device");
+    }
+
+    #[test]
     fn empty_file_is_trivial() {
         let mut k = kernel(8);
         k.install_file("/d/e", b"").unwrap();

@@ -23,10 +23,11 @@
 
 use std::collections::BTreeMap;
 
-use sleds_devices::{BlockDevice, DevStats, DeviceClass, PhaseKind};
+use sleds_devices::{BlockDevice, DevStats, DeviceClass, FaultPlan, FaultState, PhaseKind};
 use sleds_pagecache::{PageCache, PageKey};
 use sleds_sim_core::{
-    Clock, DetRng, Errno, SimDuration, SimError, SimResult, SimTime, PAGE_SIZE, SECTOR_SIZE,
+    Clock, DetRng, Errno, RetryPolicy, SimDuration, SimError, SimResult, SimTime, PAGE_SIZE,
+    SECTOR_SIZE,
 };
 use sleds_trace::{Layer, Metrics, TraceEvent, Tracer};
 
@@ -35,6 +36,15 @@ use crate::machine::MachineConfig;
 use crate::rusage::{JobReport, JobTimer, Rusage};
 
 pub use crate::inode::SECTORS_PER_PAGE;
+
+/// Number of device classes `class_code` can produce; sizes the kernel's
+/// per-class retry-policy table.
+const NUM_CLASSES: usize = 5;
+
+/// Seed for the kernel's retry-backoff jitter stream. A fixed constant so
+/// two kernels running the same workload under the same fault plan back
+/// off identically.
+const RETRY_JITTER_SEED: u64 = 0x5EED_FA17;
 
 /// Identifies a device registered with the kernel.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -203,6 +213,12 @@ pub struct Kernel {
     /// sleds table is recalibrated, without the cache or lease layers
     /// knowing recalibration exists.
     sleds_epoch: u64,
+    /// Retry policy applied to failed device commands, per device class
+    /// (indexed by `class_code`).
+    retry_policies: [RetryPolicy; NUM_CLASSES],
+    /// Jitter stream for retry backoff; only consumed when a command
+    /// actually fails, so fault-free runs never draw from it.
+    retry_rng: DetRng,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -245,6 +261,8 @@ impl Kernel {
             root,
             tracer: Tracer::disabled(),
             sleds_epoch: 0,
+            retry_policies: [RetryPolicy::default(); NUM_CLASSES],
+            retry_rng: DetRng::new(RETRY_JITTER_SEED),
         }
     }
 
@@ -552,16 +570,140 @@ impl Kernel {
     /// Raw (uncached) device read, bypassing the file system — the kind of
     /// access lmbench's device probes perform. Charges the I/O time.
     pub fn raw_device_read(&mut self, dev: DeviceId, sector: u64, sectors: u64) -> SimResult<()> {
-        let d = self
-            .devices
-            .get_mut(dev.0)
-            .ok_or_else(|| SimError::new(Errno::Einval, format!("no device {dev:?}")))?;
+        if dev.0 >= self.devices.len() {
+            return Err(SimError::new(Errno::Einval, format!("no device {dev:?}")));
+        }
+        self.device_command(dev, sector, sectors, false).map(|_| ())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and retry
+    // ------------------------------------------------------------------
+
+    /// Installs `plan`'s injectors on every attached device whose name has
+    /// an entry in the plan; devices without one are left untouched.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for d in &mut self.devices {
+            if let Some(injector) = plan.injector_for(d.name()) {
+                d.set_fault_injector(injector);
+            }
+        }
+    }
+
+    /// Coarse health of a device at the current virtual time. Pure query:
+    /// charges nothing.
+    pub fn device_fault_state(&self, dev: DeviceId) -> Option<FaultState> {
         let now = self.clock.now();
-        let t = d.read(sector, sectors, now)?;
-        self.charge_io(t);
-        self.trace_device(dev, false, now, t, sector, sectors);
-        self.usage.device_reads += 1;
-        Ok(())
+        self.devices.get(dev.0).map(|d| d.fault_state(now))
+    }
+
+    /// Sets the retry policy applied to failed commands on `class` devices.
+    pub fn set_retry_policy(&mut self, class: DeviceClass, policy: RetryPolicy) {
+        self.retry_policies[class_code(class) as usize] = policy;
+    }
+
+    /// The retry policy in force for `class` devices.
+    pub fn retry_policy(&self, class: DeviceClass) -> RetryPolicy {
+        self.retry_policies[class_code(class) as usize]
+    }
+
+    /// Issues one device command under the device class's [`RetryPolicy`].
+    ///
+    /// A command failed by an injected fault still occupied the bus: its
+    /// recorded fault phase is charged as I/O wait either way. Errors the
+    /// policy deems transient are reissued after an exponentially growing,
+    /// deterministically jittered backoff on the virtual clock — mirrored
+    /// into `io_retries`/`retry_backoff` in rusage and `io.retry` trace
+    /// marks — until the attempt bound is hit (`EIO`) or the policy
+    /// timeout elapses (`ETIMEDOUT`). Non-retryable errors propagate
+    /// unchanged, so fault-free runs behave exactly as if this layer did
+    /// not exist.
+    fn device_command(
+        &mut self,
+        dev: DeviceId,
+        sector: u64,
+        sectors: u64,
+        write: bool,
+    ) -> SimResult<SimDuration> {
+        let class = self.devices[dev.0].class();
+        let policy = self.retry_policies[class_code(class) as usize];
+        let first_try = self.clock.now();
+        let mut attempt = 0u32;
+        // Bounded: exits by `policy.max_attempts` or the policy timeout.
+        loop {
+            attempt += 1;
+            let now = self.clock.now();
+            let r = if write {
+                self.devices[dev.0].write(sector, sectors, now)
+            } else {
+                self.devices[dev.0].read(sector, sectors, now)
+            };
+            let err = match r {
+                Ok(t) => {
+                    self.charge_io(t);
+                    self.trace_device(dev, write, now, t, sector, sectors);
+                    if write {
+                        self.usage.device_writes += 1;
+                    } else {
+                        self.usage.device_reads += 1;
+                    }
+                    return Ok(t);
+                }
+                Err(e) => e,
+            };
+            // Injected faults leave exactly one Fault phase behind; any
+            // other error (bounds, read-only media) fails before the
+            // device moves and costs no device time. Both conditions are
+            // checked because a bounds error can follow an injected one
+            // with the stale Fault phase still recorded.
+            let cost = match self.devices[dev.0].last_phases() {
+                [p] if p.kind == PhaseKind::Fault && err.context.ends_with("injected fault") => {
+                    p.dur
+                }
+                _ => SimDuration::ZERO,
+            };
+            if cost.is_zero() {
+                return Err(err);
+            }
+            self.charge_io(cost);
+            let t_fail = self.clock.now();
+            self.tracer.fault_inject(
+                t_fail,
+                class_code(class),
+                u64::from(attempt),
+                cost.as_nanos(),
+            );
+            if !RetryPolicy::retryable(err.errno) {
+                return Err(err);
+            }
+            if attempt >= policy.max_attempts {
+                return Err(SimError::new(
+                    Errno::Eio,
+                    format!(
+                        "{}: gave up after {} attempts ({err})",
+                        self.devices[dev.0].name(),
+                        policy.max_attempts,
+                    ),
+                ));
+            }
+            if t_fail.duration_since(first_try) >= policy.timeout {
+                return Err(SimError::new(
+                    Errno::Etimedout,
+                    format!("{}: retries timed out ({err})", self.devices[dev.0].name()),
+                ));
+            }
+            let backoff = policy.backoff_for(attempt, &mut self.retry_rng);
+            self.charge_io(backoff);
+            self.usage.io_retries += 1;
+            self.usage.retry_backoff = self.usage.retry_backoff.saturating_add(backoff);
+            let t_retry = self.clock.now();
+            self.tracer.io_retry(
+                t_retry,
+                class_code(class),
+                u64::from(attempt),
+                backoff.as_nanos(),
+            );
+        }
     }
 
     /// The device a mount allocates from.
@@ -738,13 +880,13 @@ impl Kernel {
     fn inode(&self, ino: Ino) -> SimResult<&Inode> {
         self.inodes
             .get(&ino)
-            .ok_or_else(|| SimError::new(Errno::Eio, format!("stale inode {ino:?}")))
+            .ok_or_else(|| SimError::new(Errno::Estale, format!("stale inode {ino:?}")))
     }
 
     fn inode_mut(&mut self, ino: Ino) -> SimResult<&mut Inode> {
         self.inodes
             .get_mut(&ino)
-            .ok_or_else(|| SimError::new(Errno::Eio, format!("stale inode {ino:?}")))
+            .ok_or_else(|| SimError::new(Errno::Estale, format!("stale inode {ino:?}")))
     }
 
     fn file_of(&self, ino: Ino) -> SimResult<&FileNode> {
@@ -1236,21 +1378,12 @@ impl Kernel {
             // One clustered device command for the run (plus readahead).
             let now = self.clock.now();
             self.tracer.cache_miss(now, run_start, run_len, ino.0);
-            let t = self.devices[start_place.dev.0].read(
-                start_place.sector,
-                (run_len + ra_len) * SECTORS_PER_PAGE,
-                now,
-            )?;
-            self.charge_io(t);
-            self.trace_device(
+            self.device_command(
                 start_place.dev,
-                false,
-                now,
-                t,
                 start_place.sector,
                 (run_len + ra_len) * SECTORS_PER_PAGE,
-            );
-            self.usage.device_reads += 1;
+                false,
+            )?;
             self.usage.major_faults += run_len;
             let fault_cpu = SimDuration::from_nanos(self.cfg.fault_cpu.as_nanos() * run_len);
             self.clock.advance(fault_cpu);
@@ -1336,27 +1469,11 @@ impl Kernel {
             let first = run.place_of(q);
             let run_len = run_end - q;
             // Tape read.
-            let now = self.clock.now();
-            let t =
-                self.devices[first.dev.0].read(first.sector, run_len * SECTORS_PER_PAGE, now)?;
-            self.charge_io(t);
-            self.trace_device(
-                first.dev,
-                false,
-                now,
-                t,
-                first.sector,
-                run_len * SECTORS_PER_PAGE,
-            );
-            self.usage.device_reads += 1;
+            self.device_command(first.dev, first.sector, run_len * SECTORS_PER_PAGE, false)?;
             // Disk write of the staged copy.
             let sectors = self.allocate_sectors(mount, run_len)?;
             let disk = self.mounts[mount.0].dev;
-            let now = self.clock.now();
-            let t = self.devices[disk.0].write(sectors, run_len * SECTORS_PER_PAGE, now)?;
-            self.charge_io(t);
-            self.trace_device(disk, true, now, t, sectors, run_len * SECTORS_PER_PAGE);
-            self.usage.device_writes += 1;
+            self.device_command(disk, sectors, run_len * SECTORS_PER_PAGE, true)?;
             // Remap, remembering the tape home.
             let f = self.file_of_mut(ino)?;
             if f.tape_home.is_none() {
@@ -1511,10 +1628,7 @@ impl Kernel {
         };
         let now = self.clock.now();
         self.tracer.cache_writeback(now, key.index, key.inode);
-        let t = self.devices[place.dev.0].write(place.sector, SECTORS_PER_PAGE, now)?;
-        self.charge_io(t);
-        self.trace_device(place.dev, true, now, t, place.sector, SECTORS_PER_PAGE);
-        self.usage.device_writes += 1;
+        self.device_command(place.dev, place.sector, SECTORS_PER_PAGE, true)?;
         Ok(())
     }
 
@@ -1651,7 +1765,8 @@ impl Kernel {
     }
 
     /// A version stamp for an open file's SLED vector: changes whenever the
-    /// file's cache residency, layout, or size changes, and never repeats.
+    /// file's cache residency, layout, or size changes — or any device
+    /// enters or leaves a fault window — and never repeats.
     /// `FSLEDS_GET` callers memoize their last vector against this stamp
     /// and skip the walk while it holds. Charges only the syscall cost —
     /// that is the point.
@@ -1664,9 +1779,14 @@ impl Kernel {
             .ok_or_else(|| SimError::new(Errno::Eisdir, "sled_generation on directory"))?
             .pages
             .generation();
-        // All three counters are monotone, so their sum is a valid version:
-        // any change to any one strictly increases it.
-        Ok(self.cache.generation(of.ino.0) + layout + self.sleds_epoch)
+        // All four counters are monotone, so their sum is a valid version:
+        // any change to any one strictly increases it. The device fault
+        // epochs auto-invalidate cached vectors (and any lease built on
+        // this stamp) the moment the clock crosses a fault-window
+        // boundary anywhere in the stack.
+        let now = self.clock.now();
+        let fault_epoch: u64 = self.devices.iter().map(|d| d.fault_epoch(now)).sum();
+        Ok(self.cache.generation(of.ino.0) + layout + self.sleds_epoch + fault_epoch)
     }
 
     /// Number of resident extents the cache tracks for an open file — the
@@ -1794,11 +1914,7 @@ impl Kernel {
             first
         };
         if !free {
-            let now = self.clock.now();
-            let t = self.devices[hsm.tape.0].write(first, sectors, now)?;
-            self.charge_io(t);
-            self.trace_device(hsm.tape, true, now, t, first, sectors);
-            self.usage.device_writes += 1;
+            self.device_command(hsm.tape, first, sectors, true)?;
         }
         let f = self.file_of_mut(ino)?;
         let mapped = f.pages.page_count();

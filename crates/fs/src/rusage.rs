@@ -29,6 +29,10 @@ pub struct Rusage {
     /// Device write commands issued on this process's behalf (including
     /// writeback of dirty pages evicted to make room for its reads).
     pub device_writes: u64,
+    /// Device commands reissued after a transient fault.
+    pub io_retries: u64,
+    /// Time spent backing off between retry attempts (part of `io_wait`).
+    pub retry_backoff: SimDuration,
 }
 
 impl Rusage {
@@ -44,6 +48,8 @@ impl Rusage {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             device_reads: self.device_reads.saturating_sub(earlier.device_reads),
             device_writes: self.device_writes.saturating_sub(earlier.device_writes),
+            io_retries: self.io_retries.saturating_sub(earlier.io_retries),
+            retry_backoff: self.retry_backoff.saturating_sub(earlier.retry_backoff),
         }
     }
 }
@@ -89,6 +95,8 @@ mod tests {
             bytes_written: 50,
             device_reads: 6,
             device_writes: 7,
+            io_retries: 1,
+            retry_backoff: SimDuration::from_millis(5),
         };
         let b = Rusage {
             cpu: SimDuration::from_secs(3),
@@ -100,6 +108,8 @@ mod tests {
             bytes_written: 55,
             device_reads: 9,
             device_writes: 8,
+            io_retries: 4,
+            retry_backoff: SimDuration::from_millis(25),
         };
         let d = b.since(&a);
         assert_eq!(d.cpu, SimDuration::from_secs(2));
@@ -109,6 +119,8 @@ mod tests {
         assert_eq!(d.syscalls, 1);
         assert_eq!(d.device_reads, 3);
         assert_eq!(d.device_writes, 1);
+        assert_eq!(d.io_retries, 3);
+        assert_eq!(d.retry_backoff, SimDuration::from_millis(20));
     }
 
     #[test]

@@ -9,10 +9,10 @@
 //! pins the guarantee: the same workload on two fresh kernels produces
 //! byte-identical reports, elapsed times, and usage counters.
 
-use sleds_devices::DiskDevice;
+use sleds_devices::{DiskDevice, FaultPlan};
 use sleds_fs::trace::{chrome_trace_json, TraceEvent};
 use sleds_fs::{JobReport, Kernel, OpenFlags, Whence};
-use sleds_sim_core::PAGE_SIZE;
+use sleds_sim_core::{SimDuration, SimTime, PAGE_SIZE};
 
 /// A workload chosen to be order-sensitive: many files dirty pages scattered
 /// across the disk, then one `drop_caches` flushes them all, then cold reads
@@ -130,6 +130,143 @@ fn identical_traced_runs_export_identical_traces() {
         chrome_trace_json(&ev1, 0),
         chrome_trace_json(&ev2, 0),
         "exported Chrome trace JSON must replay identically"
+    );
+}
+
+/// The workload under a fault storm: an offline outage that fails the first
+/// read pass, then transient faults the retry machinery must mask plus a
+/// degraded window slowing the second pass. Both error and success paths
+/// burn virtual time through the same deterministic machinery, so the whole
+/// run — including every failure — must replay byte-identically.
+fn run_fault_workload(traced: bool) -> (JobReport, u64, u64, Vec<TraceEvent>) {
+    let mut k = Kernel::table2();
+    if traced {
+        k.enable_tracing();
+    }
+    k.mkdir("/data").unwrap();
+    k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .unwrap();
+
+    let files = 8;
+    let pages_per_file = 6usize;
+    for i in 0..files {
+        let path = format!("/data/f{i}");
+        k.install_file(&path, &vec![i as u8; pages_per_file * PAGE_SIZE as usize])
+            .unwrap();
+    }
+    k.drop_caches().unwrap();
+
+    // Installs and the flush above run fault-free; the plan's windows are
+    // wide enough that the virtual clock is guaranteed to still be inside
+    // the outage when the first read pass starts.
+    let plan = FaultPlan::new()
+        .offline(
+            "hda",
+            SimTime::ZERO,
+            SimTime::from_nanos(10_000_000_000),
+            SimDuration::from_millis(1),
+        )
+        .transient(
+            "hda",
+            SimTime::from_nanos(10_000_000_000),
+            SimTime::from_nanos(600_000_000_000),
+            3,
+            SimDuration::from_millis(2),
+        )
+        .degraded(
+            "hda",
+            SimTime::from_nanos(10_000_000_000),
+            SimTime::from_nanos(600_000_000_000),
+            2.5,
+        );
+    k.apply_fault_plan(&plan);
+    assert!(
+        k.now() < SimTime::from_nanos(10_000_000_000),
+        "setup must finish inside the offline window"
+    );
+
+    let t = k.start_job();
+    let mut checksum = 0u64;
+    // Pass 1: the device is offline; every cold read fails. The errors are
+    // part of the replayed result, so fold them into the checksum.
+    for i in 0..files {
+        let path = format!("/data/f{i}");
+        let fd = k.open(&path, OpenFlags::RDONLY).unwrap();
+        match k.read(fd, pages_per_file * PAGE_SIZE as usize) {
+            Ok(data) => {
+                checksum = data
+                    .iter()
+                    .fold(checksum, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64));
+            }
+            Err(e) => {
+                checksum = e
+                    .to_string()
+                    .bytes()
+                    .fold(checksum, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+            }
+        }
+        k.close(fd).unwrap();
+    }
+    // Wait out the outage, then re-read: transient failures must be masked
+    // by the retry policy and the degraded window only slows the pass.
+    k.charge_cpu(SimDuration::from_secs(20));
+    for i in 0..files {
+        let path = format!("/data/f{i}");
+        let fd = k.open(&path, OpenFlags::RDONLY).unwrap();
+        let data = k
+            .read(fd, pages_per_file * PAGE_SIZE as usize)
+            .expect("transient faults must be masked by bounded retries");
+        checksum = data
+            .iter()
+            .fold(checksum, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64));
+        k.close(fd).unwrap();
+    }
+    let report = k.finish_job(&t);
+    (
+        report,
+        report.elapsed.as_nanos(),
+        checksum,
+        k.trace_events(),
+    )
+}
+
+#[test]
+fn fault_storm_replays_byte_identical() {
+    let (r1, ns1, sum1, _) = run_fault_workload(false);
+    let (r2, ns2, sum2, _) = run_fault_workload(false);
+    assert_eq!(sum1, sum2, "faulted contents and errors must replay");
+    assert_eq!(ns1, ns2, "faulted virtual time must replay");
+    assert_eq!(r1, r2, "faulted job report must replay");
+    assert_rusage_sums(&r1);
+    assert_eq!(
+        r1.usage.io_retries, 3,
+        "the transient budget is burned through exactly once"
+    );
+    assert!(
+        !r1.usage.retry_backoff.is_zero(),
+        "backoff time was charged"
+    );
+}
+
+#[test]
+fn faulted_run_is_identical_traced_vs_untraced() {
+    let (plain, ns_plain, sum_plain, events) = run_fault_workload(false);
+    let (traced, ns_traced, sum_traced, traced_events) = run_fault_workload(true);
+    assert!(events.is_empty(), "untraced run must record nothing");
+    assert_eq!(
+        sum_plain, sum_traced,
+        "contents must not change under trace"
+    );
+    assert_eq!(ns_plain, ns_traced, "virtual time must not change");
+    assert_eq!(plain, traced, "job report must not change under trace");
+    assert_rusage_sums(&traced);
+    assert!(
+        traced_events.iter().any(|e| e.name == "fault.inject"),
+        "injected faults must be visible in the trace"
+    );
+    assert!(
+        traced_events.iter().any(|e| e.name == "io.retry"),
+        "retries must be visible in the trace"
     );
 }
 

@@ -44,6 +44,10 @@ pub enum Errno {
     Eoverflow,
     /// No medium found (tape not mounted, jukebox slot empty).
     Enomedium,
+    /// Stale file handle (inode reclaimed underneath an open descriptor).
+    Estale,
+    /// Connection timed out (retry budget exhausted by the clock).
+    Etimedout,
 }
 
 impl Errno {
@@ -69,6 +73,8 @@ impl Errno {
             Errno::Eagain => "EAGAIN",
             Errno::Eoverflow => "EOVERFLOW",
             Errno::Enomedium => "ENOMEDIUM",
+            Errno::Estale => "ESTALE",
+            Errno::Etimedout => "ETIMEDOUT",
         }
     }
 
@@ -94,6 +100,8 @@ impl Errno {
             Errno::Eagain => "resource temporarily unavailable",
             Errno::Eoverflow => "value too large for defined data type",
             Errno::Enomedium => "no medium found",
+            Errno::Estale => "stale file handle",
+            Errno::Etimedout => "connection timed out",
         }
     }
 }

@@ -14,12 +14,14 @@
 
 pub mod check;
 pub mod error;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use error::{Errno, SimError, SimResult};
+pub use retry::RetryPolicy;
 pub use rng::DetRng;
 pub use time::{Clock, SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize, PAGE_SHIFT, PAGE_SIZE, SECTOR_SIZE};

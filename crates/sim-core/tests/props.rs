@@ -4,7 +4,7 @@
 //! `cargo test -p sleds-sim-core --features proptests`.
 
 use sleds_sim_core::stats::{Ecdf, Summary};
-use sleds_sim_core::{check, DetRng, SimDuration, SimTime};
+use sleds_sim_core::{check, DetRng, RetryPolicy, SimDuration, SimTime};
 
 fn sample_vec(rng: &mut DetRng, min_len: usize, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
     let len = rng.range_usize(min_len, max_len);
@@ -117,6 +117,81 @@ fn secs_f64_roundtrip() {
             "{} vs {}",
             d.as_secs_f64(),
             s
+        );
+    });
+}
+
+/// Retry backoff schedules: zero before the first retry, monotone
+/// nondecreasing and clamped without jitter, and with jitter every draw
+/// stays inside the configured amplitude band around the pure schedule.
+#[test]
+fn retry_backoff_is_bounded_and_monotone() {
+    check::run("retry_backoff_is_bounded_and_monotone", |rng| {
+        let base = SimDuration::from_nanos(rng.range_u64(1, 1_000_000));
+        let max_backoff = SimDuration::from_nanos(rng.range_u64(1, 1_000_000_000));
+        let amp = rng.unit_f64() * 0.5;
+        let pure = RetryPolicy {
+            base_backoff: base,
+            max_backoff,
+            jitter_amp: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert!(pure.backoff_for(0, rng).is_zero());
+        let mut prev = SimDuration::ZERO;
+        for retry in 1..16u32 {
+            let b = pure.backoff_for(retry, rng);
+            assert!(b >= prev, "jitter-free backoff must be monotone");
+            assert!(b <= max_backoff, "backoff must clamp to the ceiling");
+            prev = b;
+        }
+        let jittered = RetryPolicy {
+            jitter_amp: amp,
+            ..pure
+        };
+        for retry in 1..16u32 {
+            let clean = pure.backoff_for(retry, rng).as_secs_f64();
+            let b = jittered.backoff_for(retry, rng).as_secs_f64();
+            assert!(
+                b >= clean * (1.0 - amp) - 1e-9 && b <= clean * (1.0 + amp) + 1e-9,
+                "retry {retry}: {b} outside the +/-{amp} band around {clean}"
+            );
+        }
+    });
+}
+
+/// The kernel's retry loop shape, driven against an always-failing command:
+/// submissions never exceed `max_attempts`, and the total backoff charged is
+/// exactly the sum of the per-retry schedule (so a policy bounds virtual
+/// time as well as attempts).
+#[test]
+fn retry_attempts_respect_policy_bound() {
+    check::run("retry_attempts_respect_policy_bound", |rng| {
+        let policy = RetryPolicy {
+            max_attempts: rng.range_u64(1, 10) as u32,
+            base_backoff: SimDuration::from_nanos(rng.range_u64(0, 1_000_000)),
+            max_backoff: SimDuration::from_nanos(rng.range_u64(0, 10_000_000)),
+            timeout: SimDuration::MAX,
+            jitter_amp: 0.0,
+        };
+        let mut attempts = 0u32;
+        let mut charged = SimDuration::ZERO;
+        // Bounded: exits by `policy.max_attempts`.
+        loop {
+            attempts += 1;
+            // The command always fails with a retryable errno.
+            if attempts >= policy.max_attempts {
+                break;
+            }
+            charged = charged.saturating_add(policy.backoff_for(attempts, rng));
+        }
+        assert_eq!(attempts, policy.max_attempts, "loop must exhaust exactly");
+        let expected = (1..policy.max_attempts).fold(SimDuration::ZERO, |acc, i| {
+            acc.saturating_add(policy.backoff_for(i, rng))
+        });
+        assert_eq!(charged, expected, "backoff charges follow the schedule");
+        assert!(
+            policy.max_attempts > 1 || charged.is_zero(),
+            "a single-attempt policy never backs off"
         );
     });
 }

@@ -11,7 +11,7 @@ use crate::rules::FileScope;
 /// One lint finding.
 #[derive(Clone, Debug)]
 pub struct Finding {
-    /// Rule code (`D001`…`D007`, `W001`, `W002`).
+    /// Rule code (`D001`…`D008`, `W001`, `W002`).
     pub rule: &'static str,
     /// Workspace-relative path of the file.
     pub path: String,
@@ -136,6 +136,20 @@ const RNG_IDENTS: &[&str] = &[
 /// Narrowing integer cast targets flagged by D007.
 const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// Identifier fragments that mark a loop as retry machinery (D008). Matched
+/// case-sensitively as lowercase substrings, so data-model names like the
+/// `PhaseKind::Retry` variant don't read as retry *logic*.
+const RETRY_IDENT_PARTS: &[&str] = &["retry", "retries", "attempt", "resubmit"];
+
+/// Identifiers whose presence proves a retry loop is bounded by a policy.
+const RETRY_BOUND_IDENTS: &[&str] = &[
+    "max_attempts",
+    "max_retries",
+    "retry_limit",
+    "retry_budget",
+    "timeout",
+];
+
 /// Runs every detector over the token stream.
 fn detect(toks: &[Tok]) -> Vec<Candidate> {
     let mut out = Vec::new();
@@ -232,7 +246,54 @@ fn detect(toks: &[Tok]) -> Vec<Candidate> {
             _ => {}
         }
     }
+    detect_retry_loops(toks, &mut out);
     out
+}
+
+/// D008: a `loop`/`while` whose span mentions retry machinery must also
+/// reference a policy bound, or a persistent fault spins the simulation
+/// forever. The span runs from the keyword through the matching `}` of the
+/// body, so a bound in either the condition or the body satisfies the rule.
+fn detect_retry_loops(toks: &[Tok], out: &mut Vec<Candidate>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "loop" | "while") {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len() && toks[j].text != "{" {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let span = &toks[i..toks.len().min(j + 1)];
+        let mentions = |parts: &[&str]| {
+            span.iter()
+                .any(|tok| tok.kind == TokKind::Ident && parts.iter().any(|p| tok.text.contains(p)))
+        };
+        if mentions(RETRY_IDENT_PARTS) && !mentions(RETRY_BOUND_IDENTS) {
+            out.push(Candidate {
+                rule: "D008",
+                line: t.line,
+                message: format!(
+                    "`{}` retries without a policy bound; reference max_attempts/timeout \
+                     (RetryPolicy) or waive naming what bounds it",
+                    t.text
+                ),
+            });
+        }
+    }
 }
 
 fn is_latency_name(s: &str) -> bool {
@@ -485,6 +546,40 @@ mod tests {
     #[test]
     fn doc_comments_are_not_waivers() {
         let src = "/// Waive with `// sledlint::allow(RULE, reason)`.\nfn f() {}\n";
+        assert!(rules_hit(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_loop_is_d008() {
+        let src = "fn f(dev: &mut Dev) { loop { if dev.retry_once().is_ok() { break; } } }\n";
+        assert_eq!(rules_hit(KERNEL, src), vec!["D008"]);
+    }
+
+    #[test]
+    fn retry_loop_bounded_in_body_is_clean() {
+        let src = "fn f(p: &Policy) {\n    let mut attempt = 0u32;\n    loop {\n        \
+                   attempt += 1;\n        if attempt >= p.max_attempts { break; }\n    }\n}\n";
+        assert!(rules_hit(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn retry_loop_bounded_in_while_condition_is_clean() {
+        let src = "fn f(q: &mut Q, p: &Policy) {\n    while q.needs_resubmit() && \
+                   q.elapsed() < p.timeout {\n        q.resubmit_one();\n    }\n}\n";
+        assert!(rules_hit(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn plain_counting_loop_is_not_d008() {
+        let src = "fn f(xs: &[u64]) -> u64 {\n    let mut sum = 0u64;\n    let mut i = 0;\n    \
+                   while i < xs.len() {\n        sum += xs[i];\n        i += 1;\n    }\n    sum\n}\n";
+        assert!(rules_hit(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn retry_enum_variant_is_not_retry_logic() {
+        let src = "fn f(ps: &mut Vec<Phase>) {\n    let mut i = 0;\n    while i < ps.len() {\n        \
+                   if ps[i].kind == PhaseKind::Retry { ps[i].scale(); }\n        i += 1;\n    }\n}\n";
         assert!(rules_hit(KERNEL, src).is_empty());
     }
 

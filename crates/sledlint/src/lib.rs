@@ -8,7 +8,7 @@
 //!
 //! - [`lexer`] — a minimal Rust lexer (strings, comments, lifetimes, raw
 //!   strings handled correctly; no parser).
-//! - [`rules`] — the rule table (`D001`…`D007` plus waiver hygiene `W001`/
+//! - [`rules`] — the rule table (`D001`…`D008` plus waiver hygiene `W001`/
 //!   `W002`) and the scope policy deciding where each rule applies.
 //! - [`engine`] — detection, `#[cfg(test)]` region tracking, and
 //!   `// sledlint::allow(RULE, reason)` waiver resolution.

@@ -62,6 +62,13 @@ pub const RULES: &[Rule] = &[
                     makes the cast lossless",
     },
     Rule {
+        code: "D008",
+        name: "no-unbounded-retry",
+        invariant: "a `loop`/`while` that retries I/O in kernel-path code without referencing a \
+                    policy bound (max_attempts/timeout): a persistent fault would spin the \
+                    simulation forever; bound every retry loop by RetryPolicy",
+    },
+    Rule {
         code: "W001",
         name: "malformed-waiver",
         invariant: "a sledlint::allow comment that does not parse as (RULE, reason) suppresses \
@@ -76,8 +83,10 @@ pub const RULES: &[Rule] = &[
 
 /// Crates whose `src/` is a kernel path (syscall/cost-model code). The
 /// tracer is included: its hooks run inside syscalls, so a panic there
-/// aborts an experiment batch just like one in the kernel proper.
-pub const KERNEL_CRATES: &[&str] = &["core", "devices", "fs", "pagecache", "trace"];
+/// aborts an experiment batch just like one in the kernel proper. The fault
+/// planner is included for the same reason: injectors run on the device
+/// command path.
+pub const KERNEL_CRATES: &[&str] = &["core", "devices", "fs", "pagecache", "trace", "faults"];
 
 /// Crates exempt from wall-clock/host-API rules: `bench` measures the host
 /// on purpose, and `sledlint` itself is a host tool (it exits the process).
@@ -127,7 +136,9 @@ impl FileScope {
             "D002" => !self.host_tool() && !self.test_context && !in_test_region,
             "D003" => true,
             "D004" => !self.test_context && !in_test_region,
-            "D005" | "D006" | "D007" => self.kernel_path && !self.test_context && !in_test_region,
+            "D005" | "D006" | "D007" | "D008" => {
+                self.kernel_path && !self.test_context && !in_test_region
+            }
             _ => true,
         }
     }

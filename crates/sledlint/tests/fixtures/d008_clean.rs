@@ -1,0 +1,31 @@
+// D008 clean fixture: every retry loop references a policy bound, and
+// ordinary counting loops are not retry loops at all.
+
+fn bounded_by_attempts(dev: &mut Dev, policy: &RetryPolicy) -> Result<(), SimError> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if dev.submit().is_ok() {
+            return Ok(());
+        }
+        if attempt >= policy.max_attempts {
+            return Err(SimError::new(Errno::Eio, "gave up"));
+        }
+    }
+}
+
+fn bounded_by_deadline(q: &mut Queue, policy: &RetryPolicy) {
+    while q.needs_resubmit() && q.elapsed() < policy.timeout {
+        q.resubmit_one();
+    }
+}
+
+fn not_a_retry_loop(xs: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    let mut i = 0;
+    while i < xs.len() {
+        sum += xs[i];
+        i += 1;
+    }
+    sum
+}

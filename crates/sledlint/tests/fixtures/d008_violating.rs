@@ -1,0 +1,18 @@
+// D008 fixture: retry loops that never reference a policy bound. A
+// persistent fault would spin these forever.
+
+fn spin_until_submitted(dev: &mut Dev) -> Result<(), SimError> {
+    let mut retry = 0u64;
+    loop {
+        if dev.submit().is_ok() {
+            return Ok(());
+        }
+        retry += 1;
+    }
+}
+
+fn drain_failed(q: &mut Queue) {
+    while q.has_failed_attempts() {
+        q.resubmit_one();
+    }
+}

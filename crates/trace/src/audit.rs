@@ -37,6 +37,10 @@ pub struct AccuracySample {
     pub predicted_ns: u64,
     /// Traced actual delivery time (sum of read-span durations), nanoseconds.
     pub actual_ns: u64,
+    /// True when an injected fault or a retry landed inside one of the
+    /// paired read spans — the prediction was scored against a degraded
+    /// device, not a clean one.
+    pub faulted: bool,
 }
 
 impl AccuracySample {
@@ -113,29 +117,46 @@ pub struct AuditReport {
     /// Predictions dropped because their fd was read under a different
     /// sleds-table generation than the prediction was made under.
     pub cross_generation: usize,
+    /// Audited pairs whose reads were hit by injected faults or retries.
+    pub faulted_requests: usize,
     /// Per-class error distributions, in class-code order.
     pub classes: Vec<ClassAccuracy>,
 }
 
 /// Runs the audit over a trace buffer.
 pub fn audit_accuracy(events: &[TraceEvent]) -> AuditReport {
-    // fd -> (predicted_ns, class, generation, actual_ns accumulated so far).
-    let mut by_fd: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+    // fd -> (predicted_ns, class, generation, actual_ns so far, faulted).
+    let mut by_fd: BTreeMap<u64, (u64, u64, u64, u64, bool)> = BTreeMap::new();
     let mut report = AuditReport::default();
     let mut current_generation = 0u64;
+    // The fd of the read/pread span currently open, if any. The simulator
+    // is single-threaded and synchronous, so a fault or retry mark emitted
+    // between a read's begin and end belongs to that read.
+    let mut open_read_fd: Option<u64> = None;
     for ev in events {
         match ev.phase {
+            EventPhase::Begin
+                if ev.layer == Layer::Syscall && (ev.name == "read" || ev.name == "pread") =>
+            {
+                open_read_fd = Some(ev.args[0]);
+            }
             EventPhase::Mark if ev.name == "sleds.predict" => {
                 let (class, generation) = unpack_class_generation(ev.args[2]);
-                by_fd.insert(ev.args[0], (ev.args[1], class, generation, 0));
+                by_fd.insert(ev.args[0], (ev.args[1], class, generation, 0, false));
             }
             EventPhase::Mark if ev.name == "sleds.recal" => {
                 current_generation = ev.args[0];
+            }
+            EventPhase::Mark if ev.name == "fault.inject" || ev.name == "io.retry" => {
+                if let Some(entry) = open_read_fd.and_then(|fd| by_fd.get_mut(&fd)) {
+                    entry.4 = true;
+                }
             }
             EventPhase::End
                 if ev.layer == Layer::Syscall && (ev.name == "read" || ev.name == "pread") =>
             {
                 let fd = ev.args[0];
+                open_read_fd = None;
                 let Some(entry) = by_fd.get_mut(&fd) else {
                     continue;
                 };
@@ -152,7 +173,7 @@ pub fn audit_accuracy(events: &[TraceEvent]) -> AuditReport {
     }
 
     let mut by_class: BTreeMap<u64, Vec<AccuracySample>> = BTreeMap::new();
-    for (fd, (predicted_ns, class, generation, actual_ns)) in by_fd {
+    for (fd, (predicted_ns, class, generation, actual_ns, faulted)) in by_fd {
         if actual_ns == 0 {
             report.unread_predictions += 1;
             continue;
@@ -163,7 +184,11 @@ pub fn audit_accuracy(events: &[TraceEvent]) -> AuditReport {
             generation,
             predicted_ns,
             actual_ns,
+            faulted,
         };
+        if faulted {
+            report.faulted_requests += 1;
+        }
         report.samples.push(s);
         by_class.entry(class).or_default().push(s);
     }
@@ -265,10 +290,11 @@ impl AuditReport {
         out.push_str(&format!("  \"regenerate\": \"{regenerate}\",\n"));
         out.push_str("  \"units\": {\"predicted\": \"seconds\", \"actual\": \"seconds\", \"errors\": \"relative (predicted-actual)/actual\"},\n");
         out.push_str(&format!(
-            "  \"audited_requests\": {},\n  \"unread_predictions\": {},\n  \"cross_generation\": {},\n",
+            "  \"audited_requests\": {},\n  \"unread_predictions\": {},\n  \"cross_generation\": {},\n  \"faulted_requests\": {},\n",
             self.samples.len(),
             self.unread_predictions,
-            self.cross_generation
+            self.cross_generation,
+            self.faulted_requests
         ));
         out.push_str("  \"classes\": [\n");
         for (i, c) in self.classes.iter().enumerate() {
@@ -296,10 +322,11 @@ impl AuditReport {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "audited {} requests ({} predictions unread, {} cross-generation)\n",
+            "audited {} requests ({} predictions unread, {} cross-generation, {} faulted)\n",
             self.samples.len(),
             self.unread_predictions,
-            self.cross_generation
+            self.cross_generation,
+            self.faulted_requests
         ));
         for c in &self.classes {
             out.push_str(&format!(

@@ -146,6 +146,10 @@ pub struct Metrics {
     pub cache_writebacks: u64,
     /// Device command counters and service histograms, indexed by class code.
     pub device: [ClassMetrics; NUM_DEVICE_CLASSES],
+    /// Device commands failed by an injected fault.
+    pub faults_injected: u64,
+    /// Device commands reissued after a transient fault.
+    pub io_retries: u64,
     /// Application-level spans completed.
     pub app_spans: u64,
     /// Events the trace ring overwrote (drop-oldest overflow). Non-zero
@@ -248,6 +252,12 @@ impl Metrics {
                     m.accuracy.len(),
                 ));
             }
+        }
+        if self.faults_injected + self.io_retries > 0 {
+            out.push_str(&format!(
+                "faults injected {} retries {}\n",
+                self.faults_injected, self.io_retries
+            ));
         }
         if self.app_spans > 0 {
             out.push_str(&format!("app spans {}\n", self.app_spans));

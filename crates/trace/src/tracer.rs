@@ -202,6 +202,42 @@ impl Tracer {
         );
     }
 
+    /// Records one injected device fault (`args`: device class code,
+    /// attempt number that failed, cost of the failed command in ns).
+    pub fn fault_inject(&mut self, ts: SimTime, class: u64, attempt: u64, cost_ns: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.faults_injected += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Device,
+            "fault.inject",
+            [class, attempt, cost_ns],
+        );
+    }
+
+    /// Records one retry backoff (`args`: device class code, attempt that
+    /// just failed, backoff wait in ns).
+    pub fn io_retry(&mut self, ts: SimTime, class: u64, attempt: u64, backoff_ns: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.io_retries += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Device,
+            "io.retry",
+            [class, attempt, backoff_ns],
+        );
+    }
+
     /// Records one dirty-page writeback.
     pub fn cache_writeback(&mut self, ts: SimTime, page: u64, ino: u64) {
         let Some(inner) = self.inner.as_mut() else {

@@ -35,6 +35,14 @@ trap 'rm -rf "$recal_tmp"' EXIT
 run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example recal_loop
 run diff -u results/AUDIT_recal.json "$recal_tmp/AUDIT_recal.json"
 
+# Fault-injection gate: seeded-storm determinism, retry masking, offline
+# routing, and the degrade -> pollute -> recalibrate -> restore loop. All
+# four properties are asserted inside the example, and the whole run is a
+# pure function of the virtual clock and the storm seed, so the report must
+# match the committed baseline byte-for-byte.
+run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example fault_storm
+run diff -u results/FAULTS_report.json "$recal_tmp/FAULTS_report.json"
+
 if [[ "${1:-}" == "--with-proptests" ]]; then
     # The randomized equivalence suites; heavier, so opt-in.
     run cargo test -q -p sleds-fs --features proptests

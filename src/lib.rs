@@ -7,6 +7,7 @@
 pub use sleds;
 pub use sleds_apps as apps;
 pub use sleds_devices as devices;
+pub use sleds_faults as faults;
 pub use sleds_fits as fits;
 pub use sleds_fs as fs;
 pub use sleds_lmbench as lmbench;
