@@ -7,7 +7,9 @@
 //! describes. The paper notes the whole port took two extra routines and
 //! under 100 lines; ours is similar.
 
-use sleds::{total_delivery_time, AttackPlan, LatencyPredicate, SledsTable};
+use sleds::{
+    compile_latency, pricing_from, total_delivery_time, AttackPlan, LatencyPredicate, SledsTable,
+};
 use sleds_fs::{FileKind, Kernel, OpenFlags};
 use sleds_sim_core::{SimDuration, SimResult};
 
@@ -106,6 +108,87 @@ pub fn find_report(
     walk(kernel, root, opts, table, &mut out);
     kernel.trace_app_end();
     Ok(out)
+}
+
+/// [`find_report`] with the `-latency` predicate pushed into the kernel.
+///
+/// The predicate compiles to a [`sleds_fs::PickProgram`] and the whole tree
+/// is walked by one `FSLEDS_WALK` crossing: the kernel prices every file,
+/// evaluates the program in place and hands back the verdicts, so no
+/// per-file open/`FSLEDS_GET`/close round-trips happen. The stock
+/// predicates (`-name`, `-type`, `-size`) still run user-side, *before* the
+/// kernel's verdict is consulted — exactly the order [`keep`] applies them —
+/// so hits, estimates and skip diagnostics are identical to the sequential
+/// walk. Requires a `-latency` predicate; without one there is nothing to
+/// push down, use [`find`].
+pub fn find_prog(
+    kernel: &mut Kernel,
+    root: &str,
+    opts: &FindOptions,
+    table: &SledsTable,
+) -> SimResult<FindReport> {
+    let Some(pred) = opts.latency else {
+        return Err(sleds_sim_core::SimError::new(
+            sleds_sim_core::Errno::Einval,
+            "find --prog requires a -latency predicate",
+        ));
+    };
+    kernel.trace_app_begin("find");
+    let result = (|| {
+        let prog = compile_latency(&pred);
+        let pricing = pricing_from(table);
+        let entries = kernel.fsleds_walk(root, &prog, &pricing)?;
+        let mut out = FindReport::default();
+        for e in &entries {
+            kernel.charge_cpu(SimDuration::from_nanos(FIND_NS_PER_ENTRY));
+            if let Some(k) = opts.kind {
+                if k != e.kind {
+                    continue;
+                }
+            }
+            if let Some(glob) = &opts.name_glob {
+                let base = e.path.rsplit('/').next().unwrap_or(&e.path);
+                if !glob_match(glob.as_bytes(), base.as_bytes()) {
+                    continue;
+                }
+            }
+            if let Some(sz) = opts.size {
+                if e.kind != FileKind::File {
+                    continue;
+                }
+                let ok = match sz {
+                    SizeTest::Greater(n) => e.size > n,
+                    SizeTest::Less(n) => e.size < n,
+                };
+                if !ok {
+                    continue;
+                }
+            }
+            // -latency: directories never match, and a file whose pricing
+            // failed in the kernel is skipped with the same diagnostic the
+            // sequential walk's failed FSLEDS_GET would have produced.
+            if e.kind != FileKind::File {
+                continue;
+            }
+            if let Some(error) = &e.error {
+                out.skipped.push(FileDiagnostic {
+                    path: e.path.clone(),
+                    error: error.clone(),
+                });
+                continue;
+            }
+            if !e.matched {
+                continue;
+            }
+            out.hits.push(FindHit {
+                path: e.path.clone(),
+                estimate_secs: e.estimate_secs,
+            });
+        }
+        Ok(out)
+    })();
+    kernel.trace_app_end();
+    result
 }
 
 fn walk(
@@ -497,5 +580,90 @@ mod tests {
         )
         .unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn prog_pushdown_matches_the_sequential_walk() {
+        let (mut k, t) = setup_tree();
+        // Warm big.bin so cached and cold files straddle the predicate.
+        let fd = k.open("/data/big.bin", OpenFlags::RDONLY).unwrap();
+        k.read(fd, 256 * 1024).unwrap();
+        k.close(fd).unwrap();
+        for spec in ["-m10", "+m10", "-1", "+0", "0"] {
+            let opts = FindOptions {
+                latency: Some(LatencyPredicate::parse(spec).unwrap()),
+                ..Default::default()
+            };
+            let before = k.usage();
+            let seq = find_report(&mut k, "/data", &opts, Some(&t)).unwrap();
+            let seq_u = k.usage().since(&before);
+            let before = k.usage();
+            let prog = find_prog(&mut k, "/data", &opts, &t).unwrap();
+            let prog_u = k.usage().since(&before);
+            assert_eq!(seq, prog, "same hits, estimates and skips for {spec}");
+            assert!(
+                prog_u.syscall_crossings < seq_u.syscall_crossings,
+                "{spec}: pushdown {} vs sequential {} crossings",
+                prog_u.syscall_crossings,
+                seq_u.syscall_crossings
+            );
+        }
+    }
+
+    #[test]
+    fn prog_pushdown_composes_with_user_side_predicates() {
+        let (mut k, t) = setup_tree();
+        let opts = FindOptions {
+            name_glob: Some("*.c".into()),
+            latency: Some(LatencyPredicate::parse("+0").unwrap()),
+            ..Default::default()
+        };
+        let seq = find_report(&mut k, "/data", &opts, Some(&t)).unwrap();
+        let prog = find_prog(&mut k, "/data", &opts, &t).unwrap();
+        assert_eq!(seq, prog);
+        let paths: Vec<&str> = prog.hits.iter().map(|h| h.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "/data/src/deep/core.c",
+                "/data/src/main.c",
+                "/data/src/util.c"
+            ]
+        );
+    }
+
+    #[test]
+    fn prog_pushdown_prunes_tape_like_the_sequential_walk() {
+        let mut k = Kernel::table2();
+        k.mkdir("/hsm").unwrap();
+        let m = k
+            .mount_hsm(
+                "/hsm",
+                DiskDevice::table2_disk("hda"),
+                Box::new(TapeDevice::dlt("st0")),
+                256,
+            )
+            .unwrap();
+        let data = vec![1u8; 64 * PAGE_SIZE as usize];
+        k.install_file("/hsm/online.dat", &data).unwrap();
+        k.install_file("/hsm/offline.dat", &data).unwrap();
+        let t = fill_table(&mut k, &[("/hsm", m)]).unwrap();
+        k.hsm_migrate("/hsm/offline.dat", true).unwrap();
+        for spec in ["-10", "+10"] {
+            let opts = FindOptions {
+                latency: Some(LatencyPredicate::parse(spec).unwrap()),
+                ..Default::default()
+            };
+            let seq = find_report(&mut k, "/hsm", &opts, Some(&t)).unwrap();
+            let prog = find_prog(&mut k, "/hsm", &opts, &t).unwrap();
+            assert_eq!(seq, prog, "tape pruning identical for {spec}");
+        }
+    }
+
+    #[test]
+    fn prog_pushdown_requires_a_latency_predicate() {
+        let (mut k, t) = setup_tree();
+        let err = find_prog(&mut k, "/data", &FindOptions::default(), &t).unwrap_err();
+        assert_eq!(err.errno, sleds_sim_core::Errno::Einval);
     }
 }

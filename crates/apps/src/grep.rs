@@ -14,7 +14,9 @@
 //! a single device read.
 
 use sleds::{PickConfig, PickSession, SledsTable};
-use sleds_fs::{Fd, Kernel, OpenFlags, Whence};
+use sleds_fs::{
+    Fd, Kernel, OpenFlags, RingOp, RingPayload, SubmissionRing, Whence, DEFAULT_RING_ENTRIES,
+};
 use sleds_sim_core::{SimDuration, SimResult};
 use sleds_textmatch::Regex;
 
@@ -354,6 +356,172 @@ fn grep_sleds(
 }
 // [sleds:end]
 
+/// [`grep`] in SLEDs mode over the submission ring: the SLED retrieval
+/// and the chunk reads go through the ring, a batch per ring's worth of
+/// chunks. The pick plan, the scan order, the carry logic and the stitch
+/// are identical to the sequential SLEDs mode, so the output is
+/// bit-identical — including `-q`, where the ring may have *read* a few
+/// chunks past the match (they were already in flight in the batch) but
+/// scanning still stops at the same first match.
+pub fn grep_ring(
+    kernel: &mut Kernel,
+    path: &str,
+    re: &Regex,
+    opts: &GrepOptions,
+    table: &SledsTable,
+) -> SimResult<GrepResult> {
+    kernel.trace_app_begin("grep --sleds");
+    let result = (|| {
+        let fd = kernel.open(path, OpenFlags::RDONLY)?;
+        let mut ring = SubmissionRing::new(DEFAULT_RING_ENTRIES);
+        let result = grep_ring_fd(kernel, &mut ring, fd, re, opts, table);
+        kernel.close(fd)?;
+        result
+    })();
+    kernel.trace_app_end();
+    result
+}
+
+fn grep_ring_fd(
+    kernel: &mut Kernel,
+    ring: &mut SubmissionRing,
+    fd: Fd,
+    re: &Regex,
+    opts: &GrepOptions,
+    table: &SledsTable,
+) -> SimResult<GrepResult> {
+    let mut pick =
+        PickSession::init_ring(kernel, ring, table, fd, PickConfig::records(BUFSIZE, b'\n'))?;
+    let mut segments: Vec<SegmentScan> = Vec::new();
+    let mut out = GrepResult::default();
+    let mut run: Option<SegmentScan> = None;
+    let mut carry: Vec<u8> = Vec::new();
+    let mut carry_start = 0u64;
+
+    let close_run = |kernel: &mut Kernel,
+                     run: &mut Option<SegmentScan>,
+                     carry: &mut Vec<u8>,
+                     carry_start: u64,
+                     segments: &mut Vec<SegmentScan>,
+                     re: &Regex| {
+        if let Some(mut r) = run.take() {
+            if !carry.is_empty() {
+                kernel.charge_cpu(SimDuration::from_nanos(GREP_NS_PER_LINE));
+                if re.is_match(carry) {
+                    r.matches
+                        .push((carry_start, r.newlines, std::mem::take(carry)));
+                } else {
+                    carry.clear();
+                }
+            }
+            segments.push(r);
+        }
+    };
+
+    loop {
+        // Queue the next ring's worth of chunks; the chunk offset doubles
+        // as the completion tag. Completions come back in submission
+        // order, so the scan below sees the same chunk order the
+        // sequential mode reads in.
+        let mut queued = 0usize;
+        while queued < ring.capacity() {
+            let Some((offset, len)) = pick.next_read() else {
+                break;
+            };
+            ring.push(
+                offset,
+                RingOp::Pread {
+                    fd,
+                    pos: offset,
+                    len,
+                },
+            )?;
+            queued += 1;
+        }
+        if queued == 0 {
+            break;
+        }
+        kernel.ring_enter(ring)?;
+        for c in kernel.ring_reap(ring) {
+            let offset = c.user_data;
+            let buf = match c.result? {
+                RingPayload::Bytes(b) => b,
+                _ => unreachable!("pread completes with bytes"),
+            };
+            let contiguous = matches!(&run, Some(r) if r.end == offset);
+            if !contiguous {
+                close_run(kernel, &mut run, &mut carry, carry_start, &mut segments, re);
+                run = Some(SegmentScan {
+                    start: offset,
+                    end: offset,
+                    newlines: 0,
+                    matches: Vec::new(),
+                });
+            }
+            let r = run.as_mut().expect("run just ensured");
+            charge_per_byte(kernel, buf.len(), 1);
+            kernel.charge_cpu(SimDuration::from_nanos(scan_cost(re, buf.len())));
+            let mut line_begin = 0usize;
+            for (i, &b) in buf.iter().enumerate() {
+                if b != b'\n' {
+                    continue;
+                }
+                kernel.charge_cpu(SimDuration::from_nanos(GREP_NS_PER_LINE));
+                let (line_off, text): (u64, Vec<u8>) = if carry.is_empty() {
+                    (offset + line_begin as u64, buf[line_begin..i].to_vec())
+                } else {
+                    carry.extend_from_slice(&buf[line_begin..i]);
+                    (carry_start, std::mem::take(&mut carry))
+                };
+                if re.is_match(&text) {
+                    r.matches.push((line_off, r.newlines, text));
+                    if opts.first_match_only {
+                        let (off, _, line) = r.matches.pop().expect("just pushed");
+                        out.matches.push(GrepMatch {
+                            offset: off,
+                            line_number: 0,
+                            line,
+                        });
+                        out.stopped_early = true;
+                        pick.finish();
+                        return Ok(out);
+                    }
+                }
+                r.newlines += 1;
+                line_begin = i + 1;
+            }
+            if line_begin < buf.len() {
+                if carry.is_empty() {
+                    carry_start = offset + line_begin as u64;
+                }
+                carry.extend_from_slice(&buf[line_begin..]);
+            }
+            r.end = offset + buf.len() as u64;
+        }
+    }
+    close_run(kernel, &mut run, &mut carry, carry_start, &mut segments, re);
+    pick.finish();
+
+    segments.sort_by_key(|s| s.start);
+    let match_count: u64 = segments.iter().map(|s| s.matches.len() as u64).sum();
+    kernel.charge_cpu(SimDuration::from_nanos(
+        200 * (segments.len() as u64 + 1) + 80 * match_count,
+    ));
+    let mut lines_before = 0u64;
+    for s in &segments {
+        for (off, nl_before, text) in &s.matches {
+            out.matches.push(GrepMatch {
+                offset: *off,
+                line_number: lines_before + nl_before + 1,
+                line: text.clone(),
+            });
+        }
+        lines_before += s.newlines;
+    }
+    out.matches.sort_by_key(|m| m.offset);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,5 +774,39 @@ mod tests {
         let r = grep(&mut k, "/data/src.c", &re, &GrepOptions::default(), None).unwrap();
         assert_eq!(r.matches.len(), 1);
         assert_eq!(r.matches[0].line_number, 2);
+    }
+
+    #[test]
+    fn ring_mode_matches_sleds_mode_exactly() {
+        let (mut k, t) = setup();
+        let text = corpus(6 * BUFSIZE + 777, 97, 11);
+        k.install_file("/data/f", &text).unwrap();
+        // Warm a middle slice so the pick plan genuinely reorders.
+        let fd = k.open("/data/f", OpenFlags::RDONLY).unwrap();
+        k.lseek(fd, 5 * PAGE_SIZE as i64, Whence::Set).unwrap();
+        k.read(fd, 3 * PAGE_SIZE as usize).unwrap();
+        k.close(fd).unwrap();
+        let re = Regex::new("needle").unwrap();
+        let seq = grep(&mut k, "/data/f", &re, &GrepOptions::default(), Some(&t)).unwrap();
+        let ring = grep_ring(&mut k, "/data/f", &re, &GrepOptions::default(), &t).unwrap();
+        assert_eq!(seq, ring, "offsets, line numbers and text all identical");
+        assert!(!ring.matches.is_empty());
+    }
+
+    #[test]
+    fn ring_mode_q_stops_at_the_same_first_match() {
+        let (mut k, t) = setup();
+        let text = corpus(4 * BUFSIZE, 53, 13);
+        k.install_file("/data/f", &text).unwrap();
+        let re = Regex::new("needle").unwrap();
+        let opts = GrepOptions {
+            first_match_only: true,
+        };
+        let seq = grep(&mut k, "/data/f", &re, &opts, Some(&t)).unwrap();
+        let ring = grep_ring(&mut k, "/data/f", &re, &opts, &t).unwrap();
+        assert_eq!(seq, ring);
+        assert!(ring.stopped_early);
+        assert_eq!(ring.matches.len(), 1);
+        assert_eq!(ring.matches[0].line_number, 0, "-q suppresses numbering");
     }
 }

@@ -38,6 +38,7 @@ pub mod get;
 pub mod lease;
 pub mod pick;
 pub mod predicate;
+pub mod program;
 pub mod recal;
 pub mod report;
 pub mod table;
@@ -49,6 +50,7 @@ pub use get::fsleds_get;
 pub use lease::SledLease;
 pub use pick::{PickConfig, PickSession, UnavailablePolicy};
 pub use predicate::LatencyPredicate;
+pub use program::{compile_latency, pricing_from, sleds_from_prog};
 pub use recal::{
     recalibrate, recalibrate_from_metrics, ClassObservation, RecalOutcome, RecalPolicy,
 };

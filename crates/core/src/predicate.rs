@@ -58,6 +58,13 @@ impl LatencyPredicate {
         Ok(LatencyPredicate { cmp, unit, n })
     }
 
+    /// The parsed `(comparison, unit seconds, threshold in units)` triple.
+    /// The pick-program compiler uses this to emit bytecode that
+    /// reproduces [`LatencyPredicate::matches`] operation for operation.
+    pub fn parts(&self) -> (Ordering, f64, u64) {
+        (self.cmp, self.unit, self.n)
+    }
+
     /// Tests an estimated delivery time (seconds) against the predicate.
     ///
     /// Like `find -atime`, the "exactly n" form compares in whole units:

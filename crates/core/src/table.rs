@@ -47,6 +47,9 @@ pub struct SledsTable {
     /// recalibration. Predictions are tagged with it so the accuracy
     /// audit can tell which table priced each estimate.
     generation: u64,
+    /// Measured cost of one kernel boundary crossing, in seconds —
+    /// the `lat_syscall` row. Batched submission amortizes exactly this.
+    crossing_cpu: Option<f64>,
 }
 
 impl SledsTable {
@@ -130,6 +133,16 @@ impl SledsTable {
     /// kernel's sleds epoch.
     pub fn set_generation(&mut self, generation: u64) {
         self.generation = generation;
+    }
+
+    /// Fills the boundary-crossing row (seconds per crossing).
+    pub fn fill_crossing(&mut self, seconds: f64) {
+        self.crossing_cpu = Some(seconds);
+    }
+
+    /// Measured seconds per kernel boundary crossing, if calibrated.
+    pub fn crossing_cpu(&self) -> Option<f64> {
+        self.crossing_cpu
     }
 
     /// Drops a device's per-zone rows, so its flat row governs again.

@@ -33,6 +33,10 @@ use sleds_trace::{Layer, Metrics, TraceEvent, Tracer};
 
 use crate::inode::{FileKind, FileNode, Ino, Inode, InodeBody, PageMap, PagePlace, Stat};
 use crate::machine::MachineConfig;
+use crate::prog::{
+    prog_inputs, PickProgram, ProgEntry, ProgOrder, ProgPricing, ProgSled, WalkEntry,
+};
+use crate::ring::{RingCompletion, RingOp, RingPayload, SubmissionRing};
 use crate::rusage::{JobReport, JobTimer, Rusage};
 
 pub use crate::inode::SECTORS_PER_PAGE;
@@ -45,6 +49,16 @@ const NUM_CLASSES: usize = 5;
 /// two kernels running the same workload under the same fault plan back
 /// off identically.
 const RETRY_JITTER_SEED: u64 = 0x5EED_FA17;
+
+/// Delivery-time estimate in integer nanoseconds for trace marks:
+/// `u64::MAX` stands in for non-finite (offline) estimates.
+fn estimate_ns(secs: f64) -> u64 {
+    if secs.is_finite() {
+        (secs * 1e9) as u64
+    } else {
+        u64::MAX
+    }
+}
 
 /// Identifies a device registered with the kernel.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -219,6 +233,13 @@ pub struct Kernel {
     /// Jitter stream for retry backoff; only consumed when a command
     /// actually fails, so fault-free runs never draw from it.
     retry_rng: DetRng,
+    /// Pick programs installed per fd via `FSLEDS_PROG`; dropped on close.
+    fd_progs: BTreeMap<u64, PickProgram>,
+    /// Lifetime count of `ring_enter` batches serviced (cheap stat for
+    /// benches; crossings proper live in rusage).
+    ring_enters: u64,
+    /// Lifetime count of ring operations serviced.
+    ring_ops: u64,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -263,6 +284,9 @@ impl Kernel {
             sleds_epoch: 0,
             retry_policies: [RetryPolicy::default(); NUM_CLASSES],
             retry_rng: DetRng::new(RETRY_JITTER_SEED),
+            fd_progs: BTreeMap::new(),
+            ring_enters: 0,
+            ring_ops: 0,
         }
     }
 
@@ -754,9 +778,27 @@ impl Kernel {
         }
     }
 
+    /// One ordinary syscall: a logical syscall plus a boundary crossing.
     fn charge_syscall(&mut self) {
         self.usage.syscalls += 1;
+        self.charge_crossing();
+    }
+
+    /// One kernel boundary crossing: the `syscall_cpu` trap cost. Ordinary
+    /// syscalls pay it per call; a ring batch pays it once in `ring_enter`
+    /// however many ops it carries.
+    fn charge_crossing(&mut self) {
+        self.usage.syscall_crossings += 1;
         let d = self.cfg.syscall_cpu;
+        self.clock.advance(d);
+        self.usage.cpu += d;
+    }
+
+    /// One serviced ring operation: a logical syscall charged at the
+    /// in-kernel dispatch cost instead of the trap cost.
+    fn charge_ring_op(&mut self) {
+        self.usage.syscalls += 1;
+        let d = self.cfg.ring_op_cpu;
         self.clock.advance(d);
         self.usage.cpu += d;
     }
@@ -1079,6 +1121,11 @@ impl Kernel {
 
     fn open_impl(&mut self, path: &str, flags: OpenFlags) -> SimResult<Fd> {
         self.charge_syscall();
+        self.do_open(path, flags)
+    }
+
+    /// Open minus the syscall charge: shared by `open` and the ring path.
+    fn do_open(&mut self, path: &str, flags: OpenFlags) -> SimResult<Fd> {
         let ino = match self.resolve(path) {
             Ok(i) => {
                 if self.inode(i)?.kind() == FileKind::Dir && (flags.write || flags.truncate) {
@@ -1149,14 +1196,20 @@ impl Kernel {
         let t0 = self.clock.now();
         self.tracer.begin(Layer::Syscall, "close", t0, [fd.0, 0, 0]);
         self.charge_syscall();
-        let r = self
-            .fds
-            .remove(&fd.0)
-            .map(|_| ())
-            .ok_or_else(|| SimError::new(Errno::Ebadf, format!("close({})", fd.0)));
+        let r = self.do_close(fd);
         let t1 = self.clock.now();
         self.tracer.end(t1);
         r
+    }
+
+    /// Close minus the syscall charge: shared by `close` and the ring
+    /// path. Drops any installed pick program with the descriptor.
+    fn do_close(&mut self, fd: Fd) -> SimResult<()> {
+        self.fd_progs.remove(&fd.0);
+        self.fds
+            .remove(&fd.0)
+            .map(|_| ())
+            .ok_or_else(|| SimError::new(Errno::Ebadf, format!("close({})", fd.0)))
     }
 
     /// Repositions a file offset.
@@ -1204,14 +1257,7 @@ impl Kernel {
 
     fn read_impl(&mut self, fd: Fd, len: usize) -> SimResult<Vec<u8>> {
         self.charge_syscall();
-        let of = self.openfile(fd)?;
-        if !of.flags.read {
-            return Err(SimError::new(Errno::Ebadf, "read on write-only fd"));
-        }
-        let data = self.do_read(of.ino, of.pos, len)?;
-        self.openfile_mut(fd)?.pos += data.len() as u64;
-        self.usage.bytes_read += data.len() as u64;
-        Ok(data)
+        self.do_read_fd(fd, None, len)
     }
 
     /// Positioned read: `pread(2)`. Does not move the file offset.
@@ -1227,11 +1273,27 @@ impl Kernel {
 
     fn pread_impl(&mut self, fd: Fd, pos: u64, len: usize) -> SimResult<Vec<u8>> {
         self.charge_syscall();
+        self.do_read_fd(fd, Some(pos), len)
+    }
+
+    /// The single fd-level read path `read`, `pread` and the ring's
+    /// `Pread` all charge through: permission check, fault accounting via
+    /// [`Kernel::do_read`], offset advance (sequential reads only) and
+    /// `bytes_read`. `pos` is `None` for a sequential read at the file
+    /// offset, `Some` for a positioned read that must not move it.
+    fn do_read_fd(&mut self, fd: Fd, pos: Option<u64>, len: usize) -> SimResult<Vec<u8>> {
         let of = self.openfile(fd)?;
         if !of.flags.read {
-            return Err(SimError::new(Errno::Ebadf, "pread on write-only fd"));
+            let name = if pos.is_some() { "pread" } else { "read" };
+            return Err(SimError::new(
+                Errno::Ebadf,
+                format!("{name} on write-only fd"),
+            ));
         }
-        let data = self.do_read(of.ino, pos, len)?;
+        let data = self.do_read(of.ino, pos.unwrap_or(of.pos), len)?;
+        if pos.is_none() {
+            self.openfile_mut(fd)?.pos += data.len() as u64;
+        }
         self.usage.bytes_read += data.len() as u64;
         Ok(data)
     }
@@ -1704,6 +1766,395 @@ impl Kernel {
         let pages = out.last().map(|e| e.end_page()).unwrap_or(0);
         self.charge_page_walk(out.len() as u64, pages);
         Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Submission ring and in-kernel pick programs
+    // ------------------------------------------------------------------
+
+    /// Ring batches serviced so far (one boundary crossing each).
+    pub fn ring_enters(&self) -> u64 {
+        self.ring_enters
+    }
+
+    /// Ring operations serviced so far, across all batches.
+    pub fn ring_ops_serviced(&self) -> u64 {
+        self.ring_ops
+    }
+
+    /// `ring_enter`: services the ring's queued submissions in **one**
+    /// boundary crossing. Charges `syscall_cpu` once for the crossing and
+    /// `ring_op_cpu` per serviced op; each op then performs exactly the
+    /// same work (and faulting/memcpy/device accounting) as its sequential
+    /// twin. Stops early when the completion queue fills — the leftovers
+    /// stay queued for the next enter. Returns the number serviced.
+    pub fn ring_enter(&mut self, ring: &mut SubmissionRing) -> SimResult<usize> {
+        let t0 = self.clock.now();
+        let submitted = ring.sq_len() as u64;
+        self.tracer
+            .begin(Layer::Syscall, "ring.enter", t0, [submitted, 0, 0]);
+        self.charge_crossing();
+        self.ring_enters += 1;
+        let mut serviced = 0usize;
+        while ring.cq_has_room() {
+            let Some((user_data, op)) = ring.pop_op() else {
+                break;
+            };
+            self.charge_ring_op();
+            self.ring_ops += 1;
+            let result = self.service_ring_op(op);
+            ring.complete(RingCompletion { user_data, result });
+            serviced += 1;
+        }
+        let now = self.clock.now();
+        self.tracer.ring_submit(now, submitted, serviced as u64);
+        self.tracer.end(now);
+        Ok(serviced)
+    }
+
+    /// Reaps every pending completion. The queues live in user-mapped
+    /// memory, so reaping crosses nothing and charges nothing.
+    pub fn ring_reap(&mut self, ring: &mut SubmissionRing) -> Vec<RingCompletion> {
+        let out = ring.drain_completions();
+        let now = self.clock.now();
+        self.tracer.ring_reap(now, out.len() as u64);
+        out
+    }
+
+    /// Dispatches one already-submitted ring operation to the shared
+    /// implementation its sequential twin uses (minus the per-call trap,
+    /// which the batch already paid).
+    fn service_ring_op(&mut self, op: RingOp) -> SimResult<RingPayload> {
+        match op {
+            RingOp::Open { path, flags } => self.do_open(&path, flags).map(RingPayload::Fd),
+            RingOp::Close { fd } => self.do_close(fd).map(|()| RingPayload::Unit),
+            RingOp::Pread { fd, pos, len } => {
+                self.do_read_fd(fd, Some(pos), len).map(RingPayload::Bytes)
+            }
+            RingOp::Stat { path } => {
+                let ino = self.resolve(&path)?;
+                self.stat_ino(ino).map(RingPayload::Stat)
+            }
+            RingOp::FsledsGet { fd, pricing } => {
+                let of = self.openfile(fd)?;
+                self.kernel_sleds_of(of.ino, &pricing)
+                    .map(RingPayload::Sleds)
+            }
+            RingOp::PickAdvice {
+                fd,
+                pricing,
+                preferred,
+                skip_unavailable,
+            } => {
+                let of = self.openfile(fd)?;
+                let sleds = self.kernel_sleds_of(of.ino, &pricing)?;
+                Ok(RingPayload::Plan(self.advise_chunks(
+                    &sleds,
+                    preferred.max(1),
+                    skip_unavailable,
+                )))
+            }
+        }
+    }
+
+    /// The in-kernel half of pushdown `FSLEDS_GET`: builds a file's SLED
+    /// vector from the caller's flattened pricing rows, mirroring the
+    /// user-space library's flat-table path operation for operation —
+    /// same extent walk, same degradation folding, same run coalescing by
+    /// bit-identity, same clipping to file size, same error text. Zone
+    /// tables and `trust_device_reports` are not expressible in
+    /// [`ProgPricing`]; callers needing either stay on the sequential
+    /// path. Charges the page walk (the work), not the two syscall traps
+    /// the sequential `fstat` + `FSLEDS_GET` pair pays.
+    fn kernel_sleds_of(&mut self, ino: Ino, pricing: &ProgPricing) -> SimResult<Vec<ProgSled>> {
+        let mem = pricing.memory.ok_or_else(|| {
+            SimError::new(
+                Errno::Einval,
+                "FSLEDS_GET: sleds table not filled (no memory row)",
+            )
+        })?;
+        let size = self.stat_ino(ino)?.size;
+        let extents = self.page_extents_of(ino)?;
+        let pages = extents.last().map(|e| e.end_page()).unwrap_or(0);
+        self.charge_page_walk(extents.len() as u64, pages);
+        fn push_sled(out: &mut Vec<ProgSled>, offset: u64, length: u64, entry: ProgEntry) {
+            if length == 0 {
+                return;
+            }
+            match out.last_mut() {
+                Some(last)
+                    if last.latency.to_bits() == entry.latency.to_bits()
+                        && last.bandwidth.to_bits() == entry.bandwidth.to_bits() =>
+                {
+                    last.length += length;
+                }
+                _ => out.push(ProgSled {
+                    offset,
+                    length,
+                    latency: entry.latency,
+                    bandwidth: entry.bandwidth,
+                }),
+            }
+        }
+        let mut out: Vec<ProgSled> = Vec::new();
+        for e in &extents {
+            let ext_off = e.first_page * PAGE_SIZE;
+            match e.location {
+                PageLocation::Memory => {
+                    let length = (e.pages * PAGE_SIZE).min(size - ext_off);
+                    push_sled(&mut out, ext_off, length, mem);
+                }
+                PageLocation::Device { dev, .. } => {
+                    let entry = pricing.device(dev).ok_or_else(|| {
+                        SimError::new(
+                            Errno::Einval,
+                            format!("FSLEDS_GET: no sleds table row for device {dev:?}"),
+                        )
+                    })?;
+                    let state = self.device_fault_state(dev).unwrap_or(FaultState::Healthy);
+                    let entry = match state {
+                        FaultState::Healthy => entry,
+                        FaultState::Degraded(m) => ProgEntry {
+                            latency: entry.latency * m,
+                            bandwidth: entry.bandwidth / m,
+                        },
+                        FaultState::Offline => ProgEntry {
+                            latency: f64::INFINITY,
+                            bandwidth: 0.0,
+                        },
+                    };
+                    let length = (e.pages * PAGE_SIZE).min(size - ext_off);
+                    push_sled(&mut out, ext_off, length, entry);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The in-kernel half of pushdown pick advice: chunks each SLED at the
+    /// preferred size and sorts cheapest-first, exactly as the library's
+    /// planner does (stable on latency, then offset), charging the same
+    /// per-chunk planning cost.
+    fn advise_chunks(
+        &mut self,
+        sleds: &[ProgSled],
+        preferred: usize,
+        skip_unavailable: bool,
+    ) -> Vec<(u64, usize)> {
+        // Mirrors the pick library's PLAN_NS_PER_CHUNK; the equivalence
+        // suite pins the two.
+        const PLAN_NS_PER_CHUNK: u64 = 120;
+        let mut chunks: Vec<(u64, usize, f64)> = Vec::new();
+        for s in sleds {
+            let unavailable = s.length > 0 && (s.bandwidth <= 0.0 || !s.latency.is_finite());
+            if skip_unavailable && unavailable {
+                continue;
+            }
+            let end = s.offset.saturating_add(s.length);
+            let mut off = s.offset;
+            while off < end {
+                let len = (end - off).min(preferred as u64) as usize;
+                chunks.push((off, len, s.latency));
+                off += len as u64;
+            }
+        }
+        chunks.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+        self.charge_cpu(SimDuration::from_nanos(
+            PLAN_NS_PER_CHUNK * chunks.len() as u64,
+        ));
+        chunks.into_iter().map(|(o, l, _)| (o, l)).collect()
+    }
+
+    /// The `FSLEDS_PROG` ioctl: installs a verified pick program on an
+    /// open descriptor. The program was verified at construction; this
+    /// re-runs nothing and simply associates it with the fd until close.
+    pub fn fsleds_prog(&mut self, fd: Fd, prog: PickProgram) -> SimResult<()> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_prog", t0, [fd.0, 0, 0]);
+        self.charge_syscall();
+        let r = self.openfile(fd).map(|_| {
+            self.fd_progs.insert(fd.0, prog);
+        });
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    /// The program installed on `fd`, if any.
+    pub fn fd_prog(&self, fd: Fd) -> Option<&PickProgram> {
+        self.fd_progs.get(&fd.0)
+    }
+
+    /// Evaluates the program installed on `fd` against the file's current
+    /// SLED vector, in-kernel, in one crossing: builds the SLEDs from the
+    /// pushed pricing rows, derives the program inputs, and returns the
+    /// verdict plus the delivery-time estimate it saw.
+    pub fn fsleds_prog_eval(&mut self, fd: Fd, pricing: &ProgPricing) -> SimResult<(bool, f64)> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_prog_eval", t0, [fd.0, 0, 0]);
+        self.charge_syscall();
+        let r = (|| {
+            let of = self.openfile(fd)?;
+            let prog = self.fd_progs.get(&fd.0).cloned().ok_or_else(|| {
+                SimError::new(
+                    Errno::Einval,
+                    format!("FSLEDS_PROG: no program on fd {}", fd.0),
+                )
+            })?;
+            let sleds = self.kernel_sleds_of(of.ino, pricing)?;
+            let mem = pricing.memory.unwrap_or(ProgEntry {
+                latency: 0.0,
+                bandwidth: 0.0,
+            });
+            let inputs = prog_inputs(&sleds, mem);
+            let matched = prog.matches(&inputs);
+            let now = self.clock.now();
+            self.tracer.prog_eval(
+                now,
+                prog.len() as u64,
+                u64::from(matched),
+                estimate_ns(inputs.delivery_time),
+            );
+            Ok((matched, inputs.delivery_time))
+        })();
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    /// A program-driven directory walk (`fsleds_walk`): visits the tree
+    /// under `root` depth-first in name order — the order `find` visits —
+    /// pricing every regular file against the pushed rows and evaluating
+    /// `prog` over it, all inside **one** boundary crossing. Per-file
+    /// pricing failures (say, a device with no pushed row) are captured in
+    /// the entry's `error` and the walk continues, like `find`'s
+    /// diagnostics. Honors [`ProgOrder::CachedFirst`] (matched files
+    /// first, most-cached first, stable; everything else after in file
+    /// order) and `first_match_exit` (stop at the first matching file).
+    pub fn fsleds_walk(
+        &mut self,
+        root: &str,
+        prog: &PickProgram,
+        pricing: &ProgPricing,
+    ) -> SimResult<Vec<WalkEntry>> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_walk", t0, [0; 3]);
+        self.charge_syscall();
+        let r = (|| {
+            let ino = self.resolve(root)?;
+            let mut out: Vec<(WalkEntry, f64)> = Vec::new();
+            let mut done = false;
+            self.walk_node(root, ino, prog, pricing, &mut out, &mut done)?;
+            if prog.order == ProgOrder::CachedFirst {
+                // Matched files first, most-cached first; stable, so ties
+                // and the unmatched tail keep file order.
+                let (mut hits, rest): (Vec<_>, Vec<_>) =
+                    out.into_iter().partition(|(e, _)| e.matched);
+                hits.sort_by(|a, b| b.1.total_cmp(&a.1));
+                out = hits.into_iter().chain(rest).collect();
+            }
+            Ok(out.into_iter().map(|(e, _)| e).collect())
+        })();
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn walk_node(
+        &mut self,
+        path: &str,
+        ino: Ino,
+        prog: &PickProgram,
+        pricing: &ProgPricing,
+        out: &mut Vec<(WalkEntry, f64)>,
+        done: &mut bool,
+    ) -> SimResult<()> {
+        if *done {
+            return Ok(());
+        }
+        let stat = self.stat_ino(ino)?;
+        // Per-entry in-kernel dispatch work, priced like a ring op.
+        let d = self.cfg.ring_op_cpu;
+        self.charge_cpu(d);
+        if stat.kind == FileKind::File {
+            let (entry, cached) = match self.kernel_sleds_of(ino, pricing) {
+                Ok(sleds) => {
+                    let mem = pricing.memory.unwrap_or(ProgEntry {
+                        latency: 0.0,
+                        bandwidth: 0.0,
+                    });
+                    let inputs = prog_inputs(&sleds, mem);
+                    let matched = prog.matches(&inputs);
+                    let now = self.clock.now();
+                    self.tracer.prog_eval(
+                        now,
+                        prog.len() as u64,
+                        u64::from(matched),
+                        estimate_ns(inputs.delivery_time),
+                    );
+                    if matched && prog.first_match_exit {
+                        *done = true;
+                    }
+                    (
+                        WalkEntry {
+                            path: path.to_string(),
+                            kind: stat.kind,
+                            size: stat.size,
+                            estimate_secs: Some(inputs.delivery_time),
+                            matched,
+                            error: None,
+                        },
+                        inputs.cached_fraction,
+                    )
+                }
+                Err(e) => (
+                    WalkEntry {
+                        path: path.to_string(),
+                        kind: stat.kind,
+                        size: stat.size,
+                        estimate_secs: None,
+                        matched: false,
+                        error: Some(e),
+                    },
+                    0.0,
+                ),
+            };
+            out.push((entry, cached));
+            return Ok(());
+        }
+        out.push((
+            WalkEntry {
+                path: path.to_string(),
+                kind: stat.kind,
+                size: stat.size,
+                estimate_secs: None,
+                matched: false,
+                error: None,
+            },
+            0.0,
+        ));
+        let names: Vec<(String, Ino)> = {
+            let node = self.inode(ino)?;
+            let dir = node
+                .as_dir()
+                .ok_or_else(|| SimError::new(Errno::Enotdir, format!("fsleds_walk({path})")))?;
+            dir.iter().map(|(n, i)| (n.clone(), *i)).collect()
+        };
+        for (name, child) in names {
+            if *done {
+                break;
+            }
+            let child_path = if path == "/" {
+                format!("/{name}")
+            } else {
+                format!("{path}/{name}")
+            };
+            self.walk_node(&child_path, child, prog, pricing, out, done)?;
+        }
+        Ok(())
     }
 
     /// The per-page form of [`Kernel::page_extents`]: one [`PageLocation`]

@@ -26,11 +26,18 @@ pub mod aio;
 pub mod inode;
 pub mod kernel;
 pub mod machine;
+pub mod prog;
+pub mod ring;
 pub mod rusage;
 
 pub use aio::AioReport;
 pub use inode::{FileKind, Ino, LayoutRun, PageMap, PagePlace, Stat, SECTORS_PER_PAGE};
 pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageExtent, PageLocation, Whence};
 pub use machine::MachineConfig;
+pub use prog::{
+    prog_inputs, PickProgram, ProgEntry, ProgInputs, ProgInst, ProgOrder, ProgPricing, ProgSled,
+    WalkEntry, MAX_PROG_LEN, MAX_PROG_STACK,
+};
+pub use ring::{RingCompletion, RingOp, RingPayload, SubmissionRing, DEFAULT_RING_ENTRIES};
 pub use rusage::{JobReport, JobTimer, Rusage};
 pub use sleds_trace as trace;

@@ -22,8 +22,14 @@ pub struct MachineConfig {
     pub mem_latency: SimDuration,
     /// Copy bandwidth of memory (Table 2/3 "memory" row).
     pub mem_bandwidth: Bandwidth,
-    /// Fixed CPU cost of entering and leaving a system call.
+    /// Fixed CPU cost of entering and leaving a system call — the price of
+    /// one kernel boundary crossing.
     pub syscall_cpu: SimDuration,
+    /// CPU cost of servicing one already-submitted ring operation. A ring
+    /// batch pays `syscall_cpu` once to enter the kernel, then this much
+    /// per operation — the dispatch-table hop that remains when the
+    /// boundary crossing is amortized away.
+    pub ring_op_cpu: SimDuration,
     /// CPU cost of handling one page fault (kernel path, not the I/O).
     pub fault_cpu: SimDuration,
     /// CPU cost per *extent probe* of the SLED residency walk. With the
@@ -54,6 +60,7 @@ impl MachineConfig {
             mem_latency: SimDuration::from_nanos(175),
             mem_bandwidth: Bandwidth::mb_per_sec(48.0),
             syscall_cpu: SimDuration::from_micros(5),
+            ring_op_cpu: SimDuration::from_nanos(150),
             fault_cpu: SimDuration::from_micros(2),
             page_walk_cpu: SimDuration::from_nanos(250),
             page_walk_floor_cpu: SimDuration::from_nanos(1),

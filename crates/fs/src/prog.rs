@@ -1,0 +1,502 @@
+//! In-kernel pick programs: a small, verified, loop-free predicate and
+//! ordering bytecode evaluated against a file's SLED vector *inside* the
+//! kernel.
+//!
+//! The pick library's sequential protocol pays one boundary crossing per
+//! file just to ask "is this file cheap?" — at archive scale the crossings
+//! dominate. A [`PickProgram`] moves the question across the boundary once:
+//! installed per fd (`FSLEDS_PROG`) or passed to a directory walk
+//! (`fsleds_walk`), it is evaluated in-kernel against the same extent walk
+//! `FSLEDS_GET` performs, so `find -latency` and `grep -q` prune and
+//! reorder whole trees without per-file round-trips.
+//!
+//! The bytecode is deliberately tiny and total:
+//!
+//! * **loop-free by construction** — a straight-line instruction list, no
+//!   jumps, bounded by [`MAX_PROG_LEN`];
+//! * **verified at install** — [`PickProgram::new`] simulates the stack and
+//!   rejects underflow, overflow past [`MAX_PROG_STACK`], NaN constants,
+//!   and programs that do not leave exactly one result;
+//! * **pure** — inputs are three precomputed floats ([`ProgInputs`]), so
+//!   evaluation cannot touch kernel state and costs O(len).
+//!
+//! Floating-point parity matters more than expressiveness here: the
+//! equivalence proofs require the kernel's verdict to match the user-space
+//! predicate bit for bit, so the instruction set includes `Div`/`Floor`/`Eq`
+//! purely to express `find -latency n`'s whole-unit comparison with the
+//! exact operation order `LatencyPredicate::matches` uses.
+
+use sleds_sim_core::{Errno, SimError, SimResult};
+
+use crate::inode::FileKind;
+use crate::kernel::DeviceId;
+
+/// Maximum instructions a program may hold. Small on purpose: a pick
+/// predicate is a comparison or two, and the bound keeps in-kernel
+/// evaluation O(1) per file.
+pub const MAX_PROG_LEN: usize = 32;
+
+/// Maximum operand-stack depth the verifier admits.
+pub const MAX_PROG_STACK: usize = 8;
+
+/// One bytecode instruction. Comparisons push `1.0` for true and `0.0`
+/// for false; the program's final value is truthy when nonzero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProgInst {
+    /// Push the file's first-byte latency (seconds): the latency of its
+    /// first SLED, `0.0` for an empty file.
+    PushFirstLatency,
+    /// Push the file's total delivery time (seconds) under the best
+    /// attack plan — each storage level pays its latency once and streams
+    /// its bytes. Mirrors `sleds_total_delivery_time(SLEDS_BEST)`.
+    PushDeliveryTime,
+    /// Push the fraction of the file's bytes currently at the memory
+    /// level, in `[0.0, 1.0]` (`0.0` for an empty file).
+    PushCachedFraction,
+    /// Push a constant. NaN constants fail verification.
+    PushConst(f64),
+    /// Pop `b`, pop `a`, push `a < b`.
+    Lt,
+    /// Pop `b`, pop `a`, push `a > b`.
+    Gt,
+    /// Pop `b`, pop `a`, push `a == b` (IEEE equality).
+    Eq,
+    /// Pop `b`, pop `a`, push `a / b`.
+    Div,
+    /// Pop `a`, push `a.floor()`.
+    Floor,
+    /// Pop `b`, pop `a`, push `a ≠ 0 ∧ b ≠ 0`.
+    And,
+    /// Pop `b`, pop `a`, push `a ≠ 0 ∨ b ≠ 0`.
+    Or,
+    /// Pop `a`, push `a == 0`.
+    Not,
+}
+
+impl ProgInst {
+    /// (pops, pushes) stack effect, for the verifier.
+    fn stack_effect(&self) -> (usize, usize) {
+        match self {
+            ProgInst::PushFirstLatency
+            | ProgInst::PushDeliveryTime
+            | ProgInst::PushCachedFraction
+            | ProgInst::PushConst(_) => (0, 1),
+            ProgInst::Lt
+            | ProgInst::Gt
+            | ProgInst::Eq
+            | ProgInst::Div
+            | ProgInst::And
+            | ProgInst::Or => (2, 1),
+            ProgInst::Floor | ProgInst::Not => (1, 1),
+        }
+    }
+}
+
+/// How a walk orders the entries it returns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProgOrder {
+    /// Depth-first name order — the order `find` visits entries.
+    #[default]
+    FileOrder,
+    /// Matched files sorted most-cached first (stable, so ties keep file
+    /// order): the paper's "drain the cheap level first" applied across
+    /// files instead of within one.
+    CachedFirst,
+}
+
+/// A verified pick program: the predicate bytecode plus walk directives.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PickProgram {
+    insts: Vec<ProgInst>,
+    /// Result ordering directive for `fsleds_walk`.
+    pub order: ProgOrder,
+    /// Stop a walk at its first matching file (`grep -q` semantics).
+    pub first_match_exit: bool,
+}
+
+impl PickProgram {
+    /// Builds and verifies a program. Fails with `EINVAL` when the
+    /// bytecode is empty, too long, under- or overflows its stack, leaves
+    /// more or less than one result, or embeds a NaN constant.
+    pub fn new(insts: Vec<ProgInst>) -> SimResult<PickProgram> {
+        Self::verify(&insts)?;
+        Ok(PickProgram {
+            insts,
+            order: ProgOrder::FileOrder,
+            first_match_exit: false,
+        })
+    }
+
+    /// Sets the walk-result ordering directive.
+    pub fn with_order(mut self, order: ProgOrder) -> PickProgram {
+        self.order = order;
+        self
+    }
+
+    /// Makes walks stop at the first matching file.
+    pub fn with_first_match_exit(mut self) -> PickProgram {
+        self.first_match_exit = true;
+        self
+    }
+
+    /// The verifier: abstract interpretation over stack depth. Programs
+    /// are loop-free by construction (no jump instructions exist), so one
+    /// linear pass is exact.
+    fn verify(insts: &[ProgInst]) -> SimResult<()> {
+        let bad = |msg: String| SimError::new(Errno::Einval, msg);
+        if insts.is_empty() {
+            return Err(bad("FSLEDS_PROG: empty program".into()));
+        }
+        if insts.len() > MAX_PROG_LEN {
+            return Err(bad(format!(
+                "FSLEDS_PROG: program too long ({} > {MAX_PROG_LEN})",
+                insts.len()
+            )));
+        }
+        let mut depth = 0usize;
+        for (i, inst) in insts.iter().enumerate() {
+            if let ProgInst::PushConst(c) = inst {
+                if c.is_nan() {
+                    return Err(bad(format!("FSLEDS_PROG: NaN constant at {i}")));
+                }
+            }
+            let (pops, pushes) = inst.stack_effect();
+            if depth < pops {
+                return Err(bad(format!("FSLEDS_PROG: stack underflow at {i}")));
+            }
+            depth = depth - pops + pushes;
+            if depth > MAX_PROG_STACK {
+                return Err(bad(format!(
+                    "FSLEDS_PROG: stack overflow at {i} (> {MAX_PROG_STACK})"
+                )));
+            }
+        }
+        if depth != 1 {
+            return Err(bad(format!(
+                "FSLEDS_PROG: program leaves {depth} values, want 1"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Instruction count (for cost accounting).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the program holds no instructions (never, post-verify).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Evaluates the program over precomputed inputs. Verification
+    /// guarantees the stack discipline, so the defensive `0.0` defaults
+    /// are unreachable.
+    pub fn eval(&self, inputs: &ProgInputs) -> f64 {
+        let mut stack: Vec<f64> = Vec::with_capacity(MAX_PROG_STACK);
+        for inst in &self.insts {
+            match inst {
+                ProgInst::PushFirstLatency => stack.push(inputs.first_latency),
+                ProgInst::PushDeliveryTime => stack.push(inputs.delivery_time),
+                ProgInst::PushCachedFraction => stack.push(inputs.cached_fraction),
+                ProgInst::PushConst(c) => stack.push(*c),
+                ProgInst::Lt
+                | ProgInst::Gt
+                | ProgInst::Eq
+                | ProgInst::Div
+                | ProgInst::And
+                | ProgInst::Or => {
+                    let b = stack.pop().unwrap_or(0.0);
+                    let a = stack.pop().unwrap_or(0.0);
+                    stack.push(match inst {
+                        ProgInst::Lt => bool_to_f64(a < b),
+                        ProgInst::Gt => bool_to_f64(a > b),
+                        ProgInst::Eq => bool_to_f64(a == b),
+                        ProgInst::Div => a / b,
+                        ProgInst::And => bool_to_f64(a != 0.0 && b != 0.0),
+                        _ => bool_to_f64(a != 0.0 || b != 0.0),
+                    });
+                }
+                ProgInst::Floor | ProgInst::Not => {
+                    let a = stack.pop().unwrap_or(0.0);
+                    stack.push(match inst {
+                        ProgInst::Floor => a.floor(),
+                        _ => bool_to_f64(a == 0.0),
+                    });
+                }
+            }
+        }
+        stack.pop().unwrap_or(0.0)
+    }
+
+    /// True when the program accepts the inputs (nonzero result).
+    pub fn matches(&self, inputs: &ProgInputs) -> bool {
+        self.eval(inputs) != 0.0
+    }
+}
+
+/// Truthiness encoding shared by every comparison and logic instruction.
+fn bool_to_f64(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// One latency/bandwidth row pushed across the boundary with a program or
+/// a ring op — the kernel has no access to the user-space `SledsTable`, so
+/// callers flatten the rows they want priced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProgEntry {
+    /// Estimated latency to first byte, seconds.
+    pub latency: f64,
+    /// Estimated streaming bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+/// The flattened pricing rows for in-kernel SLED construction: the memory
+/// row plus one row per device. Zone tables and `trust_device_reports`
+/// are deliberately *not* expressible — pushdown covers the flat-table
+/// common case and callers needing either stay on the sequential path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProgPricing {
+    /// The memory row (`None` reproduces the sequential path's "table not
+    /// filled" error).
+    pub memory: Option<ProgEntry>,
+    /// Per-device rows, in any order.
+    pub devices: Vec<(DeviceId, ProgEntry)>,
+}
+
+impl ProgPricing {
+    /// The row for `dev`, if one was pushed.
+    pub fn device(&self, dev: DeviceId) -> Option<ProgEntry> {
+        self.devices
+            .iter()
+            .find(|(d, _)| *d == dev)
+            .map(|(_, e)| *e)
+    }
+}
+
+/// A SLED as the kernel builds it: same fields and coalescing rules as
+/// the user-space `Sled`, mirrored here because the dependency points the
+/// other way (`sleds` depends on `sleds-fs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProgSled {
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Length in bytes.
+    pub length: u64,
+    /// Latency to first byte, seconds.
+    pub latency: f64,
+    /// Streaming bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+/// The three scalars a program can read, precomputed from a SLED vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProgInputs {
+    /// Latency of the first SLED (`0.0` for an empty file).
+    pub first_latency: f64,
+    /// `SLEDS_BEST` total delivery time, seconds.
+    pub delivery_time: f64,
+    /// Fraction of bytes at the memory level, `[0.0, 1.0]`.
+    pub cached_fraction: f64,
+}
+
+/// Computes program inputs from a SLED vector. `memory` is the pricing
+/// row that identifies the memory level (bit-identity, like
+/// `Sled::same_level`).
+pub fn prog_inputs(sleds: &[ProgSled], memory: ProgEntry) -> ProgInputs {
+    let first_latency = sleds.first().map(|s| s.latency).unwrap_or(0.0);
+    // Best-plan estimate, operation-for-operation identical to the
+    // user-space `estimate_seconds(.., SLEDS_BEST)`: group levels by bit
+    // identity in first-appearance order, then one latency + stream per
+    // level, summed in that order.
+    let mut levels: Vec<(f64, f64, u64)> = Vec::new();
+    for s in sleds {
+        match levels.iter_mut().find(|(lat, bw, _)| {
+            lat.to_bits() == s.latency.to_bits() && bw.to_bits() == s.bandwidth.to_bits()
+        }) {
+            Some((_, _, bytes)) => *bytes += s.length,
+            None => levels.push((s.latency, s.bandwidth, s.length)),
+        }
+    }
+    let delivery_time: f64 = levels
+        .into_iter()
+        .map(|(lat, bw, bytes)| {
+            if bytes == 0 {
+                0.0
+            } else if bw <= 0.0 {
+                f64::INFINITY
+            } else {
+                lat + bytes as f64 / bw
+            }
+        })
+        .sum();
+    let total: u64 = sleds.iter().map(|s| s.length).sum();
+    let cached: u64 = sleds
+        .iter()
+        .filter(|s| {
+            s.latency.to_bits() == memory.latency.to_bits()
+                && s.bandwidth.to_bits() == memory.bandwidth.to_bits()
+        })
+        .map(|s| s.length)
+        .sum();
+    let cached_fraction = if total == 0 {
+        0.0
+    } else {
+        cached as f64 / total as f64
+    };
+    ProgInputs {
+        first_latency,
+        delivery_time,
+        cached_fraction,
+    }
+}
+
+/// One entry of a program-driven directory walk (`fsleds_walk`): the stat
+/// information plus — for regular files the walk could price — the
+/// program's verdict and the estimate it saw.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalkEntry {
+    /// Absolute path.
+    pub path: String,
+    /// Entry kind.
+    pub kind: FileKind,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// The delivery-time estimate the program evaluated, for files whose
+    /// SLEDs could be built.
+    pub estimate_secs: Option<f64>,
+    /// Program verdict. Directories and errored files never match.
+    pub matched: bool,
+    /// Why the walk could not price this entry, when it could not.
+    pub error: Option<SimError>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(first: f64, total: f64, cached: f64) -> ProgInputs {
+        ProgInputs {
+            first_latency: first,
+            delivery_time: total,
+            cached_fraction: cached,
+        }
+    }
+
+    #[test]
+    fn verifier_accepts_simple_comparison() {
+        let p = PickProgram::new(vec![
+            ProgInst::PushDeliveryTime,
+            ProgInst::PushConst(0.5),
+            ProgInst::Lt,
+        ])
+        .unwrap();
+        assert!(p.matches(&inputs(0.0, 0.1, 0.0)));
+        assert!(!p.matches(&inputs(0.0, 0.9, 0.0)));
+    }
+
+    #[test]
+    fn verifier_rejects_underflow_overflow_and_arity() {
+        assert!(PickProgram::new(vec![ProgInst::Lt]).is_err());
+        assert!(PickProgram::new(vec![]).is_err());
+        assert!(
+            PickProgram::new(vec![ProgInst::PushConst(1.0), ProgInst::PushConst(2.0)]).is_err(),
+            "two leftover values"
+        );
+        let deep = vec![ProgInst::PushConst(1.0); MAX_PROG_STACK + 1];
+        assert!(PickProgram::new(deep).is_err(), "stack overflow");
+        let long = vec![ProgInst::PushConst(1.0); MAX_PROG_LEN + 1];
+        assert!(PickProgram::new(long).is_err(), "too long");
+        assert!(PickProgram::new(vec![ProgInst::PushConst(f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn whole_unit_equality_matches_predicate_semantics() {
+        // (est / unit).floor() == n, the `-latency 5` form.
+        let p = PickProgram::new(vec![
+            ProgInst::PushDeliveryTime,
+            ProgInst::PushConst(1.0),
+            ProgInst::Div,
+            ProgInst::Floor,
+            ProgInst::PushConst(5.0),
+            ProgInst::Eq,
+        ])
+        .unwrap();
+        assert!(p.matches(&inputs(0.0, 5.0, 0.0)));
+        assert!(p.matches(&inputs(0.0, 5.9, 0.0)));
+        assert!(!p.matches(&inputs(0.0, 6.0, 0.0)));
+        assert!(!p.matches(&inputs(0.0, f64::INFINITY, 0.0)));
+    }
+
+    #[test]
+    fn logic_ops_compose() {
+        // cached_fraction > 0.5 AND NOT (delivery > 1.0)
+        let p = PickProgram::new(vec![
+            ProgInst::PushCachedFraction,
+            ProgInst::PushConst(0.5),
+            ProgInst::Gt,
+            ProgInst::PushDeliveryTime,
+            ProgInst::PushConst(1.0),
+            ProgInst::Gt,
+            ProgInst::Not,
+            ProgInst::And,
+        ])
+        .unwrap();
+        assert!(p.matches(&inputs(0.0, 0.2, 0.9)));
+        assert!(!p.matches(&inputs(0.0, 2.0, 0.9)));
+        assert!(!p.matches(&inputs(0.0, 0.2, 0.1)));
+    }
+
+    #[test]
+    fn prog_inputs_mirror_best_estimate_and_cached_fraction() {
+        let mem = ProgEntry {
+            latency: 175e-9,
+            bandwidth: 48e6,
+        };
+        let sleds = vec![
+            ProgSled {
+                offset: 0,
+                length: 1_000_000,
+                latency: 0.018,
+                bandwidth: 1e6,
+            },
+            ProgSled {
+                offset: 1_000_000,
+                length: 1_000_000,
+                latency: 175e-9,
+                bandwidth: 48e6,
+            },
+            ProgSled {
+                offset: 2_000_000,
+                length: 2_000_000,
+                latency: 0.018,
+                bandwidth: 1e6,
+            },
+        ];
+        let inp = prog_inputs(&sleds, mem);
+        let expect = (0.018 + 3.0) + (175e-9 + 1.0 / 48.0);
+        assert!((inp.delivery_time - expect).abs() < 1e-9);
+        assert_eq!(inp.first_latency, 0.018);
+        assert!((inp.cached_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(prog_inputs(&[], mem), ProgInputs::default());
+    }
+
+    #[test]
+    fn infinite_levels_propagate() {
+        let mem = ProgEntry {
+            latency: 175e-9,
+            bandwidth: 48e6,
+        };
+        let sleds = vec![ProgSled {
+            offset: 0,
+            length: 10,
+            latency: f64::INFINITY,
+            bandwidth: 0.0,
+        }];
+        assert!(prog_inputs(&sleds, mem).delivery_time.is_infinite());
+    }
+}

@@ -1,0 +1,221 @@
+//! The batched submission ring: many syscalls, one boundary crossing.
+//!
+//! An io_uring-style pair of bounded queues. The application fills the
+//! submission queue with [`RingOp`]s, calls `Kernel::ring_enter` — which
+//! charges **one** boundary crossing (`syscall_cpu`) plus a small
+//! per-operation dispatch cost (`ring_op_cpu`) — and then drains the
+//! completion queue with `Kernel::ring_reap` for free (the queues live in
+//! user-mapped memory; reaping crosses nothing).
+//!
+//! Every serviced operation still counts as one logical syscall in rusage
+//! (`syscalls`), and performs *exactly* the same faulting, memcpy and
+//! device accounting as its sequential twin — the equivalence suite pins
+//! batched and sequential runs byte-identical in output and identical in
+//! rusage except for `syscall_crossings` and the crossing CPU they carry.
+//!
+//! Both queues are bounded by the same `capacity` (sledlint rule D009
+//! requires every kernel-path queue to name its bound): submission past a
+//! full SQ fails with `EAGAIN`, and `ring_enter` stops servicing when the
+//! CQ is full, leaving the remaining submissions queued for the next
+//! enter — exactly how a fixed-size shared-memory ring degrades.
+
+use std::collections::VecDeque;
+
+use sleds_sim_core::{Errno, SimError, SimResult};
+
+use crate::inode::Stat;
+use crate::kernel::{Fd, OpenFlags};
+use crate::prog::{ProgPricing, ProgSled};
+
+/// Default ring size used by the apps' batched modes.
+pub const DEFAULT_RING_ENTRIES: usize = 64;
+
+/// One submitted operation. Each maps to exactly one sequential syscall
+/// (or, for [`RingOp::FsledsGet`]/[`RingOp::PickAdvice`], one compound
+/// ioctl) and completes with the matching [`RingPayload`].
+#[derive(Clone, Debug)]
+pub enum RingOp {
+    /// `open(path, flags)` → [`RingPayload::Fd`].
+    Open {
+        /// Absolute path.
+        path: String,
+        /// Open flags.
+        flags: OpenFlags,
+    },
+    /// `close(fd)` → [`RingPayload::Unit`].
+    Close {
+        /// Descriptor to close.
+        fd: Fd,
+    },
+    /// `pread(fd, pos, len)` → [`RingPayload::Bytes`]. Does not move the
+    /// file offset, like its sequential twin.
+    Pread {
+        /// Open descriptor.
+        fd: Fd,
+        /// Absolute file position.
+        pos: u64,
+        /// Bytes wanted.
+        len: usize,
+    },
+    /// `stat(path)` → [`RingPayload::Stat`].
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// `FSLEDS_GET`: build the file's SLED vector in-kernel from the
+    /// pushed pricing rows → [`RingPayload::Sleds`].
+    FsledsGet {
+        /// Open descriptor.
+        fd: Fd,
+        /// Flattened latency/bandwidth rows.
+        pricing: ProgPricing,
+    },
+    /// Pick advice: build SLEDs and plan chunk order in-kernel →
+    /// [`RingPayload::Plan`]. Byte-oriented only (record adjustment needs
+    /// content probes and stays in the library).
+    PickAdvice {
+        /// Open descriptor.
+        fd: Fd,
+        /// Flattened latency/bandwidth rows.
+        pricing: ProgPricing,
+        /// Preferred chunk size in bytes.
+        preferred: usize,
+        /// Prune unavailable extents instead of deferring them.
+        skip_unavailable: bool,
+    },
+}
+
+/// A completed operation's result value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RingPayload {
+    /// From [`RingOp::Open`].
+    Fd(Fd),
+    /// From [`RingOp::Close`].
+    Unit,
+    /// From [`RingOp::Pread`].
+    Bytes(Vec<u8>),
+    /// From [`RingOp::Stat`].
+    Stat(Stat),
+    /// From [`RingOp::FsledsGet`].
+    Sleds(Vec<ProgSled>),
+    /// From [`RingOp::PickAdvice`]: `(offset, len)` chunks in pick order.
+    Plan(Vec<(u64, usize)>),
+}
+
+/// One completion queue entry.
+#[derive(Clone, Debug)]
+pub struct RingCompletion {
+    /// The tag the submitter attached to the op.
+    pub user_data: u64,
+    /// The op's outcome — the same `SimResult` its sequential twin
+    /// returns, error text included.
+    pub result: SimResult<RingPayload>,
+}
+
+/// The bounded submission/completion queue pair.
+#[derive(Debug)]
+pub struct SubmissionRing {
+    /// Bound on each queue's length (D009: the capacity bound).
+    capacity: usize,
+    sq: VecDeque<(u64, RingOp)>,
+    cq: VecDeque<RingCompletion>,
+}
+
+impl SubmissionRing {
+    /// A ring with room for `entries` (at least 1) in each queue.
+    pub fn new(entries: usize) -> SubmissionRing {
+        SubmissionRing {
+            capacity: entries.max(1),
+            sq: VecDeque::new(),
+            cq: VecDeque::new(),
+        }
+    }
+
+    /// The per-queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queued, not-yet-serviced submissions.
+    pub fn sq_len(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Completions awaiting reap.
+    pub fn cq_len(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Enqueues an op tagged `user_data`. Fails with `EAGAIN` when the
+    /// submission queue is at capacity.
+    pub fn push(&mut self, user_data: u64, op: RingOp) -> SimResult<()> {
+        if self.sq.len() >= self.capacity {
+            return Err(SimError::new(
+                Errno::Eagain,
+                format!("ring: submission queue full ({} entries)", self.capacity),
+            ));
+        }
+        self.sq.push_back((user_data, op));
+        Ok(())
+    }
+
+    /// Room left in the completion queue.
+    pub(crate) fn cq_has_room(&self) -> bool {
+        self.cq.len() < self.capacity
+    }
+
+    /// Next submission to service (kernel side).
+    pub(crate) fn pop_op(&mut self) -> Option<(u64, RingOp)> {
+        self.sq.pop_front()
+    }
+
+    /// Posts a completion (kernel side).
+    pub(crate) fn complete(&mut self, c: RingCompletion) {
+        self.cq.push_back(c);
+    }
+
+    /// Drains the completion queue (user side, via `Kernel::ring_reap`).
+    pub(crate) fn drain_completions(&mut self) -> Vec<RingCompletion> {
+        self.cq.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut r = SubmissionRing::new(2);
+        assert_eq!(r.capacity(), 2);
+        r.push(0, RingOp::Close { fd: Fd(3) }).unwrap();
+        r.push(1, RingOp::Close { fd: Fd(4) }).unwrap();
+        let err = r.push(2, RingOp::Close { fd: Fd(5) }).unwrap_err();
+        assert_eq!(err.errno, Errno::Eagain);
+        assert_eq!(r.sq_len(), 2);
+    }
+
+    #[test]
+    fn zero_entry_ring_still_holds_one() {
+        let r = SubmissionRing::new(0);
+        assert_eq!(r.capacity(), 1);
+    }
+
+    #[test]
+    fn completions_drain_in_order() {
+        let mut r = SubmissionRing::new(4);
+        r.complete(RingCompletion {
+            user_data: 7,
+            result: Ok(RingPayload::Unit),
+        });
+        r.complete(RingCompletion {
+            user_data: 8,
+            result: Ok(RingPayload::Unit),
+        });
+        let out = r.drain_completions();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].user_data, 7);
+        assert_eq!(out[1].user_data, 8);
+        assert_eq!(r.cq_len(), 0);
+    }
+}

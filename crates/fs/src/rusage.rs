@@ -18,8 +18,13 @@ pub struct Rusage {
     pub major_faults: u64,
     /// Page-cache hits on the read path (`ru_minflt` analogue).
     pub minor_faults: u64,
-    /// System calls issued.
+    /// System calls issued (ring operations count here too: each serviced
+    /// ring op is one logical syscall, it just skips the boundary).
     pub syscalls: u64,
+    /// Kernel boundary crossings: one per ordinary syscall, one per
+    /// `ring_enter` batch however many ops it carries. The gap between
+    /// `syscalls` and `syscall_crossings` is exactly what batching buys.
+    pub syscall_crossings: u64,
     /// Bytes returned by `read`.
     pub bytes_read: u64,
     /// Bytes accepted by `write`.
@@ -44,6 +49,9 @@ impl Rusage {
             major_faults: self.major_faults.saturating_sub(earlier.major_faults),
             minor_faults: self.minor_faults.saturating_sub(earlier.minor_faults),
             syscalls: self.syscalls.saturating_sub(earlier.syscalls),
+            syscall_crossings: self
+                .syscall_crossings
+                .saturating_sub(earlier.syscall_crossings),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             device_reads: self.device_reads.saturating_sub(earlier.device_reads),
@@ -91,6 +99,7 @@ mod tests {
             major_faults: 10,
             minor_faults: 20,
             syscalls: 30,
+            syscall_crossings: 28,
             bytes_read: 40,
             bytes_written: 50,
             device_reads: 6,
@@ -104,6 +113,7 @@ mod tests {
             major_faults: 15,
             minor_faults: 29,
             syscalls: 31,
+            syscall_crossings: 30,
             bytes_read: 45,
             bytes_written: 55,
             device_reads: 9,
@@ -117,6 +127,7 @@ mod tests {
         assert_eq!(d.major_faults, 5);
         assert_eq!(d.minor_faults, 9);
         assert_eq!(d.syscalls, 1);
+        assert_eq!(d.syscall_crossings, 2);
         assert_eq!(d.device_reads, 3);
         assert_eq!(d.device_writes, 1);
         assert_eq!(d.io_retries, 3);

@@ -1,0 +1,241 @@
+//! Batched-vs-sequential equivalence properties.
+//!
+//! For every reachable combination of mount type (disk, CD-ROM, NFS, HSM
+//! tape), cache state, and fault window, a batched run over the submission
+//! ring must deliver byte-identical results — the same chunk bytes or the
+//! same errors, in the same plan order — with rusage identical except for
+//! the boundary-crossing accounting, whose CPU difference must equal the
+//! crossing charges saved minus the per-op ring cost exactly.
+//!
+//! Gated behind the `proptests` feature (run with
+//! `cargo test -p sleds-fs --features proptests`); case count scales with
+//! `SLEDS_CHECK_CASES`.
+
+use sleds::{PickConfig, PickSession, SledsTable};
+use sleds_devices::{CdRomDevice, DiskDevice, FaultPlan, NfsDevice, TapeDevice};
+use sleds_fs::{Fd, Kernel, OpenFlags, RingOp, RingPayload, SubmissionRing, Whence};
+use sleds_lmbench::fill_table;
+use sleds_sim_core::{check, DetRng, SimDuration, SimTime, PAGE_SIZE};
+
+/// Everything that varies across a case, drawn up front so the twin
+/// kernels can be built identically.
+struct Params {
+    mount: u64,
+    pages: u64,
+    tail: u64,
+    migrate: bool,
+    warms: Vec<(u64, u64)>,
+    fault: u64,
+    budget: u32,
+    chunk: usize,
+    ring_entries: usize,
+}
+
+impl Params {
+    fn draw(rng: &mut DetRng) -> Params {
+        let pages = rng.range_u64(1, 40);
+        let warms = (0..rng.range_usize(0, 4))
+            .map(|_| {
+                let start = rng.range_u64(0, pages);
+                (start, rng.range_u64(1, pages - start + 1))
+            })
+            .collect();
+        Params {
+            mount: rng.range_u64(0, 4),
+            pages,
+            tail: rng.range_u64(1, PAGE_SIZE + 1),
+            migrate: rng.chance(0.5),
+            warms,
+            fault: rng.range_u64(0, 4),
+            budget: rng.range_u64(1, 4) as u32,
+            chunk: rng.range_usize(2048, 64 << 10),
+            ring_entries: rng.range_usize(1, 33),
+        }
+    }
+
+    /// Builds one kernel in the drawn configuration. Called twice per
+    /// case; everything inside is deterministic in `self`.
+    fn build(&self) -> (Kernel, SledsTable, Fd) {
+        let mut k = Kernel::table2();
+        let (dir, dev_name, m) = match self.mount {
+            0 => {
+                k.mkdir("/d").unwrap();
+                let m = k.mount_disk("/d", DiskDevice::table2_disk("hda")).unwrap();
+                ("/d", "hda", m)
+            }
+            1 => {
+                k.mkdir("/cd").unwrap();
+                let m = k
+                    .mount_cdrom("/cd", CdRomDevice::table2_drive("cd0"))
+                    .unwrap();
+                ("/cd", "cd0", m)
+            }
+            2 => {
+                k.mkdir("/nfs").unwrap();
+                let m = k
+                    .mount_nfs("/nfs", NfsDevice::table2_mount("srv:/export"))
+                    .unwrap();
+                ("/nfs", "srv:/export", m)
+            }
+            _ => {
+                k.mkdir("/hsm").unwrap();
+                let m = k
+                    .mount_hsm(
+                        "/hsm",
+                        DiskDevice::table2_disk("hda"),
+                        Box::new(TapeDevice::dlt("st0")),
+                        8,
+                    )
+                    .unwrap();
+                ("/hsm", "hda", m)
+            }
+        };
+        let t = fill_table(&mut k, &[(dir, m)]).unwrap();
+
+        let path = format!("{dir}/f");
+        let size = ((self.pages - 1) * PAGE_SIZE + self.tail) as usize;
+        k.install_file(&path, &vec![5u8; size]).unwrap();
+        if self.mount == 3 && self.migrate {
+            k.hsm_migrate(&path, true).unwrap();
+        }
+        let fd = k.open(&path, OpenFlags::RDONLY).unwrap();
+        for &(start, count) in &self.warms {
+            k.lseek(fd, (start * PAGE_SIZE) as i64, Whence::Set)
+                .unwrap();
+            let _ = k.read(fd, (count * PAGE_SIZE) as usize);
+        }
+
+        // Wide windows: the whole run happens inside the fault, so both
+        // twins see the same device state at every submission.
+        let horizon = SimTime::from_nanos(k.now().as_nanos() + 3_600_000_000_000);
+        let plan = match self.fault {
+            0 => None,
+            1 => Some(FaultPlan::new().offline(
+                dev_name,
+                k.now(),
+                horizon,
+                SimDuration::from_millis(1),
+            )),
+            2 => Some(FaultPlan::new().transient(
+                dev_name,
+                k.now(),
+                horizon,
+                self.budget,
+                SimDuration::from_millis(2),
+            )),
+            _ => Some(FaultPlan::new().degraded(dev_name, k.now(), horizon, 3.0)),
+        };
+        if let Some(plan) = &plan {
+            k.apply_fault_plan(plan);
+        }
+        (k, t, fd)
+    }
+}
+
+/// One chunk's outcome, comparable across the two modes: the bytes, or the
+/// full error rendering (errno + message).
+type ChunkResult = Result<Vec<u8>, String>;
+
+fn scenario(rng: &mut DetRng) {
+    let p = Params::draw(rng);
+
+    // Sequential twin: pick plan drained, then lseek+read per chunk.
+    let (mut k, t, fd) = p.build();
+    let before = k.usage();
+    let mut pick = match PickSession::init(&mut k, &t, fd, PickConfig::bytes(p.chunk)) {
+        Ok(pick) => pick,
+        Err(e) => {
+            // FSLEDS_GET itself failed (e.g. pricing hole); the ring twin
+            // must fail the same way, then the case is exhausted.
+            let (mut k2, t2, fd2) = p.build();
+            let mut ring = SubmissionRing::new(p.ring_entries);
+            let e2 =
+                PickSession::init_ring(&mut k2, &mut ring, &t2, fd2, PickConfig::bytes(p.chunk))
+                    .unwrap_err();
+            assert_eq!(e.to_string(), e2.to_string());
+            return;
+        }
+    };
+    let mut plan = Vec::new();
+    while let Some(chunk) = pick.next_read() {
+        plan.push(chunk);
+    }
+    pick.finish();
+    let mut seq_results: Vec<ChunkResult> = Vec::new();
+    for &(off, len) in &plan {
+        k.lseek(fd, off as i64, Whence::Set).unwrap();
+        seq_results.push(k.read(fd, len).map_err(|e| e.to_string()));
+    }
+    let seq_u = k.usage().since(&before);
+
+    // Ring twin: same session brought up over the ring, chunks batched.
+    let (mut k, t, fd) = p.build();
+    let ops_before = k.ring_ops_serviced();
+    let before = k.usage();
+    let mut ring = SubmissionRing::new(p.ring_entries);
+    let mut pick = PickSession::init_ring(&mut k, &mut ring, &t, fd, PickConfig::bytes(p.chunk))
+        .expect("sequential init succeeded, ring init must too");
+    let mut ring_plan = Vec::new();
+    let mut ring_results: Vec<ChunkResult> = Vec::new();
+    loop {
+        let mut queued = 0usize;
+        while queued < ring.capacity() {
+            let Some((off, len)) = pick.next_read() else {
+                break;
+            };
+            ring_plan.push((off, len));
+            ring.push(off, RingOp::Pread { fd, pos: off, len }).unwrap();
+            queued += 1;
+        }
+        if queued == 0 {
+            break;
+        }
+        k.ring_enter(&mut ring).unwrap();
+        for c in k.ring_reap(&mut ring) {
+            ring_results.push(c.result.map_err(|e| e.to_string()).map(|p| match p {
+                RingPayload::Bytes(b) => b,
+                other => panic!("pread completed with {other:?}"),
+            }));
+        }
+    }
+    pick.finish();
+    let ring_u = k.usage().since(&before);
+    let ring_ops = k.ring_ops_serviced() - ops_before;
+
+    // Same plan, same bytes, same errors, same order.
+    assert_eq!(plan, ring_plan, "identical pick plans");
+    assert_eq!(seq_results, ring_results, "byte-identical chunk outcomes");
+
+    // Same data motion, paging and fault handling.
+    assert_eq!(seq_u.bytes_read, ring_u.bytes_read);
+    assert_eq!(seq_u.major_faults, ring_u.major_faults);
+    assert_eq!(seq_u.minor_faults, ring_u.minor_faults);
+    assert_eq!(seq_u.device_reads, ring_u.device_reads);
+    assert_eq!(seq_u.io_retries, ring_u.io_retries);
+    assert_eq!(seq_u.retry_backoff, ring_u.retry_backoff);
+
+    // Fewer crossings (batching can only help), and the CPU difference is
+    // exactly the crossing charges saved minus the ring's per-op cost.
+    assert!(
+        ring_u.syscall_crossings <= seq_u.syscall_crossings,
+        "ring {} vs sequential {} crossings",
+        ring_u.syscall_crossings,
+        seq_u.syscall_crossings
+    );
+    let cfg = k.config();
+    let expected = (seq_u.syscall_crossings - ring_u.syscall_crossings) as f64
+        * cfg.syscall_cpu.as_secs_f64()
+        - ring_ops as f64 * cfg.ring_op_cpu.as_secs_f64();
+    let gap = seq_u.cpu.as_secs_f64() - ring_u.cpu.as_secs_f64();
+    assert!(
+        (gap - expected).abs() < 1e-9,
+        "cpu gap {gap} vs expected {expected} (mount {}, fault {})",
+        p.mount,
+        p.fault
+    );
+}
+
+#[test]
+fn batched_and_sequential_runs_are_equivalent_everywhere() {
+    check::run("ring_vs_sequential", scenario);
+}

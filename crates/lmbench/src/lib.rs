@@ -13,7 +13,7 @@
 //! configuration.
 
 use sleds::{SledsEntry, SledsTable};
-use sleds_fs::{Kernel, MountId, OpenFlags};
+use sleds_fs::{Kernel, MountId, OpenFlags, Whence};
 use sleds_sim_core::{DetRng, SimResult, PAGE_SIZE};
 
 /// A measured `(latency, bandwidth)` pair, in seconds and bytes/second.
@@ -71,6 +71,27 @@ pub fn measure_memory(kernel: &mut Kernel, scratch_dir: &str) -> SimResult<Calib
     kernel.close(fd)?;
     kernel.unlink(&path)?;
     Ok(Calibration { latency, bandwidth })
+}
+
+/// Number of no-op syscalls in the boundary-crossing probe.
+const CROSSING_PROBES: u64 = 256;
+
+/// Measures the cost of one kernel boundary crossing — lmbench's
+/// `lat_syscall null`: repeated no-op `lseek(fd, 0, SEEK_SET)` calls on an
+/// open file, CPU divided by the count. This is the charge a ring batch
+/// amortizes; `fill_table` stores it in the table's crossing row.
+pub fn measure_crossing(kernel: &mut Kernel, scratch_dir: &str) -> SimResult<f64> {
+    let path = format!("{scratch_dir}/__lmbench_null");
+    kernel.install_file(&path, &[0u8])?;
+    let fd = kernel.open(&path, OpenFlags::RDONLY)?;
+    let t = kernel.start_job();
+    for _ in 0..CROSSING_PROBES {
+        kernel.lseek(fd, 0, Whence::Set)?;
+    }
+    let report = kernel.finish_job(&t);
+    kernel.close(fd)?;
+    kernel.unlink(&path)?;
+    Ok(report.usage.cpu.as_secs_f64() / CROSSING_PROBES as f64)
 }
 
 /// Measures the device behind the mount at `dir`.
@@ -137,6 +158,7 @@ pub fn fill_table(kernel: &mut Kernel, mounts: &[(&str, MountId)]) -> SimResult<
         .expect("fill_table needs at least one mount");
     let mem = measure_memory(kernel, scratch)?;
     table.fill_memory(SledsEntry::new(mem.latency, mem.bandwidth));
+    table.fill_crossing(measure_crossing(kernel, scratch)?);
     for (dir, mount) in mounts {
         let cal = measure_mount(kernel, dir)?;
         let dev = kernel
@@ -215,6 +237,19 @@ mod tests {
         // Bandwidth ~48 MB/s.
         let mb = cal.bandwidth / 1e6;
         assert!((43.0..53.0).contains(&mb), "memory bandwidth {mb} MB/s");
+    }
+
+    #[test]
+    fn crossing_probe_recovers_the_trap_cost() {
+        let mut k = Kernel::table2();
+        k.mkdir("/data").unwrap();
+        k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+            .unwrap();
+        let c = measure_crossing(&mut k, "/data").unwrap();
+        let model = k.config().syscall_cpu.as_secs_f64();
+        // lseek is a pure no-op in the model, so the probe recovers the
+        // trap cost exactly.
+        assert!((c - model).abs() < 1e-12, "crossing {c} vs model {model}");
     }
 
     #[test]

@@ -209,6 +209,7 @@ impl ReplacementPolicy for MruPolicy {
 
 /// First in, first out: eviction order is insertion order, hits are ignored.
 #[derive(Debug, Default)]
+// sledlint::allow(D009, mirrors cache contents; the cache's page budget is the bound)
 pub struct FifoPolicy {
     queue: VecDeque<PageKey>,
     present: BTreeMap<PageKey, ()>,

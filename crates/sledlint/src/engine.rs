@@ -247,7 +247,83 @@ fn detect(toks: &[Tok]) -> Vec<Candidate> {
         }
     }
     detect_retry_loops(toks, &mut out);
+    detect_unbounded_queues(toks, &mut out);
     out
+}
+
+/// Struct-name fragments that mark a type as a queue (D009).
+const QUEUE_NAME_PARTS: &[&str] = &["Ring", "Queue", "Fifo"];
+
+/// Growable containers a queue struct stores its entries in. A queue type
+/// without one (a cursor, a completion record) has nothing to bound.
+const QUEUE_CONTAINER_IDENTS: &[&str] = &["Vec", "VecDeque", "BinaryHeap"];
+
+/// Field names that prove a queue struct carries its own capacity bound.
+fn is_queue_bound_ident(s: &str) -> bool {
+    matches!(s, "capacity" | "cap" | "bound" | "limit")
+        || s.starts_with("max_")
+        || s.ends_with("_capacity")
+        || s.ends_with("_limit")
+        || s.ends_with("_bound")
+}
+
+/// D009: a kernel-path struct named like a queue (`…Ring…`, `…Queue…`,
+/// `…Fifo…`) whose body holds a growable container must also name a
+/// capacity bound among its fields, so backpressure is structural rather
+/// than hoped-for. Tuple and unit structs are skipped: the named-field
+/// body is where a bound would live.
+fn detect_unbounded_queues(toks: &[Tok], out: &mut Vec<Candidate>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "struct" {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !QUEUE_NAME_PARTS.iter().any(|p| name.text.contains(p)) {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | ";" | "(") {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text != "{" {
+            continue;
+        }
+        let start = j;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body = &toks[start..toks.len().min(j + 1)];
+        let holds_container = body.iter().any(|tok| {
+            tok.kind == TokKind::Ident && QUEUE_CONTAINER_IDENTS.contains(&tok.text.as_str())
+        });
+        let has_bound = body
+            .iter()
+            .any(|tok| tok.kind == TokKind::Ident && is_queue_bound_ident(&tok.text));
+        if holds_container && !has_bound {
+            out.push(Candidate {
+                rule: "D009",
+                line: t.line,
+                message: format!(
+                    "queue struct `{}` holds a growable container with no capacity bound; \
+                     name the bound (capacity/cap/limit/max_*) or waive naming what bounds it",
+                    name.text
+                ),
+            });
+        }
+    }
 }
 
 /// D008: a `loop`/`while` whose span mentions retry machinery must also

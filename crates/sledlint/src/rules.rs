@@ -69,6 +69,14 @@ pub const RULES: &[Rule] = &[
                     simulation forever; bound every retry loop by RetryPolicy",
     },
     Rule {
+        code: "D009",
+        name: "no-unbounded-queue",
+        invariant: "a kernel-path Ring/Queue/Fifo struct holding a growable container \
+                    (Vec/VecDeque/BinaryHeap) without a named capacity bound \
+                    (capacity/cap/bound/limit/max_*): backpressure must be structural, or a \
+                    stalled consumer grows memory without limit",
+    },
+    Rule {
         code: "W001",
         name: "malformed-waiver",
         invariant: "a sledlint::allow comment that does not parse as (RULE, reason) suppresses \
@@ -136,7 +144,7 @@ impl FileScope {
             "D002" => !self.host_tool() && !self.test_context && !in_test_region,
             "D003" => true,
             "D004" => !self.test_context && !in_test_region,
-            "D005" | "D006" | "D007" | "D008" => {
+            "D005" | "D006" | "D007" | "D008" | "D009" => {
                 self.kernel_path && !self.test_context && !in_test_region
             }
             _ => true,

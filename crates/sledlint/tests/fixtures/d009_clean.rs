@@ -1,0 +1,22 @@
+// D009 clean fixture: every queue names its capacity bound, and types that
+// merely sound like queues (no growable storage) or merely hold containers
+// (not named like queues) are not flagged.
+
+pub struct ReplayQueue {
+    capacity: usize,
+    pending: VecDeque<Request>,
+}
+
+struct CompletionRing {
+    slots: Vec<Completion>,
+    max_entries: usize,
+}
+
+struct RingCursor {
+    head: usize,
+    generation: u64,
+}
+
+struct ExtentList {
+    extents: Vec<Extent>,
+}

@@ -1,0 +1,12 @@
+// D009 fixture: kernel-path queue types whose storage can grow without a
+// structural bound — a stalled consumer accumulates entries forever.
+
+pub struct ReplayQueue {
+    pending: VecDeque<Request>,
+    inflight: Vec<Request>,
+}
+
+struct CompletionRing {
+    slots: Vec<Completion>,
+    head: usize,
+}

@@ -26,7 +26,7 @@ fn scan_fixture(name: &str) -> Vec<Finding> {
 #[test]
 fn every_rule_fires_on_violating_and_not_on_clean() {
     for rule in [
-        "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
+        "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009",
     ] {
         let lower = rule.to_lowercase();
         let bad = scan_fixture(&format!("{lower}_violating.rs"));
@@ -58,6 +58,7 @@ fn violating_samples_report_the_expected_count() {
     assert_eq!(scan_fixture("d006_violating.rs").len(), 4);
     assert_eq!(scan_fixture("d007_violating.rs").len(), 1);
     assert_eq!(scan_fixture("d008_violating.rs").len(), 2);
+    assert_eq!(scan_fixture("d009_violating.rs").len(), 2);
 }
 
 #[test]

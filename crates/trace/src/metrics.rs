@@ -152,6 +152,14 @@ pub struct Metrics {
     pub io_retries: u64,
     /// Application-level spans completed.
     pub app_spans: u64,
+    /// Ring batches serviced (`ring_enter` calls that crossed).
+    pub ring_enters: u64,
+    /// Ring operations serviced across all batches.
+    pub ring_ops: u64,
+    /// Completion-queue reaps (crossing-free).
+    pub ring_reaps: u64,
+    /// In-kernel pick-program evaluations.
+    pub prog_evals: u64,
     /// Events the trace ring overwrote (drop-oldest overflow). Non-zero
     /// means audits over the event buffer saw a truncated input.
     pub trace_dropped: u64,
@@ -261,6 +269,12 @@ impl Metrics {
         }
         if self.app_spans > 0 {
             out.push_str(&format!("app spans {}\n", self.app_spans));
+        }
+        if self.ring_enters + self.prog_evals > 0 {
+            out.push_str(&format!(
+                "ring enters {} ops {} reaps {} prog evals {}\n",
+                self.ring_enters, self.ring_ops, self.ring_reaps, self.prog_evals
+            ));
         }
         if self.trace_dropped > 0 {
             out.push_str(&format!(

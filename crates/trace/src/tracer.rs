@@ -342,6 +342,61 @@ impl Tracer {
         );
     }
 
+    /// Records one serviced ring batch (`args`: ops submitted when the
+    /// batch entered, ops actually serviced this crossing).
+    pub fn ring_submit(&mut self, ts: SimTime, submitted: u64, serviced: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.ring_enters += 1;
+        inner.metrics.ring_ops += serviced;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Syscall,
+            "ring.submit",
+            [submitted, serviced, 0],
+        );
+    }
+
+    /// Records one completion-queue reap (`reaped` completions returned).
+    /// Reaping crosses nothing, so this is the only trace of it.
+    pub fn ring_reap(&mut self, ts: SimTime, reaped: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.ring_reaps += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Syscall,
+            "ring.reap",
+            [reaped, 0, 0],
+        );
+    }
+
+    /// Records one in-kernel pick-program evaluation (`args`: program
+    /// length in instructions, verdict 1/0, estimate in ns when finite).
+    pub fn prog_eval(&mut self, ts: SimTime, prog_len: u64, matched: u64, estimate_ns: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.prog_evals += 1;
+        Self::emit(
+            inner,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Syscall,
+            "prog.eval",
+            [prog_len, matched, estimate_ns],
+        );
+    }
+
     /// Records a sleds-table recalibration: predictions emitted after this
     /// marker were priced from table generation `generation`.
     pub fn recal(&mut self, ts: SimTime, generation: u64) {
