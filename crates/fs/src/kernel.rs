@@ -2008,6 +2008,11 @@ impl Kernel {
                 latency: 0.0,
                 bandwidth: 0.0,
             });
+            // Interpretation is charged at the certified worst-case bound,
+            // not the path actually taken: the price of running a program
+            // is fixed at admission, so accounting cannot depend on file
+            // contents.
+            self.charge_cpu(SimDuration::from_nanos(prog.cert().worst_ns));
             let inputs = prog_inputs(&sleds, mem);
             let matched = prog.matches(&inputs);
             let now = self.clock.now();
@@ -2076,7 +2081,9 @@ impl Kernel {
             return Ok(());
         }
         let stat = self.stat_ino(ino)?;
-        // Per-entry in-kernel dispatch work, priced like a ring op.
+        // Per-entry in-kernel dispatch work, priced like a ring op. The
+        // program interpretation itself is charged separately below, from
+        // the cost certificate stamped at admission.
         let d = self.cfg.ring_op_cpu;
         self.charge_cpu(d);
         if stat.kind == FileKind::File {
@@ -2086,6 +2093,10 @@ impl Kernel {
                         latency: 0.0,
                         bandwidth: 0.0,
                     });
+                    // Certified worst-case interpretation cost per priced
+                    // entry — the admission-time bound, never the actual
+                    // path, so walk accounting is independent of verdicts.
+                    self.charge_cpu(SimDuration::from_nanos(prog.cert().worst_ns));
                     let inputs = prog_inputs(&sleds, mem);
                     let matched = prog.matches(&inputs);
                     let now = self.clock.now();

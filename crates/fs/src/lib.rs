@@ -35,8 +35,8 @@ pub use inode::{FileKind, Ino, LayoutRun, PageMap, PagePlace, Stat, SECTORS_PER_
 pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageExtent, PageLocation, Whence};
 pub use machine::MachineConfig;
 pub use prog::{
-    prog_inputs, PickProgram, ProgEntry, ProgInputs, ProgInst, ProgOrder, ProgPricing, ProgSled,
-    WalkEntry, MAX_PROG_LEN, MAX_PROG_STACK,
+    prog_inputs, CostCert, PickProgram, ProgEntry, ProgInputs, ProgInst, ProgOrder, ProgPricing,
+    ProgSled, WalkEntry, MAX_PROG_COST_NS, MAX_PROG_LEN, MAX_PROG_STACK,
 };
 pub use ring::{RingCompletion, RingOp, RingPayload, SubmissionRing, DEFAULT_RING_ENTRIES};
 pub use rusage::{JobReport, JobTimer, Rusage};

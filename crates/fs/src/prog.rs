@@ -1,6 +1,5 @@
-//! In-kernel pick programs: a small, verified, loop-free predicate and
-//! ordering bytecode evaluated against a file's SLED vector *inside* the
-//! kernel.
+//! In-kernel pick programs: a small, verified predicate and ordering
+//! bytecode evaluated against a file's SLED vector *inside* the kernel.
 //!
 //! The pick library's sequential protocol pays one boundary crossing per
 //! file just to ask "is this file cheap?" — at archive scale the crossings
@@ -10,21 +9,45 @@
 //! `FSLEDS_GET` performs, so `find -latency` and `grep -q` prune and
 //! reorder whole trees without per-file round-trips.
 //!
-//! The bytecode is deliberately tiny and total:
+//! # Verification: the certificate is the admission ticket
 //!
-//! * **loop-free by construction** — a straight-line instruction list, no
-//!   jumps, bounded by [`MAX_PROG_LEN`];
-//! * **verified at install** — [`PickProgram::new`] simulates the stack and
-//!   rejects underflow, overflow past [`MAX_PROG_STACK`], NaN constants,
-//!   and programs that do not leave exactly one result;
-//! * **pure** — inputs are three precomputed floats ([`ProgInputs`]), so
-//!   evaluation cannot touch kernel state and costs O(len).
+//! Running user-supplied bytecode below the syscall boundary is safe only
+//! if the kernel can *prove* what it costs before agreeing to run it —
+//! the same posture BPF takes. Two verifiers exist here:
 //!
-//! Floating-point parity matters more than expressiveness here: the
-//! equivalence proofs require the kernel's verdict to match the user-space
-//! predicate bit for bit, so the instruction set includes `Div`/`Floor`/`Eq`
-//! purely to express `find -latency n`'s whole-unit comparison with the
-//! exact operation order `LatencyPredicate::matches` uses.
+//! * [`PickProgram::verify_syntactic`] — the legacy linear pass: one sweep
+//!   over the instruction list simulating stack depth as if execution were
+//!   straight-line. It predates the jump instructions and is **unsound**
+//!   in their presence (it never follows an edge), which is exactly why it
+//!   is kept: tests pin the programs it wrongly admits — backward jumps
+//!   that spin forever, over-budget paths — and prove the abstract
+//!   interpreter rejects them.
+//! * [`PickProgram::certify`] — the abstract interpreter that `new` runs.
+//!   It walks the bytecode's control-flow graph, tracking an interval of
+//!   possible stack depths at every reachable pc, and proves:
+//!   **termination** (every jump must land strictly forward, so the CFG is
+//!   a DAG and the pc strictly increases at each step), **stack safety**
+//!   (no underflow on any path, depth never past [`MAX_PROG_STACK`]),
+//!   **arity** (every path reaches the exit with exactly one value),
+//!   **liveness** (no unreachable instruction — dead bytecode in a pick
+//!   predicate is a bug), and a **worst-case cost bound**: the longest
+//!   root-to-exit path weighted by per-instruction nanosecond costs, which
+//!   must not exceed [`MAX_PROG_COST_NS`].
+//!
+//! The proof is stamped into the program as a [`CostCert`]. `fsleds_walk`
+//! and `FSLEDS_PROG_EVAL` charge virtual CPU *from the certificate* — the
+//! admission-time worst-case bound — rather than metering the path actually
+//! taken. That keeps the charge a pure function of the installed program:
+//! evaluation cost cannot depend on file contents, so accounting stays
+//! deterministic and a hostile program cannot make its own billing cheap.
+//!
+//! Floating-point parity matters more than expressiveness: the equivalence
+//! proofs require the kernel's verdict to match the user-space predicate
+//! bit for bit, so the instruction set includes `Div`/`Floor`/`Eq` purely
+//! to express `find -latency n`'s whole-unit comparison with the exact
+//! operation order `LatencyPredicate::matches` uses. The jumps add
+//! short-circuit evaluation (skip the expensive half of an `or` when the
+//! cheap half already decided) without giving up any of the proofs above.
 
 use sleds_sim_core::{Errno, SimError, SimResult};
 
@@ -34,10 +57,16 @@ use crate::kernel::DeviceId;
 /// Maximum instructions a program may hold. Small on purpose: a pick
 /// predicate is a comparison or two, and the bound keeps in-kernel
 /// evaluation O(1) per file.
-pub const MAX_PROG_LEN: usize = 32;
+pub const MAX_PROG_LEN: usize = 64;
 
 /// Maximum operand-stack depth the verifier admits.
 pub const MAX_PROG_STACK: usize = 8;
+
+/// Worst-case interpreted nanoseconds a program may cost per evaluation.
+/// Budget, not estimate: certification rejects any program whose longest
+/// weighted path exceeds it, so one walk entry can never cost more than
+/// this much program CPU no matter what bytecode user space ships.
+pub const MAX_PROG_COST_NS: u64 = 120;
 
 /// One bytecode instruction. Comparisons push `1.0` for true and `0.0`
 /// for false; the program's final value is truthy when nonzero.
@@ -71,10 +100,17 @@ pub enum ProgInst {
     Or,
     /// Pop `a`, push `a == 0`.
     Not,
+    /// Relative jump: continue at `pc + 1 + offset`. Certification
+    /// requires the target to be strictly forward and at most one past
+    /// the last instruction (= program exit).
+    Jmp(i32),
+    /// Pop `a`; jump like [`ProgInst::Jmp`] when `a == 0.0`, else fall
+    /// through. The conditional consumes the flag it tests.
+    Jz(i32),
 }
 
 impl ProgInst {
-    /// (pops, pushes) stack effect, for the verifier.
+    /// (pops, pushes) stack effect, for both verifiers.
     fn stack_effect(&self) -> (usize, usize) {
         match self {
             ProgInst::PushFirstLatency
@@ -88,8 +124,52 @@ impl ProgInst {
             | ProgInst::And
             | ProgInst::Or => (2, 1),
             ProgInst::Floor | ProgInst::Not => (1, 1),
+            ProgInst::Jmp(_) => (0, 0),
+            ProgInst::Jz(_) => (1, 0),
         }
     }
+
+    /// Interpreted cost of one execution of this instruction, in
+    /// worst-case nanoseconds of in-kernel dispatch. The table is part of
+    /// the kernel's cost model: certification sums it along the longest
+    /// path, and the walk charges that bound per priced entry.
+    fn cost_ns(&self) -> u64 {
+        match self {
+            // Input pushes read a precomputed scalar out of ProgInputs.
+            ProgInst::PushFirstLatency
+            | ProgInst::PushDeliveryTime
+            | ProgInst::PushCachedFraction
+            | ProgInst::PushConst(_) => 2,
+            // Division and floor are the slow FP ops.
+            ProgInst::Div | ProgInst::Floor => 4,
+            // Compare/logic are one FP compare plus a select.
+            ProgInst::Lt
+            | ProgInst::Gt
+            | ProgInst::Eq
+            | ProgInst::And
+            | ProgInst::Or
+            | ProgInst::Not => 1,
+            ProgInst::Jmp(_) => 1,
+            // Jz pays the compare and the branch.
+            ProgInst::Jz(_) => 2,
+        }
+    }
+}
+
+/// The proof `certify` stamps into an admitted program: worst-case bounds
+/// over *every* path the bytecode can take. `fsleds_walk` charges
+/// `worst_ns` of virtual CPU per entry it evaluates the program on, so
+/// the certificate is simultaneously the safety proof and the price tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostCert {
+    /// Longest root-to-exit path, in instructions executed.
+    pub worst_insts: u32,
+    /// Longest root-to-exit path, weighted by per-instruction cost.
+    /// Always `<=` [`MAX_PROG_COST_NS`].
+    pub worst_ns: u64,
+    /// Deepest operand stack any path reaches. Always `<=`
+    /// [`MAX_PROG_STACK`].
+    pub max_stack: u32,
 }
 
 /// How a walk orders the entries it returns.
@@ -104,10 +184,12 @@ pub enum ProgOrder {
     CachedFirst,
 }
 
-/// A verified pick program: the predicate bytecode plus walk directives.
+/// A verified pick program: the predicate bytecode, its cost certificate,
+/// and walk directives.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PickProgram {
     insts: Vec<ProgInst>,
+    cert: CostCert,
     /// Result ordering directive for `fsleds_walk`.
     pub order: ProgOrder,
     /// Stop a walk at its first matching file (`grep -q` semantics).
@@ -115,13 +197,15 @@ pub struct PickProgram {
 }
 
 impl PickProgram {
-    /// Builds and verifies a program. Fails with `EINVAL` when the
-    /// bytecode is empty, too long, under- or overflows its stack, leaves
-    /// more or less than one result, or embeds a NaN constant.
+    /// Builds a program, admitting it only if [`PickProgram::certify`]
+    /// proves termination, stack safety, single-result arity, liveness,
+    /// and a worst-case cost within [`MAX_PROG_COST_NS`]. Fails with
+    /// `EINVAL` otherwise.
     pub fn new(insts: Vec<ProgInst>) -> SimResult<PickProgram> {
-        Self::verify(&insts)?;
+        let cert = Self::certify(&insts)?;
         Ok(PickProgram {
             insts,
+            cert,
             order: ProgOrder::FileOrder,
             first_match_exit: false,
         })
@@ -139,10 +223,19 @@ impl PickProgram {
         self
     }
 
-    /// The verifier: abstract interpretation over stack depth. Programs
-    /// are loop-free by construction (no jump instructions exist), so one
-    /// linear pass is exact.
-    fn verify(insts: &[ProgInst]) -> SimResult<()> {
+    /// The cost certificate stamped at admission.
+    pub fn cert(&self) -> CostCert {
+        self.cert
+    }
+
+    /// The **legacy** verifier: one linear sweep simulating stack depth
+    /// as if execution were straight-line. Sound for the original
+    /// jump-free instruction set; unsound once jumps exist — it ignores
+    /// control flow entirely, so it admits backward jumps (which never
+    /// terminate) and never bounds cost. Kept public so tests can pin the
+    /// exact programs it wrongly accepts and the abstract interpreter
+    /// rejects. Not used for admission.
+    pub fn verify_syntactic(insts: &[ProgInst]) -> SimResult<()> {
         let bad = |msg: String| SimError::new(Errno::Einval, msg);
         if insts.is_empty() {
             return Err(bad("FSLEDS_PROG: empty program".into()));
@@ -179,7 +272,123 @@ impl PickProgram {
         Ok(())
     }
 
-    /// Instruction count (for cost accounting).
+    /// The abstract interpreter: walks the bytecode's CFG tracking an
+    /// interval `[min, max]` of possible stack depths at every pc, and
+    /// returns the cost certificate on success.
+    ///
+    /// Because every admitted jump lands strictly forward, pcs in
+    /// increasing order are already a topological order of the CFG: one
+    /// pass suffices for the depth intervals (all predecessors of a pc
+    /// have smaller pcs), and one reverse pass computes the longest
+    /// weighted path to the exit. Rejections, in check order per pc:
+    /// NaN constants, unreachable instructions, backward or out-of-range
+    /// jump targets, stack underflow (on *any* path, i.e. against the
+    /// interval minimum), stack overflow (against the maximum), then at
+    /// exit: arity (every path must leave exactly one value) and the
+    /// cost budget.
+    pub fn certify(insts: &[ProgInst]) -> SimResult<CostCert> {
+        let bad = |msg: String| SimError::new(Errno::Einval, msg);
+        if insts.is_empty() {
+            return Err(bad("FSLEDS_PROG: empty program".into()));
+        }
+        if insts.len() > MAX_PROG_LEN {
+            return Err(bad(format!(
+                "FSLEDS_PROG: program too long ({} > {MAX_PROG_LEN})",
+                insts.len()
+            )));
+        }
+        let len = insts.len();
+        // states[pc] = interval of stack depths on entry to pc; states[len]
+        // is the exit. None = not reached by any edge.
+        let mut states: Vec<Option<(usize, usize)>> = vec![None; len + 1];
+        states[0] = Some((0, 0));
+        let mut max_stack = 0usize;
+        // Forward targets of each pc, for the cost pass.
+        let mut succs: Vec<[Option<usize>; 2]> = vec![[None, None]; len];
+
+        for (pc, inst) in insts.iter().enumerate() {
+            let Some((min, max)) = states[pc] else {
+                return Err(bad(format!("FSLEDS_PROG: unreachable instruction at {pc}")));
+            };
+            if let ProgInst::PushConst(c) = inst {
+                if c.is_nan() {
+                    return Err(bad(format!("FSLEDS_PROG: NaN constant at {pc}")));
+                }
+            }
+            let (pops, pushes) = inst.stack_effect();
+            if min < pops {
+                return Err(bad(format!("FSLEDS_PROG: stack underflow at {pc}")));
+            }
+            let after = (min - pops + pushes, max - pops + pushes);
+            if after.1 > MAX_PROG_STACK {
+                return Err(bad(format!(
+                    "FSLEDS_PROG: stack overflow at {pc} (> {MAX_PROG_STACK})"
+                )));
+            }
+            max_stack = max_stack.max(after.1);
+            let mut edge = |target: usize, slot: usize| {
+                states[target] = Some(match states[target] {
+                    None => after,
+                    Some((lo, hi)) => (lo.min(after.0), hi.max(after.1)),
+                });
+                succs[pc][slot] = Some(target);
+            };
+            match inst {
+                ProgInst::Jmp(off) => edge(jump_target(pc, *off, len)?, 0),
+                ProgInst::Jz(off) => {
+                    edge(pc + 1, 0);
+                    edge(jump_target(pc, *off, len)?, 1);
+                }
+                _ => edge(pc + 1, 0),
+            }
+        }
+
+        match states[len] {
+            Some((1, 1)) => {}
+            Some((lo, hi)) if lo == hi => {
+                return Err(bad(format!(
+                    "FSLEDS_PROG: program leaves {lo} values, want 1"
+                )));
+            }
+            Some((lo, hi)) => {
+                return Err(bad(format!(
+                    "FSLEDS_PROG: exit stack depth depends on the path taken \
+                     ({lo}..{hi} values), want exactly 1"
+                )));
+            }
+            // Unreachable exit requires a cycle, which forward-only jumps
+            // already exclude; kept for defense in depth.
+            None => return Err(bad("FSLEDS_PROG: exit is unreachable".into())),
+        }
+
+        // Longest path to exit, in instructions and in weighted cost.
+        // Reverse pc order is reverse-topological for a forward-only CFG.
+        let mut worst_insts = vec![0u32; len + 1];
+        let mut worst_ns = vec![0u64; len + 1];
+        for pc in (0..len).rev() {
+            let follow = |t: &Option<usize>| t.map(|t| (worst_insts[t], worst_ns[t]));
+            let (si, sn) = succs[pc]
+                .iter()
+                .filter_map(follow)
+                .fold((0, 0), |(ai, an), (bi, bn)| (ai.max(bi), an.max(bn)));
+            worst_insts[pc] = 1 + si;
+            worst_ns[pc] = insts[pc].cost_ns() + sn;
+        }
+        if worst_ns[0] > MAX_PROG_COST_NS {
+            return Err(bad(format!(
+                "FSLEDS_PROG: worst-case cost {}ns over budget ({MAX_PROG_COST_NS}ns)",
+                worst_ns[0]
+            )));
+        }
+        Ok(CostCert {
+            worst_insts: worst_insts[0],
+            worst_ns: worst_ns[0],
+            // Lossless: max_stack ≤ MAX_PROG_STACK, enforced above.
+            max_stack: u32::try_from(max_stack).unwrap_or(u32::MAX),
+        })
+    }
+
+    /// Instruction count (static size, not the certified path length).
     pub fn len(&self) -> usize {
         self.insts.len()
     }
@@ -189,17 +398,33 @@ impl PickProgram {
         self.insts.is_empty()
     }
 
-    /// Evaluates the program over precomputed inputs. Verification
-    /// guarantees the stack discipline, so the defensive `0.0` defaults
-    /// are unreachable.
+    /// Evaluates the program over precomputed inputs. Certification
+    /// guarantees the stack discipline and that every jump lands strictly
+    /// forward, so the pc advances every step and the loop runs at most
+    /// `len` iterations; the defensive `0.0` defaults are unreachable.
     pub fn eval(&self, inputs: &ProgInputs) -> f64 {
         let mut stack: Vec<f64> = Vec::with_capacity(MAX_PROG_STACK);
-        for inst in &self.insts {
+        let mut pc = 0usize;
+        while pc < self.insts.len() {
+            let inst = &self.insts[pc];
             match inst {
                 ProgInst::PushFirstLatency => stack.push(inputs.first_latency),
                 ProgInst::PushDeliveryTime => stack.push(inputs.delivery_time),
                 ProgInst::PushCachedFraction => stack.push(inputs.cached_fraction),
                 ProgInst::PushConst(c) => stack.push(*c),
+                ProgInst::Jmp(off) => {
+                    pc = (pc as i64 + 1 + *off as i64) as usize;
+                    continue;
+                }
+                ProgInst::Jz(off) => {
+                    let a = stack.pop().unwrap_or(0.0);
+                    pc = if a == 0.0 {
+                        (pc as i64 + 1 + *off as i64) as usize
+                    } else {
+                        pc + 1
+                    };
+                    continue;
+                }
                 ProgInst::Lt
                 | ProgInst::Gt
                 | ProgInst::Eq
@@ -225,6 +450,7 @@ impl PickProgram {
                     });
                 }
             }
+            pc += 1;
         }
         stack.pop().unwrap_or(0.0)
     }
@@ -233,6 +459,29 @@ impl PickProgram {
     pub fn matches(&self, inputs: &ProgInputs) -> bool {
         self.eval(inputs) != 0.0
     }
+}
+
+/// Resolves a relative jump at `pc` and enforces the termination rule:
+/// the target must land strictly past `pc` (forward-only, so the CFG is a
+/// DAG) and at most `len` (one past the last instruction = exit).
+fn jump_target(pc: usize, off: i32, len: usize) -> SimResult<usize> {
+    let target = pc as i64 + 1 + off as i64;
+    if target <= pc as i64 {
+        return Err(SimError::new(
+            Errno::Einval,
+            format!(
+                "FSLEDS_PROG: backward jump at {pc} (target {target}); \
+                 termination is unprovable, loops are not admitted"
+            ),
+        ));
+    }
+    if target > len as i64 {
+        return Err(SimError::new(
+            Errno::Einval,
+            format!("FSLEDS_PROG: jump target {target} out of range at {pc}"),
+        ));
+    }
+    Ok(target as usize)
 }
 
 /// Truthiness encoding shared by every comparison and logic instruction.
@@ -449,6 +698,119 @@ mod tests {
         assert!(p.matches(&inputs(0.0, 0.2, 0.9)));
         assert!(!p.matches(&inputs(0.0, 2.0, 0.9)));
         assert!(!p.matches(&inputs(0.0, 0.2, 0.1)));
+    }
+
+    /// Short-circuit `or` via Jz: `cached > 0.5 || delivery < 0.1`,
+    /// skipping the delivery comparison when the cached half decides.
+    fn short_circuit_or() -> Vec<ProgInst> {
+        vec![
+            ProgInst::PushCachedFraction, // 0
+            ProgInst::PushConst(0.5),     // 1
+            ProgInst::Gt,                 // 2
+            ProgInst::Jz(2),              // 3: false -> 6, true -> 4
+            ProgInst::PushConst(1.0),     // 4
+            ProgInst::Jmp(3),             // 5: -> 9 (exit)
+            ProgInst::PushDeliveryTime,   // 6
+            ProgInst::PushConst(0.1),     // 7
+            ProgInst::Lt,                 // 8
+        ]
+    }
+
+    #[test]
+    fn forward_jumps_evaluate_and_certify() {
+        let p = PickProgram::new(short_circuit_or()).unwrap();
+        assert!(p.matches(&inputs(0.0, 5.0, 0.9)), "left arm decides");
+        assert!(p.matches(&inputs(0.0, 0.05, 0.1)), "right arm decides");
+        assert!(!p.matches(&inputs(0.0, 5.0, 0.1)), "both false");
+        // Worst path: 0,1,2,3 fall through Jz, 6,7,8 = 7 insts;
+        // cost 2+2+1+2 + 2+2+1 = 12ns. The taken-jump path is shorter
+        // (0..5 = 6 insts, 11ns); the certificate must price the longest.
+        let cert = p.cert();
+        assert_eq!(cert.worst_insts, 7);
+        assert_eq!(cert.worst_ns, 12);
+        assert_eq!(cert.max_stack, 2);
+    }
+
+    #[test]
+    fn straight_line_cert_prices_every_instruction() {
+        let p = PickProgram::new(vec![
+            ProgInst::PushDeliveryTime,
+            ProgInst::PushConst(0.5),
+            ProgInst::Lt,
+        ])
+        .unwrap();
+        assert_eq!(
+            p.cert(),
+            CostCert {
+                worst_insts: 3,
+                worst_ns: 5,
+                max_stack: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn backward_jump_accepted_by_legacy_verifier_rejected_by_interpreter() {
+        // Push then jump back over the push: spins forever while keeping
+        // the *linear* stack walk perfectly balanced — the legacy
+        // verifier admits it, which is exactly the hole certification
+        // closes.
+        let spin = vec![ProgInst::PushConst(1.0), ProgInst::Jmp(-2)];
+        assert!(
+            PickProgram::verify_syntactic(&spin).is_ok(),
+            "legacy verifier must accept the non-terminating program"
+        );
+        let err = PickProgram::new(spin).unwrap_err();
+        assert_eq!(err.errno, Errno::Einval);
+        assert!(err.to_string().contains("backward jump"), "got: {err}");
+    }
+
+    #[test]
+    fn over_budget_program_accepted_by_legacy_verifier_rejected_by_interpreter() {
+        // One push, then 31 (push, div) pairs: 63 instructions, stack
+        // always balanced, worst path 2 + 31*(2+4) = 188ns > budget. The
+        // legacy verifier sees valid straight-line bytecode and admits it.
+        let mut insts = vec![ProgInst::PushConst(1.0)];
+        for _ in 0..31 {
+            insts.push(ProgInst::PushConst(2.0));
+            insts.push(ProgInst::Div);
+        }
+        assert!(PickProgram::verify_syntactic(&insts).is_ok());
+        let err = PickProgram::new(insts).unwrap_err();
+        assert!(err.to_string().contains("over budget"), "got: {err}");
+    }
+
+    #[test]
+    fn unreachable_instruction_is_rejected() {
+        let dead = vec![
+            ProgInst::PushConst(1.0),
+            ProgInst::Jmp(1),
+            ProgInst::PushConst(2.0), // skipped by every path
+        ];
+        let err = PickProgram::new(dead).unwrap_err();
+        assert!(err.to_string().contains("unreachable"), "got: {err}");
+    }
+
+    #[test]
+    fn path_dependent_exit_depth_is_rejected() {
+        // One path exits with 0 values, the other with 1.
+        let prog = vec![
+            ProgInst::PushConst(1.0),
+            ProgInst::Jz(1), // pops; zero -> exit with 0, else fall
+            ProgInst::PushConst(1.0),
+        ];
+        let err = PickProgram::new(prog).unwrap_err();
+        assert!(
+            err.to_string().contains("depends on the path"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn jump_targets_must_stay_in_range() {
+        let far = vec![ProgInst::Jmp(5), ProgInst::PushConst(1.0)];
+        let err = PickProgram::new(far).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "got: {err}");
     }
 
     #[test]

@@ -337,6 +337,67 @@ fn cached_first_order_puts_warm_matches_ahead() {
 }
 
 #[test]
+fn walk_charges_cpu_from_the_cost_certificate_deterministically() {
+    // Two programs with the same verdict on every file but different
+    // certified worst-case costs: the cheap 3-instruction `+0` compare
+    // and a padded version that burns budget on verdict-preserving double
+    // negations. The walk must charge exactly `worst_ns` more per priced
+    // file for the expensive one, and repeated runs must charge
+    // identically — the certificate, not the evaluation path, is the
+    // price.
+    let cheap = compile_latency(&LatencyPredicate::parse("+0").unwrap());
+    let expensive = PickProgram::new(vec![
+        ProgInst::PushDeliveryTime,
+        ProgInst::PushConst(0.0),
+        ProgInst::Gt,
+        ProgInst::Not,
+        ProgInst::Not,
+        ProgInst::Not,
+        ProgInst::Not,
+    ])
+    .unwrap();
+    assert!(
+        expensive.cert().worst_ns > cheap.cert().worst_ns,
+        "fixture must actually differ in certified cost"
+    );
+
+    let run = |prog: &PickProgram| {
+        let (mut k, t) = tree_kernel();
+        let pricing = pricing_from(&t);
+        let before = k.usage();
+        let entries = k.fsleds_walk("/data", prog, &pricing).unwrap();
+        (entries, k.usage().since(&before))
+    };
+
+    let (cheap_entries, cheap_usage) = run(&cheap);
+    let (cheap_entries2, cheap_usage2) = run(&cheap);
+    assert_eq!(cheap_entries, cheap_entries2, "walk is deterministic");
+    assert_eq!(cheap_usage, cheap_usage2, "charging is deterministic");
+
+    let (expensive_entries, expensive_usage) = run(&expensive);
+    let priced = expensive_entries
+        .iter()
+        .filter(|e| e.estimate_secs.is_some())
+        .count() as u64;
+    assert_eq!(priced, 3, "three files priced");
+    assert_eq!(
+        expensive_entries
+            .iter()
+            .map(|e| e.matched)
+            .collect::<Vec<_>>(),
+        cheap_entries.iter().map(|e| e.matched).collect::<Vec<_>>(),
+        "same verdicts"
+    );
+    let per_entry_delta_ns = expensive.cert().worst_ns - cheap.cert().worst_ns;
+    let cpu_delta = expensive_usage.cpu - cheap_usage.cpu;
+    assert_eq!(
+        u128::from(cpu_delta.as_nanos()),
+        priced as u128 * per_entry_delta_ns as u128,
+        "walk CPU differs by exactly the certified bound per priced entry"
+    );
+}
+
+#[test]
 fn ring_preads_fail_and_retry_exactly_like_sequential_under_faults() {
     let build = |plan: &FaultPlan| {
         let (mut k, t, path) = setup();

@@ -198,9 +198,12 @@ impl PageCache {
     /// page was dirty, or None when it was not resident.
     fn detach(&mut self, key: PageKey) -> Option<bool> {
         let ix = self.index.get_mut(&key.inode)?;
-        if !ix.resident.remove(key.index) {
+        // Probe before mutating: once the priced extent set changes, every
+        // path out of here must bump the generation (sledlint D010).
+        if !ix.resident.contains(key.index) {
             return None;
         }
+        ix.resident.remove(key.index);
         let dirty = ix.dirty.remove(key.index);
         if ix.pinned.remove(key.index) {
             self.pinned_len -= 1;
@@ -470,6 +473,35 @@ mod tests {
         assert_eq!(c.dirty_count(), 1);
         c.remove(PageKey::new(2, 0));
         assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn generation_bumps_only_when_residency_actually_changes() {
+        // Regression for the detach() restructure: removing a page that is
+        // not resident must be a pure probe — no generation bump — while a
+        // real removal bumps exactly once. The old code mutated the extent
+        // set before discovering the page was absent on some paths, which
+        // sledlint D010 flagged.
+        let mut c = PageCache::lru(8);
+        c.insert(key(3), true);
+        let after_insert = c.generation(1);
+        assert!(after_insert > 0, "insert must bump the generation");
+
+        assert_eq!(c.remove(key(7)), None, "absent page: nothing to drop");
+        assert_eq!(
+            c.generation(1),
+            after_insert,
+            "failed probe must not bump the generation"
+        );
+        assert_eq!(c.remove(PageKey::new(9, 0)), None);
+        assert_eq!(c.generation(9), 0, "unknown inode stays at generation 0");
+
+        assert_eq!(c.remove(key(3)), Some(true), "resident dirty page drops");
+        assert_eq!(
+            c.generation(1),
+            after_insert + 1,
+            "real removal bumps exactly once"
+        );
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //! resolution. Everything operates on a workspace-relative path plus file
 //! contents, so tests can feed synthetic paths without touching the disk.
 
+use std::collections::BTreeMap;
+
+use crate::flow::{self, Summary};
 use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::parser;
 use crate::rules::FileScope;
 
 /// One lint finding.
 #[derive(Clone, Debug)]
 pub struct Finding {
-    /// Rule code (`D001`…`D008`, `W001`, `W002`).
+    /// Rule code (`D001`…`D013`, `W001`, `W002`).
     pub rule: &'static str,
     /// Workspace-relative path of the file.
     pub path: String,
@@ -19,6 +23,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// For flow rules: the witness path as (line, note) steps; empty for
+    /// token rules.
+    pub trace: Vec<(u32, String)>,
 }
 
 impl Finding {
@@ -54,6 +61,8 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
     let scope = FileScope::classify(rel_path);
     let regions = test_regions(&lexed.tokens);
     let in_test = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+    let shapes = parser::parse_fns(&lexed.tokens);
+    let summaries = flow::summaries(&lexed.tokens, &shapes);
 
     let mut findings = Vec::new();
     let mut waivers = Vec::new();
@@ -67,6 +76,7 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
                 message: format!(
                     "malformed waiver ({detail}); syntax is `// sledlint::allow(RULE, reason)`"
                 ),
+                trace: Vec::new(),
             }),
             WaiverParse::Ok(code) => waivers.push(Waiver {
                 code,
@@ -77,7 +87,9 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    for cand in detect(&lexed.tokens) {
+    let mut cands = detect(&lexed.tokens, &summaries);
+    flow::flow_candidates(&lexed.tokens, &shapes, &summaries, &mut cands);
+    for cand in cands {
         if !scope.applies(cand.rule, in_test(cand.line)) {
             continue;
         }
@@ -94,6 +106,7 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
                 path: rel_path.to_string(),
                 line: cand.line,
                 message: cand.message,
+                trace: cand.trace,
             });
         }
     }
@@ -108,6 +121,7 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
                     "waiver for {} matches no finding here; remove it or fix the rule code",
                     w.code
                 ),
+                trace: Vec::new(),
             });
         }
     }
@@ -117,10 +131,22 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
 }
 
 /// A candidate finding before scope/waiver filtering.
-struct Candidate {
-    rule: &'static str,
-    line: u32,
-    message: String,
+pub(crate) struct Candidate {
+    pub(crate) rule: &'static str,
+    pub(crate) line: u32,
+    pub(crate) message: String,
+    /// Witness path for flow rules; empty for token rules.
+    pub(crate) trace: Vec<(u32, String)>,
+}
+
+/// A trace-less candidate (token rules).
+fn cand(rule: &'static str, line: u32, message: String) -> Candidate {
+    Candidate {
+        rule,
+        line,
+        message,
+        trace: Vec::new(),
+    }
 }
 
 /// Identifiers that reach ambient (non-DetRng) randomness.
@@ -150,81 +176,79 @@ const RETRY_BOUND_IDENTS: &[&str] = &[
     "timeout",
 ];
 
-/// Runs every detector over the token stream.
-fn detect(toks: &[Tok]) -> Vec<Candidate> {
+/// Runs every token detector over the token stream. `summaries` carries
+/// per-fn facts for rules that look one call level deep (D008).
+fn detect(toks: &[Tok], summaries: &BTreeMap<String, Summary>) -> Vec<Candidate> {
     let mut out = Vec::new();
     let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
     for (i, t) in toks.iter().enumerate() {
         match t.kind {
             TokKind::Ident => match t.text.as_str() {
-                "Instant" | "SystemTime" => out.push(Candidate {
-                    rule: "D001",
-                    line: t.line,
-                    message: format!(
+                "Instant" | "SystemTime" => out.push(cand(
+                    "D001",
+                    t.line,
+                    format!(
                         "wall-clock API `{}`; simulated time must come from the virtual Clock",
                         t.text
                     ),
-                }),
+                )),
                 "std" if text(i + 1) == "::" && matches!(text(i + 2), "thread" | "process") => out
-                    .push(Candidate {
-                        rule: "D002",
-                        line: t.line,
-                        message: format!(
+                    .push(cand(
+                        "D002",
+                        t.line,
+                        format!(
                             "host API `std::{}`; the simulator is single-threaded and hermetic",
                             text(i + 2)
                         ),
-                    }),
-                name if RNG_IDENTS.contains(&name) => out.push(Candidate {
-                    rule: "D003",
-                    line: t.line,
-                    message: format!(
-                        "ambient randomness `{name}`; use DetRng with an explicit seed"
-                    ),
-                }),
-                "rand" if text(i + 1) == "::" => out.push(Candidate {
-                    rule: "D003",
-                    line: t.line,
-                    message: "ambient randomness `rand::`; use DetRng with an explicit seed"
-                        .to_string(),
-                }),
-                "HashMap" | "HashSet" => out.push(Candidate {
-                    rule: "D006",
-                    line: t.line,
-                    message: format!(
+                    )),
+                name if RNG_IDENTS.contains(&name) => out.push(cand(
+                    "D003",
+                    t.line,
+                    format!("ambient randomness `{name}`; use DetRng with an explicit seed"),
+                )),
+                "rand" if text(i + 1) == "::" => out.push(cand(
+                    "D003",
+                    t.line,
+                    "ambient randomness `rand::`; use DetRng with an explicit seed".to_string(),
+                )),
+                "HashMap" | "HashSet" => out.push(cand(
+                    "D006",
+                    t.line,
+                    format!(
                         "`{}` in simulation state; use BTreeMap/BTreeSet for deterministic \
                          iteration, or waive with justification",
                         t.text
                     ),
-                }),
+                )),
                 "unwrap" | "expect" if i > 0 && text(i - 1) == "." && text(i + 1) == "(" => out
-                    .push(Candidate {
-                        rule: "D005",
-                        line: t.line,
-                        message: format!(
+                    .push(cand(
+                        "D005",
+                        t.line,
+                        format!(
                             "`.{}()` on a kernel path; propagate SimError or waive naming the \
                              invariant",
                             t.text
                         ),
-                    }),
+                    )),
                 "panic" | "todo" | "unimplemented" | "unreachable" if text(i + 1) == "!" => out
-                    .push(Candidate {
-                        rule: "D005",
-                        line: t.line,
-                        message: format!(
+                    .push(cand(
+                        "D005",
+                        t.line,
+                        format!(
                             "`{}!` on a kernel path; propagate SimError or waive naming the \
                              invariant",
                             t.text
                         ),
-                    }),
-                "as" if NARROW_TYPES.contains(&text(i + 1)) => out.push(Candidate {
-                    rule: "D007",
-                    line: t.line,
-                    message: format!(
+                    )),
+                "as" if NARROW_TYPES.contains(&text(i + 1)) => out.push(cand(
+                    "D007",
+                    t.line,
+                    format!(
                         "narrowing cast `as {}`; prove it lossless with a waiver naming the \
                          bound, or use try_from",
                         text(i + 1)
                     ),
-                }),
+                )),
                 _ => {}
             },
             TokKind::Punct if t.text == "==" || t.text == "!=" => {
@@ -232,21 +256,21 @@ fn detect(toks: &[Tok]) -> Vec<Candidate> {
                     .into_iter()
                     .find(|n| is_latency_name(n))
                 {
-                    out.push(Candidate {
-                        rule: "D004",
-                        line: t.line,
-                        message: format!(
+                    out.push(cand(
+                        "D004",
+                        t.line,
+                        format!(
                             "float `{}` on `{name}`; compare to_bits() identity or use \
                              total_cmp",
                             t.text
                         ),
-                    });
+                    ));
                 }
             }
             _ => {}
         }
     }
-    detect_retry_loops(toks, &mut out);
+    detect_retry_loops(toks, summaries, &mut out);
     detect_unbounded_queues(toks, &mut out);
     out
 }
@@ -283,8 +307,19 @@ fn detect_unbounded_queues(toks: &[Tok], out: &mut Vec<Candidate>) {
         if !QUEUE_NAME_PARTS.iter().any(|p| name.text.contains(p)) {
             continue;
         }
+        // Skip generic parameters to the body opener. A `(` at angle depth
+        // zero means a tuple struct; one inside `<…>` is just an `Fn` bound.
         let mut j = i + 2;
-        while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | ";" | "(") {
+        let mut angle = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "{" | ";" => break,
+                "(" if angle == 0 => break,
+                _ => {}
+            }
             j += 1;
         }
         if j >= toks.len() || toks[j].text != "{" {
@@ -313,15 +348,15 @@ fn detect_unbounded_queues(toks: &[Tok], out: &mut Vec<Candidate>) {
             .iter()
             .any(|tok| tok.kind == TokKind::Ident && is_queue_bound_ident(&tok.text));
         if holds_container && !has_bound {
-            out.push(Candidate {
-                rule: "D009",
-                line: t.line,
-                message: format!(
+            out.push(cand(
+                "D009",
+                t.line,
+                format!(
                     "queue struct `{}` holds a growable container with no capacity bound; \
                      name the bound (capacity/cap/limit/max_*) or waive naming what bounds it",
                     name.text
                 ),
-            });
+            ));
         }
     }
 }
@@ -330,7 +365,10 @@ fn detect_unbounded_queues(toks: &[Tok], out: &mut Vec<Candidate>) {
 /// reference a policy bound, or a persistent fault spins the simulation
 /// forever. The span runs from the keyword through the matching `}` of the
 /// body, so a bound in either the condition or the body satisfies the rule.
-fn detect_retry_loops(toks: &[Tok], out: &mut Vec<Candidate>) {
+/// Calls to same-file helpers are looked through one level via `sums`: a
+/// loop whose body only calls `resubmit_step(dev)` still mentions retry
+/// machinery if the helper does, and a bound inside the helper still counts.
+fn detect_retry_loops(toks: &[Tok], sums: &BTreeMap<String, Summary>, out: &mut Vec<Candidate>) {
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "loop" | "while") {
             continue;
@@ -355,19 +393,40 @@ fn detect_retry_loops(toks: &[Tok], out: &mut Vec<Candidate>) {
         }
         let span = &toks[i..toks.len().min(j + 1)];
         let mentions = |parts: &[&str]| {
-            span.iter()
-                .any(|tok| tok.kind == TokKind::Ident && parts.iter().any(|p| tok.text.contains(p)))
+            span.iter().enumerate().any(|(k, tok)| {
+                if tok.kind != TokKind::Ident {
+                    return false;
+                }
+                if parts.iter().any(|p| tok.text.contains(p)) {
+                    return true;
+                }
+                // One level through same-file helpers, with the same
+                // resolvability discipline as the CFG: bare calls,
+                // `self.helper(..)` and `Self::helper(..)` only.
+                let resolvable = span.get(k + 1).is_some_and(|n| n.text == "(")
+                    && match k.checked_sub(1).map(|p| span[p].text.as_str()) {
+                        Some(".") => k >= 2 && span[k - 2].text == "self",
+                        Some("::") => k >= 2 && span[k - 2].text == "Self",
+                        _ => true,
+                    };
+                resolvable
+                    && sums.get(&tok.text).is_some_and(|s| {
+                        s.idents
+                            .iter()
+                            .any(|id| parts.iter().any(|p| id.contains(p)))
+                    })
+            })
         };
         if mentions(RETRY_IDENT_PARTS) && !mentions(RETRY_BOUND_IDENTS) {
-            out.push(Candidate {
-                rule: "D008",
-                line: t.line,
-                message: format!(
+            out.push(cand(
+                "D008",
+                t.line,
+                format!(
                     "`{}` retries without a policy bound; reference max_attempts/timeout \
                      (RetryPolicy) or waive naming what bounds it",
                     t.text
                 ),
-            });
+            ));
         }
     }
 }

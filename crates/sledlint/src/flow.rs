@@ -1,0 +1,654 @@
+//! Flow-sensitive rules over the CFG: D010–D013.
+//!
+//! The core question every rule here asks is *must-reach*: given an
+//! obligation event at a program point (a priced-state mutation, a clock
+//! advance, a span begin), does **every** path from that point to the
+//! function exit pass a satisfying event (a generation bump, a Rusage
+//! post, a span end)? The analysis is a greatest fixpoint over the CFG —
+//! `good(n) = sat(n) ∨ (succs(n) ≠ ∅ ∧ ∀s. good(s))` — so paths trapped in
+//! loops are vacuously fine (they never exit) and every violation comes
+//! with a concrete witness path, reported as the finding's trace.
+//!
+//! Calls are resolved one level deep against same-file summaries, and only
+//! in the *satisfying* direction: a call to a helper that bumps/posts/ends
+//! discharges the caller's obligation, but a helper's own mutation is the
+//! helper's obligation (it gets flagged at its definition, not at every
+//! call site).
+
+use std::collections::BTreeMap;
+
+use crate::cfg::{self, Cfg, Event};
+use crate::engine::Candidate;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FnShape;
+
+/// What one function is known to do, for one-level call resolution.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Contains a generation/epoch bump.
+    pub bumps: bool,
+    /// Posts to Rusage.
+    pub posts: bool,
+    /// Closes a trace span.
+    pub ends: bool,
+    /// Every identifier in the body (for D008's retry-fragment matching
+    /// across helper functions).
+    pub idents: Vec<String>,
+}
+
+/// Per-name summaries for every `fn` in the file. Same-name functions
+/// (e.g. `new` on several types) are merged permissively: resolution is a
+/// heuristic discharge, not a proof.
+pub fn summaries(toks: &[Tok], shapes: &[FnShape]) -> BTreeMap<String, Summary> {
+    let mut out: BTreeMap<String, Summary> = BTreeMap::new();
+    for s in shapes {
+        let e = out.entry(s.name.clone()).or_default();
+        for i in s.body.0..=s.body.1.min(toks.len().saturating_sub(1)) {
+            if s.in_inner(i) {
+                continue;
+            }
+            if toks[i].kind == TokKind::Ident {
+                e.idents.push(toks[i].text.clone());
+            }
+            match cfg::event_at(toks, i) {
+                Some(Event::BumpGeneration) => e.bumps = true,
+                Some(Event::PostRusage) => e.posts = true,
+                Some(Event::EndSpan) => e.ends = true,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Runs D010–D012 (must-reach over the CFG) and D013 (unit flow) on every
+/// function, appending candidates for the engine to scope-filter.
+pub(crate) fn flow_candidates(
+    toks: &[Tok],
+    shapes: &[FnShape],
+    sums: &BTreeMap<String, Summary>,
+    out: &mut Vec<Candidate>,
+) {
+    // D010 fires only where a generation exists to bump: a pure container
+    // type (the extent-set, say) has no generation field of its own — its
+    // pricing wrapper owns the spine, and the wrapper's file is where the
+    // mutation-without-bump question is answerable.
+    let file_has_generation = toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && cfg::gen_ish(&t.text));
+
+    for shape in shapes {
+        let g = cfg::build(toks, shape);
+        let reach = g.reachable();
+        let fn_end_line = toks.get(shape.body.1).map(|t| t.line).unwrap_or(shape.line);
+
+        let bump_sat = |e: &Event| match e {
+            Event::BumpGeneration => true,
+            Event::Call(n) => sums.get(n).is_some_and(|s| s.bumps),
+            _ => false,
+        };
+        let post_sat = |e: &Event| match e {
+            Event::PostRusage => true,
+            Event::Call(n) => sums.get(n).is_some_and(|s| s.posts),
+            _ => false,
+        };
+        let end_sat = |e: &Event| match e {
+            Event::EndSpan => true,
+            Event::Call(n) => sums.get(n).is_some_and(|s| s.ends),
+            _ => false,
+        };
+        // D012 applies only to functions that close spans at all: a fn
+        // with begins and no end is a span-opener API (the caller owns the
+        // end), like the kernel's `trace_app_begin`.
+        let closes_spans = g
+            .nodes
+            .iter()
+            .enumerate()
+            .any(|(n, node)| reach[n] && node.events.iter().any(|(e, _)| end_sat(e)));
+
+        for (n, node) in g.nodes.iter().enumerate() {
+            if !reach[n] {
+                continue;
+            }
+            for (k, (e, line)) in node.events.iter().enumerate() {
+                match e {
+                    Event::MutatePriced(field) if file_has_generation => {
+                        if let Some(trace) = must_reach(&g, n, k, &bump_sat, fn_end_line) {
+                            out.push(Candidate {
+                                rule: "D010",
+                                line: *line,
+                                message: format!(
+                                    "`{field}` is SLED-priced state; a path from this mutation \
+                                     reaches the exit of fn `{}` without a generation/epoch bump",
+                                    shape.name
+                                ),
+                                trace,
+                            });
+                        }
+                    }
+                    Event::AdvanceClock => {
+                        if let Some(trace) = must_reach(&g, n, k, &post_sat, fn_end_line) {
+                            out.push(Candidate {
+                                rule: "D011",
+                                line: *line,
+                                message: format!(
+                                    "the virtual clock advances here but a path reaches the exit \
+                                     of fn `{}` without posting the cost to Rusage",
+                                    shape.name
+                                ),
+                                trace,
+                            });
+                        }
+                    }
+                    Event::BeginSpan if closes_spans => {
+                        if let Some(trace) = must_reach(&g, n, k, &end_sat, fn_end_line) {
+                            out.push(Candidate {
+                                rule: "D012",
+                                line: *line,
+                                message: format!(
+                                    "this trace span can reach the exit of fn `{}` without its \
+                                     matching end; error paths must close spans too",
+                                    shape.name
+                                ),
+                                trace,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        unit_flow(toks, shape, out);
+    }
+}
+
+/// Checks that every path from event `k` of node `n` to a sink passes an
+/// event satisfying `sat`. Returns `None` when the obligation holds, or a
+/// witness trace (line, description) along a violating path.
+fn must_reach(
+    g: &Cfg,
+    n: usize,
+    k: usize,
+    sat: &dyn Fn(&Event) -> bool,
+    fn_end_line: u32,
+) -> Option<Vec<(u32, String)>> {
+    if g.nodes[n].events[k + 1..].iter().any(|(e, _)| sat(e)) {
+        return None;
+    }
+    let len = g.nodes.len();
+    let node_sat: Vec<bool> = g
+        .nodes
+        .iter()
+        .map(|node| node.events.iter().any(|(e, _)| sat(e)))
+        .collect();
+    // Greatest fixpoint: start optimistic, shrink until stable. Loops with
+    // no exit stay `good` — a path that never reaches the exit owes nothing.
+    let mut good = vec![true; len];
+    loop {
+        let mut changed = false;
+        for m in 0..len {
+            let succs = &g.nodes[m].succs;
+            let v = node_sat[m] || (!succs.is_empty() && succs.iter().all(|&s| good[s]));
+            if v != good[m] {
+                good[m] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let succs = &g.nodes[n].succs;
+    if !succs.is_empty() && succs.iter().all(|&s| good[s]) {
+        return None;
+    }
+    // Witness: BFS through ¬good nodes to a sink. Every ¬good node is
+    // unsatisfied and either is a sink or has a ¬good successor, so the
+    // search always terminates at the exit.
+    let mut parent: Vec<Option<usize>> = vec![None; len];
+    let mut queue: Vec<usize> = Vec::new();
+    for &s in succs {
+        if !good[s] && parent[s].is_none() {
+            parent[s] = Some(n);
+            queue.push(s);
+        }
+    }
+    let mut sink = if succs.is_empty() { Some(n) } else { None };
+    let mut qi = 0;
+    while sink.is_none() && qi < queue.len() {
+        let m = queue[qi];
+        qi += 1;
+        if g.nodes[m].succs.is_empty() {
+            sink = Some(m);
+            break;
+        }
+        for &s in &g.nodes[m].succs {
+            if !good[s] && parent[s].is_none() {
+                parent[s] = Some(m);
+                queue.push(s);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = sink;
+    while let Some(m) = cur {
+        path.push(m);
+        if m == n {
+            break;
+        }
+        cur = parent[m];
+    }
+    path.reverse();
+
+    let (ev, line) = &g.nodes[n].events[k];
+    let mut trace = vec![(*line, event_phrase(ev))];
+    for &m in path.iter().skip(1) {
+        if let Some((e, l)) = g.nodes[m].events.first() {
+            if trace.len() < 5 && trace.last().map(|(pl, _)| pl) != Some(l) {
+                trace.push((*l, format!("then {}", event_phrase(e))));
+            }
+        }
+    }
+    trace.push((
+        fn_end_line,
+        "reaches the function exit unsatisfied".to_string(),
+    ));
+    Some(trace)
+}
+
+fn event_phrase(e: &Event) -> String {
+    match e {
+        Event::MutatePriced(f) => format!("mutates priced field `{f}`"),
+        Event::BumpGeneration => "bumps a generation counter".to_string(),
+        Event::AdvanceClock => "advances the virtual clock".to_string(),
+        Event::PostRusage => "posts to Rusage".to_string(),
+        Event::BeginSpan => "opens a trace span".to_string(),
+        Event::EndSpan => "closes a trace span".to_string(),
+        Event::Call(n) => format!("calls `{n}`"),
+    }
+}
+
+/// The abstract unit a name carries, by suffix convention.
+fn unit_of_name(s: &str) -> Option<&'static str> {
+    let lower = s.to_ascii_lowercase();
+    let seg = lower.rsplit('_').next().unwrap_or("");
+    match seg {
+        "ns" | "nanos" | "us" | "micros" | "ms" | "millis" | "secs" | "sec" | "time"
+        | "latency" | "lat" => Some("time"),
+        "bytes" | "byte" => Some("bytes"),
+        "sectors" | "sector" => Some("sectors"),
+        "pages" | "page" => Some("pages"),
+        _ => None,
+    }
+}
+
+/// D013: units (time/bytes/sectors/pages) are inferred from name suffixes,
+/// propagated through simple `let` aliases, and checked at additive and
+/// comparison operators. Multiplicative context (`*`, `/`, `as`) near the
+/// operator reads as an intentional conversion and suppresses the check —
+/// the rule hunts `span_pages + tail_sectors`, not `pages * SECTORS_PER_PAGE`.
+fn unit_flow(toks: &[Tok], shape: &FnShape, out: &mut Vec<Candidate>) {
+    let (start, end) = (shape.body.0 + 1, shape.body.1.min(toks.len()));
+    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+
+    // Alias table: `let x = chain;` where the RHS is a bare path/call chain
+    // with a recognizable unit.
+    let mut env: BTreeMap<&str, &'static str> = BTreeMap::new();
+    let mut i = start;
+    while i < end {
+        if shape.in_inner(i) || !(toks[i].kind == TokKind::Ident && toks[i].text == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if text(j) == "mut" {
+            j += 1;
+        }
+        if toks.get(j).is_none_or(|t| t.kind != TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name = toks[j].text.as_str();
+        // Skip an optional `: Type` annotation to the initializer.
+        let mut depth = 0i32;
+        let mut eq = None;
+        let mut m = j + 1;
+        while m < end {
+            match text(m) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth == 0 => {
+                    eq = Some(m);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        if let Some(eq) = eq {
+            if let Some(unit) = chain_unit(toks, eq + 1, end) {
+                env.insert(name, unit);
+            }
+        }
+        i = m.max(i + 1);
+    }
+
+    for i in start..end {
+        if shape.in_inner(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Punct
+            || !matches!(
+                t.text.as_str(),
+                "+" | "-" | "<" | ">" | "<=" | ">=" | "==" | "!="
+            )
+        {
+            continue;
+        }
+        // A `*`, `/` or `as` anywhere in the same expression reads as an
+        // intentional conversion (`sector + pages * SECTORS_PER_PAGE`), so
+        // scan outward from the operator to the expression's edges: a
+        // depth-0 terminator, an enclosing bracket, or a bounded distance.
+        if conversion_nearby(toks, i, start, end) {
+            continue;
+        }
+        let left = left_unit(toks, i, &env);
+        let right = right_unit(toks, i, end, &env);
+        if let (Some((ln, lu)), Some((rn, ru))) = (left, right) {
+            if lu != ru {
+                out.push(Candidate {
+                    rule: "D013",
+                    line: t.line,
+                    message: format!(
+                        "cross-unit arithmetic in fn `{}`: `{ln}` is {lu} but `{rn}` is {ru}; \
+                         insert an explicit conversion or waive naming why the units agree",
+                        shape.name
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+/// True when a `*`, `/` or `as` shares the expression around the operator
+/// at `i`: multiplicative scaling and casts are how unit conversions are
+/// written, and their presence makes a mixed-unit sum deliberate. The scan
+/// stays inside the statement (depth-0 `;`/`,`/`{`/`}` or an unbalanced
+/// bracket ends it) and is distance-bounded so pathological one-line
+/// expressions stay cheap.
+fn conversion_nearby(toks: &[Tok], i: usize, start: usize, end: usize) -> bool {
+    const REACH: usize = 24;
+    let hit = |t: &Tok| {
+        (t.kind == TokKind::Punct && matches!(t.text.as_str(), "*" | "/"))
+            || (t.kind == TokKind::Ident && t.text == "as")
+    };
+    let mut depth = 0i32;
+    let fwd_end = end.min(i + 1 + REACH).min(toks.len());
+    for t in &toks[(i + 1).min(fwd_end)..fwd_end] {
+        if hit(t) {
+            return true;
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                ";" | "," | "{" | "}" if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    depth = 0;
+    for t in toks[start..i].iter().rev().take(REACH) {
+        if hit(t) {
+            return true;
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                ";" | "," | "{" | "}" if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Unit of a bare `ident (.ident)* (())? ?` chain starting at `i`, or None
+/// when the expression is anything more complex.
+fn chain_unit(toks: &[Tok], mut i: usize, end: usize) -> Option<&'static str> {
+    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+    if toks.get(i).is_none_or(|t| t.kind != TokKind::Ident) {
+        return None;
+    }
+    let mut last = i;
+    while text(i + 1) == "." && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident) {
+        i += 2;
+        last = i;
+    }
+    let mut j = i + 1;
+    if text(j) == "(" && text(j + 1) == ")" {
+        j += 2;
+    }
+    if text(j) == "?" {
+        j += 1;
+    }
+    if text(j) != ";" || j >= end {
+        return None;
+    }
+    unit_of_name(&toks[last].text)
+}
+
+/// Unit of the operand ending just before the operator at `i`.
+fn left_unit<'a>(
+    toks: &'a [Tok],
+    i: usize,
+    env: &BTreeMap<&str, &'static str>,
+) -> Option<(&'a str, &'static str)> {
+    let p = i.checked_sub(1)?;
+    let t = toks.get(p)?;
+    if t.kind == TokKind::Punct && t.text == ")" {
+        // Call result: unit comes from the callee's name (`x.as_nanos()`).
+        let mut depth = 0usize;
+        let mut j = p;
+        loop {
+            match toks[j].text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j = j.checked_sub(1)?;
+        }
+        let callee = toks.get(j.checked_sub(1)?)?;
+        if callee.kind != TokKind::Ident {
+            return None;
+        }
+        return unit_of_name(&callee.text).map(|u| (callee.text.as_str(), u));
+    }
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let name = t.text.as_str();
+    let is_field = p
+        .checked_sub(1)
+        .is_some_and(|q| toks[q].kind == TokKind::Punct && toks[q].text == ".");
+    let unit = if is_field {
+        unit_of_name(name)
+    } else {
+        env.get(name).copied().or_else(|| unit_of_name(name))
+    };
+    unit.map(|u| (name, u))
+}
+
+/// Unit of the operand starting just after the operator at `i`.
+fn right_unit<'a>(
+    toks: &'a [Tok],
+    i: usize,
+    end: usize,
+    env: &BTreeMap<&str, &'static str>,
+) -> Option<(&'a str, &'static str)> {
+    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+    let mut j = i + 1;
+    while j < end
+        && toks[j].kind == TokKind::Punct
+        && matches!(toks[j].text.as_str(), "&" | "-" | "!" | "(")
+    {
+        j += 1;
+    }
+    if toks.get(j).is_none_or(|t| t.kind != TokKind::Ident) {
+        return None;
+    }
+    let bare_start = j;
+    let mut last = j;
+    while text(j + 1) == "." && toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident) {
+        j += 2;
+        last = j;
+    }
+    let name = toks[last].text.as_str();
+    let unit = if last == bare_start && text(last + 1) != "(" {
+        env.get(name).copied().or_else(|| unit_of_name(name))
+    } else {
+        unit_of_name(name)
+    };
+    unit.map(|u| (name, u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_fns;
+
+    fn flow_rules(src: &str) -> Vec<(&'static str, u32)> {
+        let toks = lex(src).tokens;
+        let shapes = parse_fns(&toks);
+        let sums = summaries(&toks, &shapes);
+        let mut out = Vec::new();
+        flow_candidates(&toks, &shapes, &sums, &mut out);
+        out.into_iter().map(|c| (c.rule, c.line)).collect()
+    }
+
+    #[test]
+    fn mutation_on_every_path_to_bump_is_clean() {
+        let src = "fn f(&mut self) {\n\
+                   self.resident.remove(p);\n\
+                   self.generation += 1;\n}\n";
+        assert!(flow_rules(src).is_empty());
+    }
+
+    #[test]
+    fn branch_that_skips_the_bump_is_d010() {
+        let src = "fn f(&mut self, hot: bool) {\n\
+                   self.resident.insert(p);\n\
+                   if hot {\n        self.generation += 1;\n    }\n}\n";
+        assert_eq!(flow_rules(src), vec![("D010", 2)]);
+    }
+
+    #[test]
+    fn container_file_without_any_generation_is_not_d010() {
+        // A pure container type (like the extent-set) has no generation of
+        // its own; the pricing wrapper that owns the spine is where D010
+        // asks its question.
+        let src = "fn remove(&mut self, p: u64) -> bool {\n\
+                   self.runs.remove(&p);\n    true\n}\n";
+        assert!(flow_rules(src).is_empty());
+    }
+
+    #[test]
+    fn guard_before_the_mutation_is_clean() {
+        // The early return happens before any mutation: nothing owed there.
+        let src = "fn f(&mut self) -> bool {\n\
+                   if !self.resident.contains(p) {\n        return false;\n    }\n\
+                   self.resident.remove(p);\n\
+                   self.generation += 1;\n\
+                   true\n}\n";
+        assert!(flow_rules(src).is_empty());
+    }
+
+    #[test]
+    fn bump_via_same_file_helper_discharges_d010() {
+        let src = "fn f(&mut self) {\n\
+                   self.resident.insert(p);\n\
+                   self.touch();\n}\n\
+                   fn touch(&mut self) { self.generation += 1; }\n";
+        assert!(flow_rules(src).is_empty());
+    }
+
+    #[test]
+    fn question_mark_path_without_post_is_d011() {
+        let src = "fn f(&mut self, d: D) -> R {\n\
+                   self.clock.advance(d);\n\
+                   let x = self.io()?;\n\
+                   self.usage.cpu += d;\n\
+                   Ok(x)\n}\n";
+        assert_eq!(flow_rules(src), vec![("D011", 2)]);
+    }
+
+    #[test]
+    fn span_closed_behind_a_closure_is_clean() {
+        let src = "fn f(&mut self) -> R {\n\
+                   self.tracer.begin(l, n, t0, a);\n\
+                   let r = (|| { let x = self.io()?; Ok(x) })();\n\
+                   self.tracer.end(t1);\n\
+                   r\n}\n";
+        assert!(flow_rules(src).is_empty());
+    }
+
+    #[test]
+    fn span_opener_api_without_any_end_is_exempt() {
+        let src = "fn open_span(&mut self) { self.tracer.begin(l, n, t, a); }\n";
+        assert!(flow_rules(src).is_empty());
+    }
+
+    #[test]
+    fn cross_unit_addition_through_a_local_is_d013() {
+        let src = "fn f(first_latency_ns: u64, total_bytes: u64) -> bool {\n\
+                   let budget = first_latency_ns;\n\
+                   budget < total_bytes\n}\n";
+        assert_eq!(flow_rules(src), vec![("D013", 3)]);
+    }
+
+    #[test]
+    fn conversion_context_suppresses_d013() {
+        let src = "fn f(span_pages: u64) -> u64 { span_pages * SECTORS_PER_PAGE }\n\
+                   fn g(lat_ns: u64, total_bytes: u64, bw_bytes: u64) -> u64 {\n\
+                   lat_ns + total_bytes / bw_bytes\n}\n";
+        assert!(flow_rules(src).is_empty());
+    }
+
+    #[test]
+    fn traces_name_the_witness_path() {
+        let src = "fn f(&mut self, hot: bool) {\n\
+                   self.resident.insert(p);\n\
+                   if hot {\n        self.generation += 1;\n    }\n}\n";
+        let toks = lex(src).tokens;
+        let shapes = parse_fns(&toks);
+        let sums = summaries(&toks, &shapes);
+        let mut out = Vec::new();
+        flow_candidates(&toks, &shapes, &sums, &mut out);
+        assert_eq!(out.len(), 1);
+        let trace = &out[0].trace;
+        assert!(trace.len() >= 2, "trace too short: {trace:?}");
+        assert!(trace[0].1.contains("resident"));
+        assert!(trace.last().unwrap().1.contains("exit"));
+    }
+}

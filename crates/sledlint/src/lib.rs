@@ -8,7 +8,12 @@
 //!
 //! - [`lexer`] — a minimal Rust lexer (strings, comments, lifetimes, raw
 //!   strings handled correctly; no parser).
-//! - [`rules`] — the rule table (`D001`…`D008` plus waiver hygiene `W001`/
+//! - [`parser`] — shape parsing: `fn` item discovery and body ranges.
+//! - [`cfg`] — per-fn control-flow graphs over domain events (mutations,
+//!   generation bumps, clock advances, usage posts, span begin/end).
+//! - [`flow`] — must-reach dataflow over those CFGs plus one-level call
+//!   summaries, powering the flow-sensitive rules `D010`–`D013`.
+//! - [`rules`] — the rule table (`D001`…`D013` plus waiver hygiene `W001`/
 //!   `W002`) and the scope policy deciding where each rule applies.
 //! - [`engine`] — detection, `#[cfg(test)]` region tracking, and
 //!   `// sledlint::allow(RULE, reason)` waiver resolution.
@@ -17,10 +22,13 @@
 //! The crate is deliberately dependency-free: PR 1 made the workspace
 //! hermetic, and the lint gate must not be the thing that breaks that.
 
+pub mod cfg;
 pub mod engine;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod walk;
 
 pub use engine::{scan_source, Finding};
-pub use walk::{find_workspace_root, scan_workspace};
+pub use walk::{find_workspace_root, scan_workspace, workspace_files};

@@ -77,6 +77,34 @@ pub const RULES: &[Rule] = &[
                     stalled consumer grows memory without limit",
     },
     Rule {
+        code: "D010",
+        name: "generation-spine-integrity",
+        invariant: "a kernel-path fn that mutates SLED-priced state (residency extents, run \
+                    lists) must reach a generation/epoch bump on every exit path, or stale \
+                    cached prices survive the mutation and FSLEDS_WALK quotes the wrong cost",
+    },
+    Rule {
+        code: "D011",
+        name: "clock-charge-completeness",
+        invariant: "every path that advances the virtual clock must also post the charge to \
+                    Rusage before returning: time that passes without being billed breaks the \
+                    conservation law the accuracy windows audit",
+    },
+    Rule {
+        code: "D012",
+        name: "trace-span-balance",
+        invariant: "a fn that ends trace spans must end every span it begins on all exit \
+                    paths, including `?` and early returns, or nesting depth drifts and the \
+                    span tree becomes unparseable",
+    },
+    Rule {
+        code: "D013",
+        name: "unit-flow-safety",
+        invariant: "adding/comparing values whose names carry different units (ns vs bytes vs \
+                    sectors vs pages), directly or through a local alias, without a visible \
+                    conversion: unit confusion silently corrupts the cost model",
+    },
+    Rule {
         code: "W001",
         name: "malformed-waiver",
         invariant: "a sledlint::allow comment that does not parse as (RULE, reason) suppresses \
@@ -144,7 +172,7 @@ impl FileScope {
             "D002" => !self.host_tool() && !self.test_context && !in_test_region,
             "D003" => true,
             "D004" => !self.test_context && !in_test_region,
-            "D005" | "D006" | "D007" | "D008" | "D009" => {
+            "D005" | "D006" | "D007" | "D008" | "D009" | "D010" | "D011" | "D012" | "D013" => {
                 self.kernel_path && !self.test_context && !in_test_region
             }
             _ => true,

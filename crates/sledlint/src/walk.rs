@@ -31,12 +31,21 @@ pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
     }
 }
 
-/// Scans every workspace `.rs` file. Returns `(files_scanned, findings)`,
-/// findings ordered by path then line.
-pub fn scan_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+/// Every workspace `.rs` file the lint walks, workspace-relative and
+/// sorted. `examples/`, `tests/` and `benches/` are included — the scope
+/// policy in [`crate::rules`] relaxes which rules apply there (the relaxed
+/// non-kernel profile), but determinism rules like D003 still hold.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
     let mut files = Vec::new();
     collect_rs(root, root, &mut files)?;
     files.sort();
+    Ok(files)
+}
+
+/// Scans every workspace `.rs` file. Returns `(files_scanned, findings)`,
+/// findings ordered by path then line.
+pub fn scan_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let files = workspace_files(root)?;
     let mut findings = Vec::new();
     for path in &files {
         let src = fs::read_to_string(root.join(path))?;

@@ -29,3 +29,17 @@ fn not_a_retry_loop(xs: &[u64]) -> u64 {
     }
     sum
 }
+
+// Split across a helper, but bounded: the helper both resubmits and
+// consults the policy bound, and the one-level summary sees both.
+fn drain_split_bounded(dev: &mut Dev, policy: &RetryPolicy) {
+    while dev.has_pending() {
+        step_bounded(dev, policy);
+    }
+}
+
+fn step_bounded(dev: &mut Dev, policy: &RetryPolicy) {
+    if dev.tries() < policy.max_attempts {
+        dev.resubmit_one();
+    }
+}

@@ -16,3 +16,16 @@ fn drain_failed(q: &mut Queue) {
         q.resubmit_one();
     }
 }
+
+// The retry machinery and the (missing) bound both live one call down: the
+// loop body only calls a helper, but the helper resubmits with no policy in
+// sight anywhere along the chain.
+fn drain_split(dev: &mut Dev) {
+    while dev.has_pending() {
+        step_once(dev);
+    }
+}
+
+fn step_once(dev: &mut Dev) {
+    dev.resubmit_one();
+}

@@ -20,3 +20,19 @@ struct RingCursor {
 struct ExtentList {
     extents: Vec<Extent>,
 }
+
+// A generic bound with parentheses (`Fn(..)`) is not a tuple struct; the
+// named-field body is still scanned and its capacity bound still counts.
+struct FlushQueue<F: Fn(u64) -> bool> {
+    pending: Vec<u64>,
+    cap: usize,
+    accept: F,
+}
+
+// A type alias has no field body to carry a bound; the struct it points at
+// is where D009 looks.
+type RequestQueue = VecDeque<Request>;
+
+// Tuple structs have no named fields, so there is nowhere to name a bound;
+// they are out of scope by design.
+struct DepthRing(Vec<u64>);

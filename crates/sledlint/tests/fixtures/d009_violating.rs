@@ -10,3 +10,9 @@ struct CompletionRing {
     slots: Vec<Completion>,
     head: usize,
 }
+
+// Generic queues are still queues: type parameters between the name and
+// the body must not hide the growable storage.
+pub struct RetryRing<T> {
+    items: Vec<T>,
+}

@@ -1,0 +1,23 @@
+// D010 clean fixture: every priced-state mutation reaches a generation
+// bump on all exit paths — after a guard, directly, or through a same-file
+// helper. Early returns *before* the mutation owe nothing.
+
+impl Index {
+    fn remove_page(&mut self, p: u64) -> bool {
+        if !self.resident.contains(p) {
+            return false;
+        }
+        self.resident.remove(p);
+        self.generation += 1;
+        true
+    }
+
+    fn add_page(&mut self, p: u64) {
+        self.resident.insert(p);
+        self.touch();
+    }
+
+    fn touch(&mut self) {
+        self.generation += 1;
+    }
+}

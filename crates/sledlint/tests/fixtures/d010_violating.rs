@@ -1,0 +1,16 @@
+// D010 fixture: SLED-priced state (residency extents, layout runs) mutated
+// on a path that reaches the function exit without a generation bump, so a
+// cached price survives the mutation it should have invalidated.
+
+impl Index {
+    fn drop_page(&mut self, p: u64) {
+        self.resident.remove(p);
+    }
+
+    fn add_page(&mut self, p: u64, hot: bool) {
+        self.resident.insert(p);
+        if hot {
+            self.generation += 1;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// D011 clean fixture: every clock advance posts its charge before any
+// path can exit — immediately, or through a same-file helper that does
+// the posting.
+
+impl Kernel {
+    fn charge(&mut self, d: SimDuration) -> SimResult<u64> {
+        self.clock.advance(d);
+        self.usage.cpu += d;
+        let r = self.submit()?;
+        Ok(r)
+    }
+
+    fn charge_via_helper(&mut self, extents: u64) {
+        self.clock.advance(self.cfg.walk_cost(extents));
+        self.post_cpu(extents);
+    }
+
+    fn post_cpu(&mut self, extents: u64) {
+        self.usage.cpu += self.cfg.walk_cost(extents);
+    }
+}

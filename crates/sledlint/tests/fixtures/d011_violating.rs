@@ -1,0 +1,16 @@
+// D011 fixture: the virtual clock advances, then a path exits without
+// posting the cost to Rusage — time passes that nobody is billed for, and
+// the conservation law the accuracy windows audit no longer holds.
+
+impl Kernel {
+    fn charge_partial(&mut self, d: SimDuration) -> SimResult<()> {
+        self.clock.advance(d);
+        let r = self.submit()?;
+        self.usage.cpu += d;
+        Ok(r)
+    }
+
+    fn advance_only(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+}

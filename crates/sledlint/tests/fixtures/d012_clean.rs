@@ -1,0 +1,20 @@
+// D012 clean fixture: the kernel's span discipline. Fallible work runs
+// inside an immediately-invoked closure so `?` exits the closure, not the
+// function, and the end always runs. A fn that only *opens* a span (the
+// `trace_app_begin` opener API) is exempt — the caller owns the end.
+
+impl Kernel {
+    fn traced_io(&mut self) -> SimResult<u64> {
+        self.tracer.begin(Layer::Fs, "io", self.clock.now(), 0);
+        let r = (|| {
+            let x = self.submit()?;
+            Ok(x)
+        })();
+        self.tracer.end(self.clock.now());
+        r
+    }
+
+    fn trace_app_begin(&mut self, name: &str) {
+        self.tracer.begin(Layer::App, name, self.clock.now(), 0);
+    }
+}

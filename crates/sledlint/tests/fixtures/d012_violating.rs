@@ -1,0 +1,20 @@
+// D012 fixture: spans opened but not closed on every exit path. The `?`
+// and the early return leak an open span, so nesting depth drifts and the
+// span tree stops parsing.
+
+impl Kernel {
+    fn traced_io(&mut self) -> SimResult<u64> {
+        self.tracer.begin(Layer::Fs, "io", self.clock.now(), 0);
+        let r = self.submit()?;
+        self.tracer.end(self.clock.now());
+        Ok(r)
+    }
+
+    fn traced_branch(&mut self, fast: bool) {
+        self.tracer.begin(Layer::Fs, "op", self.clock.now(), 0);
+        if fast {
+            return;
+        }
+        self.tracer.end(self.clock.now());
+    }
+}

@@ -1,0 +1,21 @@
+// D013 clean fixture: same-unit arithmetic is fine, and a visible scaling
+// (`*`, `/`) or cast in the expression marks a deliberate conversion. The
+// suffix convention also lets a conversion rename the result into the new
+// unit, which keeps later arithmetic checkable.
+
+fn same_unit(span_pages: u64, head_pages: u64) -> u64 {
+    span_pages + head_pages
+}
+
+fn converted_inline(span_pages: u64, tail_sectors: u64) -> u64 {
+    span_pages * SECTORS_PER_PAGE + tail_sectors
+}
+
+fn converted_then_named(span_pages: u64, tail_sectors: u64) -> u64 {
+    let span_sectors = span_pages * SECTORS_PER_PAGE;
+    span_sectors + tail_sectors
+}
+
+fn rate_is_a_conversion(lat_ns: u64, total_bytes: u64, bw_bytes: u64) -> bool {
+    lat_ns < total_bytes / bw_bytes
+}

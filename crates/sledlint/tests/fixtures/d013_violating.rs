@@ -1,0 +1,12 @@
+// D013 fixture: arithmetic mixing values whose names carry different
+// units, with no visible conversion — directly, and laundered through a
+// local alias.
+
+fn over_budget(first_latency_ns: u64, total_bytes: u64) -> bool {
+    let budget = first_latency_ns;
+    budget < total_bytes
+}
+
+fn span_len(span_pages: u64, tail_sectors: u64) -> u64 {
+    span_pages + tail_sectors
+}

@@ -14,11 +14,24 @@ run() {
     "$@"
 }
 
+# Scratch space for regenerated artifacts that diff against committed
+# baselines below.
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo run -p sledlint --release
 run cargo test -q
+
+# Lint-baseline gate: the machine-readable report must match the committed
+# baseline (modulo the file count, which grows with the tree). A new finding
+# or a new waiver shows up as a diff here and must be committed consciously.
+echo "==> sledlint --json baseline diff"
+cargo run -q -p sledlint --release -- --json > "$scratch/LINT_baseline.json"
+run diff -u <(grep -v files_scanned results/LINT_baseline.json) \
+    <(grep -v files_scanned "$scratch/LINT_baseline.json")
 
 # The observability pipeline end to end: traced mixed-device workload,
 # Chrome trace export, prediction-accuracy audit. The example asserts the
@@ -30,8 +43,7 @@ run cargo run --release --example trace_viewer
 # exercised class, and recalibration is a pure function of the trace, so
 # its output must match the committed baseline byte-for-byte — any drift
 # in prediction accuracy fails this diff.
-recal_tmp=$(mktemp -d)
-trap 'rm -rf "$recal_tmp"' EXIT
+recal_tmp="$scratch"
 run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example recal_loop
 run diff -u results/AUDIT_recal.json "$recal_tmp/AUDIT_recal.json"
 
