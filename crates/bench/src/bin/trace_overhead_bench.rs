@@ -71,6 +71,7 @@ fn device_event_ns(t: &mut Tracer) -> f64 {
             "disk.read",
             false,
             SimTime::from_nanos(ts),
+            sleds_sim_core::SimDuration::ZERO,
             sleds_sim_core::SimDuration::from_nanos(12_900_000),
             ts / 1000,
             8,

@@ -179,7 +179,7 @@ mod tests {
     fn disk_metrics(n: u64) -> Metrics {
         let mut m = Metrics::default();
         for _ in 0..n {
-            m.note_device(1, false, 118_000_000, 1_000_000, 100_000_000);
+            m.note_device(0, 1, false, 118_000_000, 1_000_000, 100_000_000, 0);
         }
         m
     }
@@ -236,7 +236,7 @@ mod tests {
         for _ in 0..3 {
             // A pathological command: 1000 s to first byte, 1 byte moved
             // over 10 s (0.1 B/s).
-            m.note_device(4, false, 1_010_000_000_000, 1, 10_000_000_000);
+            m.note_device(0, 4, false, 1_010_000_000_000, 1, 10_000_000_000, 0);
         }
         let out = recalibrate_from_metrics(
             &base_table(),

@@ -167,6 +167,11 @@ pub enum PhaseKind {
     /// Resubmission overhead paid by the first success after a transient
     /// failure.
     Retry,
+    /// Time a command spent queued behind earlier commands on the same
+    /// device before service began. Computed by the kernel's per-device
+    /// command queue, not by the device model: the device never sees the
+    /// wait, it only sees the (later) service start time.
+    QueueWait,
 }
 
 impl PhaseKind {
@@ -189,6 +194,7 @@ impl PhaseKind {
             PhaseKind::ServerDisk => "server_disk",
             PhaseKind::Fault => "fault",
             PhaseKind::Retry => "retry",
+            PhaseKind::QueueWait => "queue_wait",
         }
     }
 }

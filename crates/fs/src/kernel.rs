@@ -26,8 +26,8 @@ use std::collections::BTreeMap;
 use sleds_devices::{BlockDevice, DevStats, DeviceClass, FaultPlan, FaultState, PhaseKind};
 use sleds_pagecache::{PageCache, PageKey};
 use sleds_sim_core::{
-    Clock, DetRng, Errno, RetryPolicy, SimDuration, SimError, SimResult, SimTime, PAGE_SIZE,
-    SECTOR_SIZE,
+    Clock, DetRng, Errno, RetryPolicy, SimDuration, SimError, SimResult, SimTime, TenantId,
+    PAGE_SIZE, SECTOR_SIZE,
 };
 use sleds_trace::{Layer, Metrics, TraceEvent, Tracer};
 
@@ -35,6 +35,10 @@ use crate::inode::{FileKind, FileNode, Ino, Inode, InodeBody, PageMap, PagePlace
 use crate::machine::MachineConfig;
 use crate::prog::{
     prog_inputs, PickProgram, ProgEntry, ProgOrder, ProgPricing, ProgSled, WalkEntry,
+};
+use crate::queue::{
+    CmdQueue, DeviceSaturation, SaturationReport, TenantAttribution, TenantShare, BULLY_SHARE_PPM,
+    CMD_QUEUE_CAPACITY, SATURATION_UTIL_PPM,
 };
 use crate::ring::{RingCompletion, RingOp, RingPayload, SubmissionRing};
 use crate::rusage::{JobReport, JobTimer, Rusage};
@@ -208,6 +212,25 @@ struct OpenFile {
     flags: OpenFlags,
 }
 
+/// One registered tenant: its own timeline and accumulated usage.
+///
+/// The kernel runs one tenant at a time; [`Kernel::tenant_switch`] parks
+/// the active tenant's clock here and resumes the target's. Per-tenant
+/// usage is maintained by snapshot-diff against the global counters at
+/// switch points, so the per-tenant rows always sum exactly to the global
+/// [`Rusage`] — every charge site feeds both without knowing tenants exist.
+#[derive(Clone, Debug)]
+struct TenantState {
+    name: String,
+    /// Where this tenant's timeline is parked while it is not active.
+    clock_at: SimTime,
+    /// Virtual instant the tenant was registered; its elapsed time is
+    /// measured from here.
+    registered_at: SimTime,
+    /// Usage accumulated over the tenant's past active slices.
+    usage: Rusage,
+}
+
 /// The simulated kernel.
 pub struct Kernel {
     cfg: MachineConfig,
@@ -240,6 +263,17 @@ pub struct Kernel {
     ring_enters: u64,
     /// Lifetime count of ring operations serviced.
     ring_ops: u64,
+    /// One bounded command queue per attached device (same index as
+    /// `devices`): queue-wait pricing and saturation telemetry.
+    queues: Vec<CmdQueue>,
+    /// Registered tenants; index 0 is the implicit main tenant every
+    /// kernel boots with, so single-tenant workloads never see this layer.
+    tenants: Vec<TenantState>,
+    /// Index into `tenants` of the tenant whose timeline `clock` is.
+    active_tenant: usize,
+    /// Global usage at the last tenant switch; the delta since is the
+    /// active tenant's not-yet-flushed share.
+    tenant_snapshot: Rusage,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -287,6 +321,15 @@ impl Kernel {
             fd_progs: BTreeMap::new(),
             ring_enters: 0,
             ring_ops: 0,
+            queues: Vec::new(),
+            tenants: vec![TenantState {
+                name: "main".to_string(),
+                clock_at: SimTime::ZERO,
+                registered_at: SimTime::ZERO,
+                usage: Rusage::default(),
+            }],
+            active_tenant: 0,
+            tenant_snapshot: Rusage::default(),
         }
     }
 
@@ -338,6 +381,111 @@ impl Kernel {
     /// Page-cache capacity in pages.
     pub fn cache_capacity_pages(&self) -> usize {
         self.cache.capacity()
+    }
+
+    // ------------------------------------------------------------------
+    // Tenants: interleaved timelines on shared devices
+    // ------------------------------------------------------------------
+
+    /// Registers a new tenant named `name`; its timeline starts at the
+    /// current virtual time. Returns its id. Tenant 0 ("main") always
+    /// exists — it is the tenant every kernel boots as.
+    pub fn tenant_register(&mut self, name: &str) -> TenantId {
+        let now = self.clock.now();
+        self.tenants.push(TenantState {
+            name: name.to_string(),
+            clock_at: now,
+            registered_at: now,
+            usage: Rusage::default(),
+        });
+        TenantId((self.tenants.len() - 1) as u64)
+    }
+
+    /// Makes `t` the active tenant: parks the current tenant's clock and
+    /// usage share, and resumes `t`'s timeline where it left off. The
+    /// virtual clock may move *backward* across a switch — tenants are
+    /// concurrent processes, each with its own monotone timeline — but a
+    /// device's command queue keeps every device's schedule monotone, so
+    /// queue waits (and only queue waits) reflect the interleaving.
+    pub fn tenant_switch(&mut self, t: TenantId) -> SimResult<()> {
+        let idx = t.0 as usize;
+        if idx >= self.tenants.len() {
+            return Err(SimError::new(
+                Errno::Einval,
+                format!("tenant_switch: no tenant {}", t.0),
+            ));
+        }
+        if idx == self.active_tenant {
+            return Ok(());
+        }
+        // Flush the outgoing tenant's usage share and park its clock.
+        let delta = self.usage.since(&self.tenant_snapshot);
+        self.tenants[self.active_tenant].usage.accumulate(&delta);
+        self.tenant_snapshot = self.usage;
+        self.tenants[self.active_tenant].clock_at = self.clock.now();
+        self.clock = Clock::resume_at(self.tenants[idx].clock_at);
+        self.active_tenant = idx;
+        self.tracer.set_tenant(t.0);
+        Ok(())
+    }
+
+    /// The tenant whose timeline the kernel clock currently is.
+    pub fn active_tenant(&self) -> TenantId {
+        TenantId(self.active_tenant as u64)
+    }
+
+    /// Number of registered tenants (including the implicit main tenant).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// A tenant's registered name.
+    pub fn tenant_name(&self, t: TenantId) -> Option<&str> {
+        self.tenants.get(t.0 as usize).map(|s| s.name.as_str())
+    }
+
+    /// `(id, name)` rows for every registered tenant, ascending by id —
+    /// the shape the Chrome exporter's lane labeling takes.
+    pub fn tenant_names(&self) -> Vec<(u64, String)> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s.name.clone()))
+            .collect()
+    }
+
+    /// A tenant's accumulated resource usage, including the active
+    /// tenant's not-yet-flushed share. Per-tenant rows sum exactly to
+    /// [`Kernel::usage`].
+    pub fn tenant_usage(&self, t: TenantId) -> Option<Rusage> {
+        let idx = t.0 as usize;
+        self.tenants.get(idx).map(|s| {
+            let mut u = s.usage;
+            if idx == self.active_tenant {
+                u.accumulate(&self.usage.since(&self.tenant_snapshot));
+            }
+            u
+        })
+    }
+
+    /// Where a tenant's timeline currently stands (the kernel clock for
+    /// the active tenant, its parked clock otherwise).
+    pub fn tenant_now(&self, t: TenantId) -> Option<SimTime> {
+        let idx = t.0 as usize;
+        self.tenants.get(idx).map(|s| {
+            if idx == self.active_tenant {
+                self.clock.now()
+            } else {
+                s.clock_at
+            }
+        })
+    }
+
+    /// Virtual time elapsed on a tenant's timeline since it registered.
+    pub fn tenant_elapsed(&self, t: TenantId) -> Option<SimDuration> {
+        let idx = t.0 as usize;
+        let registered = self.tenants.get(idx)?.registered_at;
+        self.tenant_now(t).map(|now| now.duration_since(registered))
     }
 
     // ------------------------------------------------------------------
@@ -431,6 +579,108 @@ impl Kernel {
         self.sleds_epoch
     }
 
+    /// The command queue (and its saturation telemetry) of a device.
+    pub fn device_queue(&self, dev: DeviceId) -> Option<&CmdQueue> {
+        self.queues.get(dev.0)
+    }
+
+    /// Builds the saturation/attribution report from the per-device queue
+    /// telemetry: per-device utilization and per-tenant demand shares
+    /// (bullies flagged), and per-tenant latency attribution whose
+    /// own-service + queue-wait sums exactly to the observed device time.
+    /// Pure query: charges nothing; `FSLEDS_SATSTAT` is the priced ioctl.
+    pub fn saturation_report(&self) -> SaturationReport {
+        let mut devices = Vec::new();
+        for (i, q) in self.queues.iter().enumerate() {
+            if q.commands() == 0 {
+                continue;
+            }
+            let utilization_ppm = q.utilization_ppm();
+            let saturated = utilization_ppm >= SATURATION_UTIL_PPM && q.queue_wait_ns() > 0;
+            let busy = q.busy_ns();
+            let shares: Vec<TenantShare> = q
+                .tenant_loads()
+                .map(|(tenant, load)| {
+                    let demand_share_ppm = if busy == 0 {
+                        0
+                    } else {
+                        ((load.busy_ns as u128 * 1_000_000) / busy as u128) as u64
+                    };
+                    TenantShare {
+                        tenant,
+                        load: *load,
+                        demand_share_ppm,
+                        bully: saturated && demand_share_ppm >= BULLY_SHARE_PPM,
+                    }
+                })
+                .collect();
+            devices.push(DeviceSaturation {
+                device: i,
+                name: self.devices[i].name().to_string(),
+                class_code: class_code(self.devices[i].class()),
+                window_ns: q.window_ns(),
+                busy_ns: busy,
+                queue_wait_ns: q.queue_wait_ns(),
+                utilization_ppm,
+                commands: q.commands(),
+                bytes: q.bytes(),
+                throughput_bytes_per_sec: q.throughput_bytes_per_sec(),
+                depth_high_water: q.depth_high_water(),
+                saturated,
+                shares,
+            });
+        }
+        let mut tenants = Vec::new();
+        for (id, state) in self.tenants.iter().enumerate() {
+            let id = id as u64;
+            let mut own_service_ns = 0u64;
+            let mut queue_wait_ns = 0u64;
+            let mut observed_ns = 0u64;
+            let mut waited: BTreeMap<u64, u64> = BTreeMap::new();
+            for q in &self.queues {
+                for (t, load) in q.tenant_loads() {
+                    if t == id {
+                        own_service_ns = own_service_ns.saturating_add(load.busy_ns);
+                        queue_wait_ns = queue_wait_ns.saturating_add(load.queue_wait_ns);
+                        observed_ns = observed_ns.saturating_add(load.observed_ns);
+                    }
+                }
+                for ((waiter, owner), ns) in q.wait_rows() {
+                    if waiter == id {
+                        *waited.entry(owner).or_insert(0) += ns;
+                    }
+                }
+            }
+            // Who the waiting was behind, worst offender first.
+            let mut waited_on: Vec<(u64, u64)> = waited.into_iter().collect();
+            waited_on.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            tenants.push(TenantAttribution {
+                tenant: id,
+                name: state.name.clone(),
+                own_service_ns,
+                queue_wait_ns,
+                observed_ns,
+                waited_on,
+            });
+        }
+        SaturationReport { devices, tenants }
+    }
+
+    /// The `FSLEDS_SATSTAT` ioctl: the saturation observatory's snapshot —
+    /// per-device utilization/queue telemetry with per-tenant demand
+    /// shares and bully flags, plus per-tenant latency attribution.
+    /// Charges one syscall; rows are empty until devices see commands.
+    pub fn fsleds_satstat(&mut self, fd: Fd) -> SimResult<SaturationReport> {
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_satstat", t0, [fd.0, 0, 0]);
+        self.charge_syscall();
+        let r = self.openfile(fd).map(|_| self.saturation_report());
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
     /// Opens an application-level span (e.g. one `grep` invocation); the
     /// span nests every syscall traced until [`Kernel::trace_app_end`].
     pub fn trace_app_begin(&mut self, name: &'static str) {
@@ -503,13 +753,17 @@ impl Kernel {
         Ok(self.devices[self.mounts[mount.0].dev.0].class())
     }
 
-    /// Emits a device-service span, with the device's own phase breakdown
-    /// (seek/rotation/transfer, locate/stream, rpc/link, ...) as children.
+    /// Emits a device-command span: queue wait (when nonzero) followed by
+    /// the device's own phase breakdown (seek/rotation/transfer,
+    /// locate/stream, rpc/link, ...) as children. `ts` is the submission
+    /// instant; the span covers `qwait + dur`.
+    #[allow(clippy::too_many_arguments)]
     fn trace_device(
         &mut self,
         dev: DeviceId,
         write: bool,
         ts: SimTime,
+        qwait: SimDuration,
         dur: SimDuration,
         sector: u64,
         sectors: u64,
@@ -543,6 +797,7 @@ impl Kernel {
             device_event_name(class, write),
             write,
             ts,
+            qwait,
             dur,
             sector,
             sectors,
@@ -651,21 +906,32 @@ impl Kernel {
     ) -> SimResult<SimDuration> {
         let class = self.devices[dev.0].class();
         let policy = self.retry_policies[class_code(class) as usize];
+        let tenant = self.active_tenant as u64;
         let first_try = self.clock.now();
         let mut attempt = 0u32;
         // Bounded: exits by `policy.max_attempts` or the policy timeout.
         loop {
             attempt += 1;
             let now = self.clock.now();
+            // FIFO command queue: the device services commands in
+            // submission order, so this command starts when the device
+            // falls idle. In a single-tenant run the caller's clock has
+            // always advanced past the previous completion and the wait
+            // is zero; interleaved tenant timelines make it real. The
+            // device sees the (monotone) service start, never the wait.
+            let qwait = self.queues[dev.0].queue_wait(now);
+            let start = now + qwait;
             let r = if write {
-                self.devices[dev.0].write(sector, sectors, now)
+                self.devices[dev.0].write(sector, sectors, start)
             } else {
-                self.devices[dev.0].read(sector, sectors, now)
+                self.devices[dev.0].read(sector, sectors, start)
             };
             let err = match r {
                 Ok(t) => {
+                    self.queues[dev.0].note_command(tenant, now, qwait, t, sectors * SECTOR_SIZE);
+                    self.charge_queue_wait(qwait);
                     self.charge_io(t);
-                    self.trace_device(dev, write, now, t, sector, sectors);
+                    self.trace_device(dev, write, now, qwait, t, sector, sectors);
                     if write {
                         self.usage.device_writes += 1;
                     } else {
@@ -689,6 +955,10 @@ impl Kernel {
             if cost.is_zero() {
                 return Err(err);
             }
+            // The faulted attempt occupied the device too: it queued like
+            // any command and held the bus for its fault phase.
+            self.queues[dev.0].note_command(tenant, now, qwait, cost, 0);
+            self.charge_queue_wait(qwait);
             self.charge_io(cost);
             let t_fail = self.clock.now();
             self.tracer.fault_inject(
@@ -814,12 +1084,24 @@ impl Kernel {
         self.usage.io_wait += d;
     }
 
+    /// Queue wait is I/O wait the caller pays before the device moves;
+    /// also mirrored into its own rusage column so tenants can see how
+    /// much of their I/O time was spent behind other tenants.
+    fn charge_queue_wait(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.charge_io(d);
+        self.usage.queue_wait = self.usage.queue_wait.saturating_add(d);
+    }
+
     // ------------------------------------------------------------------
     // Devices and mounts
     // ------------------------------------------------------------------
 
     fn add_device(&mut self, dev: Box<dyn BlockDevice>) -> DeviceId {
         self.devices.push(dev);
+        self.queues.push(CmdQueue::new(CMD_QUEUE_CAPACITY));
         DeviceId(self.devices.len() - 1)
     }
 
@@ -1789,6 +2071,12 @@ impl Kernel {
     /// twin. Stops early when the completion queue fills — the leftovers
     /// stay queued for the next enter. Returns the number serviced.
     pub fn ring_enter(&mut self, ring: &mut SubmissionRing) -> SimResult<usize> {
+        // The ring's ops run on (and are charged to) the ring owner's
+        // timeline, whoever drives the enter — asynchronous submission:
+        // the driver's own clock does not advance for the batch.
+        let prev = self.active_tenant();
+        let owner = ring.tenant();
+        self.tenant_switch(owner)?;
         let t0 = self.clock.now();
         let submitted = ring.sq_len() as u64;
         self.tracer
@@ -1809,6 +2097,7 @@ impl Kernel {
         let now = self.clock.now();
         self.tracer.ring_submit(now, submitted, serviced as u64);
         self.tracer.end(now);
+        self.tenant_switch(prev)?;
         Ok(serviced)
     }
 
@@ -2531,11 +2820,19 @@ impl Kernel {
         self.allocate_sectors(mount, pages).map(|_| ())
     }
 
-    /// Resets cache and usage counters (not residency or positions); used
-    /// between a warm-up run and measured runs.
+    /// Resets cache, usage, tenant, and queue-telemetry counters (not
+    /// residency, positions, or device schedules); used between a warm-up
+    /// run and measured runs.
     pub fn reset_counters(&mut self) {
         self.cache.reset_stats();
         self.usage = Rusage::default();
+        self.tenant_snapshot = Rusage::default();
+        for t in &mut self.tenants {
+            t.usage = Rusage::default();
+        }
+        for q in &mut self.queues {
+            q.reset_telemetry();
+        }
         for d in &mut self.devices {
             d.reset_stats();
         }

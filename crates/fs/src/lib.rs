@@ -27,6 +27,7 @@ pub mod inode;
 pub mod kernel;
 pub mod machine;
 pub mod prog;
+pub mod queue;
 pub mod ring;
 pub mod rusage;
 
@@ -38,6 +39,11 @@ pub use prog::{
     prog_inputs, CostCert, PickProgram, ProgEntry, ProgInputs, ProgInst, ProgOrder, ProgPricing,
     ProgSled, WalkEntry, MAX_PROG_COST_NS, MAX_PROG_LEN, MAX_PROG_STACK,
 };
+pub use queue::{
+    CmdQueue, DeviceSaturation, QueueSample, SaturationReport, TenantAttribution, TenantLoad,
+    TenantShare, BULLY_SHARE_PPM, CMD_QUEUE_CAPACITY, SATURATION_UTIL_PPM,
+};
 pub use ring::{RingCompletion, RingOp, RingPayload, SubmissionRing, DEFAULT_RING_ENTRIES};
 pub use rusage::{JobReport, JobTimer, Rusage};
+pub use sleds_sim_core::{TenantId, VirtualSubmitter};
 pub use sleds_trace as trace;

@@ -1,0 +1,521 @@
+//! Per-device bounded command queues: queue-wait pricing and saturation
+//! telemetry.
+//!
+//! The kernel owns one [`CmdQueue`] per attached device. Service is FIFO
+//! in submission order: the queue remembers when the device is busy until,
+//! and a command submitted at `now` waits `busy_until - now` before its
+//! service starts. In a single-tenant run the caller's clock has always
+//! advanced past the previous command's completion, so the wait is zero
+//! and this layer is invisible — queue wait only appears when several
+//! tenants' timelines interleave on one device.
+//!
+//! Besides pricing the wait, the queue is the saturation observatory's
+//! sensor: it keeps a bounded drop-oldest history of occupancy segments
+//! (who held the device when) used to attribute each wait to the tenants
+//! it was spent behind, a bounded ring of depth/throughput samples on the
+//! virtual clock, and cumulative per-tenant load. All counters are
+//! integers and all containers are bounded (sledlint D009) or keyed by
+//! registered tenants, so snapshots replay bit-identically.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sleds_sim_core::time::NANOS_PER_SEC;
+use sleds_sim_core::{SimDuration, SimTime};
+
+/// Occupancy segments and depth samples retained per device queue
+/// (drop-oldest beyond this).
+pub const CMD_QUEUE_CAPACITY: usize = 64;
+
+/// A device is *saturated* when it was busy for at least this share
+/// (parts per million) of its active window and someone actually waited.
+pub const SATURATION_UTIL_PPM: u64 = 800_000;
+
+/// A tenant is a *bully* when its demand share of a saturated device is
+/// at least this (parts per million).
+pub const BULLY_SHARE_PPM: u64 = 250_000;
+
+/// One past service interval on the device, tagged with its owner.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    owner: u64,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// One utilization sample, taken at each command submission: queue depth
+/// ahead of the command and cumulative busy time / bytes at that instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Virtual instant of the submission.
+    pub at: SimTime,
+    /// Commands scheduled to finish after `at` (the line we joined).
+    pub depth: u64,
+    /// Cumulative device busy time at `at`, nanoseconds.
+    pub busy_ns: u64,
+    /// Cumulative bytes moved at `at`.
+    pub bytes: u64,
+}
+
+/// Cumulative load one tenant has placed on one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantLoad {
+    /// Commands completed (successful or fault-charged).
+    pub commands: u64,
+    /// Bytes moved by those commands.
+    pub bytes: u64,
+    /// Own service time: nanoseconds the device worked for this tenant.
+    pub busy_ns: u64,
+    /// Nanoseconds this tenant's commands waited in queue before service.
+    pub queue_wait_ns: u64,
+    /// Observed device latency: queue wait + service, as charged to the
+    /// tenant's clock. Tracked independently so reports can *check* that
+    /// own-service + queue-wait sums to what was observed.
+    pub observed_ns: u64,
+}
+
+/// The bounded FIFO command queue and telemetry for one device.
+#[derive(Debug)]
+pub struct CmdQueue {
+    /// Bound on retained segments and samples (D009: the capacity bound).
+    capacity: usize,
+    /// The device services commands in submission order; it is busy until
+    /// this instant.
+    busy_until: SimTime,
+    /// Recent occupancy segments, oldest first, bounded drop-oldest.
+    segments: VecDeque<Segment>,
+    /// Recent depth/throughput samples, oldest first, bounded drop-oldest.
+    samples: VecDeque<QueueSample>,
+    /// First submission seen (the active window opens here).
+    first_submit: Option<SimTime>,
+    /// Commands completed.
+    commands: u64,
+    /// Bytes moved.
+    bytes: u64,
+    /// Total device busy time, nanoseconds.
+    busy_ns: u64,
+    /// Total queue wait, nanoseconds.
+    queue_wait_ns: u64,
+    /// Deepest line any command joined.
+    depth_high_water: u64,
+    /// Per-tenant cumulative load.
+    per_tenant: BTreeMap<u64, TenantLoad>,
+    /// Cross-tenant wait attribution: `(waiter, owner) -> ns` the waiter
+    /// spent queued behind the owner's occupancy. Sums exactly to
+    /// `queue_wait_ns` by construction.
+    waits: BTreeMap<(u64, u64), u64>,
+}
+
+impl CmdQueue {
+    /// A queue retaining at most `capacity` (at least 1) segments/samples.
+    pub fn new(capacity: usize) -> CmdQueue {
+        CmdQueue {
+            capacity: capacity.max(1),
+            busy_until: SimTime::ZERO,
+            segments: VecDeque::new(),
+            samples: VecDeque::new(),
+            first_submit: None,
+            commands: 0,
+            bytes: 0,
+            busy_ns: 0,
+            queue_wait_ns: 0,
+            depth_high_water: 0,
+            per_tenant: BTreeMap::new(),
+            waits: BTreeMap::new(),
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How long a command submitted at `now` waits before service starts.
+    /// Pure query: zero whenever the device is already idle.
+    pub fn queue_wait(&self, now: SimTime) -> SimDuration {
+        self.busy_until.duration_since(now)
+    }
+
+    /// Records one completed command: submitted at `now`, waited `qwait`,
+    /// serviced for `service`, moved `bytes`. Updates occupancy, samples,
+    /// per-tenant load, and attributes the wait to the tenants whose
+    /// retained occupancy segments it overlapped (any portion older than
+    /// the retained history goes to the oldest retained owner, so the
+    /// attribution still sums exactly to the total wait).
+    pub fn note_command(
+        &mut self,
+        tenant: u64,
+        now: SimTime,
+        qwait: SimDuration,
+        service: SimDuration,
+        bytes: u64,
+    ) {
+        if self.first_submit.is_none() {
+            self.first_submit = Some(now);
+        }
+        // Depth sample at submission: how many retained occupancies were
+        // still scheduled to finish after we arrived.
+        let depth = self.segments.iter().filter(|s| s.end > now).count() as u64;
+        self.depth_high_water = self.depth_high_water.max(depth);
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(QueueSample {
+            at: now,
+            depth,
+            busy_ns: self.busy_ns,
+            bytes: self.bytes,
+        });
+
+        // Attribute the wait interval [now, busy_until) across the
+        // retained segments it was spent behind.
+        if !qwait.is_zero() {
+            let mut covered = 0u64;
+            for seg in &self.segments {
+                let lo = if seg.start > now { seg.start } else { now };
+                let hi = if seg.end < self.busy_until {
+                    seg.end
+                } else {
+                    self.busy_until
+                };
+                let part = hi.duration_since(lo).as_nanos();
+                if part > 0 {
+                    *self.waits.entry((tenant, seg.owner)).or_insert(0) += part;
+                    covered = covered.saturating_add(part);
+                }
+            }
+            let leftover = qwait.as_nanos().saturating_sub(covered);
+            if leftover > 0 {
+                // History older than the retained window: charge the
+                // oldest retained owner (or ourselves if nothing is left).
+                let owner = self.segments.front().map_or(tenant, |s| s.owner);
+                *self.waits.entry((tenant, owner)).or_insert(0) += leftover;
+            }
+            self.queue_wait_ns = self.queue_wait_ns.saturating_add(qwait.as_nanos());
+        }
+
+        // The new occupancy: service starts when the wait ends.
+        let start = now + qwait;
+        let end = start + service;
+        self.busy_until = end;
+        if self.segments.len() == self.capacity {
+            self.segments.pop_front();
+        }
+        self.segments.push_back(Segment {
+            owner: tenant,
+            start,
+            end,
+        });
+
+        self.commands += 1;
+        self.bytes = self.bytes.saturating_add(bytes);
+        self.busy_ns = self.busy_ns.saturating_add(service.as_nanos());
+        let load = self.per_tenant.entry(tenant).or_default();
+        load.commands += 1;
+        load.bytes = load.bytes.saturating_add(bytes);
+        load.busy_ns = load.busy_ns.saturating_add(service.as_nanos());
+        load.queue_wait_ns = load.queue_wait_ns.saturating_add(qwait.as_nanos());
+        load.observed_ns = load
+            .observed_ns
+            .saturating_add(qwait.as_nanos().saturating_add(service.as_nanos()));
+    }
+
+    /// The instant the device falls idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Commands completed.
+    pub fn commands(&self) -> u64 {
+        self.commands
+    }
+
+    /// Bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total device busy time, nanoseconds.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Total queue wait, nanoseconds.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.queue_wait_ns
+    }
+
+    /// Deepest line any command joined.
+    pub fn depth_high_water(&self) -> u64 {
+        self.depth_high_water
+    }
+
+    /// First submission, if any (the active window opens here).
+    pub fn first_submit(&self) -> Option<SimTime> {
+        self.first_submit
+    }
+
+    /// The active window: first submission to last completion, nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        match self.first_submit {
+            Some(t0) => self.busy_until.duration_since(t0).as_nanos(),
+            None => 0,
+        }
+    }
+
+    /// Device utilization over its active window, parts per million.
+    pub fn utilization_ppm(&self) -> u64 {
+        let w = self.window_ns();
+        if w == 0 {
+            return 0;
+        }
+        ((self.busy_ns as u128 * 1_000_000) / w as u128) as u64
+    }
+
+    /// Effective throughput over busy time, bytes per second.
+    pub fn throughput_bytes_per_sec(&self) -> u64 {
+        if self.busy_ns == 0 {
+            return 0;
+        }
+        ((self.bytes as u128 * NANOS_PER_SEC as u128) / self.busy_ns as u128) as u64
+    }
+
+    /// Per-tenant cumulative load rows, ascending by tenant.
+    pub fn tenant_loads(&self) -> impl Iterator<Item = (u64, &TenantLoad)> + '_ {
+        self.per_tenant.iter().map(|(&t, l)| (t, l))
+    }
+
+    /// Cross-tenant wait attribution rows `((waiter, owner), ns)`,
+    /// ascending by key.
+    pub fn wait_rows(&self) -> impl Iterator<Item = ((u64, u64), u64)> + '_ {
+        self.waits.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Retained depth/throughput samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &QueueSample> + '_ {
+        self.samples.iter()
+    }
+
+    /// Clears the cumulative telemetry (used between a warm-up and a
+    /// measured run). Occupancy state — `busy_until` and the retained
+    /// segments — persists: like a disk arm position, the device's
+    /// schedule is physical reality, not a counter.
+    pub fn reset_telemetry(&mut self) {
+        self.samples.clear();
+        self.first_submit = None;
+        self.commands = 0;
+        self.bytes = 0;
+        self.busy_ns = 0;
+        self.queue_wait_ns = 0;
+        self.depth_high_water = 0;
+        self.per_tenant.clear();
+        self.waits.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Saturation report
+// ---------------------------------------------------------------------
+
+/// One tenant's share of one device, derived for the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantShare {
+    /// The tenant.
+    pub tenant: u64,
+    /// Its cumulative load on this device.
+    pub load: TenantLoad,
+    /// Its share of the device's busy time, parts per million.
+    pub demand_share_ppm: u64,
+    /// True when the device is saturated and this share crosses
+    /// [`BULLY_SHARE_PPM`].
+    pub bully: bool,
+}
+
+/// Saturation state of one device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceSaturation {
+    /// Device index (the kernel's `DeviceId`).
+    pub device: usize,
+    /// Device name.
+    pub name: String,
+    /// Device-class code (as in trace events).
+    pub class_code: u64,
+    /// Active window (first submission to last completion), nanoseconds.
+    pub window_ns: u64,
+    /// Busy time inside the window, nanoseconds.
+    pub busy_ns: u64,
+    /// Total queue wait commands paid on this device, nanoseconds.
+    pub queue_wait_ns: u64,
+    /// `busy / window`, parts per million.
+    pub utilization_ppm: u64,
+    /// Commands completed.
+    pub commands: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Bytes over busy time, bytes per second.
+    pub throughput_bytes_per_sec: u64,
+    /// Deepest queue any command joined.
+    pub depth_high_water: u64,
+    /// Utilization at or above [`SATURATION_UTIL_PPM`] with nonzero wait.
+    pub saturated: bool,
+    /// Per-tenant shares, ascending by tenant id.
+    pub shares: Vec<TenantShare>,
+}
+
+/// One tenant's latency attribution across every device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantAttribution {
+    /// The tenant.
+    pub tenant: u64,
+    /// Its registered name.
+    pub name: String,
+    /// Nanoseconds devices spent servicing its own commands.
+    pub own_service_ns: u64,
+    /// Nanoseconds its commands waited in queues.
+    pub queue_wait_ns: u64,
+    /// Observed device latency (wait + service) charged to its clock.
+    /// Equals `own_service_ns + queue_wait_ns` exactly.
+    pub observed_ns: u64,
+    /// Who the waiting was behind: `(owner tenant, ns)`, descending by
+    /// ns then ascending by owner. Sums exactly to `queue_wait_ns`.
+    pub waited_on: Vec<(u64, u64)>,
+}
+
+/// The `FSLEDS_SATSTAT` payload: who is saturating what, and who pays.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SaturationReport {
+    /// Per-device saturation rows, ascending by device index.
+    pub devices: Vec<DeviceSaturation>,
+    /// Per-tenant attribution rows, ascending by tenant id.
+    pub tenants: Vec<TenantAttribution>,
+}
+
+impl SaturationReport {
+    /// Tenants flagged as bullies on any saturated device, ascending,
+    /// deduplicated.
+    pub fn bullies(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .devices
+            .iter()
+            .flat_map(|d| d.shares.iter().filter(|s| s.bully).map(|s| s.tenant))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    fn at(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn idle_device_has_no_wait() {
+        let mut q = CmdQueue::new(8);
+        assert!(q.queue_wait(at(0)).is_zero());
+        q.note_command(0, at(0), ns(0), ns(100), 512);
+        // The caller's clock has advanced past completion, as in any
+        // single-tenant run: still no wait.
+        assert!(q.queue_wait(at(100)).is_zero());
+        assert_eq!(q.busy_ns(), 100);
+        assert_eq!(q.queue_wait_ns(), 0);
+        assert_eq!(q.commands(), 1);
+    }
+
+    #[test]
+    fn wait_is_attributed_to_the_occupying_tenant() {
+        let mut q = CmdQueue::new(8);
+        // Tenant 1 holds the device for [0, 100).
+        q.note_command(1, at(0), ns(0), ns(100), 512);
+        // Tenant 2 arrives at 40, waits 60 behind tenant 1.
+        let w = q.queue_wait(at(40));
+        assert_eq!(w.as_nanos(), 60);
+        q.note_command(2, at(40), w, ns(50), 512);
+        assert_eq!(q.busy_until(), at(150));
+        assert_eq!(q.queue_wait_ns(), 60);
+        let waits: Vec<_> = q.wait_rows().collect();
+        assert_eq!(waits, vec![((2, 1), 60)]);
+        let loads: Vec<_> = q.tenant_loads().map(|(t, l)| (t, *l)).collect();
+        assert_eq!(loads[1].0, 2);
+        assert_eq!(loads[1].1.queue_wait_ns, 60);
+        assert_eq!(loads[1].1.busy_ns, 50);
+        assert_eq!(loads[1].1.observed_ns, 110);
+    }
+
+    #[test]
+    fn wait_spanning_two_owners_splits_exactly() {
+        let mut q = CmdQueue::new(8);
+        q.note_command(1, at(0), ns(0), ns(100), 0); // [0,100) owner 1
+        let w2 = q.queue_wait(at(100));
+        assert!(w2.is_zero());
+        q.note_command(2, at(100), w2, ns(50), 0); // [100,150) owner 2
+                                                   // Tenant 3 arrives at 30: waits 120 = 70 behind 1 + 50 behind 2.
+        let w3 = q.queue_wait(at(30));
+        assert_eq!(w3.as_nanos(), 120);
+        q.note_command(3, at(30), w3, ns(10), 0);
+        let waits: Vec<_> = q.wait_rows().collect();
+        assert_eq!(waits, vec![((3, 1), 70), ((3, 2), 50)]);
+        // Attribution sums exactly to the total wait.
+        let total: u64 = q.wait_rows().map(|(_, v)| v).sum();
+        assert_eq!(total, q.queue_wait_ns());
+    }
+
+    #[test]
+    fn dropped_history_still_sums_exactly() {
+        let mut q = CmdQueue::new(1); // retain only the newest segment
+        q.note_command(1, at(0), ns(0), ns(100), 0);
+        q.note_command(2, at(100), ns(0), ns(100), 0); // drops owner 1's segment
+        let w = q.queue_wait(at(10));
+        assert_eq!(w.as_nanos(), 190);
+        q.note_command(3, at(10), w, ns(5), 0);
+        // [100,200) is retained (owner 2); the [10,100) remainder is
+        // charged to the oldest retained owner — still tenant 2 here.
+        let total: u64 = q.wait_rows().map(|(_, v)| v).sum();
+        assert_eq!(total, q.queue_wait_ns());
+        assert_eq!(total, 190);
+    }
+
+    #[test]
+    fn depth_and_samples_are_bounded() {
+        let mut q = CmdQueue::new(4);
+        let mut now = at(0);
+        for i in 0..10u64 {
+            let w = q.queue_wait(now);
+            q.note_command(i % 3, now, w, ns(100), 64);
+            now += ns(10); // arrivals outpace service: depth grows
+        }
+        assert!(q.samples().count() <= 4);
+        assert!(q.depth_high_water() >= 1);
+        assert_eq!(q.commands(), 10);
+    }
+
+    #[test]
+    fn utilization_and_throughput_are_integer_exact() {
+        let mut q = CmdQueue::new(8);
+        q.note_command(0, at(0), ns(0), ns(400), 4_000);
+        // Window [0,1000): second command at 600 (idle 200 in between).
+        q.note_command(0, at(600), ns(0), ns(400), 4_000);
+        assert_eq!(q.window_ns(), 1_000);
+        assert_eq!(q.busy_ns(), 800);
+        assert_eq!(q.utilization_ppm(), 800_000);
+        assert_eq!(q.throughput_bytes_per_sec(), 8_000 * NANOS_PER_SEC / 800);
+    }
+
+    #[test]
+    fn reset_keeps_occupancy_but_clears_telemetry() {
+        let mut q = CmdQueue::new(8);
+        q.note_command(0, at(0), ns(0), ns(100), 512);
+        q.reset_telemetry();
+        assert_eq!(q.commands(), 0);
+        assert_eq!(q.busy_ns(), 0);
+        assert_eq!(q.busy_until(), at(100), "schedule is physical reality");
+        assert!(q.queue_wait(at(50)).as_nanos() == 50);
+    }
+}

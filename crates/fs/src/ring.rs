@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use sleds_sim_core::{Errno, SimError, SimResult};
+use sleds_sim_core::{Errno, SimError, SimResult, TenantId};
 
 use crate::inode::Stat;
 use crate::kernel::{Fd, OpenFlags};
@@ -117,18 +117,34 @@ pub struct RingCompletion {
 pub struct SubmissionRing {
     /// Bound on each queue's length (D009: the capacity bound).
     capacity: usize,
+    /// Tenant every op in this ring is charged to; `ring_enter` runs the
+    /// batch on that tenant's timeline.
+    tenant: TenantId,
     sq: VecDeque<(u64, RingOp)>,
     cq: VecDeque<RingCompletion>,
 }
 
 impl SubmissionRing {
-    /// A ring with room for `entries` (at least 1) in each queue.
+    /// A ring with room for `entries` (at least 1) in each queue, owned by
+    /// the main tenant.
     pub fn new(entries: usize) -> SubmissionRing {
+        SubmissionRing::with_tenant(entries, TenantId(0))
+    }
+
+    /// A ring owned by `tenant`: every serviced op is charged to that
+    /// tenant's clock and rusage, whoever calls `ring_enter`.
+    pub fn with_tenant(entries: usize, tenant: TenantId) -> SubmissionRing {
         SubmissionRing {
             capacity: entries.max(1),
+            tenant,
             sq: VecDeque::new(),
             cq: VecDeque::new(),
         }
+    }
+
+    /// The tenant this ring's ops are charged to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The per-queue bound.

@@ -38,6 +38,9 @@ pub struct Rusage {
     pub io_retries: u64,
     /// Time spent backing off between retry attempts (part of `io_wait`).
     pub retry_backoff: SimDuration,
+    /// Time device commands spent queued behind other commands before
+    /// service began (part of `io_wait`). Zero in single-tenant runs.
+    pub queue_wait: SimDuration,
 }
 
 impl Rusage {
@@ -58,7 +61,30 @@ impl Rusage {
             device_writes: self.device_writes.saturating_sub(earlier.device_writes),
             io_retries: self.io_retries.saturating_sub(earlier.io_retries),
             retry_backoff: self.retry_backoff.saturating_sub(earlier.retry_backoff),
+            queue_wait: self.queue_wait.saturating_sub(earlier.queue_wait),
         }
+    }
+
+    /// Component-wise accumulation `self += delta` (saturating). Used by
+    /// per-tenant accounting: each tenant's usage is the sum of the
+    /// global-counter deltas observed while it was active, so per-tenant
+    /// rows sum exactly to the global usage.
+    pub fn accumulate(&mut self, delta: &Rusage) {
+        self.cpu = self.cpu.saturating_add(delta.cpu);
+        self.io_wait = self.io_wait.saturating_add(delta.io_wait);
+        self.major_faults = self.major_faults.saturating_add(delta.major_faults);
+        self.minor_faults = self.minor_faults.saturating_add(delta.minor_faults);
+        self.syscalls = self.syscalls.saturating_add(delta.syscalls);
+        self.syscall_crossings = self
+            .syscall_crossings
+            .saturating_add(delta.syscall_crossings);
+        self.bytes_read = self.bytes_read.saturating_add(delta.bytes_read);
+        self.bytes_written = self.bytes_written.saturating_add(delta.bytes_written);
+        self.device_reads = self.device_reads.saturating_add(delta.device_reads);
+        self.device_writes = self.device_writes.saturating_add(delta.device_writes);
+        self.io_retries = self.io_retries.saturating_add(delta.io_retries);
+        self.retry_backoff = self.retry_backoff.saturating_add(delta.retry_backoff);
+        self.queue_wait = self.queue_wait.saturating_add(delta.queue_wait);
     }
 }
 
@@ -106,6 +132,7 @@ mod tests {
             device_writes: 7,
             io_retries: 1,
             retry_backoff: SimDuration::from_millis(5),
+            queue_wait: SimDuration::from_millis(1),
         };
         let b = Rusage {
             cpu: SimDuration::from_secs(3),
@@ -120,6 +147,7 @@ mod tests {
             device_writes: 8,
             io_retries: 4,
             retry_backoff: SimDuration::from_millis(25),
+            queue_wait: SimDuration::from_millis(3),
         };
         let d = b.since(&a);
         assert_eq!(d.cpu, SimDuration::from_secs(2));
@@ -132,6 +160,10 @@ mod tests {
         assert_eq!(d.device_writes, 1);
         assert_eq!(d.io_retries, 3);
         assert_eq!(d.retry_backoff, SimDuration::from_millis(20));
+        assert_eq!(d.queue_wait, SimDuration::from_millis(2));
+        let mut acc = a;
+        acc.accumulate(&d);
+        assert_eq!(acc, b, "since then accumulate round-trips");
     }
 
     #[test]

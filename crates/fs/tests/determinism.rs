@@ -10,8 +10,8 @@
 //! byte-identical reports, elapsed times, and usage counters.
 
 use sleds_devices::{DiskDevice, FaultPlan};
-use sleds_fs::trace::{chrome_trace_json, TraceEvent};
-use sleds_fs::{JobReport, Kernel, OpenFlags, Whence};
+use sleds_fs::trace::{chrome_trace_json, Layer, TraceEvent};
+use sleds_fs::{JobReport, Kernel, OpenFlags, Rusage, SaturationReport, TenantId, Whence};
 use sleds_sim_core::{SimDuration, SimTime, PAGE_SIZE};
 
 /// A workload chosen to be order-sensitive: many files dirty pages scattered
@@ -328,6 +328,217 @@ fn run_recal_workload(traced: bool) -> (JobReport, u64, u64, Vec<(u64, u64)>) {
         .map(|(_, e)| (e.latency.to_bits(), e.bandwidth.to_bits()))
         .collect();
     (report, report.elapsed.as_nanos(), checksum, rows)
+}
+
+/// Three tenants interleaved round-robin on one disk. Each switch parks
+/// the outgoing tenant's clock and resumes the target's, so by the second
+/// round every tenant submits "while" the disk is still busy with the
+/// others' commands — real queue waits, deterministically.
+fn run_multitenant_workload(
+    traced: bool,
+) -> (Rusage, Vec<Rusage>, u64, Vec<TraceEvent>, SaturationReport) {
+    let mut k = Kernel::table2();
+    if traced {
+        k.enable_tracing_with_capacity(1 << 14);
+    }
+    k.mkdir("/data").unwrap();
+    k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .unwrap();
+    let tenants = 3usize;
+    let rounds = 4usize;
+    let pages = 2usize;
+    for t in 0..tenants {
+        for r in 0..rounds {
+            k.install_file(
+                &format!("/data/t{t}_f{r}"),
+                &vec![(t * rounds + r) as u8; pages * PAGE_SIZE as usize],
+            )
+            .unwrap();
+        }
+    }
+    k.drop_caches().unwrap();
+    let ids: Vec<TenantId> = (0..tenants)
+        .map(|t| k.tenant_register(&format!("tenant-{t}")))
+        .collect();
+    let mut checksum = 0u64;
+    for r in 0..rounds {
+        for (t, &id) in ids.iter().enumerate() {
+            k.tenant_switch(id).unwrap();
+            let fd = k
+                .open(&format!("/data/t{t}_f{r}"), OpenFlags::RDONLY)
+                .unwrap();
+            let data = k.read(fd, pages * PAGE_SIZE as usize).unwrap();
+            checksum = data
+                .iter()
+                .fold(checksum, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64));
+            k.close(fd).unwrap();
+        }
+    }
+    k.tenant_switch(TenantId(0)).unwrap();
+    let per: Vec<Rusage> = (0..k.tenant_count())
+        .map(|i| k.tenant_usage(TenantId(i as u64)).unwrap())
+        .collect();
+    let report = k.saturation_report();
+    (k.usage(), per, checksum, k.trace_events(), report)
+}
+
+#[test]
+fn multitenant_run_replays_byte_identical() {
+    let (u1, per1, sum1, _, rep1) = run_multitenant_workload(false);
+    let (u2, per2, sum2, _, rep2) = run_multitenant_workload(false);
+    assert_eq!(sum1, sum2, "contents must replay identically");
+    assert_eq!(u1, u2, "global usage must replay identically");
+    assert_eq!(per1, per2, "per-tenant usage must replay identically");
+    assert_eq!(rep1, rep2, "saturation report must replay identically");
+    assert!(
+        !u1.queue_wait.is_zero(),
+        "interleaved tenants must actually have queued"
+    );
+}
+
+#[test]
+fn multitenant_run_is_identical_traced_vs_untraced() {
+    let (plain, per_plain, sum_plain, events, rep_plain) = run_multitenant_workload(false);
+    let (traced, per_traced, sum_traced, traced_events, rep_traced) =
+        run_multitenant_workload(true);
+    assert!(events.is_empty(), "untraced run must record nothing");
+    assert!(!traced_events.is_empty(), "traced run must record events");
+    assert_eq!(sum_plain, sum_traced, "contents must not change");
+    assert_eq!(plain, traced, "global usage must not change under trace");
+    assert_eq!(per_plain, per_traced, "per-tenant usage must not change");
+    assert_eq!(rep_plain, rep_traced, "report must not change under trace");
+}
+
+#[test]
+fn multitenant_per_tenant_rusage_sums_to_global() {
+    let (global, per, _, _, _) = run_multitenant_workload(false);
+    let mut total = Rusage::default();
+    for u in &per {
+        total.accumulate(u);
+    }
+    assert_eq!(
+        total, global,
+        "per-tenant usage rows must sum exactly to the global counters"
+    );
+    // Tenant 0 did the setup; the workers carry all the queue wait.
+    let worker_wait: u64 = per[1..].iter().map(|u| u.queue_wait.as_nanos()).sum();
+    assert_eq!(worker_wait, global.queue_wait.as_nanos());
+}
+
+#[test]
+fn queue_wait_and_service_phases_sum_to_the_command_span() {
+    let (_, _, _, events, _) = run_multitenant_workload(true);
+    // Device events are emitted command-span first, its phase children
+    // immediately after; a phase train ends at the next non-device event
+    // or the next command span.
+    let command_names = ["disk.read", "disk.write"];
+    let mut saw_queue_wait = false;
+    let mut commands = 0usize;
+    let mut i = 0usize;
+    while i < events.len() {
+        let ev = &events[i];
+        if ev.layer != Layer::Device || !command_names.contains(&ev.name) {
+            i += 1;
+            continue;
+        }
+        commands += 1;
+        let mut nested = 0u64;
+        let mut j = i + 1;
+        while j < events.len()
+            && events[j].layer == Layer::Device
+            && !command_names.contains(&events[j].name)
+        {
+            if events[j].name == "queue_wait" {
+                saw_queue_wait = true;
+                assert_eq!(
+                    events[j].ts, ev.ts,
+                    "queue wait starts at the submission instant"
+                );
+            }
+            nested += events[j].dur.as_nanos();
+            j += 1;
+        }
+        assert_eq!(
+            nested,
+            ev.dur.as_nanos(),
+            "phases (queue wait included) must sum exactly to {} span at {}",
+            ev.name,
+            ev.ts
+        );
+        i = j;
+    }
+    assert!(
+        commands > 0,
+        "the workload must have issued device commands"
+    );
+    assert!(
+        saw_queue_wait,
+        "interleaved tenants must produce queue_wait phases"
+    );
+}
+
+#[test]
+fn saturation_attribution_sums_exactly() {
+    let (_, per, _, _, report) = run_multitenant_workload(false);
+    assert!(!report.devices.is_empty(), "the disk must have rows");
+    for t in &report.tenants {
+        assert_eq!(
+            t.own_service_ns + t.queue_wait_ns,
+            t.observed_ns,
+            "tenant {}: own service + queue wait must equal observed time",
+            t.tenant
+        );
+        let waited: u64 = t.waited_on.iter().map(|&(_, ns)| ns).sum();
+        assert_eq!(
+            waited, t.queue_wait_ns,
+            "tenant {}: cross-tenant waits must sum to its total queue wait",
+            t.tenant
+        );
+        // The rusage view and the queue view of the same wait agree.
+        assert_eq!(
+            t.queue_wait_ns,
+            per[t.tenant as usize].queue_wait.as_nanos(),
+            "tenant {}: queue wait must match its rusage column",
+            t.tenant
+        );
+    }
+    for d in &report.devices {
+        let share_sum: u64 = d.shares.iter().map(|s| s.load.busy_ns).sum();
+        assert_eq!(share_sum, d.busy_ns, "tenant demand must sum to busy time");
+        let wait_sum: u64 = d.shares.iter().map(|s| s.load.queue_wait_ns).sum();
+        assert_eq!(wait_sum, d.queue_wait_ns, "waits must sum per device too");
+    }
+}
+
+#[test]
+fn tenant_timelines_account_exactly() {
+    let mut k = Kernel::table2();
+    k.mkdir("/data").unwrap();
+    k.mount_disk("/data", DiskDevice::table2_disk("hda"))
+        .unwrap();
+    for t in 0..2 {
+        k.install_file(&format!("/data/f{t}"), &vec![t as u8; PAGE_SIZE as usize])
+            .unwrap();
+    }
+    k.drop_caches().unwrap();
+    let a = k.tenant_register("a");
+    let b = k.tenant_register("b");
+    for (t, &id) in [a, b].iter().enumerate() {
+        k.tenant_switch(id).unwrap();
+        let fd = k.open(&format!("/data/f{t}"), OpenFlags::RDONLY).unwrap();
+        k.read(fd, PAGE_SIZE as usize).unwrap();
+        k.close(fd).unwrap();
+    }
+    k.tenant_switch(TenantId(0)).unwrap();
+    for &id in &[a, b] {
+        let u = k.tenant_usage(id).unwrap();
+        let elapsed = k.tenant_elapsed(id).unwrap();
+        assert_eq!(
+            elapsed,
+            u.cpu + u.io_wait,
+            "a tenant's elapsed virtual time is exactly its cpu + io_wait"
+        );
+    }
 }
 
 #[test]

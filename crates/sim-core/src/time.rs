@@ -244,6 +244,14 @@ impl Clock {
         Clock { now: SimTime::ZERO }
     }
 
+    /// A clock resumed at `t` — used when swapping in a saved timeline
+    /// (the multi-tenant kernel keeps one timeline per tenant and resumes
+    /// whichever tenant is active). Each clock instance still only moves
+    /// forward via [`Clock::advance`].
+    pub fn resume_at(t: SimTime) -> Self {
+        Clock { now: t }
+    }
+
     /// Returns the current instant.
     pub fn now(&self) -> SimTime {
         self.now

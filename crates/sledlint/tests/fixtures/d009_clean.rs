@@ -36,3 +36,19 @@ type RequestQueue = VecDeque<Request>;
 // Tuple structs have no named fields, so there is nowhere to name a bound;
 // they are out of scope by design.
 struct DepthRing(Vec<u64>);
+
+// A per-device command queue in the observatory shape: retained wait
+// segments and telemetry samples are growable, but the struct names its
+// capacity, so backpressure (drop-oldest) is structural.
+pub struct CmdQueue {
+    capacity: usize,
+    segments: VecDeque<Segment>,
+    samples: Vec<QueueSample>,
+    busy_until: u64,
+}
+
+// Per-tenant load rows keyed by tenant are an accounting map, not a queue;
+// the name keeps it out of D009's scope on purpose.
+struct TenantLoadTable {
+    rows: BTreeMap<u64, TenantLoad>,
+}

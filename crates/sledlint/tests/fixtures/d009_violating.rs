@@ -16,3 +16,12 @@ struct CompletionRing {
 pub struct RetryRing<T> {
     items: Vec<T>,
 }
+
+// A command queue that retains wait segments and depth samples without a
+// bound would grow with every command a saturated device ever served — the
+// observatory's history must be drop-oldest, not append-forever.
+pub struct CommandQueue {
+    segments: VecDeque<Segment>,
+    samples: Vec<QueueSample>,
+    busy_until: u64,
+}

@@ -59,7 +59,7 @@ fn violating_samples_report_the_expected_count() {
     assert_eq!(scan_fixture("d006_violating.rs").len(), 4);
     assert_eq!(scan_fixture("d007_violating.rs").len(), 1);
     assert_eq!(scan_fixture("d008_violating.rs").len(), 3);
-    assert_eq!(scan_fixture("d009_violating.rs").len(), 3);
+    assert_eq!(scan_fixture("d009_violating.rs").len(), 4);
     assert_eq!(scan_fixture("d010_violating.rs").len(), 2);
     assert_eq!(scan_fixture("d011_violating.rs").len(), 2);
     assert_eq!(scan_fixture("d012_violating.rs").len(), 2);

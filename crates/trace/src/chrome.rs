@@ -4,27 +4,125 @@
 //! load directly. Timestamps are microseconds; we format them as exact
 //! integer-nanosecond fractions (`"{}.{:03}"`) rather than printing floats,
 //! so two identical runs export byte-identical JSON.
+//!
+//! Lane layout: each tenant gets its own process lane (`pid` = tenant + 1,
+//! so the main tenant lands on Chrome's conventional pid 1), and within a
+//! tenant's lane device commands fan out onto per-class threads (`tid` =
+//! 10 + class code) while syscall/cache/app events share `tid` 1. Metadata
+//! events name the lanes so the viewer shows tenant and device labels
+//! instead of bare numbers.
 
-use crate::event::{class_label, EventPhase, TraceEvent};
+use std::collections::BTreeSet;
+
+use crate::event::{class_label, EventPhase, Layer, TraceEvent};
+
+/// `tid` for non-device events within a tenant's process lane.
+const TID_MAIN: u64 = 1;
+
+/// Base `tid` for device lanes: `TID_DEVICE_BASE + class_code`.
+const TID_DEVICE_BASE: u64 = 10;
 
 fn push_us(out: &mut String, ns: u64) {
     out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
 }
 
+/// Escapes a string for embedding inside a JSON string literal. Tenant
+/// names are caller-supplied, so quotes, backslashes, and control bytes
+/// must not be able to break the document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn lane(ev: &TraceEvent) -> (u64, u64) {
+    let pid = ev.tenant + 1;
+    let tid = if matches!(ev.layer, Layer::Device) {
+        TID_DEVICE_BASE + ev.args[2]
+    } else {
+        TID_MAIN
+    };
+    (pid, tid)
+}
+
+fn push_metadata(out: &mut String, name: &str, pid: u64, tid: Option<u64>, label: &str) {
+    out.push_str("{\"name\":\"");
+    out.push_str(name);
+    out.push_str(&format!("\",\"ph\":\"M\",\"pid\":{pid}"));
+    if let Some(tid) = tid {
+        out.push_str(&format!(",\"tid\":{tid}"));
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    out.push_str(&json_escape(label));
+    out.push_str("\"}}");
+}
+
 /// Serializes events into a Chrome trace JSON document.
 ///
 /// `dropped` (from [`crate::Tracer::dropped`]) is recorded in the trace
-/// metadata so a truncated buffer is visible in the viewer.
+/// metadata so a truncated buffer is visible in the viewer. Tenant lanes
+/// fall back to `tenant-N` labels; use [`chrome_trace_json_named`] to
+/// label them with registered tenant names.
 pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> String {
+    chrome_trace_json_named(events, dropped, &[])
+}
+
+/// Serializes events into a Chrome trace JSON document with tenant lanes
+/// labeled by name.
+///
+/// `tenant_names` maps tenant ids to display names; tenants that appear in
+/// the events without a row here are labeled `tenant-N`. Names are escaped,
+/// so arbitrary registered names cannot break the JSON.
+pub fn chrome_trace_json_named(
+    events: &[TraceEvent],
+    dropped: u64,
+    tenant_names: &[(u64, String)],
+) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 128);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"virtual\",");
     out.push_str(&format!(
         "\"droppedEvents\":{dropped}}},\"traceEvents\":[\n"
     ));
-    for (i, ev) in events.iter().enumerate() {
-        if i > 0 {
+    // Metadata events first: name every (pid, tid) lane the events touch.
+    let lanes: BTreeSet<(u64, u64)> = events.iter().map(lane).collect();
+    let tenants: BTreeSet<u64> = lanes.iter().map(|&(pid, _)| pid - 1).collect();
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
             out.push_str(",\n");
         }
+        first = false;
+    };
+    for &tenant in &tenants {
+        let label = tenant_names
+            .iter()
+            .find(|&&(id, _)| id == tenant)
+            .map(|(_, name)| name.clone())
+            .unwrap_or_else(|| format!("tenant-{tenant}"));
+        sep(&mut out);
+        push_metadata(&mut out, "process_name", tenant + 1, None, &label);
+    }
+    for &(pid, tid) in &lanes {
+        let label = if tid == TID_MAIN {
+            "vfs".to_string()
+        } else {
+            format!("device.{}", class_label(tid - TID_DEVICE_BASE))
+        };
+        sep(&mut out);
+        push_metadata(&mut out, "thread_name", pid, Some(tid), &label);
+    }
+    for ev in events {
+        sep(&mut out);
         let ph = match ev.phase {
             EventPhase::Begin => "B",
             EventPhase::End => "E",
@@ -46,7 +144,8 @@ pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> String {
         if matches!(ev.phase, EventPhase::Mark) {
             out.push_str(",\"s\":\"t\"");
         }
-        out.push_str(",\"pid\":1,\"tid\":1,\"args\":{\"a0\":");
+        let (pid, tid) = lane(ev);
+        out.push_str(&format!(",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"a0\":"));
         out.push_str(&ev.args[0].to_string());
         out.push_str(",\"a1\":");
         out.push_str(&ev.args[1].to_string());
@@ -72,6 +171,7 @@ mod tests {
                 dur: SimDuration::ZERO,
                 phase: EventPhase::Begin,
                 layer: Layer::Syscall,
+                tenant: 0,
                 name: "read",
                 args: [3, 4096, 0],
             },
@@ -81,6 +181,7 @@ mod tests {
                 dur: SimDuration::from_nanos(750),
                 phase: EventPhase::Complete,
                 layer: Layer::Device,
+                tenant: 0,
                 name: "disk.read",
                 args: [8, 16, 1],
             },
@@ -90,6 +191,7 @@ mod tests {
                 dur: SimDuration::from_nanos(1_750),
                 phase: EventPhase::End,
                 layer: Layer::Syscall,
+                tenant: 0,
                 name: "read",
                 args: [3, 4096, 0],
             },
@@ -106,6 +208,10 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\",\"ts\":6.000,\"dur\":0.750"));
         assert!(json.contains("\"ph\":\"E\""));
         assert!(json.contains("\"class\":\"disk\""));
+        // Main tenant keeps Chrome's conventional pid 1; device commands
+        // land on the per-class thread lane.
+        assert!(json.contains("\"pid\":1,\"tid\":1"));
+        assert!(json.contains("\"pid\":1,\"tid\":11"));
         // Balanced braces/brackets — a cheap structural validity check.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -124,5 +230,37 @@ mod tests {
     fn empty_trace_is_valid() {
         let json = chrome_trace_json(&[], 0);
         assert!(json.contains("\"traceEvents\":[\n\n]"));
+    }
+
+    #[test]
+    fn tenants_map_to_pid_lanes_with_metadata() {
+        let mut events = sample();
+        events[1].tenant = 3;
+        let names = vec![(3u64, "acct-\"batch\"\\scan".to_string())];
+        let json = chrome_trace_json_named(&events, 0, &names);
+        // Tenant 3 → pid 4, device class 1 → tid 11.
+        assert!(json.contains("\"pid\":4,\"tid\":11"));
+        // Metadata labels both lanes; the tenant name is escaped.
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":4,\"args\":{\"name\":\"acct-\\\"batch\\\"\\\\scan\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"tenant-0\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":4,\"tid\":11,\"args\":{\"name\":\"device.disk\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"vfs\"}}"
+        ));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_control_and_quote_bytes() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

@@ -63,6 +63,10 @@ pub struct TraceEvent {
     pub phase: EventPhase,
     /// Emitting layer.
     pub layer: Layer,
+    /// Tenant on whose behalf the event happened (0 is the main tenant
+    /// single-tenant workloads run as). The Chrome exporter maps this to
+    /// the `pid` lane.
+    pub tenant: u64,
     /// Event name (e.g. `"read"`, `"cache.miss"`, `"disk.seek"`).
     pub name: &'static str,
     /// Event-specific payload; meaning documented per emission site

@@ -114,6 +114,7 @@ mod tests {
             "disk.read",
             false,
             SimTime::from_nanos(100),
+            SimDuration::ZERO,
             SimDuration::from_nanos(500),
             0,
             8,

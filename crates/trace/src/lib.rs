@@ -33,11 +33,13 @@ mod tracer;
 pub use audit::{
     audit_accuracy, summarize_class, AccuracySample, AccuracyTracker, AuditReport, ClassAccuracy,
 };
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_named, json_escape};
 pub use event::{
     class_label, pack_class_generation, unpack_class_generation, EventPhase, Layer, TraceEvent,
 };
 pub use flame::folded_stacks;
-pub use metrics::{AccuracyWindow, ClassMetrics, Metrics, ACCURACY_WINDOW, NUM_DEVICE_CLASSES};
+pub use metrics::{
+    AccuracyWindow, ClassMetrics, Metrics, TenantClassMetrics, ACCURACY_WINDOW, NUM_DEVICE_CLASSES,
+};
 pub use ring::RingBuffer;
 pub use tracer::{Tracer, DEFAULT_CAPACITY};

@@ -9,7 +9,7 @@
 //! pass can join "what we predicted per class" against "what we measured
 //! per class" without any remapping.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use sleds_sim_core::stats::LogHistogram;
 
@@ -129,6 +129,29 @@ impl ClassMetrics {
     }
 }
 
+/// Per-tenant counters and latency histograms for one device class.
+///
+/// Rows live in [`Metrics::tenants`], keyed `(tenant, class)`, and are the
+/// attribution side of the saturation observatory: who drove how much
+/// demand into each class, and how long their commands queued versus were
+/// serviced. Integer-only, so rows replay bit-identically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantClassMetrics {
+    /// Device commands this tenant issued against this class.
+    pub requests: u64,
+    /// Payload bytes those commands moved.
+    pub bytes: u64,
+    /// Per-command time queued behind earlier commands, nanoseconds.
+    pub queue_wait: LogHistogram,
+    /// Per-command service time (queue wait excluded), nanoseconds.
+    pub service: LogHistogram,
+    /// Total device busy time consumed, nanoseconds (the tenant's demand
+    /// on the class; the numerator of its demand share).
+    pub busy_ns: u64,
+    /// Total time spent queued, nanoseconds.
+    pub queue_wait_ns: u64,
+}
+
 /// Per-layer metrics snapshot.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
@@ -146,6 +169,10 @@ pub struct Metrics {
     pub cache_writebacks: u64,
     /// Device command counters and service histograms, indexed by class code.
     pub device: [ClassMetrics; NUM_DEVICE_CLASSES],
+    /// Per-tenant × per-class attribution rows, keyed `(tenant, class)`.
+    /// Sparse: a row exists once the tenant has issued a command against
+    /// the class. Sums across tenants match the [`Metrics::device`] rows.
+    pub tenants: BTreeMap<(u64, u64), TenantClassMetrics>,
     /// Device commands failed by an injected fault.
     pub faults_injected: u64,
     /// Device commands reissued after a transient fault.
@@ -177,16 +204,23 @@ impl Metrics {
         self.syscall_latency.record(dur_ns);
     }
 
-    /// Records one device command. `bytes` is the payload moved and
-    /// `transfer_ns` the portion of `dur_ns` spent in data-moving phases;
-    /// the remainder is first-byte time (positioning, rpc, mount...).
+    /// Records one device command on behalf of `tenant`. `dur_ns` is the
+    /// service time alone; `queue_ns` is the time the command sat queued
+    /// before service began (zero in single-tenant runs, so the class-row
+    /// observables are unchanged by queueing). `bytes` is the payload
+    /// moved and `transfer_ns` the portion of `dur_ns` spent in
+    /// data-moving phases; the remainder is first-byte time
+    /// (positioning, rpc, mount...).
+    #[allow(clippy::too_many_arguments)]
     pub fn note_device(
         &mut self,
+        tenant: u64,
         class: u64,
         write: bool,
         dur_ns: u64,
         bytes: u64,
         transfer_ns: u64,
+        queue_ns: u64,
     ) {
         let idx = (class as usize).min(NUM_DEVICE_CLASSES - 1);
         let m = &mut self.device[idx];
@@ -199,6 +233,34 @@ impl Metrics {
             m.read_transfer_ns += transfer_ns;
         }
         m.service.record(dur_ns);
+        let row = self.tenants.entry((tenant, idx as u64)).or_default();
+        row.requests += 1;
+        row.bytes += bytes;
+        row.queue_wait.record(queue_ns);
+        row.service.record(dur_ns);
+        row.busy_ns += dur_ns;
+        row.queue_wait_ns += queue_ns;
+    }
+
+    /// A tenant's share of the device busy time consumed on one class, in
+    /// parts per million of all tenants' demand on that class. `None` when
+    /// the class has seen no busy time. Integer-only so snapshots replay
+    /// bit-identically.
+    pub fn demand_share_ppm(&self, tenant: u64, class: u64) -> Option<u64> {
+        let total: u64 = self
+            .tenants
+            .iter()
+            .filter(|((_, c), _)| *c == class)
+            .map(|(_, row)| row.busy_ns)
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let own = self
+            .tenants
+            .get(&(tenant, class))
+            .map_or(0, |row| row.busy_ns);
+        Some((own as u128 * 1_000_000 / total as u128) as u64)
     }
 
     /// Records one completed (prediction, actual) accuracy pair.
@@ -261,6 +323,22 @@ impl Metrics {
                 ));
             }
         }
+        // Single-tenant runs: the class rows above already tell the whole
+        // story, so the attribution rows would be redundant.
+        let multi_tenant = self.tenants.keys().any(|&(t, _)| t != 0);
+        for (&(tenant, class), row) in self.tenants.iter().filter(|_| multi_tenant) {
+            out.push_str(&format!(
+                "tenant[{}] device[{}] requests {} bytes {} busy {} ns qwait {} ns (p90 {} ns) share {} ppm\n",
+                tenant,
+                class_label(class),
+                row.requests,
+                row.bytes,
+                row.busy_ns,
+                row.queue_wait_ns,
+                row.queue_wait.p90(),
+                self.demand_share_ppm(tenant, class).unwrap_or(0),
+            ));
+        }
         if self.faults_injected + self.io_retries > 0 {
             out.push_str(&format!(
                 "faults injected {} retries {}\n",
@@ -295,9 +373,9 @@ mod tests {
         let mut m = Metrics::default();
         m.note_syscall(5_000);
         m.note_syscall(7_000);
-        m.note_device(1, false, 18_000_000, 65_536, 7_000_000);
-        m.note_device(1, true, 20_000_000, 65_536, 8_000_000);
-        m.note_device(4, false, 40_000_000_000, 1 << 20, 1_000_000_000);
+        m.note_device(0, 1, false, 18_000_000, 65_536, 7_000_000, 0);
+        m.note_device(0, 1, true, 20_000_000, 65_536, 8_000_000, 0);
+        m.note_device(0, 4, false, 40_000_000_000, 1 << 20, 1_000_000_000, 0);
         assert_eq!(m.syscalls, 2);
         assert_eq!(m.syscall_latency.count(), 2);
         assert_eq!(m.device[1].reads, 1);
@@ -313,17 +391,50 @@ mod tests {
     #[test]
     fn out_of_range_class_clamps() {
         let mut m = Metrics::default();
-        m.note_device(77, false, 10, 0, 0);
+        m.note_device(0, 77, false, 10, 0, 0, 0);
         assert_eq!(m.device[NUM_DEVICE_CLASSES - 1].reads, 1);
+    }
+
+    #[test]
+    fn tenant_rows_attribute_demand_and_queueing() {
+        let mut m = Metrics::default();
+        // Tenant 1 is the heavy disk user; tenant 2 queues behind it.
+        m.note_device(1, 1, false, 30_000_000, 1 << 20, 10_000_000, 0);
+        m.note_device(1, 1, false, 30_000_000, 1 << 20, 10_000_000, 0);
+        m.note_device(1, 1, false, 30_000_000, 1 << 20, 10_000_000, 0);
+        m.note_device(2, 1, false, 10_000_000, 1 << 14, 2_000_000, 45_000_000);
+        let heavy = &m.tenants[&(1, 1)];
+        assert_eq!(heavy.requests, 3);
+        assert_eq!(heavy.busy_ns, 90_000_000);
+        assert_eq!(heavy.queue_wait_ns, 0);
+        let light = &m.tenants[&(2, 1)];
+        assert_eq!(light.requests, 1);
+        assert_eq!(light.queue_wait_ns, 45_000_000);
+        assert_eq!(light.queue_wait.count(), 1);
+        // Tenant rows sum to the class row.
+        assert_eq!(heavy.requests + light.requests, m.device[1].reads);
+        assert_eq!(m.demand_share_ppm(1, 1), Some(900_000));
+        assert_eq!(m.demand_share_ppm(2, 1), Some(100_000));
+        assert_eq!(m.demand_share_ppm(1, 4), None, "idle class has no share");
+        let text = m.render_text();
+        assert!(text.contains("tenant[1] device[disk]"));
+        assert!(text.contains("share 900000 ppm"));
+    }
+
+    #[test]
+    fn single_tenant_render_skips_attribution_rows() {
+        let mut m = Metrics::default();
+        m.note_device(0, 1, false, 18_000_000, 65_536, 7_000_000, 0);
+        assert!(!m.render_text().contains("tenant["));
     }
 
     #[test]
     fn first_byte_and_bandwidth_split_reads_only() {
         let mut m = Metrics::default();
         // Read: 18ms service, 7ms of it transferring 64KiB.
-        m.note_device(1, false, 18_000_000, 65_536, 7_000_000);
+        m.note_device(0, 1, false, 18_000_000, 65_536, 7_000_000, 0);
         // Write: must not feed the read-side observables.
-        m.note_device(1, true, 30_000_000, 65_536, 9_000_000);
+        m.note_device(0, 1, true, 30_000_000, 65_536, 9_000_000, 0);
         let d = &m.device[1];
         assert_eq!(d.first_byte.count(), 1);
         assert_eq!(d.first_byte.p50(), 11_000_000);

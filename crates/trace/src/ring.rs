@@ -93,6 +93,7 @@ mod tests {
             dur: SimDuration::ZERO,
             phase: EventPhase::Mark,
             layer: Layer::App,
+            tenant: 0,
             name: "t",
             args: [seq, 0, 0],
         }

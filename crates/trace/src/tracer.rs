@@ -30,12 +30,19 @@ struct Inner {
 #[derive(Default)]
 pub struct Tracer {
     inner: Option<Box<Inner>>,
+    /// Tenant stamped into every emitted event. Lives outside `inner` so
+    /// switching tenants stays one store whether or not tracing is on —
+    /// the zero-cost-observer property covers tenant bookkeeping too.
+    tenant: u64,
 }
 
 impl Tracer {
     /// A disabled tracer: every hook is a null check.
     pub fn disabled() -> Tracer {
-        Tracer { inner: None }
+        Tracer {
+            inner: None,
+            tenant: 0,
+        }
     }
 
     /// An enabled tracer with the default buffer capacity.
@@ -53,6 +60,7 @@ impl Tracer {
                 seq: 0,
                 stack: Vec::new(),
             })),
+            tenant: 0,
         }
     }
 
@@ -61,8 +69,21 @@ impl Tracer {
         self.inner.is_some()
     }
 
+    /// Sets the tenant stamped into subsequently emitted events. One
+    /// store; safe to call whether or not tracing is enabled.
+    pub fn set_tenant(&mut self, tenant: u64) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant currently being stamped.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn emit(
         inner: &mut Inner,
+        tenant: u64,
         ts: SimTime,
         dur: SimDuration,
         phase: EventPhase,
@@ -78,6 +99,7 @@ impl Tracer {
             dur,
             phase,
             layer,
+            tenant,
             name,
             args,
         });
@@ -89,12 +111,14 @@ impl Tracer {
 
     /// Opens a span. Must be balanced by [`Tracer::end`].
     pub fn begin(&mut self, layer: Layer, name: &'static str, ts: SimTime, args: [u64; 3]) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.stack.push((layer, name, ts, args));
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Begin,
@@ -107,6 +131,7 @@ impl Tracer {
     /// Closes the innermost open span, stamping its duration and feeding
     /// the layer's latency histogram. Unbalanced calls are ignored.
     pub fn end(&mut self, ts: SimTime) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
@@ -132,16 +157,18 @@ impl Tracer {
             Layer::App => inner.metrics.app_spans += 1,
             Layer::Cache | Layer::Device => {}
         }
-        Self::emit(inner, ts, dur, EventPhase::End, layer, name, args);
+        Self::emit(inner, tenant, ts, dur, EventPhase::End, layer, name, args);
     }
 
     /// Emits a zero-width marker.
     pub fn instant(&mut self, layer: Layer, name: &'static str, ts: SimTime, args: [u64; 3]) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -153,12 +180,14 @@ impl Tracer {
 
     /// Records a page-cache hit (`args`: page index within file, ino).
     pub fn cache_hit(&mut self, ts: SimTime, page: u64, ino: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.cache_hits += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -170,12 +199,14 @@ impl Tracer {
 
     /// Records a page-cache miss run (`pages` missing pages starting at `page`).
     pub fn cache_miss(&mut self, ts: SimTime, page: u64, pages: u64, ino: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.cache_misses += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -187,12 +218,14 @@ impl Tracer {
 
     /// Records an eviction (`dirty` is 1 when the page needed writeback).
     pub fn cache_evict(&mut self, ts: SimTime, page: u64, dirty: u64, ino: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.cache_evictions += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -205,12 +238,14 @@ impl Tracer {
     /// Records one injected device fault (`args`: device class code,
     /// attempt number that failed, cost of the failed command in ns).
     pub fn fault_inject(&mut self, ts: SimTime, class: u64, attempt: u64, cost_ns: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.faults_injected += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -223,12 +258,14 @@ impl Tracer {
     /// Records one retry backoff (`args`: device class code, attempt that
     /// just failed, backoff wait in ns).
     pub fn io_retry(&mut self, ts: SimTime, class: u64, attempt: u64, backoff_ns: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.io_retries += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -240,12 +277,14 @@ impl Tracer {
 
     /// Records one dirty-page writeback.
     pub fn cache_writeback(&mut self, ts: SimTime, page: u64, ino: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.cache_writebacks += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -255,16 +294,20 @@ impl Tracer {
         );
     }
 
-    /// Records one device command as a complete span with its mechanical
-    /// phases nested inside it.
+    /// Records one device command as a complete span with its queue wait
+    /// and mechanical phases nested inside it.
     ///
-    /// `phases` is the device's own breakdown of the service time, as
-    /// `(name, duration)` pairs in service order; each is laid out
-    /// back-to-back from the command's start so viewers show them as
-    /// children of the command span. `bytes` is the payload moved and
-    /// `transfer_ns` the portion of `dur` the device spent moving it
-    /// (its transfer/stream/link phases); the split feeds the per-class
-    /// first-byte and effective-bandwidth observables.
+    /// `ts` is the *submission* instant and `queue` the time the command
+    /// sat queued behind earlier commands before its service (of length
+    /// `dur`) began; the emitted command span covers `queue + dur`, with
+    /// a leading `queue_wait` phase when the wait is nonzero, so the
+    /// nested phases still sum exactly to the span. `phases` is the
+    /// device's own breakdown of the service time, as `(name, duration)`
+    /// pairs in service order; each is laid out back-to-back so viewers
+    /// show them as children of the command span. `bytes` is the payload
+    /// moved and `transfer_ns` the portion of `dur` the device spent
+    /// moving it (its transfer/stream/link phases); the split feeds the
+    /// per-class first-byte and effective-bandwidth observables.
     #[allow(clippy::too_many_arguments)]
     pub fn device(
         &mut self,
@@ -272,6 +315,7 @@ impl Tracer {
         name: &'static str,
         write: bool,
         ts: SimTime,
+        queue: SimDuration,
         dur: SimDuration,
         sector: u64,
         sectors: u64,
@@ -279,28 +323,50 @@ impl Tracer {
         transfer_ns: u64,
         phases: &[(&'static str, SimDuration)],
     ) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
-        inner
-            .metrics
-            .note_device(class, write, dur.as_nanos(), bytes, transfer_ns);
+        inner.metrics.note_device(
+            tenant,
+            class,
+            write,
+            dur.as_nanos(),
+            bytes,
+            transfer_ns,
+            queue.as_nanos(),
+        );
         Self::emit(
             inner,
+            tenant,
             ts,
-            dur,
+            queue + dur,
             EventPhase::Complete,
             Layer::Device,
             name,
             [sector, sectors, class],
         );
         let mut at = ts;
+        if !queue.is_zero() {
+            Self::emit(
+                inner,
+                tenant,
+                at,
+                queue,
+                EventPhase::Complete,
+                Layer::Device,
+                "queue_wait",
+                [sector, 0, class],
+            );
+            at += queue;
+        }
         for &(pname, pdur) in phases {
             if pdur.is_zero() {
                 continue;
             }
             Self::emit(
                 inner,
+                tenant,
                 at,
                 pdur,
                 EventPhase::Complete,
@@ -325,6 +391,7 @@ impl Tracer {
         class: u64,
         generation: u64,
     ) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
@@ -333,6 +400,7 @@ impl Tracer {
             .note_predict(&mut inner.metrics, fd, predicted_ns, class, generation);
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -345,6 +413,7 @@ impl Tracer {
     /// Records one serviced ring batch (`args`: ops submitted when the
     /// batch entered, ops actually serviced this crossing).
     pub fn ring_submit(&mut self, ts: SimTime, submitted: u64, serviced: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
@@ -352,6 +421,7 @@ impl Tracer {
         inner.metrics.ring_ops += serviced;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -364,12 +434,14 @@ impl Tracer {
     /// Records one completion-queue reap (`reaped` completions returned).
     /// Reaping crosses nothing, so this is the only trace of it.
     pub fn ring_reap(&mut self, ts: SimTime, reaped: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.ring_reaps += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -382,12 +454,14 @@ impl Tracer {
     /// Records one in-kernel pick-program evaluation (`args`: program
     /// length in instructions, verdict 1/0, estimate in ns when finite).
     pub fn prog_eval(&mut self, ts: SimTime, prog_len: u64, matched: u64, estimate_ns: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.metrics.prog_evals += 1;
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -400,12 +474,14 @@ impl Tracer {
     /// Records a sleds-table recalibration: predictions emitted after this
     /// marker were priced from table generation `generation`.
     pub fn recal(&mut self, ts: SimTime, generation: u64) {
+        let tenant = self.tenant;
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
         inner.tracker.note_recal(generation);
         Self::emit(
             inner,
+            tenant,
             ts,
             SimDuration::ZERO,
             EventPhase::Mark,
@@ -492,6 +568,7 @@ mod tests {
             "disk.read",
             false,
             SimTime::from_nanos(1_000),
+            SimDuration::ZERO,
             SimDuration::from_nanos(30),
             8,
             16,
@@ -504,13 +581,59 @@ mod tests {
             ],
         );
         let evs = t.events();
-        assert_eq!(evs.len(), 3); // zero-length phase elided
+        assert_eq!(evs.len(), 3); // zero-length phase (and zero queue wait) elided
         assert_eq!(evs[0].name, "disk.read");
         assert_eq!(evs[1].name, "disk.seek");
         assert_eq!(evs[1].ts.as_nanos(), 1_000);
         assert_eq!(evs[2].name, "disk.transfer");
         assert_eq!(evs[2].ts.as_nanos(), 1_010);
         assert_eq!(t.metrics().unwrap().device[1].reads, 1);
+    }
+
+    #[test]
+    fn queue_wait_leads_the_phase_train() {
+        let mut t = Tracer::enabled();
+        t.set_tenant(2);
+        t.device(
+            1,
+            "disk.read",
+            false,
+            SimTime::from_nanos(1_000),
+            SimDuration::from_nanos(40),
+            SimDuration::from_nanos(30),
+            8,
+            16,
+            16 * 512,
+            20,
+            &[
+                ("disk.seek", SimDuration::from_nanos(10)),
+                ("disk.transfer", SimDuration::from_nanos(20)),
+            ],
+        );
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        // The command span covers wait + service from the submission instant.
+        assert_eq!(evs[0].name, "disk.read");
+        assert_eq!(evs[0].ts.as_nanos(), 1_000);
+        assert_eq!(evs[0].dur.as_nanos(), 70);
+        assert_eq!(evs[0].tenant, 2);
+        // queue_wait is the first nested phase; service phases follow it.
+        assert_eq!(evs[1].name, "queue_wait");
+        assert_eq!(evs[1].ts.as_nanos(), 1_000);
+        assert_eq!(evs[1].dur.as_nanos(), 40);
+        assert_eq!(evs[2].name, "disk.seek");
+        assert_eq!(evs[2].ts.as_nanos(), 1_040);
+        assert_eq!(evs[3].name, "disk.transfer");
+        assert_eq!(evs[3].ts.as_nanos(), 1_050);
+        // Nested phases sum exactly to the span.
+        let nested: u64 = evs[1..].iter().map(|e| e.dur.as_nanos()).sum();
+        assert_eq!(nested, evs[0].dur.as_nanos());
+        // Metrics: service histogram sees service time only; the wait
+        // lands in the tenant attribution row.
+        let m = t.metrics().unwrap();
+        assert_eq!(m.device[1].service.max(), 30);
+        assert_eq!(m.tenants[&(2, 1)].queue_wait_ns, 40);
+        assert_eq!(m.tenants[&(2, 1)].busy_ns, 30);
     }
 
     #[test]

@@ -64,6 +64,15 @@ run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example uring_bench
 run diff -u <(grep -v host_wall results/BENCH_uring.json) \
     <(grep -v host_wall "$recal_tmp/BENCH_uring.json")
 
+# Saturation-observatory gate: 220 tenants interleaved on shared disk,
+# NFS, and tape. The example asserts determinism, exact attribution
+# (own-service + queue-wait == observed, per-tenant rusage sums to
+# global), bully identification, and the zero-cost observer; the whole
+# interleave is a pure function of the tenant specs and the virtual
+# clock, so the report must match the committed baseline byte-for-byte.
+run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example saturation_report
+run diff -u results/SATURATION_report.json "$recal_tmp/SATURATION_report.json"
+
 if [[ "${1:-}" == "--with-proptests" ]]; then
     # The randomized equivalence suites; heavier, so opt-in.
     run cargo test -q -p sleds-fs --features proptests
