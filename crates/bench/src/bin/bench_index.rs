@@ -1,0 +1,103 @@
+//! Aggregates every `results/BENCH_*.json` envelope into
+//! `results/BENCH_index.json`.
+//!
+//! ```text
+//! cargo run --release -p sleds-bench --bin bench_index
+//! ```
+//!
+//! Each benchmark writer leads its JSON with the common `sleds-bench-v1`
+//! envelope — `name`, `config`, `virtual_ns`, `host_wall_ns`,
+//! `ops_per_sec` — followed by whatever detail shape it likes. This tool
+//! extracts just the envelope from each file (top-level keys sit at
+//! 2-space indent; detail rows nest deeper, so a line match is exact) and
+//! emits one index, sorted by file name, so CI and readers get a single
+//! schema-versioned overview of every benchmark run.
+//!
+//! A `BENCH_*.json` without the envelope is an error, not a skip: the
+//! index exists to prove the consolidation holds.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Envelope keys every benchmark must lead with, in index order.
+const ENVELOPE_KEYS: [&str; 5] = [
+    "name",
+    "config",
+    "virtual_ns",
+    "host_wall_ns",
+    "ops_per_sec",
+];
+
+fn results_dir() -> PathBuf {
+    std::env::var("SLEDS_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Returns the raw JSON value of a top-level `"key": value,` line.
+///
+/// Top-level keys are at exactly 2-space indent; nested detail objects
+/// (scenario rows, workload blocks) indent deeper, so matching the
+/// prefix verbatim cannot collide with them.
+fn top_level_value<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let prefix = format!("  \"{key}\": ");
+    text.lines()
+        .find(|l| l.starts_with(&prefix))
+        .map(|l| l[prefix.len()..].trim_end_matches(',').trim())
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let name = entry.expect("dir entry").file_name();
+            let name = name.to_string_lossy().into_owned();
+            (name.starts_with("BENCH_") && name.ends_with(".json") && name != "BENCH_index.json")
+                .then_some(name)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no BENCH_*.json found under {}",
+        dir.display()
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"sleds-bench-index-v1\",\n");
+    out.push_str("  \"regenerate\": \"cargo run --release -p sleds-bench --bin bench_index\",\n");
+    out.push_str("  \"benches\": [\n");
+    for (i, file) in files.iter().enumerate() {
+        let path = dir.join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let schema = top_level_value(&text, "schema")
+            .unwrap_or_else(|| panic!("{file}: missing top-level \"schema\" key"));
+        assert_eq!(
+            schema, "\"sleds-bench-v1\"",
+            "{file}: expected the sleds-bench-v1 envelope, found {schema}"
+        );
+        out.push_str("    {\n");
+        writeln!(out, "      \"file\": \"{file}\",").expect("fmt");
+        for key in ENVELOPE_KEYS {
+            let value = top_level_value(&text, key)
+                .unwrap_or_else(|| panic!("{file}: missing envelope key \"{key}\""));
+            writeln!(out, "      \"{key}\": {value},").expect("fmt");
+        }
+        // Trailing comma from the loop above: drop it on the last key.
+        let trimmed = out.trim_end_matches('\n').trim_end_matches(',').len();
+        out.truncate(trimmed);
+        out.push('\n');
+        out.push_str(if i + 1 == files.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = dir.join("BENCH_index.json");
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("indexed {} benches -> {}", files.len(), path.display());
+}

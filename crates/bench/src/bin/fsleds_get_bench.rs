@@ -192,8 +192,25 @@ fn json_escape(s: &str) -> String {
 }
 
 fn to_json(rows: &[Row], quick: bool) -> String {
+    // Common bench envelope (see bench_index): headline is the extent
+    // walk under test — summed virtual CPU and mean per-call host wall.
+    let virtual_ns: u64 = rows.iter().map(|r| r.new_virtual_cpu_ns).sum();
+    let host_wall_ns: f64 = rows.iter().map(|r| r.new_wall_ns).sum();
+    let ops_per_sec = if host_wall_ns > 0.0 {
+        rows.len() as f64 * 1e9 / host_wall_ns
+    } else {
+        0.0
+    };
     let mut out = String::new();
     out.push_str("{\n");
+    out.push_str("  \"schema\": \"sleds-bench-v1\",\n");
+    out.push_str("  \"name\": \"fsleds-get-extent-walk\",\n");
+    out.push_str(
+        "  \"config\": \"4KiB..1GiB files x residency patterns (cold, half, runs8, every7)\",\n",
+    );
+    writeln!(out, "  \"virtual_ns\": {virtual_ns},").expect("fmt");
+    writeln!(out, "  \"host_wall_ns\": {:.0},", host_wall_ns).expect("fmt");
+    writeln!(out, "  \"ops_per_sec\": {ops_per_sec:.0},").expect("fmt");
     out.push_str(
         "  \"benchmark\": \"FSLEDS_GET residency walk: per-page reference vs extent index\",\n",
     );

@@ -200,6 +200,19 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
+    // Common bench envelope (see bench_index): headline is the traced
+    // workload iteration — 256 warm preads with the ring enabled.
+    out.push_str("  \"schema\": \"sleds-bench-v1\",\n");
+    out.push_str("  \"name\": \"trace-overhead\",\n");
+    out.push_str("  \"config\": \"256 warm page preads per iteration, tracer on vs off\",\n");
+    writeln!(out, "  \"virtual_ns\": {},", w.virtual_cpu_ns_on).expect("fmt");
+    writeln!(
+        out,
+        "  \"host_wall_ns\": {:.0},",
+        w.ns_per_syscall_on * 256.0
+    )
+    .expect("fmt");
+    writeln!(out, "  \"ops_per_sec\": {:.0},", w.events_per_sec).expect("fmt");
     out.push_str("  \"benchmark\": \"tracer host-side overhead: disabled null check vs enabled ring write\",\n");
     out.push_str(
         "  \"regenerate\": \"cargo run --release -p sleds-bench --bin trace_overhead_bench\",\n",

@@ -1,0 +1,619 @@
+//! Lossless workload capture: the flight recorder.
+//!
+//! Unlike the trace ring — which is a bounded, drop-oldest *observation*
+//! channel — the [`WorkloadRecorder`] hooks the syscall boundary and
+//! records **every** kernel entry while armed: the call (op, fd→path,
+//! offset/len), the tenant it ran as, the submit [`SimTime`] on that
+//! tenant's timeline, the device-fault epoch at submit, ring batches op
+//! by op, and the outcome (result, completion time, and the exact
+//! queue-wait/service attribution the per-device command queues priced
+//! into the op). The recording is either *complete* — every charging
+//! kernel entry between arm and disarm was captured — or it is marked
+//! incomplete with a reason, so a capture that overflowed its budget or
+//! saw an uncapturable call can never be silently replayed.
+//!
+//! The recorder is deliberately dumb storage: the kernel feeds it via
+//! narrow hooks ([`WorkloadRecorder::begin`], [`WorkloadRecorder::note_device`],
+//! [`WorkloadRecorder::finish_ok`]/[`WorkloadRecorder::finish_err`]), and
+//! the `sleds-replay` crate serializes the result to the schema-versioned
+//! `CAPTURE_*.jsonl` format and replays it. Data payloads are captured as
+//! length + FNV-1a fold, not bytes: the recorder is lossless about the
+//! *workload* (every op, every cost), not a content backup.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::OpenFlags;
+
+/// Schema tag the on-disk capture format carries; bump on any shape change.
+pub const CAPTURE_SCHEMA: &str = "sleds-capture-v1";
+
+/// `lseek` origin codes in captures: `Whence::Set`.
+pub const WHENCE_SET: u8 = 0;
+/// `lseek` origin codes in captures: `Whence::Cur`.
+pub const WHENCE_CUR: u8 = 1;
+/// `lseek` origin codes in captures: `Whence::End`.
+pub const WHENCE_END: u8 = 2;
+
+/// FNV-1a 64 over a byte slice: the deterministic fold captures use to
+/// pin data payloads without storing them.
+pub fn fold_bytes(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One kernel entry, as the recorder saw it submitted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CapturedCall {
+    /// `tenant_register(name)` — captured so replay recreates tenant ids
+    /// in the same order.
+    TenantRegister {
+        /// Tenant name.
+        name: String,
+    },
+    /// `open(path, flags)`.
+    Open {
+        /// Absolute path.
+        path: String,
+        /// Open flags.
+        flags: OpenFlags,
+    },
+    /// `close(fd)`.
+    Close {
+        /// Raw descriptor number.
+        fd: u64,
+    },
+    /// `lseek(fd, offset, whence)`.
+    Lseek {
+        /// Raw descriptor number.
+        fd: u64,
+        /// Signed offset.
+        offset: i64,
+        /// Origin code ([`WHENCE_SET`]/[`WHENCE_CUR`]/[`WHENCE_END`]).
+        whence: u8,
+    },
+    /// `read(fd, len)`.
+    Read {
+        /// Raw descriptor number.
+        fd: u64,
+        /// Bytes wanted.
+        len: u64,
+    },
+    /// `pread(fd, pos, len)`.
+    Pread {
+        /// Raw descriptor number.
+        fd: u64,
+        /// Absolute file position.
+        pos: u64,
+        /// Bytes wanted.
+        len: u64,
+    },
+    /// `write(fd, data)` — the written bytes are carried in full so
+    /// replay reproduces file contents exactly.
+    Write {
+        /// Raw descriptor number.
+        fd: u64,
+        /// The bytes written.
+        data: Vec<u8>,
+    },
+    /// `fsync(fd)`.
+    Fsync {
+        /// Raw descriptor number.
+        fd: u64,
+    },
+    /// `stat(path)`.
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// `fstat(fd)`.
+    Fstat {
+        /// Raw descriptor number.
+        fd: u64,
+    },
+    /// `mkdir(path)`.
+    Mkdir {
+        /// Absolute path.
+        path: String,
+    },
+    /// `readdir(path)`.
+    Readdir {
+        /// Absolute path.
+        path: String,
+    },
+    /// `unlink(path)`.
+    Unlink {
+        /// Absolute path.
+        path: String,
+    },
+    /// One `ring_enter` batch: the ops actually serviced by this enter,
+    /// in service order.
+    RingEnter {
+        /// The ring's per-queue bound, so replay rebuilds an identical ring.
+        capacity: u64,
+        /// Serviced submissions in order.
+        ops: Vec<CapturedRingOp>,
+    },
+}
+
+impl CapturedCall {
+    /// Short human name, used in reports and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CapturedCall::TenantRegister { .. } => "tenant_register",
+            CapturedCall::Open { .. } => "open",
+            CapturedCall::Close { .. } => "close",
+            CapturedCall::Lseek { .. } => "lseek",
+            CapturedCall::Read { .. } => "read",
+            CapturedCall::Pread { .. } => "pread",
+            CapturedCall::Write { .. } => "write",
+            CapturedCall::Fsync { .. } => "fsync",
+            CapturedCall::Stat { .. } => "stat",
+            CapturedCall::Fstat { .. } => "fstat",
+            CapturedCall::Mkdir { .. } => "mkdir",
+            CapturedCall::Readdir { .. } => "readdir",
+            CapturedCall::Unlink { .. } => "unlink",
+            CapturedCall::RingEnter { .. } => "ring_enter",
+        }
+    }
+}
+
+/// One serviced ring submission inside a [`CapturedCall::RingEnter`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapturedRingOp {
+    /// The submitter's completion tag.
+    pub user_data: u64,
+    /// The operation, reusing the syscall vocabulary (only `Open`,
+    /// `Close`, `Pread` and `Stat` can appear here).
+    pub call: CapturedCall,
+}
+
+/// Device time charged to one captured op on one device class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCost {
+    /// Device class code (same coding as the trace layer).
+    pub class: u64,
+    /// Device commands issued.
+    pub commands: u64,
+    /// Queue-wait nanoseconds priced into the op.
+    pub queue_wait_ns: u64,
+    /// Device service nanoseconds priced into the op.
+    pub service_ns: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
+
+/// How a captured op ended: result, completion time, and the exact
+/// per-phase device attribution accumulated while it was in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpOutcome {
+    /// Whether the call returned `Ok`.
+    pub ok: bool,
+    /// Errno name when it did not.
+    pub errno: Option<String>,
+    /// Primary scalar result (fd for `open`, new offset for `lseek`,
+    /// bytes for `read`/`write`, serviced count for `ring_enter`, ...).
+    pub ret: u64,
+    /// Returned payload length (reads).
+    pub data_len: u64,
+    /// FNV-1a fold of the returned payload (reads) — pins data equality
+    /// across replays without storing the bytes.
+    pub data_fold: u64,
+    /// Completion time on the issuing tenant's timeline, nanoseconds.
+    pub complete_ns: u64,
+    /// Total queue-wait nanoseconds priced into this op.
+    pub queue_wait_ns: u64,
+    /// Total device-service nanoseconds priced into this op.
+    pub service_ns: u64,
+    /// Device commands issued while this op was in flight.
+    pub device_commands: u64,
+    /// Payload bytes moved by those commands.
+    pub device_bytes: u64,
+    /// Per-device-class breakdown of the above, class-sorted.
+    pub classes: Vec<ClassCost>,
+}
+
+/// One fully captured kernel entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapturedOp {
+    /// Position in the global capture order (0-based).
+    pub seq: u64,
+    /// Tenant the op ran as.
+    pub tenant: u64,
+    /// Submit time on that tenant's timeline, nanoseconds.
+    pub submit_ns: u64,
+    /// Sum of every device's fault epoch at submit — which fault windows
+    /// the op ran under.
+    pub fault_epoch: u64,
+    /// The path the op's fd resolved to at submit, when it had one —
+    /// the fd→path half of the record, for readability and audits.
+    pub path: Option<String>,
+    /// The call itself.
+    pub call: CapturedCall,
+    /// How it ended.
+    pub outcome: OpOutcome,
+}
+
+/// A finished recording: every op between arm and disarm, plus the
+/// explicit completeness verdict a replayer must honor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Capture {
+    /// True iff every charging kernel entry was captured and the budget
+    /// was never exceeded. Incomplete captures must never be replayed.
+    pub complete: bool,
+    /// Why the capture is incomplete, when it is.
+    pub incomplete_reason: Option<String>,
+    /// The op budget the recorder was armed with.
+    pub budget: usize,
+    /// Virtual time when the recorder was armed (the active tenant's
+    /// clock). The replayer measures the first pre-registration think
+    /// gap from here — setup work before the capture is not think time.
+    pub base_ns: u64,
+    /// The ops, in global capture order.
+    pub ops: Vec<CapturedOp>,
+}
+
+/// In-flight accumulator for the op currently inside the kernel.
+#[derive(Debug)]
+struct InFlight {
+    tenant: u64,
+    submit_ns: u64,
+    fault_epoch: u64,
+    path: Option<String>,
+    call: CapturedCall,
+    classes: BTreeMap<u64, ClassCost>,
+}
+
+/// The flight recorder the kernel arms via `Kernel::start_capture`.
+///
+/// Bounded (D009): holds at most `budget` ops; hitting the budget marks
+/// the capture incomplete and stops retaining further ops, it never
+/// drops silently.
+#[derive(Debug)]
+pub struct WorkloadRecorder {
+    budget: usize,
+    base_ns: u64,
+    complete: bool,
+    incomplete_reason: Option<String>,
+    ops: Vec<CapturedOp>,
+    /// Live fd→path table so each op can record what its fd meant.
+    fd_paths: BTreeMap<u64, String>,
+    inflight: Option<InFlight>,
+}
+
+impl WorkloadRecorder {
+    /// A recorder that retains at most `budget` ops (at least 1), armed
+    /// at virtual time `base_ns`.
+    pub fn new(budget: usize, base_ns: u64) -> WorkloadRecorder {
+        WorkloadRecorder {
+            budget: budget.max(1),
+            base_ns,
+            complete: true,
+            incomplete_reason: None,
+            ops: Vec::new(),
+            fd_paths: BTreeMap::new(),
+            inflight: None,
+        }
+    }
+
+    /// Ops retained so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether the capture is still complete (replayable).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Marks the capture incomplete; the first reason wins.
+    pub fn poison(&mut self, reason: String) {
+        if self.complete {
+            self.complete = false;
+            self.incomplete_reason = Some(reason);
+        }
+    }
+
+    /// Records a charging kernel entry the recorder cannot replay
+    /// (ioctls, pin/unpin, cache drops, setup mutations mid-capture).
+    pub fn unsupported(&mut self, name: &str) {
+        self.poison(format!("uncapturable call during capture: {name}"));
+    }
+
+    /// Arms the in-flight accumulator for one kernel entry. Called at
+    /// the syscall boundary, before any charge.
+    pub fn begin(&mut self, call: CapturedCall, tenant: u64, submit_ns: u64, fault_epoch: u64) {
+        if self.inflight.is_some() {
+            // Kernel entries never nest; seeing one means a hook bug.
+            self.poison(format!("nested capture begin: {}", call.name()));
+        }
+        if self.ops.len() >= self.budget {
+            self.poison(format!("capture budget overflowed ({} ops)", self.budget));
+            self.inflight = None;
+            return;
+        }
+        let path = match &call {
+            CapturedCall::Close { fd }
+            | CapturedCall::Lseek { fd, .. }
+            | CapturedCall::Read { fd, .. }
+            | CapturedCall::Pread { fd, .. }
+            | CapturedCall::Write { fd, .. }
+            | CapturedCall::Fsync { fd }
+            | CapturedCall::Fstat { fd } => self.fd_paths.get(fd).cloned(),
+            _ => None,
+        };
+        self.inflight = Some(InFlight {
+            tenant,
+            submit_ns,
+            fault_epoch,
+            path,
+            call,
+            classes: BTreeMap::new(),
+        });
+    }
+
+    /// Accumulates one device command's exact pricing into the in-flight
+    /// op. No-op when no op is in flight (setup traffic).
+    pub fn note_device(&mut self, class: u64, queue_wait_ns: u64, service_ns: u64, bytes: u64) {
+        if let Some(f) = self.inflight.as_mut() {
+            let c = f.classes.entry(class).or_insert(ClassCost {
+                class,
+                ..ClassCost::default()
+            });
+            c.commands += 1;
+            c.queue_wait_ns = c.queue_wait_ns.saturating_add(queue_wait_ns);
+            c.service_ns = c.service_ns.saturating_add(service_ns);
+            c.bytes = c.bytes.saturating_add(bytes);
+        }
+    }
+
+    /// Appends one serviced submission to the in-flight `RingEnter`.
+    pub fn ring_op(&mut self, user_data: u64, call: CapturedCall) {
+        match self.inflight.as_mut() {
+            Some(InFlight {
+                call: CapturedCall::RingEnter { ops, .. },
+                ..
+            }) => ops.push(CapturedRingOp { user_data, call }),
+            _ => self.poison("ring op captured outside a ring_enter".to_string()),
+        }
+    }
+
+    /// Completes the in-flight op successfully. `data` is the returned
+    /// payload, folded rather than stored.
+    pub fn finish_ok(&mut self, ret: u64, data: Option<&[u8]>, complete_ns: u64) {
+        let (data_len, data_fold) = match data {
+            Some(d) => (d.len() as u64, fold_bytes(d)),
+            None => (0, 0),
+        };
+        self.finish(
+            OpOutcome {
+                ok: true,
+                errno: None,
+                ret,
+                data_len,
+                data_fold,
+                complete_ns,
+                queue_wait_ns: 0,
+                service_ns: 0,
+                device_commands: 0,
+                device_bytes: 0,
+                classes: Vec::new(),
+            },
+            true,
+        );
+    }
+
+    /// Completes the in-flight op with an error.
+    pub fn finish_err(&mut self, errno: &str, complete_ns: u64) {
+        self.finish(
+            OpOutcome {
+                ok: false,
+                errno: Some(errno.to_string()),
+                ret: 0,
+                data_len: 0,
+                data_fold: 0,
+                complete_ns,
+                queue_wait_ns: 0,
+                service_ns: 0,
+                device_commands: 0,
+                device_bytes: 0,
+                classes: Vec::new(),
+            },
+            false,
+        );
+    }
+
+    fn finish(&mut self, mut outcome: OpOutcome, ok: bool) {
+        let Some(f) = self.inflight.take() else {
+            // begin() refused (budget) or was never called; nothing to do.
+            return;
+        };
+        let mut classes: Vec<ClassCost> = f.classes.into_values().collect();
+        classes.sort_by_key(|c| c.class);
+        for c in &classes {
+            outcome.queue_wait_ns = outcome.queue_wait_ns.saturating_add(c.queue_wait_ns);
+            outcome.service_ns = outcome.service_ns.saturating_add(c.service_ns);
+            outcome.device_commands += c.commands;
+            outcome.device_bytes = outcome.device_bytes.saturating_add(c.bytes);
+        }
+        outcome.classes = classes;
+        if ok {
+            // Keep the fd→path table live so later ops resolve.
+            match &f.call {
+                CapturedCall::Open { path, .. } => {
+                    self.fd_paths.insert(outcome.ret, path.clone());
+                }
+                CapturedCall::Close { fd } => {
+                    self.fd_paths.remove(fd);
+                }
+                CapturedCall::RingEnter { ops, .. } => {
+                    // Ring opens allocate fds sequentially in service
+                    // order; closes retire theirs. Outcomes per ring op
+                    // are not recorded individually, so track paths
+                    // conservatively: opens are resolved by the replayer
+                    // from its own fd sequence.
+                    for op in ops {
+                        if let CapturedCall::Close { fd } = &op.call {
+                            self.fd_paths.remove(fd);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.ops.push(CapturedOp {
+            seq: self.ops.len() as u64,
+            tenant: f.tenant,
+            submit_ns: f.submit_ns,
+            fault_epoch: f.fault_epoch,
+            path: f.path,
+            call: f.call,
+            outcome,
+        });
+    }
+
+    /// Disarms the recorder and returns the finished capture. An op
+    /// still in flight (kernel re-entered during teardown) poisons it.
+    pub fn into_capture(mut self) -> Capture {
+        if self.inflight.is_some() {
+            self.poison("capture stopped with an op in flight".to_string());
+        }
+        Capture {
+            complete: self.complete,
+            incomplete_reason: self.incomplete_reason,
+            budget: self.budget,
+            base_ns: self.base_ns,
+            ops: self.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin_simple(r: &mut WorkloadRecorder, seq: u64) {
+        r.begin(CapturedCall::Fsync { fd: 3 }, 0, seq * 10, 0);
+    }
+
+    #[test]
+    fn fold_is_fnv1a() {
+        assert_eq!(fold_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fold_bytes(b"a"), fold_bytes(b"b"));
+    }
+
+    #[test]
+    fn open_then_read_resolves_fd_to_path() {
+        let mut r = WorkloadRecorder::new(16, 0);
+        r.begin(
+            CapturedCall::Open {
+                path: "/disk/a".to_string(),
+                flags: OpenFlags::default(),
+            },
+            0,
+            100,
+            0,
+        );
+        r.finish_ok(3, None, 200);
+        r.begin(CapturedCall::Read { fd: 3, len: 8 }, 0, 300, 0);
+        r.note_device(1, 10, 20, 4096);
+        r.note_device(1, 5, 7, 4096);
+        r.finish_ok(8, Some(b"abcdefgh"), 400);
+        let cap = r.into_capture();
+        assert!(cap.complete);
+        assert_eq!(cap.ops.len(), 2);
+        let read = &cap.ops[1];
+        assert_eq!(read.path.as_deref(), Some("/disk/a"));
+        assert_eq!(read.outcome.queue_wait_ns, 15);
+        assert_eq!(read.outcome.service_ns, 27);
+        assert_eq!(read.outcome.device_commands, 2);
+        assert_eq!(read.outcome.device_bytes, 8192);
+        assert_eq!(read.outcome.data_fold, fold_bytes(b"abcdefgh"));
+        assert_eq!(read.outcome.classes.len(), 1);
+    }
+
+    #[test]
+    fn budget_overflow_is_loud_and_final() {
+        let mut r = WorkloadRecorder::new(2, 0);
+        for i in 0..3 {
+            begin_simple(&mut r, i);
+            r.finish_ok(0, None, i * 10 + 5);
+        }
+        let cap = r.into_capture();
+        assert!(!cap.complete);
+        assert_eq!(cap.ops.len(), 2, "ops beyond the budget are not retained");
+        let reason = cap.incomplete_reason.unwrap_or_default();
+        assert!(reason.contains("budget"), "{reason}");
+    }
+
+    #[test]
+    fn unsupported_call_poisons() {
+        let mut r = WorkloadRecorder::new(8, 0);
+        begin_simple(&mut r, 0);
+        r.finish_ok(0, None, 5);
+        r.unsupported("ioctl.fsleds_stat");
+        let cap = r.into_capture();
+        assert!(!cap.complete);
+        assert!(cap
+            .incomplete_reason
+            .unwrap_or_default()
+            .contains("fsleds_stat"));
+    }
+
+    #[test]
+    fn ring_ops_accumulate_into_the_batch() {
+        let mut r = WorkloadRecorder::new(8, 0);
+        r.begin(
+            CapturedCall::RingEnter {
+                capacity: 4,
+                ops: Vec::new(),
+            },
+            2,
+            1000,
+            0,
+        );
+        r.ring_op(
+            7,
+            CapturedCall::Pread {
+                fd: 3,
+                pos: 0,
+                len: 16,
+            },
+        );
+        r.note_device(1, 100, 200, 4096);
+        r.finish_ok(1, None, 2000);
+        let cap = r.into_capture();
+        assert!(cap.complete);
+        match &cap.ops[0].call {
+            CapturedCall::RingEnter { ops, .. } => {
+                assert_eq!(ops.len(), 1);
+                assert_eq!(ops[0].user_data, 7);
+            }
+            other => panic!("unexpected call {other:?}"),
+        }
+        assert_eq!(cap.ops[0].outcome.queue_wait_ns, 100);
+    }
+
+    #[test]
+    fn ring_op_outside_batch_poisons() {
+        let mut r = WorkloadRecorder::new(8, 0);
+        r.ring_op(0, CapturedCall::Close { fd: 3 });
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn stop_mid_flight_poisons() {
+        let mut r = WorkloadRecorder::new(8, 0);
+        begin_simple(&mut r, 0);
+        let cap = r.into_capture();
+        assert!(!cap.complete);
+    }
+}

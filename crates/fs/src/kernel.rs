@@ -31,14 +31,15 @@ use sleds_sim_core::{
 };
 use sleds_trace::{Layer, Metrics, TraceEvent, Tracer};
 
+use crate::capture::{Capture, CapturedCall, WorkloadRecorder};
 use crate::inode::{FileKind, FileNode, Ino, Inode, InodeBody, PageMap, PagePlace, Stat};
 use crate::machine::MachineConfig;
 use crate::prog::{
     prog_inputs, PickProgram, ProgEntry, ProgOrder, ProgPricing, ProgSled, WalkEntry,
 };
 use crate::queue::{
-    CmdQueue, DeviceSaturation, SaturationReport, TenantAttribution, TenantShare, BULLY_SHARE_PPM,
-    CMD_QUEUE_CAPACITY, SATURATION_UTIL_PPM,
+    CmdQueue, DeviceSaturation, LatencySummary, SaturationReport, TenantAttribution, TenantShare,
+    BULLY_SHARE_PPM, SATURATION_UTIL_PPM,
 };
 use crate::ring::{RingCompletion, RingOp, RingPayload, SubmissionRing};
 use crate::rusage::{JobReport, JobTimer, Rusage};
@@ -231,6 +232,27 @@ struct TenantState {
     usage: Rusage,
 }
 
+/// Maps a ring submission onto the capture vocabulary. The pushdown
+/// ioctls (`FsledsGet`, `PickAdvice`) carry pricing tables the capture
+/// format does not model; servicing one during a capture poisons it.
+fn ring_capture_call(op: &RingOp) -> Result<CapturedCall, &'static str> {
+    match op {
+        RingOp::Open { path, flags } => Ok(CapturedCall::Open {
+            path: path.clone(),
+            flags: *flags,
+        }),
+        RingOp::Close { fd } => Ok(CapturedCall::Close { fd: fd.0 }),
+        RingOp::Pread { fd, pos, len } => Ok(CapturedCall::Pread {
+            fd: fd.0,
+            pos: *pos,
+            len: *len as u64,
+        }),
+        RingOp::Stat { path } => Ok(CapturedCall::Stat { path: path.clone() }),
+        RingOp::FsledsGet { .. } => Err("ring.fsleds_get"),
+        RingOp::PickAdvice { .. } => Err("ring.pick_advice"),
+    }
+}
+
 /// The simulated kernel.
 pub struct Kernel {
     cfg: MachineConfig,
@@ -274,6 +296,10 @@ pub struct Kernel {
     /// Global usage at the last tenant switch; the delta since is the
     /// active tenant's not-yet-flushed share.
     tenant_snapshot: Rusage,
+    /// Armed flight recorder, when a capture is in progress. Unlike the
+    /// trace ring it is lossless: any kernel entry it cannot record
+    /// poisons the capture instead of being dropped.
+    recorder: Option<WorkloadRecorder>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -330,6 +356,7 @@ impl Kernel {
             }],
             active_tenant: 0,
             tenant_snapshot: Rusage::default(),
+            recorder: None,
         }
     }
 
@@ -391,6 +418,11 @@ impl Kernel {
     /// current virtual time. Returns its id. Tenant 0 ("main") always
     /// exists — it is the tenant every kernel boots as.
     pub fn tenant_register(&mut self, name: &str) -> TenantId {
+        if self.capture_active() {
+            self.rec_begin(CapturedCall::TenantRegister {
+                name: name.to_string(),
+            });
+        }
         let now = self.clock.now();
         self.tenants.push(TenantState {
             name: name.to_string(),
@@ -398,7 +430,9 @@ impl Kernel {
             registered_at: now,
             usage: Rusage::default(),
         });
-        TenantId((self.tenants.len() - 1) as u64)
+        let t = TenantId((self.tenants.len() - 1) as u64);
+        self.rec_finish(Ok((t.0, None)));
+        t
     }
 
     /// Makes `t` the active tenant: parks the current tenant's clock and
@@ -526,16 +560,89 @@ impl Kernel {
         self.tracer.dropped()
     }
 
+    /// Trace-ring retention high-water mark (most events held at once).
+    pub fn trace_high_water(&self) -> u64 {
+        self.tracer.high_water()
+    }
+
     /// Per-layer metrics accumulated since tracing was enabled; `None`
     /// while tracing is off.
     pub fn metrics(&self) -> Option<&Metrics> {
         self.tracer.metrics()
     }
 
+    // ------------------------------------------------------------------
+    // Workload capture: the flight recorder
+    // ------------------------------------------------------------------
+
+    /// Arms the flight recorder: every subsequent kernel entry is
+    /// recorded losslessly (up to `budget` ops — overflowing the budget
+    /// marks the capture incomplete, never drops silently) until
+    /// [`Kernel::stop_capture`]. Replaces any capture in progress.
+    pub fn start_capture(&mut self, budget: usize) {
+        self.recorder = Some(WorkloadRecorder::new(budget, self.clock.now().as_nanos()));
+    }
+
+    /// Disarms the recorder and returns the capture; `None` when no
+    /// capture was armed.
+    pub fn stop_capture(&mut self) -> Option<Capture> {
+        self.recorder.take().map(WorkloadRecorder::into_capture)
+    }
+
+    /// Whether a capture is in progress.
+    pub fn capture_active(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Sum of every attached device's fault epoch at `now` — the "which
+    /// fault windows are live" stamp each captured op carries.
+    pub fn fault_epoch_total(&self) -> u64 {
+        let now = self.clock.now();
+        self.devices.iter().map(|d| d.fault_epoch(now)).sum()
+    }
+
+    /// Arms the recorder's in-flight accumulator for one kernel entry.
+    /// Must be paired with [`Kernel::rec_finish`] on every path out.
+    fn rec_begin(&mut self, call: CapturedCall) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let tenant = self.active_tenant as u64;
+        let submit_ns = self.clock.now().as_nanos();
+        let epoch = self.fault_epoch_total();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.begin(call, tenant, submit_ns, epoch);
+        }
+    }
+
+    /// Completes the in-flight captured op: `ret` is the call's scalar
+    /// result, `data` its returned payload (folded, not stored).
+    fn rec_finish(&mut self, res: Result<(u64, Option<&[u8]>), &SimError>) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let now = self.clock.now().as_nanos();
+        if let Some(rec) = self.recorder.as_mut() {
+            match res {
+                Ok((ret, data)) => rec.finish_ok(ret, data, now),
+                Err(e) => rec.finish_err(e.errno.name(), now),
+            }
+        }
+    }
+
+    /// Poisons an in-progress capture: `name` charged the clock (or
+    /// mutated state) in a way the replayer cannot reproduce.
+    fn rec_unsupported(&mut self, name: &str) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.unsupported(name);
+        }
+    }
+
     /// The `FSLEDS_STAT` ioctl: a snapshot of the per-layer counters and
     /// latency histograms. Charges one syscall; all-zero when tracing is
     /// off (the counters simply never ran).
     pub fn fsleds_stat(&mut self, fd: Fd) -> SimResult<Metrics> {
+        self.rec_unsupported("ioctl.fsleds_stat");
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "ioctl.fsleds_stat", t0, [fd.0, 0, 0]);
@@ -557,6 +664,7 @@ impl Kernel {
     /// whether or not tracing is on (untraced callers get empty metrics),
     /// so traced and untraced runs stay byte-identical.
     pub fn fsleds_recal(&mut self, fd: Fd) -> SimResult<Metrics> {
+        self.rec_unsupported("ioctl.fsleds_recal");
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "ioctl.fsleds_recal", t0, [fd.0, 0, 0]);
@@ -627,6 +735,8 @@ impl Kernel {
                 throughput_bytes_per_sec: q.throughput_bytes_per_sec(),
                 depth_high_water: q.depth_high_water(),
                 saturated,
+                service_latency: LatencySummary::of(q.service_hist()),
+                queue_wait_latency: LatencySummary::of(q.queue_wait_hist()),
                 shares,
             });
         }
@@ -671,6 +781,7 @@ impl Kernel {
     /// shares and bully flags, plus per-tenant latency attribution.
     /// Charges one syscall; rows are empty until devices see commands.
     pub fn fsleds_satstat(&mut self, fd: Fd) -> SimResult<SaturationReport> {
+        self.rec_unsupported("ioctl.fsleds_satstat");
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "ioctl.fsleds_satstat", t0, [fd.0, 0, 0]);
@@ -862,6 +973,7 @@ impl Kernel {
     /// Installs `plan`'s injectors on every attached device whose name has
     /// an entry in the plan; devices without one are left untouched.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.rec_unsupported("apply_fault_plan");
         for d in &mut self.devices {
             if let Some(injector) = plan.injector_for(d.name()) {
                 d.set_fault_injector(injector);
@@ -929,6 +1041,14 @@ impl Kernel {
             let err = match r {
                 Ok(t) => {
                     self.queues[dev.0].note_command(tenant, now, qwait, t, sectors * SECTOR_SIZE);
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.note_device(
+                            class_code(class),
+                            qwait.as_nanos(),
+                            t.as_nanos(),
+                            sectors * SECTOR_SIZE,
+                        );
+                    }
                     self.charge_queue_wait(qwait);
                     self.charge_io(t);
                     self.trace_device(dev, write, now, qwait, t, sector, sectors);
@@ -958,6 +1078,9 @@ impl Kernel {
             // The faulted attempt occupied the device too: it queued like
             // any command and held the bus for its fault phase.
             self.queues[dev.0].note_command(tenant, now, qwait, cost, 0);
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.note_device(class_code(class), qwait.as_nanos(), cost.as_nanos(), 0);
+            }
             self.charge_queue_wait(qwait);
             self.charge_io(cost);
             let t_fail = self.clock.now();
@@ -1024,6 +1147,7 @@ impl Kernel {
     /// Charges I/O wait time from outside the kernel's own read/write
     /// paths (used by the AIO model's swap accounting).
     pub fn charge_io_public(&mut self, d: SimDuration) {
+        self.rec_unsupported("charge_io_public");
         self.charge_io(d);
     }
 
@@ -1101,7 +1225,7 @@ impl Kernel {
 
     fn add_device(&mut self, dev: Box<dyn BlockDevice>) -> DeviceId {
         self.devices.push(dev);
-        self.queues.push(CmdQueue::new(CMD_QUEUE_CAPACITY));
+        self.queues.push(CmdQueue::new(self.cfg.cmd_queue_capacity));
         DeviceId(self.devices.len() - 1)
     }
 
@@ -1295,6 +1419,20 @@ impl Kernel {
 
     /// Creates a directory.
     pub fn mkdir(&mut self, path: &str) -> SimResult<()> {
+        if self.capture_active() {
+            self.rec_begin(CapturedCall::Mkdir {
+                path: path.to_string(),
+            });
+        }
+        let r = self.mkdir_impl(path);
+        self.rec_finish(match &r {
+            Ok(()) => Ok((0, None)),
+            Err(e) => Err(e),
+        });
+        r
+    }
+
+    fn mkdir_impl(&mut self, path: &str) -> SimResult<()> {
         self.charge_syscall();
         let (parent, name) = self.resolve_parent(path)?;
         let mount = self.inode(parent)?.mount;
@@ -1323,6 +1461,20 @@ impl Kernel {
 
     /// Lists a directory's entries in name order.
     pub fn readdir(&mut self, path: &str) -> SimResult<Vec<String>> {
+        if self.capture_active() {
+            self.rec_begin(CapturedCall::Readdir {
+                path: path.to_string(),
+            });
+        }
+        let r = self.readdir_impl(path);
+        self.rec_finish(match &r {
+            Ok(names) => Ok((names.len() as u64, None)),
+            Err(e) => Err(e),
+        });
+        r
+    }
+
+    fn readdir_impl(&mut self, path: &str) -> SimResult<Vec<String>> {
         self.charge_syscall();
         let ino = self.resolve(path)?;
         let node = self.inode(ino)?;
@@ -1334,6 +1486,20 @@ impl Kernel {
 
     /// Returns metadata for a path.
     pub fn stat(&mut self, path: &str) -> SimResult<Stat> {
+        if self.capture_active() {
+            self.rec_begin(CapturedCall::Stat {
+                path: path.to_string(),
+            });
+        }
+        let r = self.stat_impl(path);
+        self.rec_finish(match &r {
+            Ok(st) => Ok((st.size, None)),
+            Err(e) => Err(e),
+        });
+        r
+    }
+
+    fn stat_impl(&mut self, path: &str) -> SimResult<Stat> {
         self.charge_syscall();
         let ino = self.resolve(path)?;
         self.stat_ino(ino)
@@ -1353,6 +1519,16 @@ impl Kernel {
 
     /// Returns metadata for an open file.
     pub fn fstat(&mut self, fd: Fd) -> SimResult<Stat> {
+        self.rec_begin(CapturedCall::Fstat { fd: fd.0 });
+        let r = self.fstat_impl(fd);
+        self.rec_finish(match &r {
+            Ok(st) => Ok((st.size, None)),
+            Err(e) => Err(e),
+        });
+        r
+    }
+
+    fn fstat_impl(&mut self, fd: Fd) -> SimResult<Stat> {
         self.charge_syscall();
         let of = self.openfile(fd)?;
         self.stat_ino(of.ino)
@@ -1360,6 +1536,20 @@ impl Kernel {
 
     /// Removes a file, dropping its cached pages.
     pub fn unlink(&mut self, path: &str) -> SimResult<()> {
+        if self.capture_active() {
+            self.rec_begin(CapturedCall::Unlink {
+                path: path.to_string(),
+            });
+        }
+        let r = self.unlink_impl(path);
+        self.rec_finish(match &r {
+            Ok(()) => Ok((0, None)),
+            Err(e) => Err(e),
+        });
+        r
+    }
+
+    fn unlink_impl(&mut self, path: &str) -> SimResult<()> {
         self.charge_syscall();
         let (parent, name) = self.resolve_parent(path)?;
         let ino = {
@@ -1395,9 +1585,19 @@ impl Kernel {
     pub fn open(&mut self, path: &str, flags: OpenFlags) -> SimResult<Fd> {
         let t0 = self.clock.now();
         self.tracer.begin(Layer::Syscall, "open", t0, [0; 3]);
+        if self.capture_active() {
+            self.rec_begin(CapturedCall::Open {
+                path: path.to_string(),
+                flags,
+            });
+        }
         let r = self.open_impl(path, flags);
         let t1 = self.clock.now();
         self.tracer.end(t1);
+        self.rec_finish(match &r {
+            Ok(fd) => Ok((fd.0, None)),
+            Err(e) => Err(e),
+        });
         r
     }
 
@@ -1477,10 +1677,15 @@ impl Kernel {
     pub fn close(&mut self, fd: Fd) -> SimResult<()> {
         let t0 = self.clock.now();
         self.tracer.begin(Layer::Syscall, "close", t0, [fd.0, 0, 0]);
+        self.rec_begin(CapturedCall::Close { fd: fd.0 });
         self.charge_syscall();
         let r = self.do_close(fd);
         let t1 = self.clock.now();
         self.tracer.end(t1);
+        self.rec_finish(match &r {
+            Ok(()) => Ok((0, None)),
+            Err(e) => Err(e),
+        });
         r
     }
 
@@ -1499,9 +1704,22 @@ impl Kernel {
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "lseek", t0, [fd.0, offset as u64, 0]);
+        self.rec_begin(CapturedCall::Lseek {
+            fd: fd.0,
+            offset,
+            whence: match whence {
+                Whence::Set => crate::capture::WHENCE_SET,
+                Whence::Cur => crate::capture::WHENCE_CUR,
+                Whence::End => crate::capture::WHENCE_END,
+            },
+        });
         let r = self.lseek_impl(fd, offset, whence);
         let t1 = self.clock.now();
         self.tracer.end(t1);
+        self.rec_finish(match &r {
+            Ok(n) => Ok((*n, None)),
+            Err(e) => Err(e),
+        });
         r
     }
 
@@ -1531,9 +1749,17 @@ impl Kernel {
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "read", t0, [fd.0, len as u64, 0]);
+        self.rec_begin(CapturedCall::Read {
+            fd: fd.0,
+            len: len as u64,
+        });
         let r = self.read_impl(fd, len);
         let t1 = self.clock.now();
         self.tracer.end(t1);
+        self.rec_finish(match &r {
+            Ok(data) => Ok((data.len() as u64, Some(&data[..]))),
+            Err(e) => Err(e),
+        });
         r
     }
 
@@ -1547,9 +1773,18 @@ impl Kernel {
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "pread", t0, [fd.0, len as u64, pos]);
+        self.rec_begin(CapturedCall::Pread {
+            fd: fd.0,
+            pos,
+            len: len as u64,
+        });
         let r = self.pread_impl(fd, pos, len);
         let t1 = self.clock.now();
         self.tracer.end(t1);
+        self.rec_finish(match &r {
+            Ok(data) => Ok((data.len() as u64, Some(&data[..]))),
+            Err(e) => Err(e),
+        });
         r
     }
 
@@ -1586,9 +1821,19 @@ impl Kernel {
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "write", t0, [fd.0, buf.len() as u64, 0]);
+        if self.capture_active() {
+            self.rec_begin(CapturedCall::Write {
+                fd: fd.0,
+                data: buf.to_vec(),
+            });
+        }
         let r = self.write_impl(fd, buf);
         let t1 = self.clock.now();
         self.tracer.end(t1);
+        self.rec_finish(match &r {
+            Ok(n) => Ok((*n as u64, None)),
+            Err(e) => Err(e),
+        });
         r
     }
 
@@ -1613,9 +1858,14 @@ impl Kernel {
     pub fn fsync(&mut self, fd: Fd) -> SimResult<()> {
         let t0 = self.clock.now();
         self.tracer.begin(Layer::Syscall, "fsync", t0, [fd.0, 0, 0]);
+        self.rec_begin(CapturedCall::Fsync { fd: fd.0 });
         let r = self.fsync_impl(fd);
         let t1 = self.clock.now();
         self.tracer.end(t1);
+        self.rec_finish(match &r {
+            Ok(()) => Ok((0, None)),
+            Err(e) => Err(e),
+        });
         r
     }
 
@@ -1633,6 +1883,7 @@ impl Kernel {
     /// Drops the entire page cache, writing dirty pages back first. Used by
     /// experiments that need a cold cache.
     pub fn drop_caches(&mut self) -> SimResult<()> {
+        self.rec_unsupported("drop_caches");
         let inos: Vec<u64> = self.inodes.keys().map(|i| i.0).collect();
         for ino in inos {
             for key in self.cache.dirty_pages_of(ino) {
@@ -2032,6 +2283,7 @@ impl Kernel {
     /// extent of this open file live right now? Cost is one probe per
     /// extent plus a per-page floor — O(runs), not O(pages).
     pub fn page_extents(&mut self, fd: Fd) -> SimResult<Vec<PageExtent>> {
+        self.rec_unsupported("ioctl.page_extents");
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "ioctl.fsleds_get", t0, [fd.0, 0, 0]);
@@ -2081,6 +2333,10 @@ impl Kernel {
         let submitted = ring.sq_len() as u64;
         self.tracer
             .begin(Layer::Syscall, "ring.enter", t0, [submitted, 0, 0]);
+        self.rec_begin(CapturedCall::RingEnter {
+            capacity: ring.capacity() as u64,
+            ops: Vec::new(),
+        });
         self.charge_crossing();
         self.ring_enters += 1;
         let mut serviced = 0usize;
@@ -2090,6 +2346,16 @@ impl Kernel {
             };
             self.charge_ring_op();
             self.ring_ops += 1;
+            if self.capture_active() {
+                match ring_capture_call(&op) {
+                    Ok(call) => {
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.ring_op(user_data, call);
+                        }
+                    }
+                    Err(name) => self.rec_unsupported(name),
+                }
+            }
             let result = self.service_ring_op(op);
             ring.complete(RingCompletion { user_data, result });
             serviced += 1;
@@ -2097,6 +2363,7 @@ impl Kernel {
         let now = self.clock.now();
         self.tracer.ring_submit(now, submitted, serviced as u64);
         self.tracer.end(now);
+        self.rec_finish(Ok((serviced as u64, None)));
         self.tenant_switch(prev)?;
         Ok(serviced)
     }
@@ -2258,6 +2525,7 @@ impl Kernel {
     /// open descriptor. The program was verified at construction; this
     /// re-runs nothing and simply associates it with the fd until close.
     pub fn fsleds_prog(&mut self, fd: Fd, prog: PickProgram) -> SimResult<()> {
+        self.rec_unsupported("ioctl.fsleds_prog");
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "ioctl.fsleds_prog", t0, [fd.0, 0, 0]);
@@ -2280,6 +2548,7 @@ impl Kernel {
     /// pushed pricing rows, derives the program inputs, and returns the
     /// verdict plus the delivery-time estimate it saw.
     pub fn fsleds_prog_eval(&mut self, fd: Fd, pricing: &ProgPricing) -> SimResult<(bool, f64)> {
+        self.rec_unsupported("ioctl.fsleds_prog_eval");
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "ioctl.fsleds_prog_eval", t0, [fd.0, 0, 0]);
@@ -2333,6 +2602,8 @@ impl Kernel {
         prog: &PickProgram,
         pricing: &ProgPricing,
     ) -> SimResult<Vec<WalkEntry>> {
+        self.rec_unsupported("set_fragmentation");
+        self.rec_unsupported("ioctl.fsleds_walk");
         let t0 = self.clock.now();
         self.tracer
             .begin(Layer::Syscall, "ioctl.fsleds_walk", t0, [0; 3]);
@@ -2576,6 +2847,7 @@ impl Kernel {
     /// SLED lifetimes. Returns the page indices actually pinned (only
     /// resident pages can be held).
     pub fn pin_range(&mut self, fd: Fd, offset: u64, len: u64) -> SimResult<Vec<u64>> {
+        self.rec_unsupported("ioctl.pin_range");
         self.charge_syscall();
         let of = self.openfile(fd)?;
         let size = self
@@ -2600,6 +2872,7 @@ impl Kernel {
     /// the range is clipped to the file size (pins can only exist on file
     /// pages), so a `(0, u64::MAX)` release is safe and releases everything.
     pub fn unpin_range(&mut self, fd: Fd, offset: u64, len: u64) -> SimResult<()> {
+        self.rec_unsupported("ioctl.unpin_range");
         self.charge_syscall();
         let of = self.openfile(fd)?;
         let size = self
@@ -2626,6 +2899,7 @@ impl Kernel {
     /// and cached pages. Charges the tape write unless `free` is set (used
     /// by experiment setup).
     pub fn hsm_migrate(&mut self, path: &str, free: bool) -> SimResult<()> {
+        self.rec_unsupported("hsm_migrate");
         let ino = self.resolve(path)?;
         let mount = self
             .inode(ino)?
@@ -2748,6 +3022,7 @@ impl Kernel {
     /// any time and without touching the page cache. The file is laid out
     /// by the mount's allocator exactly as a normal write would lay it out.
     pub fn install_file(&mut self, path: &str, data: &[u8]) -> SimResult<()> {
+        self.rec_unsupported("install_file");
         self.install_node(path, data.len() as u64, data.to_vec())
             .map(|_| ())
     }
@@ -2759,6 +3034,7 @@ impl Kernel {
     /// `fsleds_get`, `warm_file_pages`) on files far larger than host
     /// memory could hold.
     pub fn install_sparse_file(&mut self, path: &str, size: u64) -> SimResult<()> {
+        self.rec_unsupported("install_sparse_file");
         self.install_node(path, size, Vec::new()).map(|_| ())
     }
 
@@ -2768,6 +3044,7 @@ impl Kernel {
     /// their dirty state silently (setup, not a syscall). Fails if the
     /// range lies beyond the file.
     pub fn warm_file_pages(&mut self, path: &str, first_page: u64, pages: u64) -> SimResult<()> {
+        self.rec_unsupported("warm_file_pages");
         let ino = self.resolve(path)?;
         let n = self
             .inode(ino)?
@@ -2795,6 +3072,7 @@ impl Kernel {
     ///
     /// The range must lie within the current file size.
     pub fn poke_file(&mut self, path: &str, offset: u64, data: &[u8]) -> SimResult<()> {
+        self.rec_unsupported("poke_file");
         let ino = self.resolve(path)?;
         let f = self
             .inode_mut(ino)?
@@ -2817,6 +3095,7 @@ impl Kernel {
     /// file — experiment setup for placing subsequent files deep into a
     /// device (e.g. in an inner disk zone) without materializing filler.
     pub fn advance_allocator(&mut self, mount: MountId, pages: u64) -> SimResult<()> {
+        self.rec_unsupported("advance_allocator");
         self.allocate_sectors(mount, pages).map(|_| ())
     }
 

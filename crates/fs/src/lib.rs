@@ -23,6 +23,7 @@
 //! SLEDs to shine the most.
 
 pub mod aio;
+pub mod capture;
 pub mod inode;
 pub mod kernel;
 pub mod machine;
@@ -32,6 +33,10 @@ pub mod ring;
 pub mod rusage;
 
 pub use aio::AioReport;
+pub use capture::{
+    fold_bytes, Capture, CapturedCall, CapturedOp, CapturedRingOp, ClassCost, OpOutcome,
+    WorkloadRecorder, CAPTURE_SCHEMA, WHENCE_CUR, WHENCE_END, WHENCE_SET,
+};
 pub use inode::{FileKind, Ino, LayoutRun, PageMap, PagePlace, Stat, SECTORS_PER_PAGE};
 pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageExtent, PageLocation, Whence};
 pub use machine::MachineConfig;
@@ -40,8 +45,8 @@ pub use prog::{
     ProgSled, WalkEntry, MAX_PROG_COST_NS, MAX_PROG_LEN, MAX_PROG_STACK,
 };
 pub use queue::{
-    CmdQueue, DeviceSaturation, QueueSample, SaturationReport, TenantAttribution, TenantLoad,
-    TenantShare, BULLY_SHARE_PPM, CMD_QUEUE_CAPACITY, SATURATION_UTIL_PPM,
+    CmdQueue, DeviceSaturation, LatencySummary, QueueSample, SaturationReport, TenantAttribution,
+    TenantLoad, TenantShare, BULLY_SHARE_PPM, CMD_QUEUE_CAPACITY, SATURATION_UTIL_PPM,
 };
 pub use ring::{RingCompletion, RingOp, RingPayload, SubmissionRing, DEFAULT_RING_ENTRIES};
 pub use rusage::{JobReport, JobTimer, Rusage};

@@ -48,6 +48,14 @@ pub struct MachineConfig {
     /// pages, i.e. per-page accounting. The ablation benches turn this on
     /// to show how readahead changes fault counts but not the SLEDs story.
     pub readahead_pages: u64,
+    /// Per-device command-queue retention bound: how many occupancy
+    /// segments and depth samples each [`crate::queue::CmdQueue`] keeps
+    /// (drop-oldest beyond it). This bounds *telemetry*, not admission —
+    /// completion times never depend on it — so shrinking it degrades
+    /// queue-wait attribution fidelity and depth sampling, which is
+    /// exactly the trade the replay harness lets a candidate config
+    /// explore. Defaults to [`crate::queue::CMD_QUEUE_CAPACITY`].
+    pub cmd_queue_capacity: usize,
 }
 
 impl MachineConfig {
@@ -65,6 +73,7 @@ impl MachineConfig {
             page_walk_cpu: SimDuration::from_nanos(250),
             page_walk_floor_cpu: SimDuration::from_nanos(1),
             readahead_pages: 0,
+            cmd_queue_capacity: crate::queue::CMD_QUEUE_CAPACITY,
         }
     }
 

@@ -19,6 +19,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use sleds_sim_core::stats::LogHistogram;
 use sleds_sim_core::time::NANOS_PER_SEC;
 use sleds_sim_core::{SimDuration, SimTime};
 
@@ -103,6 +104,10 @@ pub struct CmdQueue {
     /// spent queued behind the owner's occupancy. Sums exactly to
     /// `queue_wait_ns` by construction.
     waits: BTreeMap<(u64, u64), u64>,
+    /// Per-command service time (fixed 64 log buckets: bounded, D009).
+    service_hist: LogHistogram,
+    /// Per-command queue wait (fixed 64 log buckets: bounded, D009).
+    queue_wait_hist: LogHistogram,
 }
 
 impl CmdQueue {
@@ -121,6 +126,8 @@ impl CmdQueue {
             depth_high_water: 0,
             per_tenant: BTreeMap::new(),
             waits: BTreeMap::new(),
+            service_hist: LogHistogram::new(),
+            queue_wait_hist: LogHistogram::new(),
         }
     }
 
@@ -209,6 +216,8 @@ impl CmdQueue {
         self.commands += 1;
         self.bytes = self.bytes.saturating_add(bytes);
         self.busy_ns = self.busy_ns.saturating_add(service.as_nanos());
+        self.service_hist.record(service.as_nanos());
+        self.queue_wait_hist.record(qwait.as_nanos());
         let load = self.per_tenant.entry(tenant).or_default();
         load.commands += 1;
         load.bytes = load.bytes.saturating_add(bytes);
@@ -295,6 +304,16 @@ impl CmdQueue {
         self.samples.iter()
     }
 
+    /// Per-command service-time histogram.
+    pub fn service_hist(&self) -> &LogHistogram {
+        &self.service_hist
+    }
+
+    /// Per-command queue-wait histogram.
+    pub fn queue_wait_hist(&self) -> &LogHistogram {
+        &self.queue_wait_hist
+    }
+
     /// Clears the cumulative telemetry (used between a warm-up and a
     /// measured run). Occupancy state — `busy_until` and the retained
     /// segments — persists: like a disk arm position, the device's
@@ -309,12 +328,41 @@ impl CmdQueue {
         self.depth_high_water = 0;
         self.per_tenant.clear();
         self.waits.clear();
+        self.service_hist = LogHistogram::new();
+        self.queue_wait_hist = LogHistogram::new();
     }
 }
 
 // ---------------------------------------------------------------------
 // Saturation report
 // ---------------------------------------------------------------------
+
+/// A four-point latency summary (count-weighted bucket means from a
+/// [`LogHistogram`]): monotone `p50 <= p90 <= p99 <= p999` by
+/// construction, integer nanoseconds, so reports replay bit-identically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram at the report's four quantiles.
+    pub fn of(h: &LogHistogram) -> LatencySummary {
+        LatencySummary {
+            p50_ns: h.p50(),
+            p90_ns: h.p90(),
+            p99_ns: h.p99(),
+            p999_ns: h.p999(),
+        }
+    }
+}
 
 /// One tenant's share of one device, derived for the report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -357,6 +405,10 @@ pub struct DeviceSaturation {
     pub depth_high_water: u64,
     /// Utilization at or above [`SATURATION_UTIL_PPM`] with nonzero wait.
     pub saturated: bool,
+    /// Per-command service-time quantiles.
+    pub service_latency: LatencySummary,
+    /// Per-command queue-wait quantiles.
+    pub queue_wait_latency: LatencySummary,
     /// Per-tenant shares, ascending by tenant id.
     pub shares: Vec<TenantShare>,
 }

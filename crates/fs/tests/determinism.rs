@@ -572,3 +572,110 @@ fn recalibrated_run_is_identical_traced_vs_untraced() {
     );
     assert_rusage_sums(&traced);
 }
+
+// ---------------------------------------------------------------------
+// Capture/replay identity: the flight-recorder half of the determinism
+// story. Capturing is pure observation (the recorder must not perturb
+// the clock), captures of identical runs are byte-identical, and the
+// identity replay — same spec, no overrides — reproduces the capture
+// byte for byte through the serialized form.
+
+use sleds_replay::{build_kernel, replay, CandidateConfig, CaptureFile, SetupStep, WorkloadSpec};
+
+/// A disk + NFS environment with cold caches, as rebuildable data.
+fn capture_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new("table2");
+    spec.setup = vec![
+        SetupStep::Mkdir { path: "/d".into() },
+        SetupStep::MountDisk {
+            path: "/d".into(),
+            model: "table2_disk".into(),
+            name: "hda".into(),
+        },
+        SetupStep::InstallSparseFile {
+            path: "/d/f".into(),
+            size: 24 * PAGE_SIZE,
+        },
+        SetupStep::DropCaches,
+    ];
+    spec
+}
+
+/// A two-tenant workload with think gaps, cold and warm reads, writes,
+/// and metadata ops — enough surface to catch a replay drift anywhere.
+fn drive_captured(k: &mut Kernel) {
+    let t = k.tenant_register("peer");
+    let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+    for p in [0u64, 8, 16, 0] {
+        k.pread(fd, p * PAGE_SIZE, PAGE_SIZE as usize).unwrap();
+        k.charge_cpu(SimDuration::from_nanos(1_500_000));
+    }
+    k.tenant_switch(t).unwrap();
+    let wfd = k.open("/d/w", OpenFlags::CREATE_RDWR).unwrap();
+    k.write(wfd, &[3u8; 2048]).unwrap();
+    k.fsync(wfd).unwrap();
+    k.close(wfd).unwrap();
+    k.tenant_switch(TenantId(0)).unwrap();
+    k.stat("/d/w").unwrap();
+    k.close(fd).unwrap();
+}
+
+fn record_capture() -> CaptureFile {
+    let spec = capture_spec();
+    let mut k = build_kernel(&spec).unwrap();
+    k.start_capture(128);
+    drive_captured(&mut k);
+    let capture = k.stop_capture().unwrap();
+    assert!(capture.complete, "workload must fit the capture budget");
+    CaptureFile { spec, capture }
+}
+
+#[test]
+fn capture_files_of_identical_runs_are_byte_identical() {
+    assert_eq!(
+        record_capture().to_jsonl(),
+        record_capture().to_jsonl(),
+        "same spec + same workload ⇒ byte-identical capture file"
+    );
+}
+
+#[test]
+fn capturing_does_not_perturb_the_virtual_clock() {
+    // Same workload with and without the recorder armed: the recorder
+    // is observation only, so the clock and usage must not move.
+    let spec = capture_spec();
+    let mut plain = build_kernel(&spec).unwrap();
+    drive_captured(&mut plain);
+
+    let mut recorded = build_kernel(&spec).unwrap();
+    recorded.start_capture(128);
+    drive_captured(&mut recorded);
+    let capture = recorded.stop_capture().unwrap();
+    assert!(capture.complete);
+
+    assert_eq!(
+        plain.now(),
+        recorded.now(),
+        "recording must not advance the clock"
+    );
+    assert_eq!(
+        plain.usage(),
+        recorded.usage(),
+        "recording must not charge rusage"
+    );
+}
+
+#[test]
+fn identity_replay_round_trips_through_serialization() {
+    // Full loop: capture → serialize → parse → replay identity →
+    // serialize again. Every stage must preserve bytes.
+    let original = record_capture();
+    let text = original.to_jsonl();
+    let parsed = CaptureFile::parse(&text).expect("parse");
+    let replayed = replay(&parsed, &CandidateConfig::identity()).expect("identity replay");
+    assert_eq!(
+        replayed.into_file().to_jsonl(),
+        text,
+        "capture → parse → replay must reproduce the capture byte for byte"
+    );
+}

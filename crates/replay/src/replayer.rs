@@ -1,0 +1,217 @@
+//! The deterministic replayer: re-issues a captured workload on the
+//! virtual clock against a candidate kernel configuration.
+//!
+//! Replay preserves what the application controlled — per-tenant submit
+//! order and think-time gaps — and lets the kernel re-derive everything
+//! it controls: queue waits, service times, cache hits, fault retries.
+//! Before each op the replayer switches to the op's tenant and charges
+//! the *original* gap between the tenant's previous completion and this
+//! submit as CPU think time; the candidate kernel then prices the op
+//! itself. Under the identity candidate every charge lands on the same
+//! nanosecond, so the re-capture is byte-identical to the original —
+//! the pinned determinism property.
+//!
+//! Incomplete captures (`complete: false`) are refused loudly: an
+//! overflowed or poisoned capture can never be silently replayed.
+
+use std::collections::BTreeMap;
+
+use sleds_fs::{
+    Capture, CapturedCall, CapturedOp, Fd, Kernel, OpenFlags, RingOp, SubmissionRing, TenantId,
+    Whence, WHENCE_CUR, WHENCE_END, WHENCE_SET,
+};
+use sleds_sim_core::SimDuration;
+
+use crate::file::CaptureFile;
+use crate::setup::{build_kernel, CandidateConfig, WorkloadSpec};
+
+/// A finished replay: the candidate spec it ran under, the re-captured
+/// workload (same shape as the original — diff them), and the kernel it
+/// ran on (for saturation reports or further inspection).
+pub struct Replayed {
+    /// The spec the replay actually ran under (captured spec with the
+    /// candidate's overrides applied).
+    pub spec: WorkloadSpec,
+    /// The re-captured workload.
+    pub capture: Capture,
+    /// The post-replay kernel.
+    pub kernel: Kernel,
+}
+
+impl Replayed {
+    /// Repackages as a capture file — serialize it to byte-compare with
+    /// the original for the identity property.
+    pub fn into_file(self) -> CaptureFile {
+        CaptureFile {
+            spec: self.spec,
+            capture: self.capture,
+        }
+    }
+}
+
+/// Replays `file` against `candidate`'s overrides of its spec.
+///
+/// Errors on incomplete captures, on specs that cannot be rebuilt, and
+/// on structural divergence (an op whose success/failure or returned fd
+/// differs from the capture — later fd-based ops would dereference the
+/// wrong file, so replay stops loudly instead).
+pub fn replay(file: &CaptureFile, candidate: &CandidateConfig) -> Result<Replayed, String> {
+    if !file.capture.complete {
+        let why = file
+            .capture
+            .incomplete_reason
+            .as_deref()
+            .unwrap_or("no reason recorded");
+        return Err(format!(
+            "refusing to replay an incomplete capture ({why}); \
+             re-capture with a larger budget or without unsupported calls"
+        ));
+    }
+    let spec = candidate.apply(&file.spec);
+    let mut k = build_kernel(&spec)?;
+    // Same budget as the original so the re-captured header (and thus
+    // the identity byte-comparison) lines up.
+    k.start_capture(file.capture.budget);
+
+    // Per-tenant original completion times: the basis for think gaps.
+    // Tenant 0 ("main") starts at the original capture-arm instant —
+    // setup work before the capture is not think time.
+    let mut prev_complete: BTreeMap<u64, u64> = BTreeMap::new();
+    prev_complete.insert(0, file.capture.base_ns);
+
+    for op in &file.capture.ops {
+        k.tenant_switch(TenantId(op.tenant))
+            .map_err(|e| format!("op {}: {e}", op.seq))?;
+        let prev = prev_complete.get(&op.tenant).copied().unwrap_or(0);
+        let gap = op.submit_ns.saturating_sub(prev);
+        if gap > 0 {
+            k.charge_cpu(SimDuration::from_nanos(gap));
+        }
+        replay_op(&mut k, op, &mut prev_complete)?;
+        prev_complete.insert(op.tenant, op.outcome.complete_ns);
+    }
+
+    let capture = k
+        .stop_capture()
+        .ok_or_else(|| "replay recorder vanished mid-run".to_string())?;
+    if !capture.complete {
+        let why = capture
+            .incomplete_reason
+            .as_deref()
+            .unwrap_or("no reason recorded");
+        return Err(format!("replay re-capture went incomplete ({why})"));
+    }
+    Ok(Replayed {
+        spec,
+        capture,
+        kernel: k,
+    })
+}
+
+/// Checks that an op's replayed success/failure matches the capture.
+fn expect_ok<T>(
+    op: &CapturedOp,
+    r: Result<T, sleds_sim_core::SimError>,
+) -> Result<Option<T>, String> {
+    match (r, op.outcome.ok) {
+        (Ok(v), true) => Ok(Some(v)),
+        (Err(_), false) => Ok(None),
+        (Ok(_), false) => Err(format!(
+            "op {} ({}): succeeded in replay but failed in capture",
+            op.seq,
+            op.call.name()
+        )),
+        (Err(e), true) => Err(format!(
+            "op {} ({}): failed in replay ({e}) but succeeded in capture",
+            op.seq,
+            op.call.name()
+        )),
+    }
+}
+
+fn parse_whence(w: u8) -> Result<Whence, String> {
+    match w {
+        WHENCE_SET => Ok(Whence::Set),
+        WHENCE_CUR => Ok(Whence::Cur),
+        WHENCE_END => Ok(Whence::End),
+        other => Err(format!("unknown whence code {other}")),
+    }
+}
+
+fn ring_op_of(call: &CapturedCall) -> Result<RingOp, String> {
+    match call {
+        CapturedCall::Open { path, flags } => Ok(RingOp::Open {
+            path: path.clone(),
+            flags: *flags,
+        }),
+        CapturedCall::Close { fd } => Ok(RingOp::Close { fd: Fd(*fd) }),
+        CapturedCall::Pread { fd, pos, len } => Ok(RingOp::Pread {
+            fd: Fd(*fd),
+            pos: *pos,
+            len: *len as usize,
+        }),
+        CapturedCall::Stat { path } => Ok(RingOp::Stat { path: path.clone() }),
+        other => Err(format!("unreplayable ring op {:?}", other.name())),
+    }
+}
+
+fn replay_op(
+    k: &mut Kernel,
+    op: &CapturedOp,
+    prev_complete: &mut BTreeMap<u64, u64>,
+) -> Result<(), String> {
+    match &op.call {
+        CapturedCall::TenantRegister { name } => {
+            let t = k.tenant_register(name);
+            if t.0 != op.outcome.ret {
+                return Err(format!(
+                    "op {}: tenant_register produced id {} (capture had {})",
+                    op.seq, t.0, op.outcome.ret
+                ));
+            }
+            // The new tenant's clock parks at the registration instant;
+            // its first op's think gap is measured from there.
+            prev_complete.insert(t.0, op.outcome.complete_ns);
+            Ok(())
+        }
+        CapturedCall::Open { path, flags } => {
+            let flags: OpenFlags = *flags;
+            if let Some(fd) = expect_ok(op, k.open(path, flags))? {
+                if fd.0 != op.outcome.ret {
+                    return Err(format!(
+                        "op {}: open({path:?}) returned fd {} (capture had {})",
+                        op.seq, fd.0, op.outcome.ret
+                    ));
+                }
+            }
+            Ok(())
+        }
+        CapturedCall::Close { fd } => expect_ok(op, k.close(Fd(*fd))).map(|_| ()),
+        CapturedCall::Lseek { fd, offset, whence } => {
+            let w = parse_whence(*whence)?;
+            expect_ok(op, k.lseek(Fd(*fd), *offset, w)).map(|_| ())
+        }
+        CapturedCall::Read { fd, len } => expect_ok(op, k.read(Fd(*fd), *len as usize)).map(|_| ()),
+        CapturedCall::Pread { fd, pos, len } => {
+            expect_ok(op, k.pread(Fd(*fd), *pos, *len as usize)).map(|_| ())
+        }
+        CapturedCall::Write { fd, data } => expect_ok(op, k.write(Fd(*fd), data)).map(|_| ()),
+        CapturedCall::Fsync { fd } => expect_ok(op, k.fsync(Fd(*fd))).map(|_| ()),
+        CapturedCall::Stat { path } => expect_ok(op, k.stat(path)).map(|_| ()),
+        CapturedCall::Fstat { fd } => expect_ok(op, k.fstat(Fd(*fd))).map(|_| ()),
+        CapturedCall::Mkdir { path } => expect_ok(op, k.mkdir(path)).map(|_| ()),
+        CapturedCall::Readdir { path } => expect_ok(op, k.readdir(path)).map(|_| ()),
+        CapturedCall::Unlink { path } => expect_ok(op, k.unlink(path)).map(|_| ()),
+        CapturedCall::RingEnter { capacity, ops } => {
+            let mut ring = SubmissionRing::with_tenant(*capacity as usize, TenantId(op.tenant));
+            for r in ops {
+                let rop = ring_op_of(&r.call).map_err(|e| format!("op {}: {e}", op.seq))?;
+                ring.push(r.user_data, rop)
+                    .map_err(|e| format!("op {}: ring push: {e}", op.seq))?;
+            }
+            expect_ok(op, k.ring_enter(&mut ring))?;
+            k.ring_reap(&mut ring);
+            Ok(())
+        }
+    }
+}

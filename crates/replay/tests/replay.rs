@@ -1,0 +1,280 @@
+//! Integration tests for the flight recorder: capture serialization,
+//! lossless-capture guarantees, deterministic replay, and diff exactness.
+
+use sleds_faults::FaultPlan;
+use sleds_fs::{Kernel, OpenFlags, RingOp, SubmissionRing, TenantId};
+use sleds_replay::{
+    build_kernel, diff_captures, replay, CandidateConfig, CaptureFile, SetupStep, WorkloadSpec,
+};
+use sleds_sim_core::{SimDuration, SimTime, PAGE_SIZE};
+
+/// A small but representative environment: one disk mount, one NFS
+/// mount, a few files, cold caches.
+fn small_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new("table2");
+    spec.setup = vec![
+        SetupStep::Mkdir { path: "/d".into() },
+        SetupStep::Mkdir { path: "/n".into() },
+        SetupStep::MountDisk {
+            path: "/d".into(),
+            model: "table2_disk".into(),
+            name: "hda".into(),
+        },
+        SetupStep::MountNfs {
+            path: "/n".into(),
+            model: "table2_mount".into(),
+            name: "nfs0".into(),
+        },
+        SetupStep::InstallSparseFile {
+            path: "/d/f".into(),
+            size: 16 * PAGE_SIZE,
+        },
+        SetupStep::InstallSparseFile {
+            path: "/n/g".into(),
+            size: 4 * PAGE_SIZE,
+        },
+        SetupStep::DropCaches,
+    ];
+    spec
+}
+
+/// Drives a mixed workload: two tenants with think gaps, reads on both
+/// mounts, a write + fsync, metadata ops, and a submission ring.
+fn drive(k: &mut Kernel) {
+    let t = k.tenant_register("worker");
+
+    let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+    k.pread(fd, 0, PAGE_SIZE as usize).unwrap();
+    k.charge_cpu(SimDuration::from_nanos(2_000_000));
+    k.pread(fd, 4 * PAGE_SIZE, PAGE_SIZE as usize).unwrap();
+    k.stat("/d/f").unwrap();
+
+    k.tenant_switch(t).unwrap();
+    let nfd = k.open("/n/g", OpenFlags::RDONLY).unwrap();
+    k.pread(nfd, 0, PAGE_SIZE as usize).unwrap();
+    k.close(nfd).unwrap();
+
+    k.tenant_switch(TenantId(0)).unwrap();
+    let wfd = k.open("/d/w", OpenFlags::CREATE_RDWR).unwrap();
+    k.write(wfd, &[7u8; 300]).unwrap();
+    k.fsync(wfd).unwrap();
+    k.close(wfd).unwrap();
+
+    // An op that fails — the outcome (errno) must round-trip too.
+    assert!(k.open("/d/missing", OpenFlags::RDONLY).is_err());
+
+    let mut ring = SubmissionRing::new(8);
+    ring.push(
+        1,
+        RingOp::Stat {
+            path: "/d/f".into(),
+        },
+    )
+    .unwrap();
+    ring.push(
+        2,
+        RingOp::Pread {
+            fd,
+            pos: 8 * PAGE_SIZE,
+            len: PAGE_SIZE as usize,
+        },
+    )
+    .unwrap();
+    k.ring_enter(&mut ring).unwrap();
+    assert_eq!(k.ring_reap(&mut ring).len(), 2);
+
+    k.close(fd).unwrap();
+}
+
+fn capture_small() -> CaptureFile {
+    let spec = small_spec();
+    let mut k = build_kernel(&spec).unwrap();
+    k.start_capture(256);
+    drive(&mut k);
+    let capture = k.stop_capture().unwrap();
+    assert!(capture.complete, "small workload must fit the budget");
+    CaptureFile { spec, capture }
+}
+
+#[test]
+fn capture_roundtrips_through_jsonl_byte_identically() {
+    let file = capture_small();
+    let text = file.to_jsonl();
+    let parsed = CaptureFile::parse(&text).expect("parse own serialization");
+    assert_eq!(parsed.to_jsonl(), text, "serialize∘parse must be identity");
+}
+
+#[test]
+fn capture_is_deterministic_across_fresh_kernels() {
+    let a = capture_small().to_jsonl();
+    let b = capture_small().to_jsonl();
+    assert_eq!(a, b, "same workload on fresh kernels ⇒ identical capture");
+}
+
+#[test]
+fn identity_replay_reproduces_the_capture_byte_for_byte() {
+    let file = capture_small();
+    let replayed = replay(&file, &CandidateConfig::identity()).expect("identity replay");
+    assert_eq!(
+        replayed.into_file().to_jsonl(),
+        file.to_jsonl(),
+        "identity replay must be byte-identical"
+    );
+}
+
+#[test]
+fn overflowed_capture_is_marked_incomplete_and_refused() {
+    let spec = small_spec();
+    let mut k = build_kernel(&spec).unwrap();
+    k.start_capture(3);
+    drive(&mut k);
+    let capture = k.stop_capture().unwrap();
+    assert!(!capture.complete, "budget 3 must overflow");
+    let reason = capture.incomplete_reason.clone().unwrap();
+    assert!(
+        reason.contains("budget"),
+        "reason names the overflow: {reason}"
+    );
+
+    let file = CaptureFile { spec, capture };
+    // Incompleteness survives serialization...
+    let parsed = CaptureFile::parse(&file.to_jsonl()).unwrap();
+    assert!(!parsed.capture.complete);
+    // ...and the replayer refuses it loudly.
+    let err = match replay(&parsed, &CandidateConfig::identity()) {
+        Err(e) => e,
+        Ok(_) => panic!("incomplete capture must be refused"),
+    };
+    assert!(err.contains("incomplete"), "refusal names the cause: {err}");
+}
+
+#[test]
+fn unsupported_call_poisons_the_capture() {
+    let spec = small_spec();
+    let mut k = build_kernel(&spec).unwrap();
+    k.start_capture(256);
+    let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+    k.pread(fd, 0, PAGE_SIZE as usize).unwrap();
+    // drop_caches is a setup helper, not a replayable syscall: recording
+    // must poison rather than silently skip it.
+    k.drop_caches().unwrap();
+    k.close(fd).unwrap();
+    let capture = k.stop_capture().unwrap();
+    assert!(!capture.complete, "unsupported call must poison");
+    let reason = capture.incomplete_reason.unwrap();
+    assert!(
+        reason.contains("drop_caches"),
+        "reason names the call: {reason}"
+    );
+}
+
+#[test]
+fn parse_rejects_unknown_schema_and_truncation() {
+    let file = capture_small();
+    let text = file.to_jsonl();
+
+    let bad = text.replacen("sleds-capture-v1", "sleds-capture-v9", 1);
+    assert!(CaptureFile::parse(&bad).is_err(), "unknown schema rejected");
+
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.pop();
+    let truncated = lines.join("\n");
+    assert!(
+        CaptureFile::parse(&truncated).is_err(),
+        "op-count mismatch (truncated tail) rejected"
+    );
+}
+
+#[test]
+fn whatif_diff_attributes_every_delta_exactly() {
+    let file = capture_small();
+    let horizon = file
+        .capture
+        .ops
+        .iter()
+        .map(|o| o.outcome.complete_ns)
+        .max()
+        .unwrap();
+    let candidate = CandidateConfig {
+        machine: None,
+        cmd_queue_capacity: None,
+        fault_plan: Some(FaultPlan::new().degraded(
+            "hda",
+            SimTime::from_nanos(0),
+            SimTime::from_nanos(horizon * 2 + 1),
+            3.0,
+        )),
+    };
+    let replayed = replay(&file, &candidate).expect("what-if replay");
+    let cand_file = replayed.into_file();
+    let diff = diff_captures(&file.capture, &cand_file.capture).expect("diff");
+
+    assert_eq!(diff.ops.len(), file.capture.ops.len());
+    assert_eq!(
+        diff.exact_ops,
+        diff.ops.len() as u64,
+        "degraded-only candidate: queue-wait + service must explain every op"
+    );
+    assert!(
+        diff.total.d_latency_ns > 0,
+        "slower disk must move total latency"
+    );
+    for op in &diff.ops {
+        assert_eq!(
+            op.residual_ns, 0,
+            "op {} ({}) has unattributed latency",
+            op.seq, op.call
+        );
+    }
+    // The NFS mount is untouched by the disk fault; its class row (and
+    // the ops that only touch it) must not move.
+    if let Some(nfs) = diff.classes.get(&3) {
+        assert_eq!(nfs.d_latency_ns, 0, "nfs class must be unmoved");
+    }
+
+    // Diffing is itself deterministic.
+    let again = diff_captures(&file.capture, &cand_file.capture).expect("re-diff");
+    assert_eq!(
+        diff.to_json("base", "cand"),
+        again.to_json("base", "cand"),
+        "same inputs ⇒ byte-identical diff report"
+    );
+}
+
+#[test]
+fn diff_refuses_structurally_different_captures() {
+    let full = capture_small();
+
+    let spec = small_spec();
+    let mut k = build_kernel(&spec).unwrap();
+    k.start_capture(256);
+    let fd = k.open("/d/f", OpenFlags::RDONLY).unwrap();
+    k.close(fd).unwrap();
+    let capture = k.stop_capture().unwrap();
+    let short = CaptureFile { spec, capture };
+
+    assert!(
+        diff_captures(&full.capture, &short.capture).is_err(),
+        "op-count mismatch must refuse, not zip-truncate"
+    );
+}
+
+#[test]
+fn candidate_machine_table_changes_cpu_pricing() {
+    let file = capture_small();
+    let candidate = CandidateConfig {
+        machine: Some("table3".into()),
+        cmd_queue_capacity: None,
+        fault_plan: None,
+    };
+    let replayed = replay(&file, &candidate).expect("table3 replay");
+    assert_eq!(replayed.spec.machine, "table3");
+    let cand_file = replayed.into_file();
+    assert_ne!(
+        cand_file.to_jsonl(),
+        file.to_jsonl(),
+        "a different SLED table must reprice the workload"
+    );
+    // Structure still pairs: the diff engine accepts it.
+    diff_captures(&file.capture, &cand_file.capture).expect("cross-table diff");
+}

@@ -259,7 +259,8 @@ impl LogHistogram {
     /// bucket boundaries — and always within `[min, max]` otherwise,
     /// because a bucket's mean is bounded by its own observations. Bucket
     /// means are monotone across buckets (bucket `i+1`'s floor exceeds
-    /// bucket `i`'s ceiling), so `p50() <= p90() <= p99()` always holds.
+    /// bucket `i`'s ceiling), so `p50() <= p90() <= p99() <= p999()`
+    /// always holds.
     pub fn quantile_mean(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -289,6 +290,12 @@ impl LogHistogram {
     /// 99th-percentile observation (count-weighted bucket mean).
     pub fn p99(&self) -> u64 {
         self.quantile_mean(0.99)
+    }
+
+    /// 99.9th-percentile observation (count-weighted bucket mean) — the
+    /// tail the replay diff reports alongside p50/p99.
+    pub fn p999(&self) -> u64 {
+        self.quantile_mean(0.999)
     }
 
     /// Iterates the non-empty buckets as `(floor_ns, count)` pairs in
@@ -451,6 +458,40 @@ mod tests {
         h.record(120);
         assert_eq!(h.p50(), 110);
         assert!(h.p50() >= h.min() && h.p50() <= h.max());
+    }
+
+    #[test]
+    fn p999_resolves_the_far_tail() {
+        let mut h = LogHistogram::new();
+        // 999 fast observations and one 60ms outlier: p99 stays in the
+        // fast bucket, p999 must surface the outlier.
+        for _ in 0..999 {
+            h.record(1_000);
+        }
+        h.record(60_000_000);
+        assert_eq!(h.p99(), 1_000);
+        assert_eq!(h.p999(), 60_000_000);
+    }
+
+    #[test]
+    fn quantile_means_are_monotone_under_random_load() {
+        // Property: p50 <= p90 <= p99 <= p999 for arbitrary observation
+        // mixes. Deterministic pseudo-random cases, so the pin replays.
+        for case in 0..64u64 {
+            let mut rng = crate::DetRng::new(0x9997_0000 + case);
+            let mut h = LogHistogram::new();
+            let n = rng.range_u64(1, 5_000);
+            for _ in 0..n {
+                // Span many buckets: exponentially distributed magnitudes.
+                let shift = rng.range_u64(0, 40);
+                h.record(rng.range_u64(0, 1 << shift));
+            }
+            let (p50, p90, p99, p999) = (h.p50(), h.p90(), h.p99(), h.p999());
+            assert!(p50 <= p90, "case {case}: p50 {p50} > p90 {p90}");
+            assert!(p90 <= p99, "case {case}: p90 {p90} > p99 {p99}");
+            assert!(p99 <= p999, "case {case}: p99 {p99} > p999 {p999}");
+            assert!(p999 <= h.max(), "case {case}: p999 {p999} > max");
+        }
     }
 
     #[test]

@@ -121,8 +121,17 @@ pub const RULES: &[Rule] = &[
 /// tracer is included: its hooks run inside syscalls, so a panic there
 /// aborts an experiment batch just like one in the kernel proper. The fault
 /// planner is included for the same reason: injectors run on the device
-/// command path.
-pub const KERNEL_CRATES: &[&str] = &["core", "devices", "fs", "pagecache", "trace", "faults"];
+/// command path. The replayer is included because it re-issues captured
+/// ops on the syscall boundary: a panic there kills a what-if run.
+pub const KERNEL_CRATES: &[&str] = &[
+    "core",
+    "devices",
+    "fs",
+    "pagecache",
+    "trace",
+    "faults",
+    "replay",
+];
 
 /// Crates exempt from wall-clock/host-API rules: `bench` measures the host
 /// on purpose, and `sledlint` itself is a host tool (it exits the process).

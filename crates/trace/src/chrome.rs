@@ -74,11 +74,16 @@ fn push_metadata(out: &mut String, name: &str, pid: u64, tid: Option<u64>, label
 /// fall back to `tenant-N` labels; use [`chrome_trace_json_named`] to
 /// label them with registered tenant names.
 pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> String {
-    chrome_trace_json_named(events, dropped, &[])
+    chrome_trace_json_named(events, dropped, 0, &[])
 }
 
 /// Serializes events into a Chrome trace JSON document with tenant lanes
 /// labeled by name.
+///
+/// `high_water` is the ring's retention high-water mark; together with
+/// `dropped` it lands in the trace metadata, and a non-zero drop count
+/// adds an explicit entry to the metadata `warnings` array so a clipped
+/// trace announces itself in the viewer.
 ///
 /// `tenant_names` maps tenant ids to display names; tenants that appear in
 /// the events without a row here are labeled `tenant-N`. Names are escaped,
@@ -86,13 +91,21 @@ pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> String {
 pub fn chrome_trace_json_named(
     events: &[TraceEvent],
     dropped: u64,
+    high_water: u64,
     tenant_names: &[(u64, String)],
 ) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 128);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"virtual\",");
     out.push_str(&format!(
-        "\"droppedEvents\":{dropped}}},\"traceEvents\":[\n"
+        "\"droppedEvents\":{dropped},\"ringHighWater\":{high_water},\"warnings\":["
     ));
+    if dropped > 0 {
+        out.push_str(&format!(
+            "\"trace ring dropped {dropped} events (high water {high_water}): \
+             oldest spans are missing from this trace\""
+        ));
+    }
+    out.push_str("]},\"traceEvents\":[\n");
     // Metadata events first: name every (pid, tid) lane the events touch.
     let lanes: BTreeSet<(u64, u64)> = events.iter().map(lane).collect();
     let tenants: BTreeSet<u64> = lanes.iter().map(|&(pid, _)| pid - 1).collect();
@@ -237,7 +250,7 @@ mod tests {
         let mut events = sample();
         events[1].tenant = 3;
         let names = vec![(3u64, "acct-\"batch\"\\scan".to_string())];
-        let json = chrome_trace_json_named(&events, 0, &names);
+        let json = chrome_trace_json_named(&events, 0, 0, &names);
         // Tenant 3 → pid 4, device class 1 → tid 11.
         assert!(json.contains("\"pid\":4,\"tid\":11"));
         // Metadata labels both lanes; the tenant name is escaped.

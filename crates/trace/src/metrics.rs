@@ -274,14 +274,38 @@ impl Metrics {
         self.device.iter().map(|m| m.reads + m.writes).sum()
     }
 
+    /// Observability health warnings: conditions under which the other
+    /// numbers in this snapshot are clipped or partial. Empty means the
+    /// snapshot saw everything. Surfaced verbatim in `FSLEDS_STAT`
+    /// text output and Chrome trace metadata.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.trace_dropped > 0 {
+            out.push(format!(
+                "trace ring dropped {} events (high water {}): audits and exports \
+                 over the event buffer saw a truncated window",
+                self.trace_dropped, self.trace_high_water
+            ));
+        }
+        if self.accuracy_cross_generation > 0 {
+            out.push(format!(
+                "{} reads excluded from prediction-accuracy windows \
+                 (sleds-table generation changed mid-read)",
+                self.accuracy_cross_generation
+            ));
+        }
+        out
+    }
+
     /// Compact human-readable dump, one line per populated row.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "syscalls {} (mean {} ns, p90 {} ns, max {} ns)\n",
+            "syscalls {} (mean {} ns, p90 {} ns, p999 {} ns, max {} ns)\n",
             self.syscalls,
             self.syscall_latency.mean(),
             self.syscall_latency.p90(),
+            self.syscall_latency.p999(),
             self.syscall_latency.max(),
         ));
         out.push_str(&format!(
@@ -293,13 +317,15 @@ impl Metrics {
                 continue;
             }
             out.push_str(&format!(
-                "device[{}] reads {} writes {} service p50 {} ns p90 {} ns p99 {} ns max {} ns\n",
+                "device[{}] reads {} writes {} service p50 {} ns p90 {} ns p99 {} ns \
+                 p999 {} ns max {} ns\n",
                 class_label(code as u64),
                 m.reads,
                 m.writes,
                 m.service.p50(),
                 m.service.p90(),
                 m.service.p99(),
+                m.service.p999(),
                 m.service.max(),
             ));
             if m.reads > 0 {
@@ -354,11 +380,8 @@ impl Metrics {
                 self.ring_enters, self.ring_ops, self.ring_reaps, self.prog_evals
             ));
         }
-        if self.trace_dropped > 0 {
-            out.push_str(&format!(
-                "trace ring TRUNCATED: {} events dropped (high water {})\n",
-                self.trace_dropped, self.trace_high_water
-            ));
+        for w in self.warnings() {
+            out.push_str(&format!("warning: {w}\n"));
         }
         out
     }

@@ -522,6 +522,11 @@ impl Tracer {
         self.inner.as_ref().map_or(0, |i| i.ring.dropped())
     }
 
+    /// Ring retention high-water mark: most events held at once.
+    pub fn high_water(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.ring.high_water())
+    }
+
     /// Total events emitted (including overwritten ones).
     pub fn emitted(&self) -> u64 {
         self.inner.as_ref().map_or(0, |i| i.seq)

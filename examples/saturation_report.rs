@@ -227,6 +227,13 @@ fn assert_exact(report: &SaturationReport, global: &Rusage, per: &[Rusage]) {
     }
 }
 
+fn latency_json(s: &sleds_repro::fs::LatencySummary) -> String {
+    format!(
+        "{{\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
+        s.p50_ns, s.p90_ns, s.p99_ns, s.p999_ns
+    )
+}
+
 fn render_report_json(report: &SaturationReport, checksum: u64, tenant_count: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -242,6 +249,7 @@ fn render_report_json(report: &SaturationReport, checksum: u64, tenant_count: us
             "    {{\"name\": \"{}\", \"class\": {}, \"window_ns\": {}, \"busy_ns\": {}, \
              \"queue_wait_ns\": {}, \"utilization_ppm\": {}, \"commands\": {}, \"bytes\": {}, \
              \"throughput_bytes_per_sec\": {}, \"depth_high_water\": {}, \"saturated\": {}, \
+             \"service_latency\": {}, \"queue_wait_latency\": {}, \
              \"top_shares\": [",
             d.name,
             d.class_code,
@@ -254,6 +262,8 @@ fn render_report_json(report: &SaturationReport, checksum: u64, tenant_count: us
             d.throughput_bytes_per_sec,
             d.depth_high_water,
             d.saturated,
+            latency_json(&d.service_latency),
+            latency_json(&d.queue_wait_latency),
         ));
         // Top demand shares, descending, ties broken by tenant id.
         let mut shares = d.shares.clone();
@@ -390,7 +400,12 @@ fn main() {
     assert_eq!(global1, global3, "tracing must not change usage");
     assert_eq!(per1, per3, "tracing must not change per-tenant usage");
     assert_eq!(rep1, rep3, "tracing must not change the report");
-    let chrome = chrome_trace_json_named(&k.trace_events(), k.trace_dropped(), &k.tenant_names());
+    let chrome = chrome_trace_json_named(
+        &k.trace_events(),
+        k.trace_dropped(),
+        k.trace_high_water(),
+        &k.tenant_names(),
+    );
     assert!(
         chrome.contains("\"process_name\""),
         "tenant lanes are named"

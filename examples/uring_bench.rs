@@ -513,8 +513,37 @@ fn main() {
             push.host_wall_s,
         )
     };
+    // Common bench envelope: every BENCH_*.json leads with the same
+    // schema-versioned headline (name, config, virtual-ns, host-wall-ns,
+    // ops/sec) so `bench_index` can aggregate them without knowing each
+    // benchmark's detail shape.
+    let total_virtual_ns = ((find_naive.cpu_s
+        + find_batch.cpu_s
+        + find_push.cpu_s
+        + grep_naive_s.cpu_s
+        + grep_batch_s.cpu_s
+        + grep_push_s.cpu_s)
+        * 1e9) as u64;
+    let total_host_wall_ns = ((find_naive.host_wall_s
+        + find_batch.host_wall_s
+        + find_push.host_wall_s
+        + grep_naive_s.host_wall_s
+        + grep_batch_s.host_wall_s
+        + grep_push_s.host_wall_s)
+        * 1e9) as u64;
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"sleds-uring-bench-v1\",\n");
+    json.push_str("{\n  \"schema\": \"sleds-bench-v1\",\n");
+    json.push_str("  \"name\": \"uring-find-grep\",\n");
+    json.push_str(&format!(
+        "  \"config\": \"tree {DIRS}x{FILES_PER_DIR}, {FILE_BYTES}B files, ring {RING_ENTRIES}\",\n"
+    ));
+    json.push_str(&format!("  \"virtual_ns\": {total_virtual_ns},\n"));
+    json.push_str(&format!("  \"host_wall_ns\": {total_host_wall_ns},\n"));
+    json.push_str(&format!(
+        "  \"ops_per_sec\": {:.0},\n",
+        find_batch.ops_per_cpu_s()
+    ));
+    json.push_str("  \"detail_schema\": \"sleds-uring-bench-v1\",\n");
     json.push_str(&format!(
         "  \"tree\": {{\"dirs\": {DIRS}, \"files_per_dir\": {FILES_PER_DIR}, \
          \"file_bytes\": {FILE_BYTES}, \"warm_files\": {warm_count}, \

@@ -73,6 +73,27 @@ run diff -u <(grep -v host_wall results/BENCH_uring.json) \
 run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example saturation_report
 run diff -u results/SATURATION_report.json "$recal_tmp/SATURATION_report.json"
 
+# Flight-recorder gate: capture the saturation workload, prove the JSONL
+# round-trip and identity replay byte-identical, then replay under a
+# shrunken command queue + degraded disk. The example asserts every op's
+# completion delta is exactly attributed (queue-wait + service, zero
+# residual) and that only disk-coupled tenants move; both artifacts are
+# pure functions of the virtual clock, so they must match the committed
+# baselines byte-for-byte.
+run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example replay_whatif
+run diff -u results/CAPTURE_saturation.jsonl "$recal_tmp/CAPTURE_saturation.jsonl"
+run diff -u results/REPLAY_diff.json "$recal_tmp/REPLAY_diff.json"
+
+# Bench-index gate: every BENCH_*.json must carry the common
+# sleds-bench-v1 envelope, and the index over them must match the
+# committed baseline (host-dependent envelope fields filtered). The
+# committed fsleds_get/trace_overhead reports are copied beside the
+# fresh uring output so the index sees the full set.
+cp results/BENCH_fsleds_get.json results/BENCH_trace_overhead.json "$recal_tmp/"
+run env SLEDS_RESULTS="$recal_tmp" cargo run --release -p sleds-bench --bin bench_index
+run diff -u <(grep -vE 'host_wall_ns|ops_per_sec' results/BENCH_index.json) \
+    <(grep -vE 'host_wall_ns|ops_per_sec' "$recal_tmp/BENCH_index.json")
+
 if [[ "${1:-}" == "--with-proptests" ]]; then
     # The randomized equivalence suites; heavier, so opt-in.
     run cargo test -q -p sleds-fs --features proptests

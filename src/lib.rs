@@ -12,6 +12,7 @@ pub use sleds_fits as fits;
 pub use sleds_fs as fs;
 pub use sleds_lmbench as lmbench;
 pub use sleds_pagecache as pagecache;
+pub use sleds_replay as replay;
 pub use sleds_sim_core as sim_core;
 pub use sleds_textmatch as textmatch;
 pub use sleds_trace as trace;
