@@ -16,6 +16,7 @@ use sleds_devices::FaultState;
 use sleds_fs::{Fd, Kernel, PageLocation, SECTORS_PER_PAGE};
 use sleds_sim_core::{Errno, SimError, SimResult, PAGE_SIZE};
 
+use crate::replica::{degrade, select_min_cost};
 use crate::table::{SledsEntry, SledsTable};
 use crate::Sled;
 
@@ -46,30 +47,19 @@ fn missing_row(dev: sleds_fs::DeviceId) -> SimError {
     )
 }
 
-/// Folds a device's current fault state into a table entry: a degraded
-/// window inflates latency and deflates bandwidth by its multiplier, and
-/// an offline window prices the extent unavailable (infinite latency,
-/// zero bandwidth — [`Sled::unavailable`]), which every downstream
-/// estimate and predicate treats as an infinite delivery time.
-fn degrade(entry: SledsEntry, state: FaultState) -> SledsEntry {
-    match state {
-        FaultState::Healthy => entry,
-        FaultState::Degraded(m) => SledsEntry {
-            latency: entry.latency * m,
-            bandwidth: entry.bandwidth / m,
-        },
-        FaultState::Offline => SledsEntry {
-            latency: f64::INFINITY,
-            bandwidth: 0.0,
-        },
-    }
-}
-
 /// Retrieves the SLED vector for an open file.
 ///
 /// Returns one SLED per run of pages sharing `(latency, bandwidth)`. The
 /// last SLED is clipped to the file size, so the vector covers the file's
 /// bytes exactly. An empty file yields an empty vector.
+///
+/// Extents on a redundant volume carry every replica place that could
+/// serve them; such an extent is priced at the min-cost *available*
+/// candidate — degraded members priced up by their multiplier, offline
+/// members excluded (the kernel reroutes around them), and for a (k, n)
+/// coded layout the k-th cheapest fragment (see
+/// [`select_min_cost`](crate::replica::select_min_cost)). Only when no
+/// candidate can serve at all is the extent priced unavailable.
 ///
 /// # Errors
 ///
@@ -84,10 +74,45 @@ pub fn fsleds_get(kernel: &mut Kernel, fd: Fd, table: &SledsTable) -> SimResult<
         )
     })?;
     let size = kernel.fstat(fd)?.size;
-    let extents = kernel.page_extents(fd)?;
+    let extents = kernel.redundant_extents(fd)?;
     let mut out: Vec<Sled> = Vec::new();
-    for e in &extents {
+    for re in &extents {
+        let e = &re.extent;
         let ext_off = e.first_page * PAGE_SIZE;
+        if !re.alternatives.is_empty() {
+            // Redundant extent: price every candidate whole-extent and
+            // quote the one the kernel's routing would pick.
+            let PageLocation::Device { dev, sector } = e.location else {
+                return Err(SimError::new(
+                    Errno::Einval,
+                    "FSLEDS_GET: redundant extent not on a device",
+                ));
+            };
+            let length = (e.pages * PAGE_SIZE).min(size - ext_off);
+            let mut cands: Vec<(SledsEntry, FaultState)> = Vec::new();
+            let state = kernel
+                .device_fault_state(dev)
+                .unwrap_or(FaultState::Healthy);
+            let entry = table
+                .entry_at(dev, sector)
+                .ok_or_else(|| missing_row(dev))?;
+            cands.push((entry, state));
+            for alt in &re.alternatives {
+                let state = kernel
+                    .device_fault_state(alt.dev)
+                    .unwrap_or(FaultState::Healthy);
+                let entry = table
+                    .entry_at(alt.dev, alt.sector)
+                    .ok_or_else(|| missing_row(alt.dev))?;
+                cands.push((entry, state));
+            }
+            let chosen = select_min_cost(&cands, re.coded_k, length).unwrap_or(SledsEntry {
+                latency: f64::INFINITY,
+                bandwidth: 0.0,
+            });
+            push_sled(&mut out, ext_off, length, chosen);
+            continue;
+        }
         match e.location {
             PageLocation::Memory => {
                 let length = (e.pages * PAGE_SIZE).min(size - ext_off);
@@ -350,6 +375,122 @@ mod tests {
         assert!(!slow[0].unavailable());
         assert!((slow[0].latency - clean[0].latency * 3.0).abs() < 1e-12);
         assert!((slow[0].bandwidth - clean[0].bandwidth / 3.0).abs() < 1e-6);
+    }
+
+    fn volume_setup(
+        layout: sleds_fs::VolumeLayout,
+        n: usize,
+    ) -> (Kernel, SledsTable, Vec<sleds_fs::DeviceId>) {
+        let mut k = Kernel::table2();
+        k.mkdir("/vol").unwrap();
+        let members: Vec<Box<dyn sleds_devices::BlockDevice>> = (0..n)
+            .map(|i| {
+                Box::new(DiskDevice::table2_disk(format!("vd{i}")))
+                    as Box<dyn sleds_devices::BlockDevice>
+            })
+            .collect();
+        let m = k.mount_volume("/vol", layout, members).unwrap();
+        let devs = k.volume_members(m);
+        let mut t = SledsTable::new();
+        t.fill_memory(crate::SledsEntry::new(175e-9, 48e6));
+        // Distinct prices per member so selection is observable: member i
+        // costs (i+1) * 10ms latency at (10 - i) MB/s.
+        for (i, &d) in devs.iter().enumerate() {
+            t.fill_device(
+                d,
+                crate::SledsEntry::new(0.010 * (i + 1) as f64, (10 - i) as f64 * 1e6),
+            );
+        }
+        (k, t, devs)
+    }
+
+    #[test]
+    fn mirrored_extent_is_priced_at_cheapest_replica() {
+        let (mut k, t, _) = volume_setup(sleds_fs::VolumeLayout::Mirrored, 2);
+        let data = vec![0u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/vol/f", &data).unwrap();
+        let fd = k.open("/vol/f", OpenFlags::RDONLY).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 1);
+        assert_eq!(sleds[0].latency, 0.010, "primary is the cheapest member");
+        assert_eq!(sleds[0].length, data.len() as u64);
+    }
+
+    #[test]
+    fn mirrored_extent_with_offline_primary_prices_the_mirror() {
+        use sleds_devices::FaultPlan;
+        use sleds_sim_core::{SimDuration, SimTime};
+        let (mut k, t, _) = volume_setup(sleds_fs::VolumeLayout::Mirrored, 2);
+        let data = vec![0u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/vol/f", &data).unwrap();
+        let fd = k.open("/vol/f", OpenFlags::RDONLY).unwrap();
+        let plan = FaultPlan::new().offline(
+            "vd0",
+            SimTime::ZERO,
+            SimTime::from_nanos(u64::MAX),
+            SimDuration::from_millis(1),
+        );
+        k.apply_fault_plan(&plan);
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 1);
+        assert!(
+            !sleds[0].unavailable(),
+            "a mirrored file with one offline member must stay available"
+        );
+        assert_eq!(sleds[0].latency, 0.020, "priced at the surviving mirror");
+    }
+
+    #[test]
+    fn mirrored_extent_with_all_members_offline_is_unavailable() {
+        use sleds_devices::FaultPlan;
+        use sleds_sim_core::{SimDuration, SimTime};
+        let (mut k, t, _) = volume_setup(sleds_fs::VolumeLayout::Mirrored, 2);
+        let data = vec![0u8; PAGE_SIZE as usize];
+        k.install_file("/vol/f", &data).unwrap();
+        let fd = k.open("/vol/f", OpenFlags::RDONLY).unwrap();
+        let plan = FaultPlan::new()
+            .offline(
+                "vd0",
+                SimTime::ZERO,
+                SimTime::from_nanos(u64::MAX),
+                SimDuration::from_millis(1),
+            )
+            .offline(
+                "vd1",
+                SimTime::ZERO,
+                SimTime::from_nanos(u64::MAX),
+                SimDuration::from_millis(1),
+            );
+        k.apply_fault_plan(&plan);
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 1);
+        assert!(sleds[0].unavailable());
+    }
+
+    #[test]
+    fn coded_extent_is_priced_at_kth_cheapest_fragment() {
+        let (mut k, t, _) = volume_setup(sleds_fs::VolumeLayout::Coded { k: 2 }, 3);
+        let data = vec![0u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/vol/f", &data).unwrap();
+        let fd = k.open("/vol/f", OpenFlags::RDONLY).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 1);
+        // k = 2: the straggler of the two cheapest members (10ms, 20ms)
+        // sets the price.
+        assert_eq!(sleds[0].latency, 0.020);
+    }
+
+    #[test]
+    fn cached_pages_of_a_mirrored_file_stay_memory_priced() {
+        let (mut k, t, _) = volume_setup(sleds_fs::VolumeLayout::Mirrored, 2);
+        let data = vec![0u8; 4 * PAGE_SIZE as usize];
+        k.install_file("/vol/f", &data).unwrap();
+        let fd = k.open("/vol/f", OpenFlags::RDONLY).unwrap();
+        k.read(fd, 2 * PAGE_SIZE as usize).unwrap();
+        let sleds = fsleds_get(&mut k, fd, &t).unwrap();
+        assert_eq!(sleds.len(), 2);
+        assert!((sleds[0].bandwidth - 48e6).abs() < 1.0, "head is cached");
+        assert_eq!(sleds[1].latency, 0.010, "tail priced at cheapest replica");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod pick;
 pub mod predicate;
 pub mod program;
 pub mod recal;
+pub mod replica;
 pub mod report;
 pub mod table;
 
@@ -54,6 +55,7 @@ pub use program::{compile_latency, pricing_from, sleds_from_prog};
 pub use recal::{
     recalibrate, recalibrate_from_metrics, ClassObservation, RecalOutcome, RecalPolicy,
 };
+pub use replica::select_min_cost;
 pub use report::{ObservedError, SledReport};
 pub use table::{SledsEntry, SledsTable};
 

@@ -1,0 +1,177 @@
+//! Min-cost replica selection for redundant volumes.
+//!
+//! A redundant extent can be served from more than one device; `FSLEDS_GET`
+//! must quote the price of the copy the kernel would actually pick. The
+//! rules mirror the kernel's read routing:
+//!
+//! * **Mirrored** — any one available member serves the whole extent, so
+//!   the extent's price is the *cheapest available* member's price. An
+//!   offline member reroutes (it is excluded, not priced infinite); only
+//!   when every member is offline is the extent unavailable.
+//! * **Coded (k, n)** — k fragments must arrive and the read completes when
+//!   the slowest of the k chosen fragments does, so the extent's price is
+//!   the *k-th cheapest available* member's price. Fewer than k available
+//!   members means the extent is unavailable.
+//!
+//! Candidates arrive pre-priced from the sleds table, with their live
+//! fault state attached; degraded members are priced up by their
+//! multiplier before comparison, exactly as single-device extents are.
+
+use sleds_devices::FaultState;
+
+use crate::table::SledsEntry;
+
+/// Folds a device's current fault state into a table entry: a degraded
+/// window inflates latency and deflates bandwidth by its multiplier, and
+/// an offline window prices the extent unavailable (infinite latency,
+/// zero bandwidth), which every downstream estimate and predicate treats
+/// as an infinite delivery time.
+pub fn degrade(entry: SledsEntry, state: FaultState) -> SledsEntry {
+    match state {
+        FaultState::Healthy => entry,
+        FaultState::Degraded(m) => SledsEntry {
+            latency: entry.latency * m,
+            bandwidth: entry.bandwidth / m,
+        },
+        FaultState::Offline => SledsEntry {
+            latency: f64::INFINITY,
+            bandwidth: 0.0,
+        },
+    }
+}
+
+/// Estimated seconds to deliver `length` bytes priced by `entry` — the
+/// comparison key for replica selection.
+fn delivery(entry: &SledsEntry, length: u64) -> f64 {
+    if entry.bandwidth <= 0.0 {
+        return f64::INFINITY;
+    }
+    entry.latency + length as f64 / entry.bandwidth
+}
+
+/// The entry `FSLEDS_GET` should quote for a redundant extent of `length`
+/// bytes servable by `candidates` (each a table entry plus the device's
+/// live fault state).
+///
+/// `coded_k: None` is a mirror: the cheapest available (non-offline)
+/// member wins. `coded_k: Some(k)` is a (k, n) code: the k-th cheapest
+/// available member wins, because the read is as slow as the slowest of
+/// the k fragments it must gather. Returns `None` when the extent cannot
+/// currently be served at all — every member offline, or fewer than k
+/// available — which callers price as unavailable.
+pub fn select_min_cost(
+    candidates: &[(SledsEntry, FaultState)],
+    coded_k: Option<u32>,
+    length: u64,
+) -> Option<SledsEntry> {
+    let mut available: Vec<SledsEntry> = candidates
+        .iter()
+        .filter(|(_, state)| !matches!(state, FaultState::Offline))
+        .map(|&(entry, state)| degrade(entry, state))
+        .collect();
+    available.sort_by(|a, b| delivery(a, length).total_cmp(&delivery(b, length)));
+    match coded_k {
+        None => available.first().copied(),
+        Some(k) => {
+            let k = (k.max(1)) as usize;
+            if available.len() < k {
+                return None;
+            }
+            available.get(k - 1).copied()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(latency: f64, bandwidth: f64) -> SledsEntry {
+        SledsEntry { latency, bandwidth }
+    }
+
+    #[test]
+    fn mirror_picks_cheapest_available() {
+        let cands = [
+            (entry(0.018, 9e6), FaultState::Healthy),
+            (entry(0.002, 20e6), FaultState::Healthy),
+        ];
+        let got = select_min_cost(&cands, None, 1 << 20).unwrap();
+        assert_eq!(got.latency, 0.002);
+    }
+
+    #[test]
+    fn mirror_reroutes_around_offline_primary() {
+        let cands = [
+            (entry(0.002, 20e6), FaultState::Offline),
+            (entry(0.018, 9e6), FaultState::Healthy),
+        ];
+        let got = select_min_cost(&cands, None, 1 << 20).unwrap();
+        assert_eq!(got.latency, 0.018, "offline member must not win");
+    }
+
+    #[test]
+    fn mirror_with_all_offline_is_unavailable() {
+        let cands = [
+            (entry(0.002, 20e6), FaultState::Offline),
+            (entry(0.018, 9e6), FaultState::Offline),
+        ];
+        assert!(select_min_cost(&cands, None, 4096).is_none());
+    }
+
+    #[test]
+    fn degraded_member_is_priced_up_not_excluded() {
+        // Degrading the fast member 20x makes the slow one win, at its
+        // healthy price.
+        let cands = [
+            (entry(0.002, 20e6), FaultState::Degraded(20.0)),
+            (entry(0.018, 9e6), FaultState::Healthy),
+        ];
+        let got = select_min_cost(&cands, None, 1 << 20).unwrap();
+        assert_eq!(got.latency, 0.018);
+        // A mild degradation leaves the fast member in front, priced up.
+        let cands = [
+            (entry(0.002, 20e6), FaultState::Degraded(2.0)),
+            (entry(0.018, 9e6), FaultState::Healthy),
+        ];
+        let got = select_min_cost(&cands, None, 4096).unwrap();
+        assert!((got.latency - 0.004).abs() < 1e-12);
+        assert!((got.bandwidth - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn coded_prices_the_kth_cheapest_fragment() {
+        let cands = [
+            (entry(0.001, 20e6), FaultState::Healthy),
+            (entry(0.010, 9e6), FaultState::Healthy),
+            (entry(0.080, 2e6), FaultState::Healthy),
+        ];
+        // k = 2 of 3: the straggler among the two chosen is the middle one.
+        let got = select_min_cost(&cands, Some(2), 4096).unwrap();
+        assert_eq!(got.latency, 0.010);
+    }
+
+    #[test]
+    fn coded_needs_k_available_members() {
+        let cands = [
+            (entry(0.001, 20e6), FaultState::Healthy),
+            (entry(0.010, 9e6), FaultState::Offline),
+            (entry(0.080, 2e6), FaultState::Offline),
+        ];
+        assert!(select_min_cost(&cands, Some(2), 4096).is_none());
+        // One member back: exactly k available, priced by the slower one.
+        let cands = [
+            (entry(0.001, 20e6), FaultState::Healthy),
+            (entry(0.010, 9e6), FaultState::Healthy),
+            (entry(0.080, 2e6), FaultState::Offline),
+        ];
+        let got = select_min_cost(&cands, Some(2), 4096).unwrap();
+        assert_eq!(got.latency, 0.010);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_unavailable() {
+        assert!(select_min_cost(&[], None, 4096).is_none());
+        assert!(select_min_cost(&[], Some(1), 4096).is_none());
+    }
+}

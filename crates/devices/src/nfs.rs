@@ -71,6 +71,50 @@ impl NfsDevice {
         NfsDevice::new(name, 2 << 30, NfsParams::default())
     }
 
+    /// A replica link to a metro-area site: low RPC latency, a fat pipe.
+    /// The geo-topology model for redundant volumes is exactly this —
+    /// each remote member is an NFS export whose link parameters encode
+    /// the site distance.
+    pub fn metro_link(name: impl Into<String>) -> Self {
+        NfsDevice::new(
+            name,
+            4 << 30,
+            NfsParams {
+                first_byte: SimDuration::from_millis(2),
+                bandwidth: Bandwidth::mb_per_sec(20.0),
+                per_op: SimDuration::from_micros(200),
+            },
+        )
+    }
+
+    /// A replica link to a regional site (same coast): tens of
+    /// milliseconds of RPC latency, a moderate pipe.
+    pub fn regional_link(name: impl Into<String>) -> Self {
+        NfsDevice::new(
+            name,
+            4 << 30,
+            NfsParams {
+                first_byte: SimDuration::from_millis(15),
+                bandwidth: Bandwidth::mb_per_sec(8.0),
+                per_op: SimDuration::from_micros(500),
+            },
+        )
+    }
+
+    /// A replica link to a continental site (cross-country): the RPC
+    /// latency dominates small reads, the thin pipe dominates large ones.
+    pub fn continental_link(name: impl Into<String>) -> Self {
+        NfsDevice::new(
+            name,
+            4 << 30,
+            NfsParams {
+                first_byte: SimDuration::from_millis(80),
+                bandwidth: Bandwidth::mb_per_sec(2.5),
+                per_op: SimDuration::from_micros(1500),
+            },
+        )
+    }
+
     /// Enables multiplicative jitter on the first-byte penalty, representing
     /// varying server load.
     pub fn with_jitter(mut self, rng: DetRng, amplitude: f64) -> Self {

@@ -25,7 +25,9 @@ use std::collections::BTreeMap;
 use crate::kernel::OpenFlags;
 
 /// Schema tag the on-disk capture format carries; bump on any shape change.
-pub const CAPTURE_SCHEMA: &str = "sleds-capture-v1";
+/// v2: volume mounts in setup, the hedge policy in the header, and the
+/// per-op hedged-read count in outcomes.
+pub const CAPTURE_SCHEMA: &str = "sleds-capture-v2";
 
 /// `lseek` origin codes in captures: `Whence::Set`.
 pub const WHENCE_SET: u8 = 0;
@@ -214,6 +216,10 @@ pub struct OpOutcome {
     pub device_bytes: u64,
     /// Per-device-class breakdown of the above, class-sorted.
     pub classes: Vec<ClassCost>,
+    /// Hedged (redundant) reads issued while this op was in flight. Each
+    /// one's cancelled loser is already a `classes` row, so the totals
+    /// above stay exact; this count pins that replay hedged identically.
+    pub hedges: u64,
 }
 
 /// One fully captured kernel entry.
@@ -265,6 +271,7 @@ struct InFlight {
     path: Option<String>,
     call: CapturedCall,
     classes: BTreeMap<u64, ClassCost>,
+    hedges: u64,
 }
 
 /// The flight recorder the kernel arms via `Kernel::start_capture`.
@@ -357,6 +364,7 @@ impl WorkloadRecorder {
             path,
             call,
             classes: BTreeMap::new(),
+            hedges: 0,
         });
     }
 
@@ -372,6 +380,15 @@ impl WorkloadRecorder {
             c.queue_wait_ns = c.queue_wait_ns.saturating_add(queue_wait_ns);
             c.service_ns = c.service_ns.saturating_add(service_ns);
             c.bytes = c.bytes.saturating_add(bytes);
+        }
+    }
+
+    /// Counts one hedged (redundant) read issued by the in-flight op. The
+    /// loser's cancel cost arrives separately via
+    /// [`WorkloadRecorder::note_device`]. No-op outside an op (setup).
+    pub fn note_hedge(&mut self) {
+        if let Some(f) = self.inflight.as_mut() {
+            f.hedges += 1;
         }
     }
 
@@ -406,6 +423,7 @@ impl WorkloadRecorder {
                 device_commands: 0,
                 device_bytes: 0,
                 classes: Vec::new(),
+                hedges: 0,
             },
             true,
         );
@@ -426,6 +444,7 @@ impl WorkloadRecorder {
                 device_commands: 0,
                 device_bytes: 0,
                 classes: Vec::new(),
+                hedges: 0,
             },
             false,
         );
@@ -445,6 +464,7 @@ impl WorkloadRecorder {
             outcome.device_bytes = outcome.device_bytes.saturating_add(c.bytes);
         }
         outcome.classes = classes;
+        outcome.hedges = f.hedges;
         if ok {
             // Keep the fd→path table live so later ops resolve.
             match &f.call {

@@ -296,6 +296,11 @@ pub struct FileNode {
     /// For HSM files: the tape-home layout, kept while pages are staged on
     /// disk so the staged copy can be discarded without copying back.
     pub tape_home: Option<PageMap>,
+    /// For files on redundant volumes: one full replica layout per
+    /// non-primary member device (mirrored and coded layouts). Each map
+    /// covers the same page range as `pages`, placed on its own device.
+    /// Empty for unreplicated and striped files.
+    pub replicas: Vec<PageMap>,
 }
 
 impl FileNode {

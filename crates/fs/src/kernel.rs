@@ -43,6 +43,7 @@ use crate::queue::{
 };
 use crate::ring::{RingCompletion, RingOp, RingPayload, SubmissionRing};
 use crate::rusage::{JobReport, JobTimer, Rusage};
+use crate::volume::{HedgePolicy, VolumeLayout};
 
 pub use crate::inode::SECTORS_PER_PAGE;
 
@@ -178,6 +179,34 @@ impl PageExtent {
     }
 }
 
+/// One alternative copy (or coded fragment) of a redundant extent: the
+/// member device holding it and the sector of the extent's first page
+/// there.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReplicaPlace {
+    /// Member device holding the copy.
+    pub dev: DeviceId,
+    /// First sector of the extent's first page on that device.
+    pub sector: u64,
+}
+
+/// A [`PageExtent`] together with every other place that can serve it —
+/// the kernel half of `FSLEDS_GET` on a redundant volume. For mirrored
+/// files each alternative is a full copy; for a (k, n)-coded file the
+/// primary plus alternatives are the n fragment homes and `coded_k`
+/// carries the k needed to reconstruct. Memory-resident extents and
+/// unreplicated files have no alternatives.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RedundantExtent {
+    /// The extent, located at its primary home (or in memory).
+    pub extent: PageExtent,
+    /// Non-primary places holding the same pages, in member order.
+    pub alternatives: Vec<ReplicaPlace>,
+    /// `Some(k)` when the volume is (k, n)-coded: delivery needs any k
+    /// of the n places, so the extent prices as the k-th cheapest.
+    pub coded_k: Option<u32>,
+}
+
 /// Optional file-layout fragmentation for a mount.
 #[derive(Clone, Debug)]
 struct FragConfig {
@@ -194,6 +223,22 @@ struct HsmConfig {
     tape_next_sector: u64,
 }
 
+/// Redundant-volume state of a mount: the member devices and their
+/// allocation cursors. The mount's `dev` is always `devices[0]` (the
+/// primary); the extra members hold mirrors, stripes or coded fragments
+/// depending on the layout.
+#[derive(Debug)]
+struct VolumeState {
+    layout: VolumeLayout,
+    /// Member devices; index 0 is the mount's primary device.
+    devices: Vec<DeviceId>,
+    /// Allocation cursor per non-primary member (the primary allocates
+    /// through `Mount::next_sector` as on any mount).
+    replica_next: Vec<u64>,
+    /// Round-robin cursor for striped allocation.
+    stripe_cursor: usize,
+}
+
 /// A mounted file system.
 #[derive(Debug)]
 struct Mount {
@@ -203,6 +248,7 @@ struct Mount {
     read_only: bool,
     frag: Option<FragConfig>,
     hsm: Option<HsmConfig>,
+    volume: Option<VolumeState>,
 }
 
 /// An open file description.
@@ -1255,6 +1301,7 @@ impl Kernel {
             read_only,
             frag: None,
             hsm: None,
+            volume: None,
         });
         self.inode_mut(dir)?.mount = Some(id);
         Ok(id)
@@ -1301,6 +1348,85 @@ impl Kernel {
             tape_next_sector: 0,
         });
         Ok(id)
+    }
+
+    /// Mounts a redundant volume at `path`: one mount spanning several
+    /// member devices under `layout`. The first device is the primary
+    /// (the mount's allocator device); the rest hold mirrors, stripes or
+    /// coded fragments. Files created or installed on the mount get the
+    /// layout automatically; reads reroute and hedge across members per
+    /// the machine's [`HedgePolicy`].
+    pub fn mount_volume(
+        &mut self,
+        path: &str,
+        layout: VolumeLayout,
+        mut members: Vec<Box<dyn BlockDevice>>,
+    ) -> SimResult<MountId> {
+        if members.len() < layout.min_devices() {
+            return Err(SimError::new(
+                Errno::Einval,
+                format!(
+                    "mount_volume({path}): {} layout needs at least {} devices, got {}",
+                    layout.name(),
+                    layout.min_devices(),
+                    members.len()
+                ),
+            ));
+        }
+        if let VolumeLayout::Coded { k } = layout {
+            if k == 0 {
+                return Err(SimError::new(
+                    Errno::Einval,
+                    format!("mount_volume({path}): coded layout needs k >= 1"),
+                ));
+            }
+        }
+        let rest = members.split_off(1);
+        let primary = members.pop().ok_or_else(|| {
+            SimError::new(Errno::Einval, format!("mount_volume({path}): no devices"))
+        })?;
+        let id = self.mount_device(path, primary, false)?;
+        let mut devices = vec![self.mounts[id.0].dev];
+        let mut replica_next = Vec::new();
+        for d in rest {
+            devices.push(self.add_device(d));
+            // Same metadata reservation as the primary allocator.
+            replica_next.push(2048);
+        }
+        self.mounts[id.0].volume = Some(VolumeState {
+            layout,
+            devices,
+            replica_next,
+            stripe_cursor: 0,
+        });
+        Ok(id)
+    }
+
+    /// The layout of a volume mount, or `None` for ordinary mounts.
+    pub fn volume_layout(&self, m: MountId) -> Option<VolumeLayout> {
+        self.mounts.get(m.0)?.volume.as_ref().map(|v| v.layout)
+    }
+
+    /// Member devices of a volume mount (primary first); empty for
+    /// ordinary mounts.
+    pub fn volume_members(&self, m: MountId) -> Vec<DeviceId> {
+        self.mounts
+            .get(m.0)
+            .and_then(|mt| mt.volume.as_ref())
+            .map(|v| v.devices.clone())
+            .unwrap_or_default()
+    }
+
+    /// Replaces the machine's hedged-read policy. Setup mutation: not
+    /// capturable mid-recording.
+    pub fn set_hedge_policy(&mut self, policy: HedgePolicy) {
+        self.rec_unsupported("set_hedge_policy");
+        self.cfg.hedge = policy;
+    }
+
+    /// The hedged-read policy in force.
+    pub fn hedge_policy(&self) -> HedgePolicy {
+        self.cfg.hedge
     }
 
     /// Makes future allocations on `mount` fragmented: files are laid out
@@ -1970,15 +2096,12 @@ impl Kernel {
                     .min(cache_end);
                 ra_len = ra_cap.saturating_sub(run_end);
             }
-            // One clustered device command for the run (plus readahead).
+            // One clustered device command for the run (plus readahead),
+            // routed and hedged across volume members when the file is
+            // redundant.
             let now = self.clock.now();
             self.tracer.cache_miss(now, run_start, run_len, ino.0);
-            self.device_command(
-                start_place.dev,
-                start_place.sector,
-                (run_len + ra_len) * SECTORS_PER_PAGE,
-                false,
-            )?;
+            self.redundant_read(ino, start_place, run_start, run_len + ra_len)?;
             self.usage.major_faults += run_len;
             let fault_cpu = SimDuration::from_nanos(self.cfg.fault_cpu.as_nanos() * run_len);
             self.clock.advance(fault_cpu);
@@ -2081,6 +2204,322 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Redundant reads: reroute, hedging, coded fan-out
+    // ------------------------------------------------------------------
+
+    /// The volume layout governing `ino`, if its mount is a volume.
+    fn volume_of(&self, ino: Ino) -> Option<VolumeLayout> {
+        let mount = self.inodes.get(&ino)?.mount?;
+        self.mounts.get(mount.0)?.volume.as_ref().map(|v| v.layout)
+    }
+
+    /// Every place that can serve pages starting at `first_page` of `ino`:
+    /// `(member index, device, first sector)`, primary first.
+    fn replica_candidates(
+        &self,
+        ino: Ino,
+        primary: PagePlace,
+        first_page: u64,
+    ) -> SimResult<Vec<(usize, DeviceId, u64)>> {
+        let f = self.file_of(ino)?;
+        let mut out = vec![(0usize, primary.dev, primary.sector)];
+        for (i, map) in f.replicas.iter().enumerate() {
+            if let Some(p) = map.place_of(first_page) {
+                out.push((i + 1, p.dev, p.sector));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Healthy-profile service estimate for moving `bytes` off `dev` —
+    /// the SLED-predicted deadline basis for hedging.
+    fn nominal_estimate(&self, dev: DeviceId, bytes: u64) -> SimDuration {
+        let p = self.devices[dev.0].profile();
+        p.nominal_latency + p.nominal_bandwidth.transfer_time(bytes)
+    }
+
+    /// Live fault-priced completion prediction for a command of `bytes`
+    /// submitted to `dev` at `now`: queue wait plus the profile estimate
+    /// inflated by the device's current fault state.
+    fn predicted_completion(&self, dev: DeviceId, bytes: u64, now: SimTime) -> SimDuration {
+        let qwait = self.queues[dev.0].queue_wait(now);
+        let est = self.nominal_estimate(dev, bytes);
+        let est = match self.devices[dev.0].fault_state(now) {
+            FaultState::Degraded(m) => SimDuration::from_secs_f64(est.as_secs_f64() * m),
+            _ => est,
+        };
+        qwait + est
+    }
+
+    /// Issues the device read(s) for one missing run, routing across the
+    /// file's volume members. Unreplicated and striped files issue the
+    /// single primary command they always did; mirrored files pick the
+    /// cheapest available copy (with hedging and failover); coded files
+    /// fan out to the k cheapest fragments.
+    fn redundant_read(
+        &mut self,
+        ino: Ino,
+        primary: PagePlace,
+        first_page: u64,
+        pages: u64,
+    ) -> SimResult<()> {
+        match self.volume_of(ino) {
+            Some(VolumeLayout::Mirrored) => self.mirrored_read(ino, primary, first_page, pages),
+            Some(VolumeLayout::Coded { k }) => self.coded_read(ino, primary, first_page, pages, k),
+            _ => self
+                .device_command(primary.dev, primary.sector, pages * SECTORS_PER_PAGE, false)
+                .map(|_| ()),
+        }
+    }
+
+    /// A mirrored read: pick the cheapest *available* copy by healthy
+    /// profile (offline members reroute instead of erroring), hedge a
+    /// redundant request when the pick sits in a fault window or its
+    /// queue wait alone exceeds the SLED-predicted deadline, and fail
+    /// over to the remaining copies if the winner's device gives up.
+    fn mirrored_read(
+        &mut self,
+        ino: Ino,
+        primary: PagePlace,
+        first_page: u64,
+        pages: u64,
+    ) -> SimResult<()> {
+        let sectors = pages * SECTORS_PER_PAGE;
+        let bytes = sectors * SECTOR_SIZE;
+        let now = self.clock.now();
+        let mut cands = self.replica_candidates(ino, primary, first_page)?;
+        // Cheapest healthy-profile copy first; member order breaks ties,
+        // keeping the primary preferred among equals.
+        cands.sort_by(|a, b| {
+            self.nominal_estimate(a.1, bytes)
+                .cmp(&self.nominal_estimate(b.1, bytes))
+                .then(a.0.cmp(&b.0))
+        });
+        let available: Vec<(usize, DeviceId, u64)> = cands
+            .iter()
+            .copied()
+            .filter(|&(_, dev, _)| {
+                !matches!(self.devices[dev.0].fault_state(now), FaultState::Offline)
+            })
+            .collect();
+        if available.is_empty() {
+            return Err(SimError::new(
+                Errno::Eio,
+                "mirrored volume: all replicas offline",
+            ));
+        }
+        let chosen = available[0];
+        let policy = self.cfg.hedge;
+        let qwait = self.queues[chosen.1 .0].queue_wait(now);
+        let deadline = SimDuration::from_secs_f64(
+            self.nominal_estimate(chosen.1, bytes).as_secs_f64() * policy.deadline_mult,
+        );
+        let in_fault_window = matches!(
+            self.devices[chosen.1 .0].fault_state(now),
+            FaultState::Degraded(_)
+        );
+        // Hedge issuance is bounded by `policy.max_hedges`; every
+        // redundant request is either the winner or cancelled below.
+        let mut contenders = vec![chosen];
+        if policy.max_hedges > 0 && (in_fault_window || qwait > deadline) {
+            contenders.extend(
+                available
+                    .iter()
+                    .skip(1)
+                    .take(policy.max_hedges as usize)
+                    .copied(),
+            );
+        }
+        let mut winner_at = 0usize;
+        for i in 1..contenders.len() {
+            if self.predicted_completion(contenders[i].1, bytes, now)
+                < self.predicted_completion(contenders[winner_at].1, bytes, now)
+            {
+                winner_at = i;
+            }
+        }
+        let winner = contenders[winner_at];
+        let tenant = self.active_tenant as u64;
+        let winner_class = class_code(self.devices[winner.1 .0].class());
+        for (i, &(_, dev, _)) in contenders.iter().enumerate() {
+            if i == winner_at {
+                continue;
+            }
+            // The loser is revoked: it holds its queue's tail for the
+            // cancel cost, the caller pays that cost as explicit hedge
+            // overhead, and attribution stays exact (the cancel is an
+            // ordinary zero-byte occupancy row).
+            let t_hedge = self.clock.now();
+            let loser_class = class_code(self.devices[dev.0].class());
+            self.queues[dev.0].note_cancel(tenant, t_hedge, policy.cancel_cost);
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.note_hedge();
+                rec.note_device(loser_class, 0, policy.cancel_cost.as_nanos(), 0);
+            }
+            self.charge_io(policy.cancel_cost);
+            self.usage.hedges += 1;
+            self.usage.hedge_wait = self.usage.hedge_wait.saturating_add(policy.cancel_cost);
+            let t_mark = self.clock.now();
+            self.tracer.io_hedge(
+                t_mark,
+                winner_class,
+                loser_class,
+                policy.cancel_cost.as_nanos(),
+            );
+        }
+        if winner.0 != chosen.0 {
+            self.usage.hedge_wins += 1;
+        }
+        // Winner first, then the remaining available copies as failover
+        // targets; bounded by the member count.
+        let mut last_err: Option<SimError> = None;
+        let order =
+            std::iter::once(winner).chain(available.iter().copied().filter(|c| c.0 != winner.0));
+        for (_, dev, sector) in order {
+            match self.device_command(dev, sector, sectors, false) {
+                Ok(_) => return Ok(()),
+                Err(e) if matches!(e.errno, Errno::Eio | Errno::Etimedout) => {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            SimError::new(Errno::Eio, "mirrored volume: no replica could serve")
+        }))
+    }
+
+    /// A (k, n)-coded read: fan out to the k cheapest available fragment
+    /// homes (fault-priced), let them run concurrently, and charge the
+    /// caller to the straggler's completion — the k-th cheapest fragment,
+    /// exactly the SLED the pricing layer quotes. A fragment failed by an
+    /// injected fault is excluded and replaced by the next-cheapest
+    /// member (bounded by the member count); fewer than k available
+    /// members is the only hard failure.
+    fn coded_read(
+        &mut self,
+        ino: Ino,
+        primary: PagePlace,
+        first_page: u64,
+        pages: u64,
+        k: u32,
+    ) -> SimResult<()> {
+        let k = (k.max(1)) as usize;
+        let frag_sectors = (pages * SECTORS_PER_PAGE).div_ceil(k as u64);
+        let frag_bytes = frag_sectors * SECTOR_SIZE;
+        let cands = self.replica_candidates(ino, primary, first_page)?;
+        let tenant = self.active_tenant as u64;
+        let mut excluded: Vec<usize> = Vec::new();
+        // Completed fragments survive re-picks: (member, completion, qwait).
+        let mut done: Vec<(usize, SimTime, SimDuration)> = Vec::new();
+        // Bounded: every pass either finishes the k fragments or excludes
+        // one more member, and members are finite.
+        while done.len() < k {
+            let now = self.clock.now();
+            let mut avail: Vec<(usize, DeviceId, u64)> = cands
+                .iter()
+                .copied()
+                .filter(|&(m, dev, _)| {
+                    !excluded.contains(&m)
+                        && !done.iter().any(|&(dm, _, _)| dm == m)
+                        && !matches!(self.devices[dev.0].fault_state(now), FaultState::Offline)
+                })
+                .collect();
+            if avail.len() + done.len() < k {
+                return Err(SimError::new(
+                    Errno::Eio,
+                    format!(
+                        "coded volume: only {} of {k} fragments available",
+                        avail.len() + done.len()
+                    ),
+                ));
+            }
+            avail.sort_by(|a, b| {
+                self.predicted_completion(a.1, frag_bytes, now)
+                    .cmp(&self.predicted_completion(b.1, frag_bytes, now))
+                    .then(a.0.cmp(&b.0))
+            });
+            let need = k - done.len();
+            for &(m, dev, sector) in avail.iter().take(need) {
+                let class = class_code(self.devices[dev.0].class());
+                let qwait = self.queues[dev.0].queue_wait(now);
+                let start = now + qwait;
+                match self.devices[dev.0].read(sector, frag_sectors, start) {
+                    Ok(t) => {
+                        self.queues[dev.0].note_command(
+                            tenant,
+                            now,
+                            qwait,
+                            t,
+                            frag_sectors * SECTOR_SIZE,
+                        );
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.note_device(
+                                class,
+                                qwait.as_nanos(),
+                                t.as_nanos(),
+                                frag_sectors * SECTOR_SIZE,
+                            );
+                        }
+                        self.trace_device(dev, false, now, qwait, t, sector, frag_sectors);
+                        self.usage.device_reads += 1;
+                        done.push((m, start + t, qwait));
+                    }
+                    Err(err) => {
+                        let cost = match self.devices[dev.0].last_phases() {
+                            [p] if p.kind == PhaseKind::Fault
+                                && err.context.ends_with("injected fault") =>
+                            {
+                                p.dur
+                            }
+                            _ => SimDuration::ZERO,
+                        };
+                        if cost.is_zero() {
+                            return Err(err);
+                        }
+                        // The faulted fragment still occupied its queue;
+                        // the caller pays serially, then the member is
+                        // excluded and the pick repeated.
+                        self.queues[dev.0].note_command(tenant, now, qwait, cost, 0);
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.note_device(class, qwait.as_nanos(), cost.as_nanos(), 0);
+                        }
+                        self.charge_queue_wait(qwait);
+                        self.charge_io(cost);
+                        let t_fail = self.clock.now();
+                        self.tracer.fault_inject(t_fail, class, 1, cost.as_nanos());
+                        excluded.push(m);
+                        break;
+                    }
+                }
+            }
+        }
+        // Charge to the straggler: the fan-out completes when its slowest
+        // chosen fragment does. Split the straggler's own queue wait out
+        // of the I/O charge so queue-wait accounting stays meaningful.
+        let mut target = SimTime::ZERO;
+        let mut straggler_qwait = SimDuration::ZERO;
+        for &(_, complete, q) in &done {
+            if complete > target {
+                target = complete;
+                straggler_qwait = q;
+            }
+        }
+        let now = self.clock.now();
+        if target > now {
+            let gap = target - now;
+            let qpart = if straggler_qwait < gap {
+                straggler_qwait
+            } else {
+                gap
+            };
+            self.charge_queue_wait(qpart);
+            self.charge_io(gap - qpart);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // The write path
     // ------------------------------------------------------------------
 
@@ -2109,22 +2548,36 @@ impl Kernel {
         };
         let new_pages = end.div_ceil(PAGE_SIZE);
         if new_pages > old_pages {
-            let mut allocated: Vec<(u64, u64)> = Vec::new();
-            let mut left = new_pages - old_pages;
-            while left > 0 {
-                // Respect fragmentation chunks.
-                let take = match &self.mounts[mount.0].frag {
-                    Some(f) => f.chunk_pages.min(left),
-                    None => left,
-                };
-                let first = self.allocate_sectors(mount, take)?;
-                allocated.push((first, take));
-                left -= take;
-            }
-            let dev = self.mounts[mount.0].dev;
+            let added = new_pages - old_pages;
+            // `layout_pages` respects fragmentation chunks and volume
+            // striping alike; fold its runs onto the tail of the map
+            // (`append_run` merges contiguous chunks).
+            let added_map = self.layout_pages(mount, added)?;
+            let runs = added_map.runs_in(0, added - 1);
             let f = self.file_of_mut(ino)?;
-            for (first, take) in allocated {
-                f.pages.append_run(dev, first, take);
+            for run in &runs {
+                f.pages.append_run(run.dev, run.sector, run.pages);
+            }
+            // Grow every replica in lockstep so mirrored and coded files
+            // stay fully covered on all members.
+            let members = match self.mounts[mount.0].volume.as_ref() {
+                Some(v)
+                    if matches!(
+                        v.layout,
+                        VolumeLayout::Mirrored | VolumeLayout::Coded { .. }
+                    ) =>
+                {
+                    v.devices.len()
+                }
+                _ => 0,
+            };
+            for member in 1..members {
+                let (dev, first) = self.allocate_member(mount, member, added)?;
+                let f = self.file_of_mut(ino)?;
+                while f.replicas.len() < member {
+                    f.replicas.push(PageMap::new());
+                }
+                f.replicas[member - 1].append_run(dev, first, added);
             }
         }
 
@@ -2214,17 +2667,73 @@ impl Kernel {
 
     fn writeback(&mut self, key: PageKey) -> SimResult<()> {
         // The inode may already be gone (unlink with dirty pages).
-        let place = match self.inodes.get(&Ino(key.inode)) {
-            Some(node) => match node.as_file().and_then(|f| f.pages.place_of(key.index)) {
+        let (place, extras, frag_sectors, needed) = {
+            let node = match self.inodes.get(&Ino(key.inode)) {
+                Some(n) => n,
+                None => return Ok(()),
+            };
+            let f = match node.as_file() {
+                Some(f) => f,
+                None => return Ok(()),
+            };
+            let place = match f.pages.place_of(key.index) {
                 Some(p) => p,
                 None => return Ok(()),
-            },
-            None => return Ok(()),
+            };
+            let layout = node
+                .mount
+                .and_then(|m| self.mounts.get(m.0))
+                .and_then(|m| m.volume.as_ref())
+                .map(|v| v.layout);
+            match layout {
+                Some(VolumeLayout::Mirrored) | Some(VolumeLayout::Coded { .. }) => {
+                    let extras: Vec<PagePlace> = f
+                        .replicas
+                        .iter()
+                        .filter_map(|map| map.place_of(key.index))
+                        .collect();
+                    let (frag, needed) = match layout {
+                        Some(VolumeLayout::Coded { k }) => {
+                            let k = u64::from(k.max(1));
+                            (SECTORS_PER_PAGE.div_ceil(k), k as usize)
+                        }
+                        _ => (SECTORS_PER_PAGE, 1),
+                    };
+                    (place, extras, frag, needed)
+                }
+                _ => (place, Vec::new(), SECTORS_PER_PAGE, 1),
+            }
         };
         let now = self.clock.now();
         self.tracer.cache_writeback(now, key.index, key.inode);
-        self.device_command(place.dev, place.sector, SECTORS_PER_PAGE, true)?;
-        Ok(())
+        if extras.is_empty() {
+            self.device_command(place.dev, place.sector, frag_sectors, true)?;
+            return Ok(());
+        }
+        // Redundant volume: write every member's copy/fragment, but
+        // tolerate member failures while enough copies land (one for a
+        // mirror, k fragments for a (k, n) code) — degraded redundancy,
+        // not an application-visible error.
+        let mut ok = 0usize;
+        let mut last_err: Option<SimError> = None;
+        for p in std::iter::once(place).chain(extras) {
+            match self.device_command(p.dev, p.sector, frag_sectors, true) {
+                Ok(_) => ok += 1,
+                Err(e) if matches!(e.errno, Errno::Eio | Errno::Etimedout) => {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if ok >= needed {
+            return Ok(());
+        }
+        Err(last_err.unwrap_or_else(|| {
+            SimError::new(
+                Errno::Eio,
+                "redundant writeback: no member accepted the page",
+            )
+        }))
     }
 
     // ------------------------------------------------------------------
@@ -2299,6 +2808,73 @@ impl Kernel {
         let out = self.page_extents_of(of.ino)?;
         let pages = out.last().map(|e| e.end_page()).unwrap_or(0);
         self.charge_page_walk(out.len() as u64, pages);
+        Ok(out)
+    }
+
+    /// The redundancy-aware half of `FSLEDS_GET`: every extent of the open
+    /// file, each carrying the replica places that could serve it too.
+    /// Extents of unreplicated files come back with no alternatives and
+    /// cost exactly what [`Kernel::page_extents`] costs; redundant extents
+    /// pay one extra probe per alternative. The pricing layer turns each
+    /// alternative into a fault-priced candidate and quotes the min-cost
+    /// *available* one (the k-th cheapest for a coded layout).
+    pub fn redundant_extents(&mut self, fd: Fd) -> SimResult<Vec<RedundantExtent>> {
+        // Same capture kind as the plain extents walk: both are the
+        // FSLEDS_GET ioctl, so the unrecordable set does not grow.
+        self.rec_unsupported("ioctl.page_extents");
+        let t0 = self.clock.now();
+        self.tracer
+            .begin(Layer::Syscall, "ioctl.fsleds_get", t0, [fd.0, 1, 0]);
+        let r = self.redundant_extents_impl(fd);
+        let t1 = self.clock.now();
+        self.tracer.end(t1);
+        r
+    }
+
+    fn redundant_extents_impl(&mut self, fd: Fd) -> SimResult<Vec<RedundantExtent>> {
+        self.charge_syscall();
+        let of = self.openfile(fd)?;
+        let ino = of.ino;
+        let base = self.page_extents_of(ino)?;
+        let coded_k = self.volume_of(ino).and_then(|l| l.coded_k());
+        let (out, probes, pages) = {
+            let f = self.file_of(ino)?;
+            let mut probes = 0u64;
+            let pages = base.last().map(|e| e.end_page()).unwrap_or(0);
+            let out: Vec<RedundantExtent> = base
+                .into_iter()
+                .map(|extent| {
+                    // Memory extents need no alternative: they are already
+                    // the cheapest possible source.
+                    let alternatives: Vec<ReplicaPlace> =
+                        if matches!(extent.location, PageLocation::Device { .. }) {
+                            f.replicas
+                                .iter()
+                                .filter_map(|map| map.place_of(extent.first_page))
+                                .map(|p| ReplicaPlace {
+                                    dev: p.dev,
+                                    sector: p.sector,
+                                })
+                                .collect()
+                        } else {
+                            Vec::new()
+                        };
+                    probes += alternatives.len() as u64;
+                    let coded_k = if alternatives.is_empty() {
+                        None
+                    } else {
+                        coded_k
+                    };
+                    RedundantExtent {
+                        extent,
+                        alternatives,
+                        coded_k,
+                    }
+                })
+                .collect();
+            (out, probes, pages)
+        };
+        self.charge_page_walk(out.len() as u64 + probes, pages);
         Ok(out)
     }
 
@@ -2970,22 +3546,119 @@ impl Kernel {
     // Experiment setup helpers (zero-cost, not part of the syscall API)
     // ------------------------------------------------------------------
 
+    /// Allocates `pages` contiguous pages on volume member `member` of
+    /// `mount` and returns `(device, first sector)`. Member 0 is the
+    /// primary and goes through the mount's ordinary allocator (honoring
+    /// fragmentation); replica members use their own bump cursor —
+    /// replicas are laid out contiguously, the simulation's stand-in for
+    /// a freshly synced copy.
+    fn allocate_member(
+        &mut self,
+        mount: MountId,
+        member: usize,
+        pages: u64,
+    ) -> SimResult<(DeviceId, u64)> {
+        if member == 0 {
+            let first = self.allocate_sectors(mount, pages)?;
+            return Ok((self.mounts[mount.0].dev, first));
+        }
+        let (dev, first) = {
+            let v = self.mounts[mount.0].volume.as_ref().ok_or_else(|| {
+                SimError::new(Errno::Einval, "replica allocation on non-volume mount")
+            })?;
+            let dev = *v.devices.get(member).ok_or_else(|| {
+                SimError::new(Errno::Einval, format!("volume has no member {member}"))
+            })?;
+            (dev, v.replica_next[member - 1])
+        };
+        let cap = self.devices[dev.0].capacity_sectors();
+        let end = pages
+            .checked_mul(SECTORS_PER_PAGE)
+            .and_then(|needed| first.checked_add(needed))
+            .filter(|&end| end <= cap)
+            .ok_or_else(|| {
+                SimError::new(
+                    Errno::Enospc,
+                    format!("device {} full", self.devices[dev.0].name()),
+                )
+            })?;
+        if let Some(v) = self.mounts[mount.0].volume.as_mut() {
+            v.replica_next[member - 1] = end;
+        }
+        Ok((dev, first))
+    }
+
     /// Lays out `pages` pages on `mount` by its allocator, honoring
-    /// fragmentation, without charging any time.
+    /// fragmentation, without charging any time. On a striped volume the
+    /// chunks round-robin across the members instead.
     fn layout_pages(&mut self, mount: MountId, pages: u64) -> SimResult<PageMap> {
+        let striped = match self.mounts[mount.0].volume.as_ref() {
+            Some(v) => match v.layout {
+                VolumeLayout::Striped { stripe_pages } => {
+                    Some((stripe_pages.max(1), v.devices.len()))
+                }
+                _ => None,
+            },
+            None => None,
+        };
         let mut map = PageMap::new();
         let mut left = pages;
         while left > 0 {
-            let take = match &self.mounts[mount.0].frag {
-                Some(f) => f.chunk_pages.min(left),
-                None => left,
-            };
-            let first = self.allocate_sectors(mount, take)?;
-            let dev = self.mounts[mount.0].dev;
-            map.append_run(dev, first, take);
-            left -= take;
+            if let Some((stripe, n)) = striped {
+                let take = stripe.min(left);
+                let member = {
+                    let v = self.mounts[mount.0]
+                        .volume
+                        .as_mut()
+                        .ok_or_else(|| SimError::new(Errno::Einval, "volume vanished"))?;
+                    let m = v.stripe_cursor % n;
+                    v.stripe_cursor = (v.stripe_cursor + 1) % n;
+                    m
+                };
+                let (dev, first) = self.allocate_member(mount, member, take)?;
+                map.append_run(dev, first, take);
+                left -= take;
+            } else {
+                let take = match &self.mounts[mount.0].frag {
+                    Some(f) => f.chunk_pages.min(left),
+                    None => left,
+                };
+                let first = self.allocate_sectors(mount, take)?;
+                let dev = self.mounts[mount.0].dev;
+                map.append_run(dev, first, take);
+                left -= take;
+            }
         }
         Ok(map)
+    }
+
+    /// Lays out the replica page maps for a `pages`-page file on `mount`:
+    /// one full-size map per non-primary member for mirrored and coded
+    /// volumes, empty otherwise. Coded replicas reserve the full page
+    /// range too — a simulation simplification standing in for fragment
+    /// placement, so every member can serve any page of the file.
+    fn layout_replicas(&mut self, mount: MountId, pages: u64) -> SimResult<Vec<PageMap>> {
+        let members = match self.mounts[mount.0].volume.as_ref() {
+            Some(v)
+                if matches!(
+                    v.layout,
+                    VolumeLayout::Mirrored | VolumeLayout::Coded { .. }
+                ) =>
+            {
+                v.devices.len()
+            }
+            _ => return Ok(Vec::new()),
+        };
+        let mut out = Vec::new();
+        for member in 1..members {
+            let mut map = PageMap::new();
+            if pages > 0 {
+                let (dev, first) = self.allocate_member(mount, member, pages)?;
+                map.append_run(dev, first, pages);
+            }
+            out.push(map);
+        }
+        Ok(out)
     }
 
     fn install_node(&mut self, path: &str, size: u64, data: Vec<u8>) -> SimResult<Ino> {
@@ -2993,7 +3666,9 @@ impl Kernel {
         let mount = self.inode(parent)?.mount.ok_or_else(|| {
             SimError::new(Errno::Einval, format!("install_file({path}): no mount"))
         })?;
-        let pages = self.layout_pages(mount, size.div_ceil(PAGE_SIZE))?;
+        let page_count = size.div_ceil(PAGE_SIZE);
+        let pages = self.layout_pages(mount, page_count)?;
+        let replicas = self.layout_replicas(mount, page_count)?;
         let ino = self.alloc_ino();
         let now = self.clock.now();
         self.inodes.insert(
@@ -3006,6 +3681,7 @@ impl Kernel {
                     data,
                     pages,
                     tape_home: None,
+                    replicas,
                 }),
                 mtime: now,
             },

@@ -31,6 +31,7 @@ pub mod prog;
 pub mod queue;
 pub mod ring;
 pub mod rusage;
+pub mod volume;
 
 pub use aio::AioReport;
 pub use capture::{
@@ -38,7 +39,10 @@ pub use capture::{
     WorkloadRecorder, CAPTURE_SCHEMA, WHENCE_CUR, WHENCE_END, WHENCE_SET,
 };
 pub use inode::{FileKind, Ino, LayoutRun, PageMap, PagePlace, Stat, SECTORS_PER_PAGE};
-pub use kernel::{DeviceId, Fd, Kernel, MountId, OpenFlags, PageExtent, PageLocation, Whence};
+pub use kernel::{
+    DeviceId, Fd, Kernel, MountId, OpenFlags, PageExtent, PageLocation, RedundantExtent,
+    ReplicaPlace, Whence,
+};
 pub use machine::MachineConfig;
 pub use prog::{
     prog_inputs, CostCert, PickProgram, ProgEntry, ProgInputs, ProgInst, ProgOrder, ProgPricing,
@@ -52,3 +56,4 @@ pub use ring::{RingCompletion, RingOp, RingPayload, SubmissionRing, DEFAULT_RING
 pub use rusage::{JobReport, JobTimer, Rusage};
 pub use sleds_sim_core::{TenantId, VirtualSubmitter};
 pub use sleds_trace as trace;
+pub use volume::{HedgePolicy, VolumeLayout};

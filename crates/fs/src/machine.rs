@@ -3,6 +3,8 @@
 use sleds_pagecache::PolicyKind;
 use sleds_sim_core::{Bandwidth, ByteSize, SimDuration, PAGE_SIZE};
 
+use crate::volume::HedgePolicy;
+
 /// Static configuration of the simulated machine.
 ///
 /// The defaults reproduce the paper's testbed: 64 MiB of RAM of which
@@ -56,6 +58,11 @@ pub struct MachineConfig {
     /// exactly the trade the replay harness lets a candidate config
     /// explore. Defaults to [`crate::queue::CMD_QUEUE_CAPACITY`].
     pub cmd_queue_capacity: usize,
+    /// Hedged-read policy for redundant volumes: when the kernel issues a
+    /// redundant request and what a cancelled loser costs. The default
+    /// hedges at most once per command; `HedgePolicy::disabled()` gives
+    /// retry-only behavior.
+    pub hedge: HedgePolicy,
 }
 
 impl MachineConfig {
@@ -74,6 +81,7 @@ impl MachineConfig {
             page_walk_floor_cpu: SimDuration::from_nanos(1),
             readahead_pages: 0,
             cmd_queue_capacity: crate::queue::CMD_QUEUE_CAPACITY,
+            hedge: HedgePolicy::default(),
         }
     }
 

@@ -98,6 +98,8 @@ pub struct CmdQueue {
     queue_wait_ns: u64,
     /// Deepest line any command joined.
     depth_high_water: u64,
+    /// Hedged commands revoked on this queue before (full) service.
+    cancels: u64,
     /// Per-tenant cumulative load.
     per_tenant: BTreeMap<u64, TenantLoad>,
     /// Cross-tenant wait attribution: `(waiter, owner) -> ns` the waiter
@@ -124,6 +126,7 @@ impl CmdQueue {
             busy_ns: 0,
             queue_wait_ns: 0,
             depth_high_water: 0,
+            cancels: 0,
             per_tenant: BTreeMap::new(),
             waits: BTreeMap::new(),
             service_hist: LogHistogram::new(),
@@ -228,6 +231,27 @@ impl CmdQueue {
             .saturating_add(qwait.as_nanos().saturating_add(service.as_nanos()));
     }
 
+    /// Records a hedged command revoked before full service: it holds the
+    /// queue *tail* for exactly `cost` (the issue-and-revoke overhead) and
+    /// moves no bytes. Modeled as an ordinary zero-wait occupancy segment
+    /// at the tail instant, so `busy_until` stays monotone and both the
+    /// per-segment wait attribution and the per-tenant conservation law
+    /// (`own_service + queue_wait == observed`) hold by construction.
+    pub fn note_cancel(&mut self, tenant: u64, now: SimTime, cost: SimDuration) {
+        self.cancels += 1;
+        let tail = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        self.note_command(tenant, tail, SimDuration::ZERO, cost, 0);
+    }
+
+    /// Hedged commands revoked on this queue.
+    pub fn cancels(&self) -> u64 {
+        self.cancels
+    }
+
     /// The instant the device falls idle.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
@@ -326,6 +350,7 @@ impl CmdQueue {
         self.busy_ns = 0;
         self.queue_wait_ns = 0;
         self.depth_high_water = 0;
+        self.cancels = 0;
         self.per_tenant.clear();
         self.waits.clear();
         self.service_hist = LogHistogram::new();

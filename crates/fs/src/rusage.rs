@@ -41,6 +41,16 @@ pub struct Rusage {
     /// Time device commands spent queued behind other commands before
     /// service began (part of `io_wait`). Zero in single-tenant runs.
     pub queue_wait: SimDuration,
+    /// Redundant (hedged) read commands issued on this process's behalf
+    /// against replica devices of a redundant volume.
+    pub hedges: u64,
+    /// Hedged reads whose redundant request won — the primary was beaten
+    /// and cancelled instead of the hedge.
+    pub hedge_wins: u64,
+    /// Time spent issuing and revoking hedged requests that lost (part of
+    /// `io_wait`): the explicit overhead of redundant work, kept separate
+    /// so own-service + queue-wait + hedge overhead sums to observed I/O.
+    pub hedge_wait: SimDuration,
 }
 
 impl Rusage {
@@ -62,6 +72,9 @@ impl Rusage {
             io_retries: self.io_retries.saturating_sub(earlier.io_retries),
             retry_backoff: self.retry_backoff.saturating_sub(earlier.retry_backoff),
             queue_wait: self.queue_wait.saturating_sub(earlier.queue_wait),
+            hedges: self.hedges.saturating_sub(earlier.hedges),
+            hedge_wins: self.hedge_wins.saturating_sub(earlier.hedge_wins),
+            hedge_wait: self.hedge_wait.saturating_sub(earlier.hedge_wait),
         }
     }
 
@@ -85,6 +98,9 @@ impl Rusage {
         self.io_retries = self.io_retries.saturating_add(delta.io_retries);
         self.retry_backoff = self.retry_backoff.saturating_add(delta.retry_backoff);
         self.queue_wait = self.queue_wait.saturating_add(delta.queue_wait);
+        self.hedges = self.hedges.saturating_add(delta.hedges);
+        self.hedge_wins = self.hedge_wins.saturating_add(delta.hedge_wins);
+        self.hedge_wait = self.hedge_wait.saturating_add(delta.hedge_wait);
     }
 }
 
@@ -133,6 +149,9 @@ mod tests {
             io_retries: 1,
             retry_backoff: SimDuration::from_millis(5),
             queue_wait: SimDuration::from_millis(1),
+            hedges: 2,
+            hedge_wins: 1,
+            hedge_wait: SimDuration::from_micros(100),
         };
         let b = Rusage {
             cpu: SimDuration::from_secs(3),
@@ -148,6 +167,9 @@ mod tests {
             io_retries: 4,
             retry_backoff: SimDuration::from_millis(25),
             queue_wait: SimDuration::from_millis(3),
+            hedges: 5,
+            hedge_wins: 2,
+            hedge_wait: SimDuration::from_micros(350),
         };
         let d = b.since(&a);
         assert_eq!(d.cpu, SimDuration::from_secs(2));
@@ -161,6 +183,9 @@ mod tests {
         assert_eq!(d.io_retries, 3);
         assert_eq!(d.retry_backoff, SimDuration::from_millis(20));
         assert_eq!(d.queue_wait, SimDuration::from_millis(2));
+        assert_eq!(d.hedges, 3);
+        assert_eq!(d.hedge_wins, 1);
+        assert_eq!(d.hedge_wait, SimDuration::from_micros(250));
         let mut acc = a;
         acc.accumulate(&d);
         assert_eq!(acc, b, "since then accumulate round-trips");

@@ -1,0 +1,140 @@
+//! Redundant volume layouts and the hedged-read policy.
+//!
+//! A *volume* is a mount backed by more than one block device. The layout
+//! decides what the extra devices hold:
+//!
+//! * [`VolumeLayout::Mirrored`] — every extent exists in full on every
+//!   member device (n-way replication). A read is served by the cheapest
+//!   *available* copy; an offline primary reroutes to a mirror instead of
+//!   surfacing `Eio`, and a degraded or queue-saturated primary triggers a
+//!   *hedged* read against the next-cheapest copy.
+//! * [`VolumeLayout::Striped`] — extents are round-robined across member
+//!   devices in `stripe_pages` chunks. No redundancy: striping is a pure
+//!   placement policy that spreads queue pressure.
+//! * [`VolumeLayout::Coded`] — a (k, n) erasure code: each extent is cut
+//!   into `k` fragments plus `n - k` parity fragments, one per device, and
+//!   a read completes when the `k` cheapest available fragments arrive.
+//!   The extent's delivery cost is therefore the **k-th cheapest** fragment
+//!   (the straggler of the chosen k), and the extent is unavailable only
+//!   when fewer than `k` members are online.
+//!
+//! [`HedgePolicy`] bounds redundant work: at most `max_hedges` extra
+//! requests per primary command, each loser cancelled and charged an
+//! explicit `cancel_cost` so per-tenant attribution still sums exactly
+//! (the conservation law `own_service + queue_wait == observed` holds by
+//! construction — a cancel is just a tiny service-time row).
+
+use sleds_sim_core::SimDuration;
+
+/// How a volume lays data across its member devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VolumeLayout {
+    /// Full n-way replication: every member holds every byte.
+    Mirrored,
+    /// Round-robin striping in `stripe_pages` chunks; no redundancy.
+    Striped {
+        /// Pages per stripe chunk (clamped to at least 1).
+        stripe_pages: u64,
+    },
+    /// (k, n) erasure code: any `k` of the `n` members reconstruct.
+    Coded {
+        /// Data fragments needed to reconstruct (1 ≤ k < n).
+        k: u32,
+    },
+}
+
+impl VolumeLayout {
+    /// Short layout name used in traces, captures and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VolumeLayout::Mirrored => "mirrored",
+            VolumeLayout::Striped { .. } => "striped",
+            VolumeLayout::Coded { .. } => "coded",
+        }
+    }
+
+    /// Minimum member count this layout is meaningful with.
+    pub fn min_devices(&self) -> usize {
+        match self {
+            VolumeLayout::Mirrored => 2,
+            VolumeLayout::Striped { .. } => 2,
+            VolumeLayout::Coded { k } => *k as usize + 1,
+        }
+    }
+
+    /// For coded layouts, the `k` of (k, n); otherwise `None`.
+    pub fn coded_k(&self) -> Option<u32> {
+        match self {
+            VolumeLayout::Coded { k } => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+/// When and how the kernel issues a redundant (hedged) read, and what a
+/// cancelled loser costs.
+///
+/// Hedging triggers when the chosen replica's device sits inside a fault
+/// window (degraded) or its queue wait alone exceeds
+/// `deadline_mult ×` the SLED-predicted healthy service time. The kernel
+/// then prices every candidate with live fault-epoch costs, issues the
+/// real command on the predicted winner, and charges each loser exactly
+/// [`HedgePolicy::cancel_cost`] of service time on its own queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgePolicy {
+    /// Upper bound on redundant requests per primary command. `0`
+    /// disables hedging entirely (retry-only behavior).
+    pub max_hedges: u32,
+    /// Deadline multiplier over the healthy-profile service estimate;
+    /// exceeding it (on queue wait) triggers a hedge.
+    pub deadline_mult: f64,
+    /// Service time charged to a cancelled loser's queue — the cost of
+    /// issuing and revoking the redundant command.
+    pub cancel_cost: SimDuration,
+}
+
+impl HedgePolicy {
+    /// Hedging disabled: reads retry on their chosen replica only.
+    pub fn disabled() -> HedgePolicy {
+        HedgePolicy {
+            max_hedges: 0,
+            ..HedgePolicy::default()
+        }
+    }
+}
+
+impl Default for HedgePolicy {
+    /// One hedge per command, a 4× deadline, and a 50 µs cancel charge.
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            max_hedges: 1,
+            deadline_mult: 4.0,
+            cancel_cost: SimDuration::from_micros(50),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_names_and_minimums() {
+        assert_eq!(VolumeLayout::Mirrored.name(), "mirrored");
+        assert_eq!(VolumeLayout::Striped { stripe_pages: 8 }.name(), "striped");
+        assert_eq!(VolumeLayout::Coded { k: 2 }.name(), "coded");
+        assert_eq!(VolumeLayout::Mirrored.min_devices(), 2);
+        assert_eq!(VolumeLayout::Coded { k: 2 }.min_devices(), 3);
+        assert_eq!(VolumeLayout::Coded { k: 2 }.coded_k(), Some(2));
+        assert_eq!(VolumeLayout::Mirrored.coded_k(), None);
+    }
+
+    #[test]
+    fn default_policy_hedges_once_and_disabled_never() {
+        let d = HedgePolicy::default();
+        assert_eq!(d.max_hedges, 1);
+        assert!(d.deadline_mult > 1.0);
+        assert!(d.cancel_cost > SimDuration::ZERO);
+        assert_eq!(HedgePolicy::disabled().max_hedges, 0);
+    }
+}

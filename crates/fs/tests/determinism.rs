@@ -9,9 +9,11 @@
 //! pins the guarantee: the same workload on two fresh kernels produces
 //! byte-identical reports, elapsed times, and usage counters.
 
-use sleds_devices::{DiskDevice, FaultPlan};
+use sleds_devices::{BlockDevice, DiskDevice, FaultPlan, NfsDevice};
 use sleds_fs::trace::{chrome_trace_json, Layer, TraceEvent};
-use sleds_fs::{JobReport, Kernel, OpenFlags, Rusage, SaturationReport, TenantId, Whence};
+use sleds_fs::{
+    JobReport, Kernel, OpenFlags, Rusage, SaturationReport, TenantId, VolumeLayout, Whence,
+};
 use sleds_sim_core::{SimDuration, SimTime, PAGE_SIZE};
 
 /// A workload chosen to be order-sensitive: many files dirty pages scattered
@@ -573,6 +575,116 @@ fn recalibrated_run_is_identical_traced_vs_untraced() {
     assert_rusage_sums(&traced);
 }
 
+/// Redundant volumes under a fault storm: a mirrored disk + NFS-metro
+/// volume whose cheapest member (the metro link) is degraded — every
+/// cold run hedges and the disk usually wins — and a (2, 3)-coded volume
+/// with an offline member (every read reroutes its fan-out). Hedge decisions, cancellations, failover
+/// and the straggler charge all ride the virtual clock, so two identical
+/// runs must agree to the byte.
+fn run_hedged_workload(traced: bool) -> (JobReport, u64, u64, Vec<TraceEvent>) {
+    let mut k = Kernel::table2();
+    if traced {
+        k.enable_tracing_with_capacity(1 << 14);
+    }
+    k.mkdir("/vol").unwrap();
+    k.mount_volume(
+        "/vol",
+        VolumeLayout::Mirrored,
+        vec![
+            Box::new(DiskDevice::table2_disk("vd0")) as Box<dyn BlockDevice>,
+            Box::new(NfsDevice::metro_link("net0")),
+        ],
+    )
+    .unwrap();
+    k.mkdir("/cod").unwrap();
+    k.mount_volume(
+        "/cod",
+        VolumeLayout::Coded { k: 2 },
+        vec![
+            Box::new(DiskDevice::table2_disk("cd0")) as Box<dyn BlockDevice>,
+            Box::new(DiskDevice::table2_disk("cd1")),
+            Box::new(DiskDevice::table2_disk("cd2")),
+        ],
+    )
+    .unwrap();
+    let files = 6;
+    let pages_per_file = 6usize;
+    for i in 0..files {
+        k.install_file(
+            &format!("/vol/f{i}"),
+            &vec![i as u8; pages_per_file * PAGE_SIZE as usize],
+        )
+        .unwrap();
+        k.install_file(
+            &format!("/cod/f{i}"),
+            &vec![(64 + i) as u8; pages_per_file * PAGE_SIZE as usize],
+        )
+        .unwrap();
+    }
+    k.drop_caches().unwrap();
+    let plan = FaultPlan::new()
+        .degraded("net0", SimTime::ZERO, SimTime::from_nanos(u64::MAX), 8.0)
+        .offline(
+            "cd0",
+            SimTime::ZERO,
+            SimTime::from_nanos(u64::MAX),
+            SimDuration::from_millis(1),
+        );
+    k.apply_fault_plan(&plan);
+
+    let t = k.start_job();
+    let mut checksum = 0u64;
+    for i in 0..files {
+        for root in ["/vol", "/cod"] {
+            let fd = k.open(&format!("{root}/f{i}"), OpenFlags::RDONLY).unwrap();
+            let data = k
+                .read(fd, pages_per_file * PAGE_SIZE as usize)
+                .expect("redundancy must mask the storm");
+            checksum = data
+                .iter()
+                .fold(checksum, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64));
+            k.close(fd).unwrap();
+        }
+    }
+    let report = k.finish_job(&t);
+    (
+        report,
+        report.elapsed.as_nanos(),
+        checksum,
+        k.trace_events(),
+    )
+}
+
+#[test]
+fn hedged_fault_storm_replays_byte_identical() {
+    let (r1, ns1, sum1, _) = run_hedged_workload(false);
+    let (r2, ns2, sum2, _) = run_hedged_workload(false);
+    assert_eq!(sum1, sum2, "hedged contents must replay identically");
+    assert_eq!(ns1, ns2, "hedged virtual time must replay identically");
+    assert_eq!(r1, r2, "hedged job report must replay identically");
+    assert_rusage_sums(&r1);
+    assert!(r1.usage.hedges > 0, "the degraded mirror must have hedged");
+    assert_eq!(
+        r1.usage.io_retries, 0,
+        "redundancy reroutes; nothing should have retried"
+    );
+}
+
+#[test]
+fn hedged_run_is_identical_traced_vs_untraced() {
+    let (plain, ns_plain, sum_plain, events) = run_hedged_workload(false);
+    let (traced, ns_traced, sum_traced, traced_events) = run_hedged_workload(true);
+    assert!(events.is_empty(), "untraced run must record nothing");
+    assert_eq!(sum_plain, sum_traced, "contents must not change");
+    assert_eq!(ns_plain, ns_traced, "virtual time must not change");
+    assert_eq!(plain, traced, "job report must not change under trace");
+    assert_rusage_sums(&traced);
+    assert!(
+        traced_events.iter().any(|e| e.name == "io.hedge"),
+        "hedge cancellations must be visible in the trace"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Capture/replay identity: the flight-recorder half of the determinism
 // story. Capturing is pure observation (the recorder must not perturb
@@ -677,5 +789,65 @@ fn identity_replay_round_trips_through_serialization() {
         replayed.into_file().to_jsonl(),
         text,
         "capture → parse → replay must reproduce the capture byte for byte"
+    );
+}
+
+/// A mirrored volume whose cheapest member (the metro link) is degraded
+/// for the whole run: every cold read hedges, so the capture must record
+/// hedge counts and the identity replay must reproduce them (the volume
+/// mount, fault plan and hedge policy all travel in the spec).
+fn hedged_capture_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new("table2");
+    spec.setup = vec![
+        SetupStep::Mkdir {
+            path: "/vol".into(),
+        },
+        SetupStep::MountVolume {
+            path: "/vol".into(),
+            layout: VolumeLayout::Mirrored,
+            members: vec![
+                ("table2_disk".into(), "vd0".into()),
+                ("nfs_metro".into(), "net0".into()),
+            ],
+        },
+        SetupStep::InstallSparseFile {
+            path: "/vol/f".into(),
+            size: 16 * PAGE_SIZE,
+        },
+        SetupStep::DropCaches,
+    ];
+    spec.fault_plan =
+        FaultPlan::new().degraded("net0", SimTime::ZERO, SimTime::from_nanos(u64::MAX), 8.0);
+    spec
+}
+
+fn drive_hedged_captured(k: &mut Kernel) {
+    let fd = k.open("/vol/f", OpenFlags::RDONLY).unwrap();
+    for p in [0u64, 4, 8, 12, 0] {
+        k.pread(fd, p * PAGE_SIZE, PAGE_SIZE as usize).unwrap();
+        k.charge_cpu(SimDuration::from_nanos(900_000));
+    }
+    k.close(fd).unwrap();
+}
+
+#[test]
+fn hedged_workload_capture_identity_replay() {
+    let spec = hedged_capture_spec();
+    let mut k = build_kernel(&spec).unwrap();
+    k.start_capture(128);
+    drive_hedged_captured(&mut k);
+    let capture = k.stop_capture().unwrap();
+    assert!(capture.complete, "workload must fit the capture budget");
+    let hedges: u64 = capture.ops.iter().map(|op| op.outcome.hedges).sum();
+    assert!(hedges > 0, "the degraded pick must have hedged on record");
+
+    let original = CaptureFile { spec, capture };
+    let text = original.to_jsonl();
+    let parsed = CaptureFile::parse(&text).expect("parse");
+    let replayed = replay(&parsed, &CandidateConfig::identity()).expect("identity replay");
+    assert_eq!(
+        replayed.into_file().to_jsonl(),
+        text,
+        "hedged capture → parse → replay must reproduce the capture byte for byte"
     );
 }

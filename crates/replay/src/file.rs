@@ -91,7 +91,8 @@ fn header_json(spec: &WorkloadSpec, cap: &Capture) -> String {
     let _ = write!(
         s,
         "{{\"schema\":\"{CAPTURE_SCHEMA}\",\"complete\":{},\"incomplete_reason\":{},\
-         \"budget\":{},\"base_ns\":{},\"ops\":{},\"machine\":\"{}\",\"cmd_queue_capacity\":{},",
+         \"budget\":{},\"base_ns\":{},\"ops\":{},\"machine\":\"{}\",\"cmd_queue_capacity\":{},\
+         \"hedge_max\":{},\"hedge_deadline_mult_bits\":{},\"hedge_cancel_ns\":{},",
         cap.complete,
         match &cap.incomplete_reason {
             Some(r) => format!("\"{}\"", escape(r)),
@@ -102,6 +103,9 @@ fn header_json(spec: &WorkloadSpec, cap: &Capture) -> String {
         cap.ops.len(),
         escape(&spec.machine),
         spec.cmd_queue_capacity,
+        spec.hedge.max_hedges,
+        spec.hedge.deadline_mult.to_bits(),
+        spec.hedge.cancel_cost.as_nanos(),
     );
     s.push_str("\"setup\":[");
     for (i, step) in spec.setup.iter().enumerate() {
@@ -171,6 +175,17 @@ fn window_json(w: &FaultWindow) -> String {
     }
 }
 
+fn layout_json(layout: &sleds_fs::VolumeLayout) -> String {
+    use sleds_fs::VolumeLayout;
+    match layout {
+        VolumeLayout::Mirrored => "\"layout\":\"mirrored\"".to_string(),
+        VolumeLayout::Striped { stripe_pages } => {
+            format!("\"layout\":\"striped\",\"stripe_pages\":{stripe_pages}")
+        }
+        VolumeLayout::Coded { k } => format!("\"layout\":\"coded\",\"k\":{k}"),
+    }
+}
+
 fn step_json(step: &SetupStep) -> String {
     match step {
         SetupStep::Mkdir { path } => {
@@ -212,6 +227,30 @@ fn step_json(step: &SetupStep) -> String {
             escape(tape_name),
             chunk_pages
         ),
+        SetupStep::MountVolume {
+            path,
+            layout,
+            members,
+        } => {
+            let mut s = format!(
+                "{{\"step\":\"mount_volume\",\"path\":\"{}\",{},\"members\":[",
+                escape(path),
+                layout_json(layout)
+            );
+            for (i, (model, name)) in members.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"model\":\"{}\",\"name\":\"{}\"}}",
+                    escape(model),
+                    escape(name)
+                );
+            }
+            s.push_str("]}");
+            s
+        }
         SetupStep::InstallFile { path, data } => format!(
             "{{\"step\":\"install_file\",\"path\":\"{}\",\"data\":\"{}\"}}",
             escape(path),
@@ -325,7 +364,7 @@ fn op_json(op: &CapturedOp) -> String {
         "{{\"seq\":{},\"tenant\":{},\"submit_ns\":{},\"fault_epoch\":{},\"path\":{},\
          \"call\":{},\"outcome\":{{\"ok\":{},\"errno\":{},\"ret\":{},\"data_len\":{},\
          \"data_fold\":{},\"complete_ns\":{},\"queue_wait_ns\":{},\"service_ns\":{},\
-         \"device_commands\":{},\"device_bytes\":{},\"classes\":[",
+         \"device_commands\":{},\"device_bytes\":{},\"hedges\":{},\"classes\":[",
         op.seq,
         op.tenant,
         op.submit_ns,
@@ -348,6 +387,7 @@ fn op_json(op: &CapturedOp) -> String {
         o.service_ns,
         o.device_commands,
         o.device_bytes,
+        o.hedges,
     );
     for (i, c) in o.classes.iter().enumerate() {
         if i > 0 {
@@ -370,6 +410,22 @@ fn parse_spec(header: &Json) -> Result<WorkloadSpec, String> {
     spec.cmd_queue_capacity = header
         .field("cmd_queue_capacity", "header")?
         .as_usize("cmd_queue_capacity")?;
+    spec.hedge = sleds_fs::HedgePolicy {
+        max_hedges: {
+            let m = header.field("hedge_max", "header")?.as_u64("hedge_max")?;
+            u32::try_from(m).map_err(|_| format!("hedge_max {m} out of range"))?
+        },
+        deadline_mult: f64::from_bits(
+            header
+                .field("hedge_deadline_mult_bits", "header")?
+                .as_u64("hedge_deadline_mult_bits")?,
+        ),
+        cancel_cost: SimDuration::from_nanos(
+            header
+                .field("hedge_cancel_ns", "header")?
+                .as_u64("hedge_cancel_ns")?,
+        ),
+    };
     for v in header.field("setup", "header")?.as_arr("setup")? {
         spec.setup.push(parse_step(v)?);
     }
@@ -448,6 +504,40 @@ fn parse_step(v: &Json) -> Result<SetupStep, String> {
                 .field("chunk_pages", "setup step")?
                 .as_u64("chunk_pages")?,
         }),
+        "mount_volume" => {
+            use sleds_fs::VolumeLayout;
+            let layout = match v.field("layout", "setup step")?.as_str("layout")? {
+                "mirrored" => VolumeLayout::Mirrored,
+                "striped" => VolumeLayout::Striped {
+                    stripe_pages: v
+                        .field("stripe_pages", "setup step")?
+                        .as_u64("stripe_pages")?,
+                },
+                "coded" => VolumeLayout::Coded {
+                    k: {
+                        let k = v.field("k", "setup step")?.as_u64("k")?;
+                        u32::try_from(k).map_err(|_| format!("coded k {k} out of range"))?
+                    },
+                },
+                other => return Err(format!("unknown volume layout {other:?}")),
+            };
+            let mut members = Vec::new();
+            for m in v.field("members", "setup step")?.as_arr("members")? {
+                members.push((
+                    m.field("model", "volume member")?
+                        .as_str("model")?
+                        .to_string(),
+                    m.field("name", "volume member")?
+                        .as_str("name")?
+                        .to_string(),
+                ));
+            }
+            Ok(SetupStep::MountVolume {
+                path: path("path")?,
+                layout,
+                members,
+            })
+        }
         "install_file" => Ok(SetupStep::InstallFile {
             path: path("path")?,
             data: hex_decode(v.field("data", "setup step")?.as_str("data")?)?,
@@ -587,6 +677,7 @@ fn parse_op(v: &Json) -> Result<CapturedOp, String> {
                 .field("device_commands", "outcome")?
                 .as_u64("device_commands")?,
             device_bytes: o.field("device_bytes", "outcome")?.as_u64("device_bytes")?,
+            hedges: o.field("hedges", "outcome")?.as_u64("hedges")?,
             classes,
         },
     })

@@ -8,9 +8,9 @@
 //! queue capacity, other fault plan, other machine table — for a
 //! what-if replay.
 
-use sleds_devices::{CdRomDevice, DiskDevice, NfsDevice, TapeDevice};
+use sleds_devices::{BlockDevice, CdRomDevice, DiskDevice, NfsDevice, TapeDevice};
 use sleds_faults::FaultPlan;
-use sleds_fs::{Kernel, MachineConfig};
+use sleds_fs::{HedgePolicy, Kernel, MachineConfig, VolumeLayout};
 
 /// Disk model names [`build_disk`] accepts.
 pub const DISK_MODELS: &[&str] = &["table2_disk", "table3_disk"];
@@ -22,6 +22,30 @@ pub fn build_disk(model: &str, name: &str) -> Result<DiskDevice, String> {
         "table3_disk" => Ok(DiskDevice::table3_disk(name)),
         other => Err(format!("unknown disk model {other:?}")),
     }
+}
+
+/// Volume-member model names [`build_member`] accepts: every disk model
+/// plus the NFS exports (the geo links are how a volume spans sites).
+pub const MEMBER_MODELS: &[&str] = &[
+    "table2_disk",
+    "table3_disk",
+    "table2_mount",
+    "nfs_metro",
+    "nfs_regional",
+    "nfs_continental",
+];
+
+/// Builds a named volume-member model.
+pub fn build_member(model: &str, name: &str) -> Result<Box<dyn BlockDevice>, String> {
+    Ok(match model {
+        "table2_disk" => Box::new(DiskDevice::table2_disk(name)),
+        "table3_disk" => Box::new(DiskDevice::table3_disk(name)),
+        "table2_mount" => Box::new(NfsDevice::table2_mount(name)),
+        "nfs_metro" => Box::new(NfsDevice::metro_link(name)),
+        "nfs_regional" => Box::new(NfsDevice::regional_link(name)),
+        "nfs_continental" => Box::new(NfsDevice::continental_link(name)),
+        other => return Err(format!("unknown member model {other:?}")),
+    })
 }
 
 /// One declarative environment-construction step. Applied in order by
@@ -76,6 +100,16 @@ pub enum SetupStep {
         /// Stage-back chunk, in pages.
         chunk_pages: u64,
     },
+    /// Mount a redundant volume: a layout over named member models. The
+    /// first member is the primary.
+    MountVolume {
+        /// Mount point.
+        path: String,
+        /// Redundancy layout.
+        layout: VolumeLayout,
+        /// `(model, name)` per member (see [`MEMBER_MODELS`]).
+        members: Vec<(String, String)>,
+    },
     /// Install a file with explicit contents.
     InstallFile {
         /// Absolute path.
@@ -122,6 +156,10 @@ pub struct WorkloadSpec {
     pub setup: Vec<SetupStep>,
     /// Fault schedule installed after the mounts.
     pub fault_plan: FaultPlan,
+    /// Hedged-read policy in force during the capture. Part of the spec
+    /// because hedging changes which devices serve which reads — replay
+    /// must rebuild it exactly to stay byte-identical.
+    pub hedge: HedgePolicy,
 }
 
 impl WorkloadSpec {
@@ -133,6 +171,7 @@ impl WorkloadSpec {
             cmd_queue_capacity: sleds_fs::CMD_QUEUE_CAPACITY,
             setup: Vec::new(),
             fault_plan: FaultPlan::new(),
+            hedge: HedgePolicy::default(),
         }
     }
 
@@ -144,6 +183,7 @@ impl WorkloadSpec {
             other => return Err(format!("unknown machine table {other:?}")),
         };
         cfg.cmd_queue_capacity = self.cmd_queue_capacity;
+        cfg.hedge = self.hedge;
         Ok(cfg)
     }
 }
@@ -160,6 +200,9 @@ pub struct CandidateConfig {
     pub cmd_queue_capacity: Option<usize>,
     /// Replace the fault schedule.
     pub fault_plan: Option<FaultPlan>,
+    /// Replace the hedged-read policy (e.g. `HedgePolicy::disabled()`
+    /// asks "what if we had not hedged?").
+    pub hedge: Option<HedgePolicy>,
 }
 
 impl CandidateConfig {
@@ -179,6 +222,9 @@ impl CandidateConfig {
         }
         if let Some(p) = &self.fault_plan {
             out.fault_plan = p.clone();
+        }
+        if let Some(h) = self.hedge {
+            out.hedge = h;
         }
         out
     }
@@ -234,6 +280,19 @@ fn apply_step(k: &mut Kernel, step: &SetupStep) -> Result<(), String> {
                 other => return Err(format!("unknown tape model {other:?}")),
             };
             k.mount_hsm(path, disk, tape, *chunk_pages)
+                .map(|_| ())
+                .map_err(fail)
+        }
+        SetupStep::MountVolume {
+            path,
+            layout,
+            members,
+        } => {
+            let mut devs: Vec<Box<dyn BlockDevice>> = Vec::new();
+            for (model, name) in members {
+                devs.push(build_member(model, name)?);
+            }
+            k.mount_volume(path, *layout, devs)
                 .map(|_| ())
                 .map_err(fail)
         }

@@ -173,7 +173,7 @@ fn parse_rejects_unknown_schema_and_truncation() {
     let file = capture_small();
     let text = file.to_jsonl();
 
-    let bad = text.replacen("sleds-capture-v1", "sleds-capture-v9", 1);
+    let bad = text.replacen("sleds-capture-v2", "sleds-capture-v9", 1);
     assert!(CaptureFile::parse(&bad).is_err(), "unknown schema rejected");
 
     let mut lines: Vec<&str> = text.lines().collect();
@@ -204,6 +204,7 @@ fn whatif_diff_attributes_every_delta_exactly() {
             SimTime::from_nanos(horizon * 2 + 1),
             3.0,
         )),
+        hedge: None,
     };
     let replayed = replay(&file, &candidate).expect("what-if replay");
     let cand_file = replayed.into_file();
@@ -266,6 +267,7 @@ fn candidate_machine_table_changes_cpu_pricing() {
         machine: Some("table3".into()),
         cmd_queue_capacity: None,
         fault_plan: None,
+        hedge: None,
     };
     let replayed = replay(&file, &candidate).expect("table3 replay");
     assert_eq!(replayed.spec.machine, "table3");

@@ -463,9 +463,12 @@ mod tests {
     #[test]
     fn p999_resolves_the_far_tail() {
         let mut h = LogHistogram::new();
-        // 999 fast observations and one 60ms outlier: p99 stays in the
-        // fast bucket, p999 must surface the outlier.
-        for _ in 0..999 {
+        // 99 fast observations and one 60ms outlier: p99 stays in the
+        // fast bucket (rank ceil(0.99·100) = 99), p999 must surface the
+        // outlier (rank ceil(0.999·100) = 100). With 1000 samples the
+        // nearest-rank p999 would be rank 999 — still fast — so a 1-in-N
+        // outlier only shows at p999 when N < 1000.
+        for _ in 0..99 {
             h.record(1_000);
         }
         h.record(60_000_000);

@@ -272,7 +272,84 @@ fn detect(toks: &[Tok], summaries: &BTreeMap<String, Summary>) -> Vec<Candidate>
     }
     detect_retry_loops(toks, summaries, &mut out);
     detect_unbounded_queues(toks, &mut out);
+    detect_unbounded_hedges(toks, &mut out);
     out
+}
+
+/// Identifiers that mark a fn body as a *hedge site* (D014): the places
+/// that record issuing a redundant request. Call sites only — the scan
+/// starts at the body brace, so the definitions of these hooks (whose
+/// names sit in the signature) are not themselves sites.
+const HEDGE_ISSUE_IDENTS: &[&str] = &["note_hedge", "io_hedge"];
+
+/// Identifiers that prove the site's redundant requests are bounded.
+const HEDGE_BOUND_IDENTS: &[&str] = &["max_hedges", "hedge_budget"];
+
+/// D014: a kernel-path fn that issues hedged requests must reference both
+/// a hedge bound (`max_hedges`/`hedge_budget`) and loser cancellation
+/// (any `cancel…` identifier) in the same body. Without the bound, a
+/// slow device fans out without limit; without the cancel, the loser's
+/// queue occupancy is redundant work nobody accounts for.
+fn detect_unbounded_hedges(toks: &[Tok], out: &mut Vec<Candidate>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "fn" {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Signature runs to the body `{`; a `;` first means a bodiless
+        // trait declaration, which has no site to judge.
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text != "{" {
+            continue;
+        }
+        let start = j;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body = &toks[start..toks.len().min(j + 1)];
+        let mentions = |pred: &dyn Fn(&str) -> bool| {
+            body.iter()
+                .any(|tok| tok.kind == TokKind::Ident && pred(&tok.text))
+        };
+        if !mentions(&|s| HEDGE_ISSUE_IDENTS.contains(&s)) {
+            continue;
+        }
+        let bounded = mentions(&|s| HEDGE_BOUND_IDENTS.contains(&s));
+        let cancelled = mentions(&|s| s.contains("cancel"));
+        if !(bounded && cancelled) {
+            out.push(cand(
+                "D014",
+                t.line,
+                format!(
+                    "fn `{}` issues hedged requests without {}; bound the fan-out by \
+                     max_hedges/hedge_budget and cancel every loser, or waive naming what \
+                     bounds it",
+                    name.text,
+                    match (bounded, cancelled) {
+                        (false, false) => "a hedge bound or loser cancellation",
+                        (false, true) => "a hedge bound",
+                        _ => "loser cancellation",
+                    }
+                ),
+            ));
+        }
+    }
 }
 
 /// Struct-name fragments that mark a type as a queue (D009).

@@ -105,6 +105,14 @@ pub const RULES: &[Rule] = &[
                     conversion: unit confusion silently corrupts the cost model",
     },
     Rule {
+        code: "D014",
+        name: "hedge-bounded-and-cancelled",
+        invariant: "a kernel-path fn that issues hedged requests (note_hedge/io_hedge) without \
+                    referencing a hedge bound (max_hedges/hedge_budget) and loser cancellation \
+                    (cancel): unbounded hedging multiplies device load, and an uncancelled \
+                    loser is redundant work nobody accounts for",
+    },
+    Rule {
         code: "W001",
         name: "malformed-waiver",
         invariant: "a sledlint::allow comment that does not parse as (RULE, reason) suppresses \
@@ -181,9 +189,8 @@ impl FileScope {
             "D002" => !self.host_tool() && !self.test_context && !in_test_region,
             "D003" => true,
             "D004" => !self.test_context && !in_test_region,
-            "D005" | "D006" | "D007" | "D008" | "D009" | "D010" | "D011" | "D012" | "D013" => {
-                self.kernel_path && !self.test_context && !in_test_region
-            }
+            "D005" | "D006" | "D007" | "D008" | "D009" | "D010" | "D011" | "D012" | "D013"
+            | "D014" => self.kernel_path && !self.test_context && !in_test_region,
             _ => true,
         }
     }

@@ -1,0 +1,15 @@
+// D014 clean fixture: the hedge site bounds its fan-out by the policy
+// and cancels every loser; code that merely reads hedge counters is not
+// a hedge site at all.
+
+fn hedge_bounded_and_revoked(k: &mut Kernel, policy: &HedgePolicy) {
+    for extra in k.mirror_picks(policy.max_hedges) {
+        k.recorder.note_hedge();
+        k.tracer.io_hedge(k.now(), 1, 2, policy.cancel_cost);
+        k.queue(extra).note_cancel(k.now(), policy.cancel_cost);
+    }
+}
+
+fn renders_counters_only(u: &Rusage) -> u64 {
+    u.hedges + u.hedge_wins
+}

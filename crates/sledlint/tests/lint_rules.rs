@@ -27,7 +27,7 @@ fn scan_fixture(name: &str) -> Vec<Finding> {
 fn every_rule_fires_on_violating_and_not_on_clean() {
     for rule in [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009", "D010", "D011",
-        "D012", "D013",
+        "D012", "D013", "D014",
     ] {
         let lower = rule.to_lowercase();
         let bad = scan_fixture(&format!("{lower}_violating.rs"));
@@ -64,6 +64,7 @@ fn violating_samples_report_the_expected_count() {
     assert_eq!(scan_fixture("d011_violating.rs").len(), 2);
     assert_eq!(scan_fixture("d012_violating.rs").len(), 2);
     assert_eq!(scan_fixture("d013_violating.rs").len(), 2);
+    assert_eq!(scan_fixture("d014_violating.rs").len(), 2);
 }
 
 #[test]

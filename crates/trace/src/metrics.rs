@@ -177,6 +177,9 @@ pub struct Metrics {
     pub faults_injected: u64,
     /// Device commands reissued after a transient fault.
     pub io_retries: u64,
+    /// Redundant (hedged) read commands issued against replica devices;
+    /// each carries exactly one cancelled loser per issuance.
+    pub hedges: u64,
     /// Application-level spans completed.
     pub app_spans: u64,
     /// Ring batches serviced (`ring_enter` calls that crossed).
@@ -282,8 +285,8 @@ impl Metrics {
         let mut out = Vec::new();
         if self.trace_dropped > 0 {
             out.push(format!(
-                "trace ring dropped {} events (high water {}): audits and exports \
-                 over the event buffer saw a truncated window",
+                "TRUNCATED trace ring: dropped {} events (high water {}); audits and \
+                 exports over the event buffer saw a clipped window",
                 self.trace_dropped, self.trace_high_water
             ));
         }
@@ -370,6 +373,9 @@ impl Metrics {
                 "faults injected {} retries {}\n",
                 self.faults_injected, self.io_retries
             ));
+        }
+        if self.hedges > 0 {
+            out.push_str(&format!("hedged reads {}\n", self.hedges));
         }
         if self.app_spans > 0 {
             out.push_str(&format!("app spans {}\n", self.app_spans));

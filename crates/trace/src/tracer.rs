@@ -255,6 +255,27 @@ impl Tracer {
         );
     }
 
+    /// Records one hedged read: a redundant request was issued and the
+    /// loser cancelled (`args`: winning device class code, losing device
+    /// class code, cancel cost in ns).
+    pub fn io_hedge(&mut self, ts: SimTime, winner_class: u64, loser_class: u64, cancel_ns: u64) {
+        let tenant = self.tenant;
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.metrics.hedges += 1;
+        Self::emit(
+            inner,
+            tenant,
+            ts,
+            SimDuration::ZERO,
+            EventPhase::Mark,
+            Layer::Device,
+            "io.hedge",
+            [winner_class, loser_class, cancel_ns],
+        );
+    }
+
     /// Records one retry backoff (`args`: device class code, attempt that
     /// just failed, backoff wait in ns).
     pub fn io_retry(&mut self, ts: SimTime, class: u64, attempt: u64, backoff_ns: u64) {

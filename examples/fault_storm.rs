@@ -16,6 +16,10 @@
 //! 4. **Recovery** — prediction error explodes while a device is degraded,
 //!    and a post-recovery `FSLEDS_RECAL` from a fresh observation window
 //!    restores it.
+//! 5. **Replica reroute** — the same outage that fails every read on an
+//!    unreplicated disk is invisible on a mirrored volume: the kernel
+//!    reroutes to the surviving member, the application sees zero errors
+//!    and zero retries, and the offline primary is never issued a command.
 //!
 //! ```text
 //! cargo run --release --example fault_storm
@@ -23,8 +27,8 @@
 
 use std::path::PathBuf;
 
-use sleds_repro::devices::{DiskDevice, FaultPlan, FaultState};
-use sleds_repro::fs::{Kernel, OpenFlags};
+use sleds_repro::devices::{BlockDevice, DiskDevice, FaultPlan, FaultState};
+use sleds_repro::fs::{Kernel, OpenFlags, VolumeLayout};
 use sleds_repro::lmbench::fill_table;
 use sleds_repro::sim_core::{SimDuration, SimTime, PAGE_SIZE};
 use sleds_repro::sleds::{
@@ -190,6 +194,97 @@ fn run_offline_routing() -> (usize, usize, usize, usize) {
     skip.finish();
 
     (sleds.len(), unavailable, defer_planned, skip_planned)
+}
+
+/// Property 5: the same offline outage against an unreplicated disk and a
+/// two-way mirror. The unreplicated reads all fail; the mirrored reads all
+/// succeed with zero app-visible errors and zero retries, served entirely
+/// by the surviving member (the offline primary is never commanded).
+fn run_replica_reroute() -> (u64, u64, u64, u64) {
+    let files = 4;
+    let pages = 6usize;
+
+    // Baseline: unreplicated disk, offline for the whole read phase.
+    let mut k = Kernel::table2();
+    k.mkdir("/flat").expect("mkdir");
+    k.mount_disk("/flat", DiskDevice::table2_disk("hda"))
+        .expect("mount");
+    for i in 0..files {
+        k.install_file(
+            &format!("/flat/f{i}"),
+            &vec![i as u8; pages * PAGE_SIZE as usize],
+        )
+        .expect("install");
+    }
+    k.drop_caches().expect("drop_caches");
+    k.apply_fault_plan(&FaultPlan::new().offline(
+        "hda",
+        SimTime::ZERO,
+        SimTime::from_nanos(u64::MAX),
+        SimDuration::from_millis(1),
+    ));
+    let mut flat_errors = 0u64;
+    for i in 0..files {
+        let fd = k
+            .open(&format!("/flat/f{i}"), OpenFlags::RDONLY)
+            .expect("open");
+        if k.read(fd, pages * PAGE_SIZE as usize).is_err() {
+            flat_errors += 1;
+        }
+        k.close(fd).expect("close");
+    }
+    assert_eq!(
+        flat_errors, files as u64,
+        "an unreplicated disk has nothing to reroute to"
+    );
+
+    // The mirror: same outage on the primary, zero app-visible errors.
+    let mut k = Kernel::table2();
+    k.mkdir("/vol").expect("mkdir");
+    let m = k
+        .mount_volume(
+            "/vol",
+            VolumeLayout::Mirrored,
+            vec![
+                Box::new(DiskDevice::table2_disk("vd0")) as Box<dyn BlockDevice>,
+                Box::new(DiskDevice::table2_disk("vd1")),
+            ],
+        )
+        .expect("mount_volume");
+    let members = k.volume_members(m);
+    for i in 0..files {
+        k.install_file(
+            &format!("/vol/f{i}"),
+            &vec![i as u8; pages * PAGE_SIZE as usize],
+        )
+        .expect("install");
+    }
+    k.drop_caches().expect("drop_caches");
+    k.apply_fault_plan(&FaultPlan::new().offline(
+        "vd0",
+        SimTime::ZERO,
+        SimTime::from_nanos(u64::MAX),
+        SimDuration::from_millis(1),
+    ));
+    let mut mirrored_ok = 0u64;
+    for i in 0..files {
+        let fd = k
+            .open(&format!("/vol/f{i}"), OpenFlags::RDONLY)
+            .expect("open");
+        let data = k
+            .read(fd, pages * PAGE_SIZE as usize)
+            .expect("an offline primary must reroute, not error");
+        assert!(data.iter().all(|&b| b == i as u8), "data survived intact");
+        mirrored_ok += 1;
+        k.close(fd).expect("close");
+    }
+    let u = k.usage();
+    assert_eq!(u.io_retries, 0, "reroute is not retry");
+    let primary = k.device_stats(members[0]).expect("stats");
+    let mirror = k.device_stats(members[1]).expect("stats");
+    assert_eq!(primary.reads, 0, "the offline primary is never commanded");
+    assert!(mirror.reads > 0, "the mirror serves every cold read");
+    (flat_errors, mirrored_ok, primary.reads, mirror.reads)
 }
 
 /// Recovery-property corpus: many single-page files. One page per file
@@ -384,11 +479,17 @@ fn main() {
         "recovery: disk error healthy {err_healthy:.4}, during fault {err_during:.4}, stale table {err_stale:.4}, recovered {err_recovered:.4}"
     );
 
+    // Property 5: a mirrored volume masks the outage entirely.
+    let (flat_errors, mirrored_ok, primary_reads, mirror_reads) = run_replica_reroute();
+    println!(
+        "reroute: unreplicated {flat_errors} errors, mirrored {mirrored_ok} reads ok (primary {primary_reads} cmds, mirror {mirror_reads} cmds)"
+    );
+
     // House results-JSON style: hand-rolled, fixed precision, so identical
     // runs serialize identically and check.sh can diff against the
     // committed copy as a regression gate over the whole fault subsystem.
     let json = format!(
-        "{{\n  \"audit\": \"fault storm: determinism, retry masking, offline routing, recovery\",\n  \"regenerate\": \"cargo run --release --example fault_storm\",\n  \"determinism\": {{\"seed\": {STORM_SEED}, \"checksum\": \"{:#018x}\", \"io_retries\": {}, \"retry_backoff_ns\": {}, \"final_clock_ns\": {}}},\n  \"masking\": {{\"reads_ok\": {reads_ok}, \"io_retries\": {retries}, \"retry_backoff_ns\": {backoff_ns}}},\n  \"routing\": {{\"extents\": {extents}, \"unavailable\": {unavailable}, \"defer_planned\": {defer_planned}, \"skip_planned\": {skip_planned}}},\n  \"recovery\": {{\"err_healthy\": {err_healthy:.4}, \"err_during_fault\": {err_during:.4}, \"err_stale_table\": {err_stale:.4}, \"err_recovered\": {err_recovered:.4}}}\n}}\n",
+        "{{\n  \"audit\": \"fault storm: determinism, retry masking, offline routing, recovery, replica reroute\",\n  \"regenerate\": \"cargo run --release --example fault_storm\",\n  \"determinism\": {{\"seed\": {STORM_SEED}, \"checksum\": \"{:#018x}\", \"io_retries\": {}, \"retry_backoff_ns\": {}, \"final_clock_ns\": {}}},\n  \"masking\": {{\"reads_ok\": {reads_ok}, \"io_retries\": {retries}, \"retry_backoff_ns\": {backoff_ns}}},\n  \"routing\": {{\"extents\": {extents}, \"unavailable\": {unavailable}, \"defer_planned\": {defer_planned}, \"skip_planned\": {skip_planned}}},\n  \"recovery\": {{\"err_healthy\": {err_healthy:.4}, \"err_during_fault\": {err_during:.4}, \"err_stale_table\": {err_stale:.4}, \"err_recovered\": {err_recovered:.4}}},\n  \"reroute\": {{\"unreplicated_errors\": {flat_errors}, \"mirrored_reads_ok\": {mirrored_ok}, \"offline_primary_commands\": {primary_reads}, \"mirror_commands\": {mirror_reads}}}\n}}\n",
         a.0, a.1, a.2, a.3
     );
     assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -298,6 +298,7 @@ fn main() {
             SimTime::from_nanos(horizon * 2 + 1),
             DEGRADE,
         )),
+        hedge: None,
     };
     let whatif = replay(&file, &candidate).expect("what-if replay");
     let diff = diff_captures(&file.capture, &whatif.capture).expect("diff");

@@ -84,6 +84,17 @@ run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example replay_whatif
 run diff -u results/CAPTURE_saturation.jsonl "$recal_tmp/CAPTURE_saturation.jsonl"
 run diff -u results/REPLAY_diff.json "$recal_tmp/REPLAY_diff.json"
 
+# Redundancy gate: the seeded fault storm over flat, mirrored (retry-only
+# and hedged), and (2,3)-coded volumes. The example asserts the acceptance
+# properties itself (redundant volumes complete 100% of reads through an
+# offline primary, hedged faulted-window p99 beats retry-only, exact hedge
+# and per-tenant accounting, determinism); the report is a pure function
+# of the storm seed, and only the bench envelope's host-wall fields vary.
+run env SLEDS_RESULTS="$recal_tmp" cargo run --release --example redundancy_report
+run diff -u results/REDUNDANCY_report.json "$recal_tmp/REDUNDANCY_report.json"
+run diff -u <(grep -vE 'host_wall_ns|ops_per_sec' results/BENCH_redundancy.json) \
+    <(grep -vE 'host_wall_ns|ops_per_sec' "$recal_tmp/BENCH_redundancy.json")
+
 # Bench-index gate: every BENCH_*.json must carry the common
 # sleds-bench-v1 envelope, and the index over them must match the
 # committed baseline (host-dependent envelope fields filtered). The
